@@ -1,0 +1,45 @@
+# ppnpart build/evaluation targets. Everything is plain `go` underneath;
+# the Makefile just names the common invocations.
+
+GO ?= go
+
+.PHONY: all build test vet race cover bench figures report examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/... .
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerates every table and figure as benchmarks with the paper's
+# values attached as custom metrics.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Figures 2-13 (DOT + SVG) plus the printed tables.
+figures:
+	$(GO) run ./cmd/experiments -figures -out out
+
+# The full evaluation in one Markdown file (plus figures) under out/.
+report:
+	$(GO) run ./cmd/experiments -report out/REPORT.md -out out
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/multifpga
+	$(GO) run ./examples/pipeline
+	$(GO) run ./examples/heterogeneous
+
+clean:
+	rm -rf out

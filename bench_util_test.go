@@ -1,0 +1,6 @@
+package ppnpart_test
+
+import "math/rand"
+
+// seededRand builds a deterministic source for benchmark inputs.
+func seededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

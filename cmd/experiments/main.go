@@ -1,0 +1,210 @@
+// Command experiments regenerates the paper's evaluation: Tables I–III,
+// Figures 2–13 (as DOT and SVG under -out), the multi-FPGA simulation
+// validation (V1), the scalability sweep (S1), the optimality-gap (E2),
+// related-work (E3), seed-robustness (E4) and multi-resource (M1)
+// studies, and the ablations (A1–A6).
+//
+// Usage:
+//
+//	experiments                     # tables + figures + simulation
+//	experiments -exp 2              # one table only
+//	experiments -figures            # figures only
+//	experiments -simulate           # simulation validation only
+//	experiments -scale              # scalability sweep
+//	experiments -optgap             # exact-vs-GP optimality gap
+//	experiments -related            # spectral/GA/baseline comparison
+//	experiments -variance           # seed robustness
+//	experiments -multires           # multi-resource extension study
+//	experiments -ablations          # A1-A6
+//	experiments -all                # everything to stdout
+//	experiments -report out/REPORT.md   # everything into one Markdown file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ppnpart/internal/experiments"
+)
+
+func main() {
+	var (
+		exp       = flag.Int("exp", 0, "run a single experiment table (1-3); 0 means all")
+		figures   = flag.Bool("figures", false, "generate Figures 2-13 only")
+		simulate  = flag.Bool("simulate", false, "run the multi-FPGA simulation validation only")
+		scale     = flag.Bool("scale", false, "run the scalability sweep only")
+		ablations = flag.Bool("ablations", false, "run the ablation studies only")
+		optgap    = flag.Bool("optgap", false, "run the exact-vs-GP optimality gap study only")
+		related   = flag.Bool("related", false, "run the related-work method comparison only")
+		multires  = flag.Bool("multires", false, "run the multi-resource extension study only")
+		variance  = flag.Bool("variance", false, "run the seed-robustness study only")
+		report    = flag.String("report", "", "write the full evaluation as a Markdown report to this file")
+		all       = flag.Bool("all", false, "run every artifact")
+		outDir    = flag.String("out", "out", "directory for generated figures")
+	)
+	flag.Parse()
+
+	if *report != "" {
+		if err := writeReport(*report, *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*exp, *figures, *simulate, *scale, *ablations, *optgap, *related, *multires, *variance, *all, *outDir); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeReport renders the full evaluation into a Markdown file.
+func writeReport(path, figDir string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = experiments.WriteReport(f, figDir)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		fmt.Printf("report written to %s\n", path)
+	}
+	return err
+}
+
+func run(exp int, figures, simulate, scale, ablations, optgap, related, multires, variance, all bool, outDir string) error {
+	specific := figures || simulate || scale || ablations || optgap || related || multires || variance || exp > 0
+	runTables := all || exp > 0 || !specific
+	runFigures := all || figures || !specific
+	runSim := all || simulate || !specific
+	runScale := all || scale
+	runAbl := all || ablations
+	runGap := all || optgap
+	runRel := all || related
+	runMR := all || multires
+	runVar := all || variance
+
+	var tables []*experiments.Table
+	if runTables || runFigures {
+		if exp > 0 {
+			t, err := experiments.RunTable(exp)
+			if err != nil {
+				return err
+			}
+			tables = append(tables, t)
+		} else {
+			var err error
+			tables, err = experiments.RunAllTables()
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if runTables {
+		if err := experiments.FormatAll(os.Stdout, tables); err != nil {
+			return err
+		}
+	}
+	if runFigures {
+		for _, t := range tables {
+			files, err := experiments.FigureSet(t, outDir)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("experiment %d: wrote %d figure files to %s\n", t.Index, len(files), outDir)
+		}
+		fmt.Println()
+	}
+	if runSim {
+		sims, err := experiments.RunAllSimCases()
+		if err != nil {
+			return err
+		}
+		if err := experiments.FormatSims(os.Stdout, sims); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if runScale {
+		pts, err := experiments.RunScaleSweep([]int{100, 300, 1000, 3000, 10000}, 4)
+		if err != nil {
+			return err
+		}
+		if err := experiments.FormatScale(os.Stdout, pts); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if runGap {
+		rows, err := experiments.RunOptGap()
+		if err != nil {
+			return err
+		}
+		if err := experiments.FormatOptGap(os.Stdout, rows); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if runVar {
+		rows, err := experiments.RunVariance(20)
+		if err != nil {
+			return err
+		}
+		if err := experiments.FormatVariance(os.Stdout, rows); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if runMR {
+		rows, err := experiments.RunMultiRes()
+		if err != nil {
+			return err
+		}
+		if err := experiments.FormatMultiRes(os.Stdout, rows); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if runRel {
+		rows, err := experiments.RunRelated()
+		if err != nil {
+			return err
+		}
+		if err := experiments.FormatRelated(os.Stdout, rows); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if runAbl {
+		type abl struct {
+			title string
+			run   func() ([]experiments.AblationRow, error)
+		}
+		for _, a := range []abl{
+			{"A1: matching heuristic (best-of-three vs single)", experiments.AblationMatching},
+			{"A2: greedy initial-partition restarts", experiments.AblationRestarts},
+			{"A3: coarsening stop size", experiments.AblationCoarsenTarget},
+			{"A4: cyclic re-coarsening budget (tight instance)", experiments.AblationCycles},
+			{"A5: final polish strategy (extension: none vs tabu vs anneal)", experiments.AblationPolish},
+			{"A6: coarsening scheme (extension: matching levels vs n-level)", experiments.AblationCoarsenScheme},
+		} {
+			rows, err := a.run()
+			if err != nil {
+				return err
+			}
+			if err := experiments.FormatAblation(os.Stdout, a.title, rows); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSingleTableWithFigures(t *testing.T) {
+	dir := t.TempDir()
+	// -exp 2 -figures: one table plus its figure set.
+	if err := run(2, true, false, false, false, false, false, false, false, false, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Figures for experiment 2 are 6..9.
+	for _, name := range []string{"fig06.svg", "fig09.dot"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestRunScaleOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale sweep is slow")
+	}
+	// The harness's sweep sizes are fixed; run the smaller -scale path
+	// indirectly through the flag plumbing with figures disabled.
+	if err := run(1, false, false, false, false, false, false, false, false, false, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-all runs the complete suite")
+	}
+	dir := t.TempDir()
+	if err := run(0, false, false, false, false, false, false, false, false, true, dir); err != nil {
+		t.Fatal(err)
+	}
+	// All 12 figures (24 files).
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 24 {
+		t.Fatalf("figure files = %d, want 24", len(entries))
+	}
+}
+
+func TestWriteReportFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report is slow")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "REPORT.md")
+	if err := writeReport(path, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 1000 {
+		t.Fatalf("report suspiciously small: %d bytes", len(data))
+	}
+}

@@ -1,0 +1,239 @@
+// Command gpart partitions a process-network graph under bandwidth and
+// resource constraints (the paper's GP tool), or with the unconstrained
+// METIS-style baseline for comparison.
+//
+// Usage:
+//
+//	gpart -graph net.graph -k 4 -bmax 16 -rmax 165
+//	gpart -graph net.json -format json -k 4 -algo baseline
+//	gpart -graph net.graph -k 4 -bmax 16 -rmax 165 -dot out.dot -svg out.svg
+//
+// The input format is METIS .graph by default; -format selects json,
+// edgelist or incidence. The partition is printed one "node part" pair
+// per line, followed by the metrics the paper's tables report.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ppnpart/internal/core"
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+	"ppnpart/internal/mlkp"
+	"ppnpart/internal/viz"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "input graph file (required)")
+		format    = flag.String("format", "metis", "input format: metis, json, edgelist, incidence")
+		k         = flag.Int("k", 4, "number of partitions (FPGAs)")
+		bmax      = flag.Int64("bmax", 0, "max bandwidth between any pair of partitions (0 = unconstrained)")
+		rmax      = flag.Int64("rmax", 0, "max resources per partition (0 = unconstrained)")
+		algo      = flag.String("algo", "gp", "algorithm: gp (constrained) or baseline (METIS-style)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		cycles    = flag.Int("cycles", 16, "GP cyclic iteration budget")
+		minimize  = flag.Bool("minimize", false, "keep cycling after feasibility to lower the cut")
+		dotPath   = flag.String("dot", "", "write the partitioned graph as Graphviz DOT")
+		svgPath   = flag.String("svg", "", "write the partitioned graph as SVG")
+		outPath   = flag.String("out", "", "write the partition to this file (node part per line)")
+		evalPath  = flag.String("eval", "", "evaluate an existing partition file instead of partitioning")
+		stats     = flag.Bool("stats", false, "print graph statistics and exit (no partitioning)")
+		quiet     = flag.Bool("quiet", false, "suppress the per-node assignment listing")
+	)
+	flag.Parse()
+	if err := run(*graphPath, *format, *k, *bmax, *rmax, *algo, *seed, *cycles, *minimize, *dotPath, *svgPath, *outPath, *evalPath, *stats, *quiet); err != nil {
+		fmt.Fprintf(os.Stderr, "gpart: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, format string, k int, bmax, rmax int64, algo string, seed int64,
+	cycles int, minimize bool, dotPath, svgPath, outPath, evalPath string, stats, quiet bool) error {
+	if graphPath == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	f, err := os.Open(graphPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var g *graph.Graph
+	switch format {
+	case "metis":
+		g, err = graph.ReadMETIS(f)
+	case "json":
+		g, err = graph.ReadJSON(f)
+	case "edgelist":
+		g, err = graph.ReadEdgeList(f)
+	case "incidence":
+		g, err = graph.ReadIncidence(f)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+	if stats {
+		fmt.Println(graph.ComputeStats(g))
+		return nil
+	}
+	c := metrics.Constraints{Bmax: bmax, Rmax: rmax}
+
+	var parts []int
+	if evalPath != "" {
+		parts, err = readPartition(evalPath, g.NumNodes())
+		if err != nil {
+			return err
+		}
+		if err := metrics.Validate(g, parts, k); err != nil {
+			return err
+		}
+		fmt.Printf("evaluating partition from %s\n", evalPath)
+		return report(g, parts, k, c, dotPath, svgPath, outPath, quiet)
+	}
+	switch algo {
+	case "gp":
+		res, err := core.Partition(g, core.Options{
+			K:                     k,
+			Constraints:           c,
+			Seed:                  seed,
+			MaxCycles:             cycles,
+			MinimizeAfterFeasible: minimize,
+		})
+		if err != nil {
+			return err
+		}
+		parts = res.Parts
+		if !res.Feasible {
+			fmt.Fprintf(os.Stderr, "gpart: WARNING: %s\n", res.Message)
+		}
+		fmt.Printf("algorithm: GP (cycles=%d, feasible=%v, %s)\n", res.Cycles, res.Feasible, res.Runtime)
+	case "baseline":
+		res, err := mlkp.Partition(g, mlkp.Options{K: k, Seed: seed})
+		if err != nil {
+			return err
+		}
+		parts = res.Parts
+		fmt.Printf("algorithm: METIS-like baseline (levels=%d, %s)\n", res.Levels, res.Runtime)
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+
+	return report(g, parts, k, c, dotPath, svgPath, outPath, quiet)
+}
+
+// report prints the metrics and writes the requested artifacts.
+func report(g *graph.Graph, parts []int, k int, c metrics.Constraints,
+	dotPath, svgPath, outPath string, quiet bool) error {
+	rep := metrics.Evaluate(g, parts, k, c)
+	fmt.Printf("edge cut:            %d\n", rep.EdgeCut)
+	fmt.Printf("max local bandwidth: %d\n", rep.MaxLocalBandwidth)
+	fmt.Printf("max resources:       %d\n", rep.MaxResource)
+	fmt.Printf("imbalance:           %.3f\n", rep.Imbalance)
+	if !c.Unconstrained() {
+		fmt.Printf("feasible:            %v\n", rep.Feasible)
+		for _, v := range rep.Violations {
+			fmt.Printf("  violation: %s\n", v)
+		}
+	}
+	for _, line := range viz.PartitionLegend(g, parts, k) {
+		fmt.Println(line)
+	}
+	if !quiet {
+		for u, p := range parts {
+			fmt.Printf("%d %d\n", u, p)
+		}
+	}
+	if outPath != "" {
+		if err := writePartition(outPath, parts); err != nil {
+			return err
+		}
+	}
+	style := viz.Style{ShowWeights: true, Parts: parts, K: k}
+	if dotPath != "" {
+		df, err := os.Create(dotPath)
+		if err != nil {
+			return err
+		}
+		err = viz.WriteDOT(df, g, style)
+		if cerr := df.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if svgPath != "" {
+		sf, err := os.Create(svgPath)
+		if err != nil {
+			return err
+		}
+		err = viz.WriteSVG(sf, g, style)
+		if cerr := sf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePartition writes "node part" lines.
+func writePartition(path string, parts []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for u, p := range parts {
+		if _, err := fmt.Fprintf(f, "%d %d\n", u, p); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// readPartition parses "node part" lines into an assignment vector.
+func readPartition(path string, n int) ([]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	parts := make([]int, n)
+	seen := make([]bool, n)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var u, p int
+		if _, err := fmt.Sscanf(line, "%d %d", &u, &p); err != nil {
+			return nil, fmt.Errorf("partition file: malformed line %q", line)
+		}
+		if u < 0 || u >= n {
+			return nil, fmt.Errorf("partition file: node %d out of range [0,%d)", u, n)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("partition file: node %d assigned twice", u)
+		}
+		seen[u] = true
+		parts[u] = p
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for u, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("partition file: node %d unassigned", u)
+		}
+	}
+	return parts, nil
+}

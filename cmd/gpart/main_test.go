@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ppnpart/internal/gen"
+	"ppnpart/internal/graph"
+)
+
+// writeInstance materializes paper instance 1 in METIS format.
+func writeInstance(t *testing.T, dir string) string {
+	t.Helper()
+	inst, err := gen.PaperInstance(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "e1.graph")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteMETIS(f, inst.G); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunGPEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	gpath := writeInstance(t, dir)
+	out := filepath.Join(dir, "e1.part")
+	dot := filepath.Join(dir, "e1.dot")
+	svg := filepath.Join(dir, "e1.svg")
+	if err := run(gpath, "metis", 4, 16, 165, "gp", 1, 16, false, dot, svg, out, "", false, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{out, dot, svg} {
+		data, err := os.ReadFile(p)
+		if err != nil || len(data) == 0 {
+			t.Fatalf("artifact %s missing or empty: %v", p, err)
+		}
+	}
+	// Evaluate the partition we just wrote.
+	if err := run(gpath, "metis", 4, 16, 165, "gp", 1, 16, false, "", "", "", out, false, true); err != nil {
+		t.Fatalf("eval mode: %v", err)
+	}
+}
+
+func TestRunBaseline(t *testing.T) {
+	dir := t.TempDir()
+	gpath := writeInstance(t, dir)
+	if err := run(gpath, "metis", 4, 0, 0, "baseline", 1, 16, false, "", "", "", "", false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	gpath := writeInstance(t, dir)
+	if err := run("", "metis", 4, 0, 0, "gp", 1, 16, false, "", "", "", "", false, true); err == nil {
+		t.Fatal("missing -graph accepted")
+	}
+	if err := run(gpath, "nope", 4, 0, 0, "gp", 1, 16, false, "", "", "", "", false, true); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if err := run(gpath, "metis", 4, 0, 0, "nope", 1, 16, false, "", "", "", "", false, true); err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+	if err := run(filepath.Join(dir, "absent"), "metis", 4, 0, 0, "gp", 1, 16, false, "", "", "", "", false, true); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestPartitionFileParsing(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.part")
+	os.WriteFile(good, []byte("# comment\n0 1\n1 0\n"), 0o644)
+	parts, err := readPartition(good, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts[0] != 1 || parts[1] != 0 {
+		t.Fatalf("parts = %v", parts)
+	}
+	cases := map[string]string{
+		"malformed":  "x y\n",
+		"outOfRange": "5 0\n0 0\n",
+		"duplicate":  "0 0\n0 1\n1 0\n",
+		"missing":    "0 0\n",
+	}
+	for name, content := range cases {
+		p := filepath.Join(dir, name)
+		os.WriteFile(p, []byte(content), 0o644)
+		if _, err := readPartition(p, 2); err == nil {
+			t.Errorf("case %s accepted", name)
+		}
+	}
+	if _, err := readPartition(filepath.Join(dir, "absent"), 2); err == nil {
+		t.Error("absent file accepted")
+	}
+	if !strings.Contains(good, dir) {
+		t.Fatal("sanity")
+	}
+}
+
+func TestRunStatsMode(t *testing.T) {
+	dir := t.TempDir()
+	gpath := writeInstance(t, dir)
+	if err := run(gpath, "metis", 4, 0, 0, "gp", 1, 16, false, "", "", "", "", true, true); err != nil {
+		t.Fatal(err)
+	}
+}

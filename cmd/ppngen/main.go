@@ -1,0 +1,135 @@
+// Command ppngen generates process-network graphs: from the kernel
+// library (FIR, Jacobi, matmul, pipeline, split-merge), as random PPNs,
+// or as the paper's experiment instances. Output goes to stdout in METIS
+// .graph format by default (-format json/edgelist/incidence to switch).
+//
+// Usage:
+//
+//	ppngen -kernel fir -taps 8 -n 4096 > fir.graph
+//	ppngen -kernel jacobi1d -n 128 -steps 6 > jacobi.graph
+//	ppngen -kernel matmul -blocks 4 -blocksize 64 > mm.graph
+//	ppngen -kernel pipeline -stages 12 -n 1024 > pipe.graph
+//	ppngen -kernel splitmerge -ways 6 -n 1200 > sm.graph
+//	ppngen -random 32 -seed 7 > rand.graph
+//	ppngen -paper 1 > experiment1.graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"ppnpart/internal/gen"
+	"ppnpart/internal/graph"
+	"ppnpart/internal/ppn"
+)
+
+func main() {
+	var (
+		kernel    = flag.String("kernel", "", "kernel: fir, jacobi1d, jacobi2d, sobel, fft, matmul, pipeline, splitmerge")
+		taps      = flag.Int("taps", 8, "FIR taps")
+		n         = flag.Int64("n", 1024, "stream length / grid size")
+		steps     = flag.Int("steps", 4, "jacobi time steps")
+		bands     = flag.Int("bands", 4, "jacobi2d horizontal bands")
+		width     = flag.Int64("width", 128, "sobel image width")
+		height    = flag.Int64("height", 96, "sobel image height")
+		logn      = flag.Int("logn", 4, "FFT log2 of the transform size")
+		blocks    = flag.Int("blocks", 4, "matmul blocks per dimension")
+		blockSize = flag.Int64("blocksize", 64, "matmul block iteration count")
+		stages    = flag.Int("stages", 8, "pipeline stages")
+		ways      = flag.Int("ways", 4, "split-merge parallel ways")
+		random    = flag.Int("random", 0, "generate a random PPN with this many processes")
+		paper     = flag.Int("paper", 0, "emit paper experiment instance (1-3)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		format    = flag.String("format", "metis", "output format: metis, json, edgelist, incidence, ppnjson (full network for ppnsim; kernels and -random only)")
+	)
+	flag.Parse()
+	if err := run(*kernel, *taps, *n, *steps, *bands, *width, *height, *logn,
+		*blocks, *blockSize, *stages, *ways,
+		*random, *paper, *seed, *format, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "ppngen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(kernel string, taps int, n int64, steps, bands int, width, height int64, logn,
+	blocks int, blockSize int64,
+	stages, ways, random, paper int, seed int64, format string, w io.Writer) error {
+	var g *graph.Graph
+	var net *ppn.PPN
+
+	switch {
+	case paper > 0:
+		inst, err := gen.PaperInstance(paper)
+		if err != nil {
+			return err
+		}
+		g = inst.G
+		fmt.Fprintf(os.Stderr, "ppngen: %s (K=%d, Bmax=%d, Rmax=%d)\n",
+			inst.Name, inst.K, inst.Constraints.Bmax, inst.Constraints.Rmax)
+	case random > 0:
+		rng := rand.New(rand.NewSource(seed))
+		var err error
+		net, err = gen.RandomPPN(random,
+			gen.WeightRange{Lo: 50, Hi: 400}, gen.WeightRange{Lo: 1, Hi: 6}, rng)
+		if err != nil {
+			return err
+		}
+		g, err = net.ToGraph(ppn.DefaultResourceModel())
+		if err != nil {
+			return err
+		}
+	case kernel != "":
+		var err error
+		switch kernel {
+		case "fir":
+			net, err = ppn.FIR(taps, n)
+		case "jacobi1d":
+			net, err = ppn.Jacobi1D(n, steps)
+		case "jacobi2d":
+			net, err = ppn.Jacobi2D(n, steps, bands)
+		case "sobel":
+			net, err = ppn.Sobel(width, height)
+		case "fft":
+			net, err = ppn.FFT(logn, n)
+		case "matmul":
+			net, err = ppn.MatMul(blocks, blockSize)
+		case "pipeline":
+			net, err = ppn.Pipeline(stages, n)
+		case "splitmerge":
+			net, err = ppn.SplitMerge(ways, n)
+		default:
+			return fmt.Errorf("unknown kernel %q", kernel)
+		}
+		if err != nil {
+			return err
+		}
+		g, err = net.ToGraph(ppn.DefaultResourceModel())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ppngen: %s\n", net)
+	default:
+		return fmt.Errorf("one of -kernel, -random, -paper is required")
+	}
+
+	switch format {
+	case "ppnjson":
+		if net == nil {
+			return fmt.Errorf("ppnjson output needs a full network (-kernel or -random; -paper emits graphs only)")
+		}
+		return ppn.WriteJSON(w, net)
+	case "metis":
+		return graph.WriteMETIS(w, g)
+	case "json":
+		return graph.WriteJSON(w, g)
+	case "edgelist":
+		return graph.WriteEdgeList(w, g)
+	case "incidence":
+		return graph.WriteIncidence(w, g)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}

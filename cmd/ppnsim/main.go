@@ -1,0 +1,241 @@
+// Command ppnsim is the deployment-side tool: it takes a process network
+// (PPN JSON), a platform (either -fpgas/-rmax/-linkbw for a homogeneous
+// system or -topology JSON for a heterogeneous one), partitions the
+// network with GP (or loads a partition file), optionally searches the
+// best part→FPGA placement, and executes the mapped network on the
+// discrete-event simulator — reporting makespan, throughput, link
+// saturation and the per-channel FIFO depths the deployment needs.
+//
+// Usage:
+//
+//	ppnsim -ppn fir.ppn.json -fpgas 4 -rmax 500 -linkbw 2
+//	ppnsim -ppn net.ppn.json -topology ring.topo.json -place
+//	ppnsim -ppn net.ppn.json -fpgas 2 -rmax 900 -linkbw 4 -partition my.part
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"ppnpart/internal/core"
+	"ppnpart/internal/fpga"
+	"ppnpart/internal/metrics"
+	"ppnpart/internal/ppn"
+)
+
+func main() {
+	var (
+		ppnPath   = flag.String("ppn", "", "process network JSON (required)")
+		fpgas     = flag.Int("fpgas", 4, "number of FPGAs (homogeneous platform)")
+		rmax      = flag.Int64("rmax", 0, "per-FPGA resources (homogeneous platform)")
+		linkBW    = flag.Int64("linkbw", 0, "per-link tokens/cycle (homogeneous platform)")
+		topoPath  = flag.String("topology", "", "heterogeneous topology JSON (overrides -fpgas/-rmax/-linkbw)")
+		partPath  = flag.String("partition", "", "use this partition file instead of running GP")
+		place     = flag.Bool("place", false, "search the best part-to-FPGA placement (heterogeneous)")
+		seed      = flag.Int64("seed", 1, "GP random seed")
+		cycles    = flag.Int("cycles", 16, "GP cyclic iteration budget")
+		fifoDepth = flag.Bool("fifos", false, "print per-channel FIFO depth requirements")
+	)
+	flag.Parse()
+	if err := run(*ppnPath, *fpgas, *rmax, *linkBW, *topoPath, *partPath, *place, *seed, *cycles, *fifoDepth); err != nil {
+		fmt.Fprintf(os.Stderr, "ppnsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ppnPath string, fpgas int, rmax, linkBW int64, topoPath, partPath string,
+	place bool, seed int64, cycles int, fifoDepth bool) error {
+	if ppnPath == "" {
+		return fmt.Errorf("-ppn is required")
+	}
+	pf, err := os.Open(ppnPath)
+	if err != nil {
+		return err
+	}
+	net, err := ppn.ReadJSON(pf)
+	pf.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Println(net)
+	if net.HasCycle() {
+		fmt.Println("warning: network has feedback cycles; simulated FIFO depths assume " +
+			"unbounded buffers and may not be deadlock-safe under finite sizing")
+	}
+
+	// Platform / topology.
+	var topo *fpga.Topology
+	if topoPath != "" {
+		tf, err := os.Open(topoPath)
+		if err != nil {
+			return err
+		}
+		topo, err = fpga.ReadTopologyJSON(tf)
+		tf.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		if rmax <= 0 || linkBW <= 0 {
+			return fmt.Errorf("homogeneous platform needs -rmax and -linkbw (or pass -topology)")
+		}
+		topo = fpga.Uniform(fpgas, rmax, linkBW)
+	}
+	k := topo.NumFPGAs()
+
+	g, err := net.ToGraph(ppn.DefaultResourceModel())
+	if err != nil {
+		return err
+	}
+	rounds := nominalRounds(net)
+
+	// Partition: load or compute. The GP constraints come from the
+	// topology's weakest link and smallest device (the uniform
+	// abstraction of the heterogeneous system).
+	var parts []int
+	if partPath != "" {
+		parts, err = readPartition(partPath, g.NumNodes())
+		if err != nil {
+			return err
+		}
+		if err := metrics.Validate(g, parts, k); err != nil {
+			return err
+		}
+		fmt.Printf("partition: loaded from %s\n", partPath)
+	} else {
+		minRes, minBW := topo.Resources[0], int64(0)
+		for _, r := range topo.Resources {
+			if r < minRes {
+				minRes = r
+			}
+		}
+		for i := range topo.LinkBW {
+			for j, bw := range topo.LinkBW[i] {
+				if i != j && bw > 0 && (minBW == 0 || bw < minBW) {
+					minBW = bw
+				}
+			}
+		}
+		c := metrics.Constraints{Rmax: minRes, Bmax: minBW * rounds}
+		res, err := core.Partition(g, core.Options{
+			K: k, Constraints: c, Seed: seed, MaxCycles: cycles,
+		})
+		if err != nil {
+			return err
+		}
+		parts = res.Parts
+		fmt.Printf("partition: GP cut=%d feasible=%v (Bmax=%d tokens, Rmax=%d, %s)\n",
+			res.Report.EdgeCut, res.Feasible, c.Bmax, c.Rmax, res.Runtime)
+	}
+
+	assignment := parts
+	if place {
+		var pr *fpga.PlacementResult
+		if k <= 8 {
+			pr, err = fpga.BestPlacement(g, parts, k, topo, rounds)
+		} else {
+			// Beyond the exhaustive ceiling, the swap-based heuristic
+			// placer takes over.
+			pr, err = fpga.AnnealPlacement(g, parts, k, topo, rounds, 0, 0, seed)
+		}
+		if err != nil {
+			return err
+		}
+		assignment = pr.Assignment
+		fmt.Printf("placement: part->FPGA %v (%d candidates examined, feasible=%v)\n",
+			pr.PartToFPGA, pr.Evaluated, pr.Check.Feasible)
+	}
+
+	chk, err := topo.CheckMapping(g, assignment, rounds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("static check: feasible=%v resourceViolations=%d bandwidthViolations=%d missingLinks=%d\n",
+		chk.Feasible, len(chk.ResourceViolations), len(chk.BandwidthViolations), len(chk.MissingLinks))
+	if len(chk.MissingLinks) > 0 {
+		fmt.Printf("  missing links: %v (simulation impossible; try -place)\n", chk.MissingLinks)
+		return fmt.Errorf("mapping routes traffic over missing links")
+	}
+
+	sim, err := fpga.SimulateTopology(net, assignment, topo, fpga.SimOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulation: completed=%v makespan=%d cycles throughput=%.3f firings/cycle\n",
+		sim.Completed, sim.Makespan, sim.Throughput)
+	fmt.Printf("links: %d with traffic, %d saturated, max utilization %.2f\n",
+		len(sim.Links), sim.SaturatedLinks, sim.MaxLinkUtilization)
+	for _, l := range sim.Links {
+		fmt.Printf("  FPGA%d <-> FPGA%d: %d tokens, busy %d cycles, saturated %d cycles, peak queue %d\n",
+			l.A, l.B, l.TokensMoved, l.BusyCycles, l.SaturatedCycles, l.PeakQueue)
+	}
+	if fifoDepth {
+		fmt.Println("FIFO depth requirements (peak occupancy per channel):")
+		type chDepth struct {
+			idx  int
+			peak int64
+		}
+		var depths []chDepth
+		for ci, peak := range sim.ChannelPeakOccupancy {
+			depths = append(depths, chDepth{ci, peak})
+		}
+		sort.Slice(depths, func(a, b int) bool { return depths[a].peak > depths[b].peak })
+		for _, d := range depths {
+			ch := net.Channels[d.idx]
+			fmt.Printf("  %s -> %s: depth %d (of %d tokens total)\n",
+				net.Processes[ch.From].Name, net.Processes[ch.To].Name, d.peak, ch.Tokens)
+		}
+	}
+	return nil
+}
+
+// nominalRounds is the longest process iteration count.
+func nominalRounds(net *ppn.PPN) int64 {
+	var r int64 = 1
+	for _, p := range net.Processes {
+		if p.Iterations > r {
+			r = p.Iterations
+		}
+	}
+	return r
+}
+
+// readPartition parses "node part" lines.
+func readPartition(path string, n int) ([]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	parts := make([]int, n)
+	seen := make([]bool, n)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var u, p int
+		if _, err := fmt.Sscanf(line, "%d %d", &u, &p); err != nil {
+			return nil, fmt.Errorf("partition file: malformed line %q", line)
+		}
+		if u < 0 || u >= n || seen[u] {
+			return nil, fmt.Errorf("partition file: bad or duplicate node %d", u)
+		}
+		seen[u] = true
+		parts[u] = p
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for u, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("partition file: node %d unassigned", u)
+		}
+	}
+	return parts, nil
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ppnpart/internal/fpga"
+	"ppnpart/internal/ppn"
+)
+
+func writePPN(t *testing.T, dir string) string {
+	t.Helper()
+	net, err := ppn.Pipeline(4, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "pipe.ppn.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ppn.WriteJSON(f, net); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+func writeTopo(t *testing.T, dir string, topo *fpga.Topology) string {
+	t.Helper()
+	path := filepath.Join(dir, "topo.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fpga.WriteTopologyJSON(f, topo); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+func TestRunHomogeneous(t *testing.T) {
+	dir := t.TempDir()
+	ppnPath := writePPN(t, dir)
+	if err := run(ppnPath, 2, 2000, 4, "", "", false, 1, 8, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHeterogeneousWithPlacement(t *testing.T) {
+	dir := t.TempDir()
+	ppnPath := writePPN(t, dir)
+	topoPath := writeTopo(t, dir, fpga.RingTopology(4, 2000, 2, 1))
+	if err := run(ppnPath, 0, 0, 0, topoPath, "", true, 1, 8, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithPartitionFile(t *testing.T) {
+	dir := t.TempDir()
+	ppnPath := writePPN(t, dir)
+	partPath := filepath.Join(dir, "p.part")
+	os.WriteFile(partPath, []byte("0 0\n1 0\n2 1\n3 1\n"), 0o644)
+	if err := run(ppnPath, 2, 2000, 4, "", partPath, false, 1, 8, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	ppnPath := writePPN(t, dir)
+	if err := run("", 2, 100, 1, "", "", false, 1, 8, false); err == nil {
+		t.Fatal("missing -ppn accepted")
+	}
+	if err := run(ppnPath, 2, 0, 0, "", "", false, 1, 8, false); err == nil {
+		t.Fatal("missing platform parameters accepted")
+	}
+	if err := run(filepath.Join(dir, "absent"), 2, 100, 1, "", "", false, 1, 8, false); err == nil {
+		t.Fatal("absent PPN file accepted")
+	}
+	if err := run(ppnPath, 0, 0, 0, filepath.Join(dir, "absent"), "", false, 1, 8, false); err == nil {
+		t.Fatal("absent topology accepted")
+	}
+	badPart := filepath.Join(dir, "bad.part")
+	os.WriteFile(badPart, []byte("0 0\n"), 0o644)
+	if err := run(ppnPath, 2, 2000, 4, "", badPart, false, 1, 8, false); err == nil {
+		t.Fatal("incomplete partition accepted")
+	}
+}
+
+func TestMissingLinkRejected(t *testing.T) {
+	dir := t.TempDir()
+	ppnPath := writePPN(t, dir)
+	// Ring without backplane; partition file placing stage 0 and 2
+	// together... place stages on FPGAs 0,2 (no link) directly:
+	topoPath := writeTopo(t, dir, fpga.RingTopology(4, 2000, 2, 0))
+	partPath := filepath.Join(dir, "diag.part")
+	os.WriteFile(partPath, []byte("0 0\n1 2\n2 0\n3 2\n"), 0o644)
+	if err := run(ppnPath, 0, 0, 0, topoPath, partPath, false, 1, 8, false); err == nil {
+		t.Fatal("traffic over missing link should fail without -place")
+	}
+}

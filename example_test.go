@@ -1,0 +1,95 @@
+package ppnpart_test
+
+import (
+	"fmt"
+
+	"ppnpart"
+)
+
+// ExamplePartitionGP partitions a small process graph under both mapping
+// constraints.
+func ExamplePartitionGP() {
+	// Two clusters of three processes, joined by one light channel.
+	g := ppnpart.NewGraphWithWeights([]int64{10, 12, 11, 10, 13, 9})
+	g.MustAddEdge(0, 1, 8)
+	g.MustAddEdge(1, 2, 8)
+	g.MustAddEdge(0, 2, 8)
+	g.MustAddEdge(3, 4, 8)
+	g.MustAddEdge(4, 5, 8)
+	g.MustAddEdge(3, 5, 8)
+	g.MustAddEdge(2, 3, 2)
+
+	res, err := ppnpart.PartitionGP(g, ppnpart.GPOptions{
+		K:           2,
+		Constraints: ppnpart.Constraints{Bmax: 4, Rmax: 40},
+		Seed:        1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("feasible:", res.Feasible)
+	fmt.Println("cut:", res.Report.EdgeCut)
+	fmt.Println("same side 0,1,2:", res.Parts[0] == res.Parts[1] && res.Parts[1] == res.Parts[2])
+	// Output:
+	// feasible: true
+	// cut: 2
+	// same side 0,1,2: true
+}
+
+// ExampleDerive builds a producer–consumer program and derives its
+// process network with exact token counts.
+func ExampleDerive() {
+	dom, _ := ppnpart.Box([]string{"i"}, []int64{0}, []int64{99})
+	shift, _ := ppnpart.ShiftMap([]string{"i"}, []int64{1})
+	prog := ppnpart.Program{
+		Name: "chain",
+		Statements: []ppnpart.Statement{
+			{Name: "produce", Domain: dom, Ops: 1},
+			{Name: "consume", Domain: dom, Ops: 2},
+		},
+		Dependences: []ppnpart.Dependence{{Producer: 0, Consumer: 1, Map: shift}},
+	}
+	net, err := ppnpart.Derive(prog)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("channels:", len(net.Channels))
+	fmt.Println("tokens:", net.Channels[0].Tokens)
+	// Output:
+	// channels: 1
+	// tokens: 99
+}
+
+// ExampleSimulate maps a pipeline across two FPGAs and executes it.
+func ExampleSimulate() {
+	net, _ := ppnpart.Pipeline(2, 100)
+	platform := ppnpart.Platform{NumFPGAs: 2, Rmax: 1000, LinkBandwidth: 10}
+	m := ppnpart.MappingFromParts([]int{0, 1}, platform)
+	res, err := ppnpart.Simulate(net, m, ppnpart.SimOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("completed:", res.Completed)
+	fmt.Println("firings:", res.TotalFirings)
+	// Output:
+	// completed: true
+	// firings: 200
+}
+
+// ExampleConstraints shows the feasibility check the paper's tables
+// report.
+func ExampleConstraints() {
+	g := ppnpart.NewGraphWithWeights([]int64{50, 60, 70, 80})
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(2, 3, 10)
+	g.MustAddEdge(1, 2, 5)
+	parts := []int{0, 0, 1, 1}
+	rep := ppnpart.Evaluate(g, parts, 2, ppnpart.Constraints{Bmax: 5, Rmax: 150})
+	fmt.Println("feasible:", rep.Feasible)
+	fmt.Println("max local bandwidth:", rep.MaxLocalBandwidth)
+	fmt.Println("max resources:", rep.MaxResource)
+	// Output:
+	// feasible: true
+	// max local bandwidth: 5
+	// max resources: 150
+}

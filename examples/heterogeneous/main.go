@@ -1,0 +1,104 @@
+// Heterogeneous platform exploration (extension beyond the paper's
+// uniform-Bmax model, toward its future-work target of real multi-FPGA
+// boards): map a banded 2-D Jacobi stencil onto a 4-FPGA ring whose
+// neighbor links are fast serial cables and where non-neighbor pairs have
+// NO direct connection at all. The same GP partition placed around the
+// ring in band order runs; placed naively, its halo traffic lands on a
+// missing link and the mapping is statically impossible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppnpart"
+)
+
+func main() {
+	// 64x64 grid, 3 time steps, 4 bands — one band pipeline per FPGA.
+	net, err := ppnpart.Jacobi2D(64, 3, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(net)
+	g, err := net.ToGraph(ppnpart.DefaultResourceModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Partition with GP under the uniform abstraction: Bmax sized for
+	// halo traffic (bulk stays inside a part), Rmax for one band
+	// pipeline per FPGA.
+	rmax := g.TotalNodeWeight()/4 + g.MaxNodeWeight()
+	gp, err := ppnpart.PartitionGP(g, ppnpart.GPOptions{
+		K:           4,
+		Constraints: ppnpart.Constraints{Bmax: 600, Rmax: rmax},
+		Seed:        1,
+		MaxCycles:   16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GP: feasible=%v cut=%d maxPairTraffic=%d\n\n",
+		gp.Feasible, gp.Report.EdgeCut, gp.Report.MaxLocalBandwidth)
+
+	// The ring: neighbor links 2 tokens/cycle; NO other links.
+	topo := ppnpart.RingTopology(4, rmax, 2, 0)
+
+	// GP's part ids are arbitrary; a physical placement must put parts
+	// holding adjacent stencil bands on adjacent FPGAs. The library's
+	// placement search finds that alignment automatically by trying all
+	// K! part→FPGA assignments against the topology.
+	pr, err := ppnpart.BestPlacement(g, gp.Parts, 4, topo, nominalRounds(net))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("placement search: part->FPGA %v after %d permutations\n\n",
+		pr.PartToFPGA, pr.Evaluated)
+	aligned := pr.Assignment
+	// The naive placement keeps GP's arbitrary ids as ring positions —
+	// with band chains 0-1-2-3, some halo pair lands on a diagonal.
+	naive := gp.Parts
+
+	for _, placement := range []struct {
+		name  string
+		parts []int
+	}{
+		{"band-aligned ring placement", aligned},
+		{"naive placement (GP ids as ring slots)", naive},
+	} {
+		chk, err := topo.CheckMapping(g, placement.parts, nominalRounds(net))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", placement.name)
+		fmt.Printf("static: feasible=%v bwViolations=%d missingLinks=%v\n",
+			chk.Feasible, len(chk.BandwidthViolations), chk.MissingLinks)
+		if !chk.Feasible {
+			fmt.Println("dynamic: not executable — traffic on pairs with no physical link")
+			fmt.Println()
+			continue
+		}
+		sim, err := ppnpart.SimulateTopology(net, placement.parts, topo, ppnpart.SimOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("dynamic: makespan=%d throughput=%.2f saturatedLinks=%d\n\n",
+			sim.Makespan, sim.Throughput, sim.SaturatedLinks)
+	}
+	fmt.Println("On a heterogeneous interconnect, *which* FPGA each partition lands on")
+	fmt.Println("matters as much as the partition itself: only the placement aligning")
+	fmt.Println("the stencil's halo chain with the ring's physical links is realizable.")
+}
+
+// nominalRounds is the longest process iteration count — the unthrottled
+// makespan scale used to convert token totals into per-cycle rates.
+func nominalRounds(net *ppnpart.PPN) int64 {
+	var r int64 = 1
+	for _, p := range net.Processes {
+		if p.Iterations > r {
+			r = p.Iterations
+		}
+	}
+	return r
+}

@@ -1,0 +1,70 @@
+// Multi-FPGA mapping end to end: derive an 8-tap FIR filter as a
+// polyhedral process network, partition it onto a 4-FPGA platform with
+// both tools, statically check both mappings, then execute them on the
+// discrete-event simulator to show why the bandwidth constraint matters:
+// the constraint-violating mapping saturates a link and loses throughput.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppnpart"
+)
+
+func main() {
+	// An 8-tap FIR over 4096 samples. The polyhedral front-end derives
+	// one process per pipeline stage and counts every FIFO's tokens.
+	net, err := ppnpart.FIR(8, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(net)
+
+	g, err := net.ToGraph(ppnpart.DefaultResourceModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lowered graph: %s\n\n", g)
+
+	// Platform: 4 FPGAs, 500 LUT units each; Bmax allows 9830 tokens per
+	// pair per execution (2 tokens/cycle on each link at the nominal
+	// 4096-cycle round).
+	platform := ppnpart.Platform{NumFPGAs: 4, Rmax: 500, LinkBandwidth: 2}
+	constraints := ppnpart.Constraints{Bmax: 2 * 4096, Rmax: platform.Rmax}
+
+	gp, err := ppnpart.PartitionGP(g, ppnpart.GPOptions{
+		K: 4, Constraints: constraints, Seed: 1, MaxCycles: 24,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := ppnpart.PartitionBaseline(g, ppnpart.BaselineOptions{K: 4, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, tool := range []struct {
+		name  string
+		parts []int
+	}{
+		{"GP", gp.Parts},
+		{"baseline", base.Parts},
+	} {
+		rep := ppnpart.Evaluate(g, tool.parts, 4, constraints)
+		fmt.Printf("== %s mapping ==\n", tool.name)
+		fmt.Printf("static check: cut=%d maxPairTraffic=%d maxResources=%d feasible=%v\n",
+			rep.EdgeCut, rep.MaxLocalBandwidth, rep.MaxResource, rep.Feasible)
+
+		m := ppnpart.MappingFromParts(tool.parts, platform)
+		sim, err := ppnpart.Simulate(net, m, ppnpart.SimOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("simulation:   makespan=%d cycles, throughput=%.2f firings/cycle, "+
+			"saturated links=%d, max link utilization=%.2f\n\n",
+			sim.Makespan, sim.Throughput, sim.SaturatedLinks, sim.MaxLinkUtilization)
+	}
+	fmt.Println("The mapping that meets Bmax sustains the pipeline's full rate;")
+	fmt.Println("the constraint-oblivious mapping is throttled by its saturated link.")
+}

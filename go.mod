@@ -1,0 +1,3 @@
+module ppnpart
+
+go 1.22

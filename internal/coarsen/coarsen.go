@@ -1,0 +1,230 @@
+// Package coarsen implements the contraction phase of the multilevel
+// scheme: given a matching, merge each matched pair into one coarse node
+// (weights summed, parallel edges folded with summed weights — §IV-A of
+// the paper), maintain the fine→coarse maps, and build full hierarchies.
+// It also implements the paper's "best of three" strategy, which runs all
+// three matching heuristics at each level and keeps the contraction that
+// hides the most edge weight.
+package coarsen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ppnpart/internal/graph"
+	"ppnpart/internal/match"
+)
+
+// Level is one contraction step: the coarse graph plus the map from fine
+// nodes to coarse nodes.
+type Level struct {
+	// Coarse is the contracted graph.
+	Coarse *graph.Graph
+	// FineToCoarse maps each fine node to its coarse image.
+	FineToCoarse []graph.Node
+	// Heuristic records which matching produced this level.
+	Heuristic match.Heuristic
+}
+
+// Contract applies a matching to g: every matched pair becomes one coarse
+// node with summed weight; unmatched nodes carry over. Edges between
+// coarse nodes fold duplicates by summing weights; intra-pair edges
+// disappear (their weight is "hidden" inside the coarse node).
+func Contract(g *graph.Graph, m match.Matching) (*Level, error) {
+	n := g.NumNodes()
+	if len(m) != n {
+		return nil, fmt.Errorf("coarsen: matching length %d != nodes %d", len(m), n)
+	}
+	fineToCoarse := make([]graph.Node, n)
+	for i := range fineToCoarse {
+		fineToCoarse[i] = -1
+	}
+	// Assign coarse ids: pairs get one id (at the lower endpoint's visit),
+	// singles get their own.
+	next := graph.Node(0)
+	for u := 0; u < n; u++ {
+		if fineToCoarse[u] != -1 {
+			continue
+		}
+		v := m[u]
+		if v != match.Unmatched {
+			if int(v) < 0 || int(v) >= n || (m[v] != graph.Node(u)) {
+				return nil, fmt.Errorf("coarsen: invalid matching at node %d", u)
+			}
+			fineToCoarse[v] = next
+		}
+		fineToCoarse[u] = next
+		next++
+	}
+	nc := int(next)
+	w := make([]int64, nc)
+	for u := 0; u < n; u++ {
+		w[fineToCoarse[u]] += g.NodeWeight(graph.Node(u))
+	}
+	coarse := graph.NewWithWeights(w)
+	for u := 0; u < n; u++ {
+		cu := fineToCoarse[u]
+		for _, h := range g.Neighbors(graph.Node(u)) {
+			if graph.Node(u) >= h.To {
+				continue
+			}
+			cv := fineToCoarse[h.To]
+			if cu == cv {
+				continue // intra-pair edge vanishes
+			}
+			// AddEdge folds duplicates by accumulating weights.
+			if err := coarse.AddEdge(cu, cv, h.Weight); err != nil {
+				return nil, fmt.Errorf("coarsen: %v", err)
+			}
+		}
+	}
+	return &Level{Coarse: coarse, FineToCoarse: fineToCoarse}, nil
+}
+
+// ProjectUp lifts a partition of the coarse graph to the fine graph: each
+// fine node inherits the part of its coarse image. This is the projection
+// step of un-coarsening.
+func (l *Level) ProjectUp(coarseParts []int) ([]int, error) {
+	if len(coarseParts) != l.Coarse.NumNodes() {
+		return nil, fmt.Errorf("coarsen: projection input length %d != coarse nodes %d",
+			len(coarseParts), l.Coarse.NumNodes())
+	}
+	fine := make([]int, len(l.FineToCoarse))
+	for u, c := range l.FineToCoarse {
+		fine[u] = coarseParts[c]
+	}
+	return fine, nil
+}
+
+// Options configures hierarchy construction.
+type Options struct {
+	// TargetSize stops coarsening once the graph has at most this many
+	// nodes (paper default: 100).
+	TargetSize int
+	// KMeansClusters is the cluster count for the k-means matching
+	// heuristic (<= 0 defaults to 4).
+	KMeansClusters int
+	// Heuristics restricts which matchings compete at each level; nil
+	// means all three (the paper's configuration).
+	Heuristics []match.Heuristic
+	// MinShrink aborts coarsening when a level shrinks the node count by
+	// less than this factor (guards against matching starvation on star
+	// graphs). Defaults to 0.02 (2%).
+	MinShrink float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TargetSize <= 1 {
+		o.TargetSize = 100
+	}
+	if o.KMeansClusters <= 0 {
+		o.KMeansClusters = 4
+	}
+	if o.Heuristics == nil {
+		o.Heuristics = match.All()
+	}
+	if o.MinShrink <= 0 {
+		o.MinShrink = 0.02
+	}
+	return o
+}
+
+// Hierarchy is a full coarsening stack. Levels[0] contracts the original
+// graph; Levels[len-1].Coarse is the coarsest graph.
+type Hierarchy struct {
+	// Original is the input graph.
+	Original *graph.Graph
+	// Levels are the contraction steps, finest first.
+	Levels []*Level
+}
+
+// Coarsest returns the smallest graph of the hierarchy (the original graph
+// if no contraction happened).
+func (h *Hierarchy) Coarsest() *graph.Graph {
+	if len(h.Levels) == 0 {
+		return h.Original
+	}
+	return h.Levels[len(h.Levels)-1].Coarse
+}
+
+// Depth returns the number of contraction levels.
+func (h *Hierarchy) Depth() int { return len(h.Levels) }
+
+// GraphAt returns the graph at a given level: 0 is the original,
+// Depth() is the coarsest.
+func (h *Hierarchy) GraphAt(level int) *graph.Graph {
+	if level == 0 {
+		return h.Original
+	}
+	return h.Levels[level-1].Coarse
+}
+
+// ProjectToFinest lifts a partition of the coarsest graph all the way to
+// the original graph.
+func (h *Hierarchy) ProjectToFinest(coarseParts []int) ([]int, error) {
+	return h.ProjectTo(coarseParts, len(h.Levels), 0)
+}
+
+// ProjectTo lifts a partition at fromLevel (Depth() = coarsest, 0 =
+// original) up to toLevel < fromLevel.
+func (h *Hierarchy) ProjectTo(parts []int, fromLevel, toLevel int) ([]int, error) {
+	if fromLevel < toLevel {
+		return nil, fmt.Errorf("coarsen: cannot project from level %d to coarser level %d", fromLevel, toLevel)
+	}
+	cur := parts
+	for lvl := fromLevel; lvl > toLevel; lvl-- {
+		var err error
+		cur, err = h.Levels[lvl-1].ProjectUp(cur)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// BestMatching runs the competing heuristics on g and returns the matching
+// that hides the most edge weight (ties: most pairs, then heuristic
+// order). This is the paper's per-level comparison of the three
+// strategies.
+func BestMatching(g *graph.Graph, opts Options, rng *rand.Rand) (match.Matching, match.Heuristic) {
+	opts = opts.withDefaults()
+	var bestM match.Matching
+	var bestH match.Heuristic
+	var bestW int64 = -1
+	bestPairs := -1
+	for _, h := range opts.Heuristics {
+		m := match.Compute(h, g, opts.KMeansClusters, rng)
+		w := m.MatchedWeight(g)
+		p := m.Pairs()
+		if w > bestW || (w == bestW && p > bestPairs) {
+			bestM, bestH, bestW, bestPairs = m, h, w, p
+		}
+	}
+	return bestM, bestH
+}
+
+// Build constructs a hierarchy by repeated best-of-three contraction until
+// the coarse graph reaches opts.TargetSize nodes or contraction stalls.
+func Build(g *graph.Graph, opts Options, rng *rand.Rand) (*Hierarchy, error) {
+	opts = opts.withDefaults()
+	h := &Hierarchy{Original: g}
+	cur := g
+	for cur.NumNodes() > opts.TargetSize {
+		m, heur := BestMatching(cur, opts, rng)
+		if m.Pairs() == 0 {
+			break // nothing contractible (no edges)
+		}
+		lvl, err := Contract(cur, m)
+		if err != nil {
+			return nil, err
+		}
+		lvl.Heuristic = heur
+		shrink := 1 - float64(lvl.Coarse.NumNodes())/float64(cur.NumNodes())
+		h.Levels = append(h.Levels, lvl)
+		cur = lvl.Coarse
+		if shrink < opts.MinShrink {
+			break
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppnpart/internal/metrics"
+)
+
+func BenchmarkPartitionGP(b *testing.B) {
+	for _, n := range []int{100, 1000, 5000} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			g := randomConnected(rng, n)
+			c := metrics.Constraints{
+				Bmax: 2 * g.TotalEdgeWeight() / 4,
+				Rmax: g.TotalNodeWeight()/3 + g.MaxNodeWeight(),
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Partition(g, Options{K: 4, Constraints: c, Seed: 1, MaxCycles: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1000:
+		return "n" + itoa(n/1000) + "k"
+	default:
+		return "n" + itoa(n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

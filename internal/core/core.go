@@ -1,0 +1,427 @@
+// Package core implements the paper's contribution: GP, a Multi-Level
+// K-Ways partitioner for process networks mapped onto multi-FPGA systems,
+// subject to two simultaneous hard constraints (§I, §IV):
+//
+//   - bandwidth: the traffic between every pair of partitions must not
+//     exceed Bmax (the inter-FPGA link capacity);
+//   - resource: the node-weight total of every partition must not exceed
+//     Rmax (the per-FPGA resource budget).
+//
+// GP follows the classic coarsen → initial-partition → uncoarsen+refine
+// scheme with the paper's extensions: three competing matching heuristics
+// per coarsening level (best kept), a greedy heaviest-seed initial
+// partitioner with random restarts followed by FM-based bandwidth repair,
+// goodness-ranked intermediate clusterings during uncoarsening, and a
+// cyclic re-coarsen/re-partition loop that keeps retrying (with fresh
+// randomness) until the constraints are met or the iteration budget is
+// exhausted, in which case infeasibility is signalled (§IV-C).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"ppnpart/internal/coarsen"
+	"ppnpart/internal/graph"
+	"ppnpart/internal/initpart"
+	"ppnpart/internal/match"
+	"ppnpart/internal/metrics"
+	"ppnpart/internal/refine"
+)
+
+// Options configures the GP partitioner.
+type Options struct {
+	// K is the number of partitions (FPGAs). Required.
+	K int
+	// Constraints carries Bmax and Rmax. Zero values disable a bound.
+	Constraints metrics.Constraints
+	// CoarsenTarget stops coarsening at this many nodes (paper default
+	// 100).
+	CoarsenTarget int
+	// Restarts is the number of random seeds the greedy initial
+	// partitioner tries (paper default 10).
+	Restarts int
+	// MaxCycles bounds the cyclic re-coarsen/re-partition iterations
+	// (default 16). A feasible result stops the loop early unless
+	// MinimizeAfterFeasible is set.
+	MaxCycles int
+	// MinimizeAfterFeasible keeps cycling after the first feasible
+	// partition to look for a lower cut, using the full MaxCycles budget.
+	MinimizeAfterFeasible bool
+	// RefinePasses bounds each local-search stage per level (default 8).
+	RefinePasses int
+	// MatchHeuristics restricts the competing matchings; nil means all
+	// three (random, heavy-edge, k-means), the paper's configuration.
+	MatchHeuristics []match.Heuristic
+	// NLevelCoarsening switches the coarsening phase to the one-edge-per-
+	// level scheme of Osipov & Sanders (§III of the paper discusses it);
+	// the default (false) is the paper's matching-based coarsening.
+	NLevelCoarsening bool
+	// Parallelism is the number of cycles explored concurrently (default
+	// GOMAXPROCS). Results are reduced deterministically, so any value
+	// yields the same partition as a serial run.
+	Parallelism int
+	// Seed makes the run reproducible (default 1).
+	Seed int64
+	// Polish optionally runs a final local-search pass over the winning
+	// partition — an extension beyond the paper (§II-A discusses these
+	// strategies as related work). PolishNone (default) is the faithful
+	// configuration.
+	Polish PolishStrategy
+	// VectorResources optionally attaches multi-resource demands
+	// (VectorResources[u][d] = node u's use of resource kind d, e.g.
+	// BRAM and DSP alongside the scalar LUT weight). The paper handles a
+	// single resource only (§V); this extension enforces every kind.
+	VectorResources [][]int64
+	// VectorConstraints bounds each kind per partition; only meaningful
+	// with VectorResources.
+	VectorConstraints metrics.VectorConstraints
+}
+
+// vectorActive reports whether the multi-resource extension is engaged.
+func (o Options) vectorActive() bool {
+	return len(o.VectorResources) > 0 && o.VectorConstraints.Active()
+}
+
+// score is the search objective: the paper's goodness, plus a dominant
+// penalty for multi-resource overflow when the extension is active.
+func (o Options) score(g *graph.Graph, parts []int) float64 {
+	s := metrics.Goodness(g, parts, o.K, o.Constraints)
+	// The vector table indexes original (finest-level) nodes; on coarse
+	// graphs the assignment is shorter and the table does not apply.
+	if o.vectorActive() && len(parts) == len(o.VectorResources) {
+		if ex := metrics.VectorExcess(o.VectorResources, parts, o.K, o.VectorConstraints); ex > 0 {
+			base := float64(g.TotalEdgeWeight() + 1)
+			s += float64(ex) * base
+		}
+	}
+	return s
+}
+
+// feasibleAll checks the scalar constraints and, when active, the vector
+// constraints.
+func (o Options) feasibleAll(g *graph.Graph, parts []int) bool {
+	if !metrics.Feasible(g, parts, o.K, o.Constraints) {
+		return false
+	}
+	if o.vectorActive() && len(parts) == len(o.VectorResources) {
+		return metrics.VectorFeasible(o.VectorResources, parts, o.K, o.VectorConstraints)
+	}
+	return true
+}
+
+// PolishStrategy selects the optional final local-search pass.
+type PolishStrategy int
+
+const (
+	// PolishNone disables polishing (the paper's configuration).
+	PolishNone PolishStrategy = iota
+	// PolishTabu runs constrained Tabu Search on the final partition.
+	PolishTabu
+	// PolishAnneal runs constrained simulated annealing.
+	PolishAnneal
+)
+
+// String names the strategy.
+func (p PolishStrategy) String() string {
+	switch p {
+	case PolishNone:
+		return "none"
+	case PolishTabu:
+		return "tabu"
+	case PolishAnneal:
+		return "anneal"
+	default:
+		return "polish(?)"
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.CoarsenTarget <= 0 {
+		o.CoarsenTarget = 100
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 10
+	}
+	if o.MaxCycles <= 0 {
+		o.MaxCycles = 16
+	}
+	if o.RefinePasses <= 0 {
+		o.RefinePasses = 8
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Result carries the partition and run metadata.
+type Result struct {
+	// Parts is the assignment vector (best found, even if infeasible).
+	Parts []int
+	// K is the number of parts.
+	K int
+	// Feasible reports whether both constraints are met.
+	Feasible bool
+	// Message explains an infeasible outcome, per the paper: either the
+	// constraints are impossible or more iterations are needed.
+	Message string
+	// Cycles is the number of coarsen/uncoarsen cycles executed.
+	Cycles int
+	// Goodness is the score of the returned partition (lower is better;
+	// equals the cut when feasible).
+	Goodness float64
+	// Runtime is the wall-clock partitioning time.
+	Runtime time.Duration
+	// Report evaluates the partition under the run's constraints.
+	Report metrics.Report
+}
+
+// Partition runs GP on g.
+func Partition(g *graph.Graph, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("core: K = %d must be positive", opts.K)
+	}
+	if g.NumNodes() < opts.K {
+		return nil, fmt.Errorf("core: cannot split %d nodes into %d parts", g.NumNodes(), opts.K)
+	}
+	if len(opts.VectorResources) > 0 {
+		if err := metrics.ValidateVectors(opts.VectorResources, g.NumNodes()); err != nil {
+			return nil, fmt.Errorf("core: %v", err)
+		}
+	}
+	start := time.Now()
+
+	type candidate struct {
+		cycle    int
+		parts    []int
+		goodness float64
+		feasible bool
+	}
+
+	runCycle := func(cycle int) candidate {
+		// Each cycle gets an independent deterministic stream.
+		rng := rand.New(rand.NewSource(opts.Seed + int64(cycle)*0x9E3779B9))
+		parts := gpCycle(g, opts, cycle, rng)
+		return candidate{
+			cycle:    cycle,
+			parts:    parts,
+			goodness: opts.score(g, parts),
+			feasible: opts.feasibleAll(g, parts),
+		}
+	}
+
+	better := func(a, b candidate) bool {
+		if a.goodness != b.goodness {
+			return a.goodness < b.goodness
+		}
+		return a.cycle < b.cycle
+	}
+
+	var best candidate
+	best.cycle = -1
+	cyclesRun := 0
+	// Explore cycles in deterministic parallel batches. Serial semantics:
+	// stop at the first feasible cycle (lowest cycle index) unless
+	// MinimizeAfterFeasible. A batch may overshoot the stopping cycle;
+	// overshoot results are discarded to keep parallel == serial.
+	for base := 0; base < opts.MaxCycles; base += opts.Parallelism {
+		batch := opts.Parallelism
+		if base+batch > opts.MaxCycles {
+			batch = opts.MaxCycles - base
+		}
+		results := make([]candidate, batch)
+		var wg sync.WaitGroup
+		for i := 0; i < batch; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i] = runCycle(base + i)
+			}(i)
+		}
+		wg.Wait()
+		stopAt := -1
+		for _, c := range results {
+			if !opts.MinimizeAfterFeasible && c.feasible {
+				stopAt = c.cycle
+				break
+			}
+		}
+		for _, c := range results {
+			if stopAt >= 0 && c.cycle > stopAt {
+				continue // serial run would never have executed this cycle
+			}
+			cyclesRun++
+			if best.cycle < 0 || better(c, best) {
+				best = c
+			}
+		}
+		if stopAt >= 0 {
+			break
+		}
+	}
+
+	switch opts.Polish {
+	case PolishTabu:
+		refine.TabuSearch(g, best.parts, opts.K, opts.Constraints, refine.TabuOptions{})
+	case PolishAnneal:
+		refine.Anneal(g, best.parts, opts.K, opts.Constraints, refine.AnnealOptions{},
+			rand.New(rand.NewSource(opts.Seed^0x5DEECE66D)))
+	}
+	if opts.Polish != PolishNone {
+		// Polishing minimizes the scalar feasibility-first objective; the
+		// vector-extended score is recomputed so a polish move that broke
+		// a vector bound would be reflected (the vector rebalance below
+		// then repairs it).
+		if opts.vectorActive() {
+			refine.RebalanceVector(g, opts.VectorResources, best.parts, opts.K,
+				opts.VectorConstraints, opts.RefinePasses)
+		}
+		best.goodness = opts.score(g, best.parts)
+		best.feasible = opts.feasibleAll(g, best.parts)
+	}
+
+	res := &Result{
+		Parts:    best.parts,
+		K:        opts.K,
+		Feasible: best.feasible,
+		Cycles:   cyclesRun,
+		Goodness: best.goodness,
+		Runtime:  time.Since(start),
+		Report:   metrics.Evaluate(g, best.parts, opts.K, opts.Constraints),
+	}
+	if !res.Feasible {
+		res.Message = fmt.Sprintf(
+			"no feasible %d-way partition found within %d cycles: constraints (Bmax=%d, Rmax=%d) are either impossible or need more iterations (raise MaxCycles)",
+			opts.K, cyclesRun, opts.Constraints.Bmax, opts.Constraints.Rmax)
+	}
+	return res, nil
+}
+
+// gpCycle executes one full coarsen → seed → uncoarsen+refine cycle and
+// returns the finest-level assignment it produced.
+func gpCycle(g *graph.Graph, opts Options, cycle int, rng *rand.Rand) []int {
+	var hier *coarsen.Hierarchy
+	var err error
+	if opts.NLevelCoarsening {
+		hier, err = coarsen.BuildNLevel(g, opts.CoarsenTarget)
+	} else {
+		hier, err = coarsen.Build(g, coarsen.Options{
+			TargetSize: opts.CoarsenTarget,
+			Heuristics: opts.MatchHeuristics,
+		}, rng)
+	}
+	if err != nil {
+		// Hierarchy construction only fails on internal invariant
+		// breakage; degrade to a flat (no-hierarchy) run rather than
+		// abort the cycle.
+		hier = &coarsen.Hierarchy{Original: g}
+	}
+	coarsest := hier.Coarsest()
+
+	// Initial partitioning. Cycle 0 uses the paper's greedy scheme; later
+	// cycles alternate greedy (fresh random seeds) and purely random
+	// seeding — §IV-C: "we go back to coarsening phase and then
+	// partitioning phase (randomly), cyclically".
+	var parts []int
+	if cycle%2 == 0 {
+		parts, err = initpart.GreedyGrow(coarsest, initpart.GreedyOptions{
+			K:           opts.K,
+			Rmax:        opts.Constraints.Rmax,
+			Restarts:    opts.Restarts,
+			Constraints: opts.Constraints,
+		}, rng)
+	} else {
+		parts, err = initpart.RandomPartition(coarsest, opts.K, rng)
+	}
+	if err != nil {
+		// The coarsest graph can, in principle, have fewer nodes than K if
+		// the caller picked a tiny CoarsenTarget; fall back to the finest
+		// graph directly.
+		coarsest = g
+		hier = &coarsen.Hierarchy{Original: g}
+		parts, _ = initpart.GreedyGrow(g, initpart.GreedyOptions{
+			K:           opts.K,
+			Rmax:        opts.Constraints.Rmax,
+			Restarts:    opts.Restarts,
+			Constraints: opts.Constraints,
+		}, rng)
+	}
+	parts = refineLevel(coarsest, parts, opts)
+
+	// Uncoarsen with goodness-ranked intermediate clusterings: at each
+	// level, competing refinement pipelines produce different candidate
+	// clusterings; the goodness-best is chosen to continue (§IV: "we
+	// generate different intermediate clusterings, that are compared a
+	// posteriori using a goodness function; the best is chosen").
+	for lvl := hier.Depth(); lvl > 0; lvl-- {
+		projected, err := hier.ProjectTo(parts, lvl, lvl-1)
+		if err != nil {
+			break
+		}
+		parts = bestRefinement(hier.GraphAt(lvl-1), projected, opts)
+	}
+	return parts
+}
+
+// refinePipeline is one ordering of the three local-search stages.
+type refinePipeline []func(*graph.Graph, []int, Options)
+
+func stageCut(g *graph.Graph, parts []int, opts Options) {
+	refine.KWayFM(g, parts, opts.K, opts.Constraints.Rmax, opts.RefinePasses)
+}
+
+func stageBandwidth(g *graph.Graph, parts []int, opts Options) {
+	refine.RepairBandwidth(g, parts, opts.K, opts.Constraints, opts.RefinePasses)
+}
+
+func stageResources(g *graph.Graph, parts []int, opts Options) {
+	refine.RebalanceResources(g, parts, opts.K, opts.Constraints.Rmax, opts.RefinePasses)
+}
+
+// stageVector repairs multi-resource overflow; it only applies at the
+// finest level, where the assignment indexes the original nodes.
+func stageVector(g *graph.Graph, parts []int, opts Options) {
+	if opts.vectorActive() && len(parts) == len(opts.VectorResources) {
+		refine.RebalanceVector(g, opts.VectorResources, parts, opts.K,
+			opts.VectorConstraints, opts.RefinePasses)
+	}
+}
+
+// pipelines are the candidate stage orderings compared at each level.
+var pipelines = []refinePipeline{
+	{stageCut, stageResources, stageBandwidth, stageVector},
+	{stageResources, stageVector, stageBandwidth, stageCut},
+	{stageBandwidth, stageCut, stageResources, stageVector},
+}
+
+// bestRefinement runs every pipeline on a copy of the projected partition
+// and returns the goodness-best outcome.
+func bestRefinement(g *graph.Graph, parts []int, opts Options) []int {
+	var best []int
+	bestScore := 0.0
+	for _, pl := range pipelines {
+		cand := append([]int(nil), parts...)
+		for _, stage := range pl {
+			stage(g, cand, opts)
+		}
+		score := opts.score(g, cand)
+		if best == nil || score < bestScore {
+			best, bestScore = cand, score
+		}
+	}
+	return best
+}
+
+// refineLevel applies the canonical pipeline once (used on the coarsest
+// graph right after seeding).
+func refineLevel(g *graph.Graph, parts []int, opts Options) []int {
+	return bestRefinement(g, parts, opts)
+}

@@ -1,0 +1,243 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ppnpart/internal/core"
+	"ppnpart/internal/gen"
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+)
+
+func randomSmall(rng *rand.Rand, n int) *graph.Graph {
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = int64(1 + rng.Intn(20))
+	}
+	g := graph.NewWithWeights(w)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(graph.Node(i-1), graph.Node(i), int64(1+rng.Intn(10)))
+	}
+	for i := 0; i < n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.MustAddEdge(graph.Node(u), graph.Node(v), int64(1+rng.Intn(10)))
+		}
+	}
+	return g
+}
+
+// bruteForce enumerates every assignment (for cross-checking the solver
+// on tiny instances).
+func bruteForce(g *graph.Graph, k int, c metrics.Constraints) (int64, bool) {
+	n := g.NumNodes()
+	assign := make([]int, n)
+	var bestCut int64
+	found := false
+	var rec func(d int)
+	rec = func(d int) {
+		if d == n {
+			seen := make([]bool, k)
+			for _, p := range assign {
+				seen[p] = true
+			}
+			for _, s := range seen {
+				if !s {
+					return
+				}
+			}
+			if !metrics.Feasible(g, assign, k, c) {
+				return
+			}
+			cut := metrics.EdgeCut(g, assign)
+			if !found || cut < bestCut {
+				bestCut = cut
+				found = true
+			}
+			return
+		}
+		for p := 0; p < k; p++ {
+			assign[d] = p
+			rec(d + 1)
+		}
+	}
+	rec(0)
+	return bestCut, found
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 15; trial++ {
+		n := 5 + rng.Intn(4) // 5..8 nodes: brute force is 3^8 max
+		g := randomSmall(rng, n)
+		k := 2 + rng.Intn(2)
+		c := metrics.Constraints{
+			Bmax: int64(5 + rng.Intn(40)),
+			Rmax: g.TotalNodeWeight()/int64(k) + int64(rng.Intn(30)),
+		}
+		want, wantFound := bruteForce(g, k, c)
+		res, err := Solve(g, Options{K: k, Constraints: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Proven {
+			t.Fatalf("trial %d: unproven without a time limit", trial)
+		}
+		if res.Feasible != wantFound {
+			t.Fatalf("trial %d: feasible=%v, brute force says %v", trial, res.Feasible, wantFound)
+		}
+		if wantFound && res.Cut != want {
+			t.Fatalf("trial %d: cut=%d, brute force optimum %d", trial, res.Cut, want)
+		}
+		if wantFound {
+			if err := metrics.Validate(g, res.Parts, k); err != nil {
+				t.Fatal(err)
+			}
+			if !metrics.Feasible(g, res.Parts, k, c) {
+				t.Fatalf("trial %d: returned infeasible 'optimal' partition", trial)
+			}
+			if metrics.EdgeCut(g, res.Parts) != res.Cut {
+				t.Fatalf("trial %d: reported cut mismatch", trial)
+			}
+		}
+	}
+}
+
+func TestSolveUnconstrainedOptimum(t *testing.T) {
+	// Two triangles joined by a weight-1 bridge: optimal 2-way cut is 1.
+	g := graph.New(6)
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(1, 2, 5)
+	g.MustAddEdge(0, 2, 5)
+	g.MustAddEdge(3, 4, 5)
+	g.MustAddEdge(4, 5, 5)
+	g.MustAddEdge(3, 5, 5)
+	g.MustAddEdge(2, 3, 1)
+	res, err := Solve(g, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Cut != 1 {
+		t.Fatalf("optimal cut = %d (feasible=%v), want 1", res.Cut, res.Feasible)
+	}
+}
+
+func TestSolveProvablyInfeasible(t *testing.T) {
+	// A node heavier than Rmax can never be placed.
+	g := graph.NewWithWeights([]int64{100, 1, 1})
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	res, err := Solve(g, Options{K: 2, Constraints: metrics.Constraints{Rmax: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("impossible instance reported feasible")
+	}
+	if !res.Proven {
+		t.Fatal("full search should prove infeasibility")
+	}
+	if res.Parts != nil {
+		t.Fatal("infeasible result should carry no partition")
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	g := graph.New(3)
+	if _, err := Solve(g, Options{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := Solve(g, Options{K: 5}); err == nil {
+		t.Fatal("K>n accepted")
+	}
+	big := graph.New(30)
+	if _, err := Solve(big, Options{K: 2}); err == nil {
+		t.Fatal("oversized instance accepted without MaxNodes override")
+	}
+	if _, err := Solve(big, Options{K: 2, MaxNodes: 5}); err == nil {
+		t.Fatal("MaxNodes override not enforced")
+	}
+}
+
+func TestSolveTimeLimit(t *testing.T) {
+	// A dense 18-node instance with K=4 explores a big tree; a tiny time
+	// limit must abort with Proven=false.
+	rng := rand.New(rand.NewSource(2))
+	g := randomSmall(rng, 18)
+	res, err := Solve(g, Options{K: 4, TimeLimit: time.Microsecond, MaxNodes: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proven {
+		t.Skip("machine fast enough to finish in 1µs — nothing to assert")
+	}
+	if res.Runtime <= 0 {
+		t.Fatal("runtime not recorded")
+	}
+}
+
+func TestSolvePaperInstanceBeatsOrMatchesGP(t *testing.T) {
+	// The optimality-gap experiment on paper instance 1: exact optimum
+	// under the constraints vs GP's feasible cut. GP must be >= optimal
+	// and the gap is the paper's accepted price for tractability.
+	inst, err := gen.PaperInstance(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(inst.G, Options{K: inst.K, Constraints: inst.Constraints,
+		TimeLimit: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("exact solver found paper instance 1 infeasible; GP finds it feasible")
+	}
+	gp, err := core.Partition(inst.G, core.Options{
+		K: inst.K, Constraints: inst.Constraints, Seed: 1, MaxCycles: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gp.Feasible {
+		t.Fatal("GP infeasible on instance 1")
+	}
+	if gp.Report.EdgeCut < res.Cut {
+		t.Fatalf("GP cut %d below the proven optimum %d — exact solver is wrong",
+			gp.Report.EdgeCut, res.Cut)
+	}
+}
+
+func TestPropertyExactNeverWorseThanGP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(4)
+		g := randomSmall(rng, n)
+		k := 2 + rng.Intn(2)
+		c := metrics.Constraints{
+			Bmax: int64(10 + rng.Intn(60)),
+			Rmax: g.TotalNodeWeight()/int64(k) + int64(10+rng.Intn(40)),
+		}
+		ex, err := Solve(g, Options{K: k, Constraints: c, TimeLimit: 5 * time.Second})
+		if err != nil || !ex.Proven {
+			return true // skip pathological cases
+		}
+		gp, err := core.Partition(g, core.Options{K: k, Constraints: c, Seed: seed, MaxCycles: 8})
+		if err != nil {
+			return false
+		}
+		if !ex.Feasible {
+			// If the optimum does not exist, GP must not claim feasibility.
+			return !gp.Feasible
+		}
+		if !gp.Feasible {
+			return true // GP may miss a feasible solution; that is its trade-off
+		}
+		return gp.Report.EdgeCut >= ex.Cut
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

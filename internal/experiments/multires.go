@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ppnpart/internal/core"
+	"ppnpart/internal/gen"
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+)
+
+// MultiResRow is one configuration of the M1 study: the paper's
+// single-resource model versus the multi-resource extension on an FPGA
+// workload whose LUT and BRAM demands are anti-correlated (compute-heavy
+// processes are BRAM-light and vice versa) — the regime where balancing
+// one resource silently overloads the other.
+type MultiResRow struct {
+	// Config is "scalar-only" or "vector".
+	Config string
+	// Cut is the edge cut.
+	Cut int64
+	// LUTFeasible / BRAMFeasible / DSPFeasible report per-kind fit.
+	LUTFeasible, BRAMFeasible, DSPFeasible bool
+	// Feasible is the conjunction.
+	Feasible bool
+	// Time is the partitioning time.
+	Time time.Duration
+}
+
+// multiResWorkload builds the M1 instance: 200 processes; even ids are
+// compute cores (high LUT, low BRAM), odd ids are buffer cores (low LUT,
+// high BRAM); DSP is sparse.
+func multiResWorkload() (*graph.Graph, [][]int64, metrics.Constraints, metrics.VectorConstraints, int, error) {
+	g, err := gen.RandomConnected(200, 600,
+		gen.WeightRange{Lo: 40, Hi: 60}, gen.WeightRange{Lo: 1, Hi: 12}, newRand(55))
+	if err != nil {
+		return nil, nil, metrics.Constraints{}, metrics.VectorConstraints{}, 0, err
+	}
+	n := g.NumNodes()
+	vecs := make([][]int64, n)
+	rng := newRand(56)
+	var totLUT, totBRAM, totDSP int64
+	for u := 0; u < n; u++ {
+		lut := g.NodeWeight(graph.Node(u))
+		var bram, dsp int64
+		if u%2 == 0 {
+			lut += 30 // compute core
+			dsp = int64(rng.Intn(4))
+		} else {
+			bram = 6 + int64(rng.Intn(4)) // buffer core
+		}
+		g.SetNodeWeight(graph.Node(u), lut)
+		vecs[u] = []int64{lut, bram, dsp}
+		totLUT += lut
+		totBRAM += bram
+		totDSP += dsp
+	}
+	k := 4
+	c := metrics.Constraints{
+		Rmax: totLUT/int64(k) + 2*g.MaxNodeWeight(),
+		Bmax: 2 * g.TotalEdgeWeight() / int64(k),
+	}
+	vc := metrics.VectorConstraints{Rmax: []int64{
+		c.Rmax,
+		totBRAM/int64(k) + 10, // binding BRAM bound
+		totDSP/int64(k) + 6,
+	}}
+	return g, vecs, c, vc, k, nil
+}
+
+// RunMultiRes compares scalar-only GP against vector-extended GP on the
+// M1 workload, judging both against the full vector constraints.
+func RunMultiRes() ([]MultiResRow, error) {
+	g, vecs, c, vc, k, err := multiResWorkload()
+	if err != nil {
+		return nil, err
+	}
+	judge := func(config string, parts []int, d time.Duration) MultiResRow {
+		viol := metrics.CheckVector(vecs, parts, k, vc)
+		row := MultiResRow{
+			Config:       config,
+			Cut:          metrics.EdgeCut(g, parts),
+			LUTFeasible:  true,
+			BRAMFeasible: true,
+			DSPFeasible:  true,
+			Time:         d,
+		}
+		for _, v := range viol {
+			switch v.Kind {
+			case "resource[0]":
+				row.LUTFeasible = false
+			case "resource[1]":
+				row.BRAMFeasible = false
+			case "resource[2]":
+				row.DSPFeasible = false
+			}
+		}
+		row.Feasible = len(viol) == 0 && metrics.Feasible(g, parts, k, c)
+		return row
+	}
+
+	scalar, err := core.Partition(g, core.Options{K: k, Constraints: c, Seed: 1, MaxCycles: 8})
+	if err != nil {
+		return nil, err
+	}
+	vector, err := core.Partition(g, core.Options{
+		K: k, Constraints: c, Seed: 1, MaxCycles: 8,
+		VectorResources: vecs, VectorConstraints: vc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []MultiResRow{
+		judge("scalar-only", scalar.Parts, scalar.Runtime),
+		judge("vector", vector.Parts, vector.Runtime),
+	}, nil
+}
+
+// FormatMultiRes renders the M1 rows.
+func FormatMultiRes(w io.Writer, rows []MultiResRow) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("M1: single-resource model (the paper's) vs multi-resource extension\n")
+	p("%-14s %-8s %-6s %-6s %-6s %-9s %s\n",
+		"config", "cut", "LUT", "BRAM", "DSP", "feasible", "time")
+	okStr := func(b bool) string {
+		if b {
+			return "ok"
+		}
+		return "OVER"
+	}
+	for _, r := range rows {
+		p("%-14s %-8d %-6s %-6s %-6s %-9v %s\n",
+			r.Config, r.Cut, okStr(r.LUTFeasible), okStr(r.BRAMFeasible), okStr(r.DSPFeasible),
+			r.Feasible, fmtDuration(r.Time))
+	}
+	return err
+}

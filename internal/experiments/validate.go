@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ppnpart/internal/core"
+	"ppnpart/internal/fpga"
+	"ppnpart/internal/gen"
+	"ppnpart/internal/metrics"
+	"ppnpart/internal/mlkp"
+	"ppnpart/internal/ppn"
+)
+
+// SimCase is one workload of the simulation validation (V1): a process
+// network mapped onto a platform by both tools, then executed.
+//
+// The partitioning constraint Bmax is expressed in total tokens per
+// execution (the unit of the lowered graph's edge weights); the
+// simulator's per-cycle link budget is derived from it by dividing by the
+// network's nominal round count (the longest process iteration count), so
+// a mapping that meets the static constraint also sustains full rate in
+// simulation, and one that violates it is throttled.
+type SimCase struct {
+	// Name identifies the workload.
+	Name string
+	// Net is the process network.
+	Net *ppn.PPN
+	// Platform is the multi-FPGA target (LinkBandwidth in tokens/cycle).
+	Platform fpga.Platform
+	// Constraints carries the partitioning Bmax (total tokens) and Rmax.
+	Constraints metrics.Constraints
+}
+
+// nominalRounds returns the longest iteration count of the network — the
+// unthrottled makespan scale.
+func nominalRounds(net *ppn.PPN) int64 {
+	var r int64 = 1
+	for _, p := range net.Processes {
+		if p.Iterations > r {
+			r = p.Iterations
+		}
+	}
+	return r
+}
+
+// makeSimCase derives the platform from the token-domain constraints.
+func makeSimCase(name string, net *ppn.PPN, numFPGAs int, bmaxTokens, rmax int64) SimCase {
+	linkBW := bmaxTokens / nominalRounds(net)
+	if linkBW < 1 {
+		linkBW = 1
+	}
+	return SimCase{
+		Name: name,
+		Net:  net,
+		Platform: fpga.Platform{
+			NumFPGAs: numFPGAs, Rmax: rmax, LinkBandwidth: linkBW,
+		},
+		Constraints: metrics.Constraints{Bmax: bmaxTokens, Rmax: rmax},
+	}
+}
+
+// SimOutcome is one tool's dynamic result.
+type SimOutcome struct {
+	// Tool is "METIS-like" or "GP".
+	Tool string
+	// StaticFeasible is the static Bmax/Rmax check.
+	StaticFeasible bool
+	// Makespan, Throughput and SaturatedLinks summarize the simulation.
+	Makespan       int64
+	Throughput     float64
+	SaturatedLinks int
+	MaxUtilization float64
+}
+
+// SimComparison pairs both tools on one case.
+type SimComparison struct {
+	Case     SimCase
+	Baseline SimOutcome
+	GP       SimOutcome
+}
+
+// DefaultSimCases builds the validation workloads: the kernel networks of
+// the examples, on platforms sized so that constraint-oblivious mappings
+// hurt. Token counts and link bandwidths are scaled so that per-round
+// traffic between badly co-located stages exceeds a link's cycle budget.
+func DefaultSimCases() ([]SimCase, error) {
+	var cases []SimCase
+
+	// FIR: the baseline's cut-minimal balanced mapping carries 16000
+	// tokens on its worst pair; GP can reach 8000. Bmax 9600 separates
+	// them: the baseline mapping is throttled in simulation, GP's is not.
+	fir, err := ppn.FIR(8, 4000)
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, makeSimCase("fir8-4000", fir, 4, 9600, 455))
+
+	// Random compiler-shaped PPN (24 processes): baseline worst pair 975
+	// tokens, GP reaches 461. Bmax 585 separates them.
+	rnd, err := gen.RandomPPN(24,
+		gen.WeightRange{Lo: 50, Hi: 400}, gen.WeightRange{Lo: 1, Hi: 6}, newRand(5))
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, makeSimCase("randppn-24", rnd, 4, 585, 1094))
+
+	// SplitMerge: the structural minimum of the worst pair is 1000
+	// tokens, which both tools achieve — the agreement case: both
+	// mappings meet Bmax and neither is throttled.
+	sm, err := ppn.SplitMerge(4, 2000)
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, makeSimCase("splitmerge-4x2000", sm, 4, 1000, 378))
+	return cases, nil
+}
+
+// RunSimCase partitions the lowered network with both tools (K =
+// NumFPGAs), maps, and simulates.
+func RunSimCase(sc SimCase) (*SimComparison, error) {
+	g, err := sc.Net.ToGraph(ppn.DefaultResourceModel())
+	if err != nil {
+		return nil, err
+	}
+	k := sc.Platform.NumFPGAs
+	c := sc.Constraints
+
+	base, err := mlkp.Partition(g, mlkp.Options{K: k, Seed: 1})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: baseline on %s: %v", sc.Name, err)
+	}
+	gp, err := core.Partition(g, core.Options{K: k, Constraints: c, Seed: 1, MaxCycles: 24})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: GP on %s: %v", sc.Name, err)
+	}
+
+	run := func(tool string, parts []int) (SimOutcome, error) {
+		m := fpga.FromParts(parts, sc.Platform)
+		res, err := fpga.Simulate(sc.Net, m, fpga.SimOptions{})
+		if err != nil {
+			return SimOutcome{}, err
+		}
+		if !res.Completed {
+			return SimOutcome{}, fmt.Errorf("experiments: %s mapping of %s did not complete (deadlock=%v)",
+				tool, sc.Name, res.Deadlocked)
+		}
+		return SimOutcome{
+			Tool:           tool,
+			StaticFeasible: metrics.Feasible(g, parts, k, c),
+			Makespan:       res.Makespan,
+			Throughput:     res.Throughput,
+			SaturatedLinks: res.SaturatedLinks,
+			MaxUtilization: res.MaxLinkUtilization,
+		}, nil
+	}
+	b, err := run("METIS-like", base.Parts)
+	if err != nil {
+		return nil, err
+	}
+	gpo, err := run("GP", gp.Parts)
+	if err != nil {
+		return nil, err
+	}
+	return &SimComparison{Case: sc, Baseline: b, GP: gpo}, nil
+}
+
+// RunAllSimCases executes the full V1 suite.
+func RunAllSimCases() ([]*SimComparison, error) {
+	cases, err := DefaultSimCases()
+	if err != nil {
+		return nil, err
+	}
+	var out []*SimComparison
+	for _, sc := range cases {
+		cmpRes, err := RunSimCase(sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cmpRes)
+	}
+	return out, nil
+}
+
+// FormatSims renders the V1 results.
+func FormatSims(w io.Writer, sims []*SimComparison) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("V1: multi-FPGA simulation of both tools' mappings\n")
+	p("%-18s %-12s %-8s %-10s %-12s %-9s %-7s\n",
+		"workload", "tool", "static", "makespan", "throughput", "satLinks", "maxUtil")
+	for _, s := range sims {
+		for _, o := range []SimOutcome{s.Baseline, s.GP} {
+			static := "meets"
+			if !o.StaticFeasible {
+				static = "violates"
+			}
+			p("%-18s %-12s %-8s %-10d %-12.3f %-9d %-7.2f\n",
+				s.Case.Name, o.Tool, static, o.Makespan, o.Throughput, o.SaturatedLinks, o.MaxUtilization)
+		}
+	}
+	return err
+}
+
+// ScalePoint is one size of the S1 sweep.
+type ScalePoint struct {
+	Nodes, Edges  int
+	BaselineTime  time.Duration
+	BaselineCut   int64
+	GPTime        time.Duration
+	GPCut         int64
+	GPFeasible    bool
+	K             int
+	Bmax, Rmax    int64
+	GPCutOverhead float64 // GPCut / BaselineCut
+}
+
+// RunScaleSweep runs both tools on growing random graphs (S1). Sizes are
+// node counts; edges are 3x nodes; constraints are loose enough to be
+// satisfiable but tight enough to bind (Rmax = 1.15 × ideal share).
+func RunScaleSweep(sizes []int, k int) ([]ScalePoint, error) {
+	var out []ScalePoint
+	for _, n := range sizes {
+		rngSeed := int64(1000 + n)
+		g, err := gen.RandomConnected(n, 3*n,
+			gen.WeightRange{Lo: 10, Hi: 100}, gen.WeightRange{Lo: 1, Hi: 20},
+			newRand(rngSeed))
+		if err != nil {
+			return nil, err
+		}
+		rmax := g.TotalNodeWeight()*115/(100*int64(k)) + g.MaxNodeWeight()
+		// Bmax: generous multiple of the balanced random-cut share so the
+		// sweep measures scaling, not feasibility hunting.
+		bmax := 2 * g.TotalEdgeWeight() / int64(k)
+		c := metrics.Constraints{Bmax: bmax, Rmax: rmax}
+
+		base, err := mlkp.Partition(g, mlkp.Options{K: k, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		gp, err := core.Partition(g, core.Options{K: k, Constraints: c, Seed: 1, MaxCycles: 8})
+		if err != nil {
+			return nil, err
+		}
+		pt := ScalePoint{
+			Nodes:        n,
+			Edges:        3 * n,
+			BaselineTime: base.Runtime,
+			BaselineCut:  base.Report.EdgeCut,
+			GPTime:       gp.Runtime,
+			GPCut:        gp.Report.EdgeCut,
+			GPFeasible:   gp.Feasible,
+			K:            k,
+			Bmax:         bmax,
+			Rmax:         rmax,
+		}
+		if pt.BaselineCut > 0 {
+			pt.GPCutOverhead = float64(pt.GPCut) / float64(pt.BaselineCut)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatScale renders the S1 sweep.
+func FormatScale(w io.Writer, pts []ScalePoint) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("S1: scalability sweep (K=%d)\n", pts[0].K)
+	p("%-8s %-8s %-12s %-10s %-12s %-10s %-9s %-8s\n",
+		"nodes", "edges", "baseTime", "baseCut", "gpTime", "gpCut", "overhead", "feasible")
+	for _, pt := range pts {
+		p("%-8d %-8d %-12s %-10d %-12s %-10d %-9.3f %-8v\n",
+			pt.Nodes, pt.Edges, fmtDuration(pt.BaselineTime), pt.BaselineCut,
+			fmtDuration(pt.GPTime), pt.GPCut, pt.GPCutOverhead, pt.GPFeasible)
+	}
+	return err
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ppnpart/internal/core"
+	"ppnpart/internal/gen"
+)
+
+// VarianceRow is one instance's seed-robustness measurement (E4): GP is a
+// randomized algorithm (random matchings, random restarts, random
+// re-seeding across cycles), so its output varies with the seed. The
+// paper reports single runs; this study quantifies the spread — a
+// reproduction-quality question the paper leaves open.
+type VarianceRow struct {
+	// Instance is the experiment id (1-3).
+	Instance int
+	// Seeds is the number of independent runs.
+	Seeds int
+	// FeasibleRuns counts runs that met both constraints.
+	FeasibleRuns int
+	// MinCut, MedianCut, MaxCut summarize feasible runs' cuts.
+	MinCut, MedianCut, MaxCut int64
+}
+
+// RunVariance runs GP on each paper instance across `seeds` seeds
+// (default 20 when <= 0).
+func RunVariance(seeds int) ([]VarianceRow, error) {
+	if seeds <= 0 {
+		seeds = 20
+	}
+	var out []VarianceRow
+	for i := 1; i <= gen.NumPaperInstances(); i++ {
+		inst, err := gen.PaperInstance(i)
+		if err != nil {
+			return nil, err
+		}
+		var cuts []int64
+		feasible := 0
+		for s := 1; s <= seeds; s++ {
+			res, err := core.Partition(inst.G, core.Options{
+				K: inst.K, Constraints: inst.Constraints,
+				Seed: int64(s * 1000), MaxCycles: 24,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if res.Feasible {
+				feasible++
+				cuts = append(cuts, res.Report.EdgeCut)
+			}
+		}
+		row := VarianceRow{Instance: i, Seeds: seeds, FeasibleRuns: feasible}
+		if len(cuts) > 0 {
+			sort.Slice(cuts, func(a, b int) bool { return cuts[a] < cuts[b] })
+			row.MinCut = cuts[0]
+			row.MedianCut = cuts[len(cuts)/2]
+			row.MaxCut = cuts[len(cuts)-1]
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatVariance renders the E4 rows.
+func FormatVariance(w io.Writer, rows []VarianceRow) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("E4: GP seed robustness on the paper instances\n")
+	p("%-10s %-7s %-14s %-8s %-10s %-8s\n",
+		"instance", "seeds", "feasibleRuns", "minCut", "medianCut", "maxCut")
+	for _, r := range rows {
+		p("%-10d %-7d %-14d %-8d %-10d %-8d\n",
+			r.Instance, r.Seeds, r.FeasibleRuns, r.MinCut, r.MedianCut, r.MaxCut)
+	}
+	return err
+}

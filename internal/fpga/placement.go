@@ -1,0 +1,274 @@
+package fpga
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+)
+
+// Placement search: a partition fixes WHICH processes share an FPGA; on a
+// heterogeneous Topology it still matters WHICH physical device each
+// partition lands on (fast ring links vs slow backplane, big vs small
+// parts on big vs small devices). BestPlacement searches the part→FPGA
+// assignments exhaustively — K! permutations, fine for the K ≤ 8 systems
+// the paper targets — and returns the placement minimizing (violations,
+// worst link overload, cut-weighted link slowdown).
+
+// PlacementResult describes the chosen placement.
+type PlacementResult struct {
+	// PartToFPGA[p] is the physical device hosting logical part p.
+	PartToFPGA []int
+	// Assignment is the node-level mapping under that placement.
+	Assignment []int
+	// Check is the static verdict of the chosen placement.
+	Check *TopologyCheck
+	// Evaluated counts the permutations examined.
+	Evaluated int
+}
+
+// BestPlacement searches all part→FPGA permutations of parts (a K-way
+// partition of g) on the topology and returns the best, judged by:
+// fewest missing-link pairs, then fewest bandwidth violations, then the
+// smallest total bandwidth excess, then the smallest worst-pair
+// slack usage. rounds converts token totals to link budgets as in
+// Topology.CheckMapping. K above 8 is rejected (40320 permutations is
+// the practical ceiling; larger systems need a heuristic placer).
+func BestPlacement(g *graph.Graph, parts []int, k int, t *Topology, rounds int64) (*PlacementResult, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if k <= 0 || k > 8 {
+		return nil, fmt.Errorf("fpga: exhaustive placement supports 1..8 parts, got %d", k)
+	}
+	if t.NumFPGAs() != k {
+		return nil, fmt.Errorf("fpga: topology has %d FPGAs, partition has %d parts", t.NumFPGAs(), k)
+	}
+	if err := metrics.Validate(g, parts, k); err != nil {
+		return nil, err
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	// Precompute part-level structure once: pairwise traffic + resources.
+	traffic := metrics.BandwidthMatrix(g, parts, k)
+	res := metrics.PartResources(g, parts, k)
+
+	type score struct {
+		missing  int
+		bwViol   int
+		excess   int64
+		worstUse float64
+		resViol  int
+	}
+	better := func(a, b score) bool {
+		if a.missing != b.missing {
+			return a.missing < b.missing
+		}
+		if a.resViol != b.resViol {
+			return a.resViol < b.resViol
+		}
+		if a.bwViol != b.bwViol {
+			return a.bwViol < b.bwViol
+		}
+		if a.excess != b.excess {
+			return a.excess < b.excess
+		}
+		return a.worstUse < b.worstUse
+	}
+	evaluate := func(perm []int) score {
+		var s score
+		for p := 0; p < k; p++ {
+			if res[p] > t.Resources[perm[p]] {
+				s.resViol++
+			}
+			for q := p + 1; q < k; q++ {
+				tr := traffic[p][q]
+				if tr == 0 {
+					continue
+				}
+				bwPQ := t.LinkBW[perm[p]][perm[q]]
+				if bwPQ == 0 {
+					s.missing++
+					continue
+				}
+				budget := bwPQ * rounds
+				if tr > budget {
+					s.bwViol++
+					s.excess += tr - budget
+				}
+				if use := float64(tr) / float64(budget); use > s.worstUse {
+					s.worstUse = use
+				}
+			}
+		}
+		return s
+	}
+
+	perm := make([]int, k)
+	for i := range perm {
+		perm[i] = i
+	}
+	bestPerm := append([]int(nil), perm...)
+	bestScore := evaluate(perm)
+	evaluated := 1
+	// Heap's algorithm over the remaining permutations.
+	c := make([]int, k)
+	i := 0
+	for i < k {
+		if c[i] < i {
+			if i%2 == 0 {
+				perm[0], perm[i] = perm[i], perm[0]
+			} else {
+				perm[c[i]], perm[i] = perm[i], perm[c[i]]
+			}
+			evaluated++
+			if s := evaluate(perm); better(s, bestScore) {
+				bestScore = s
+				copy(bestPerm, perm)
+			}
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+
+	assignment := make([]int, len(parts))
+	for u, p := range parts {
+		assignment[u] = bestPerm[p]
+	}
+	chk, err := t.CheckMapping(g, assignment, rounds)
+	if err != nil {
+		return nil, err
+	}
+	return &PlacementResult{
+		PartToFPGA: bestPerm,
+		Assignment: assignment,
+		Check:      chk,
+		Evaluated:  evaluated,
+	}, nil
+}
+
+// AnnealPlacement searches the part→FPGA assignment by swap-based local
+// search with restarts — the heuristic placer for systems beyond
+// BestPlacement's K ≤ 8 exhaustive ceiling. Deterministic for a fixed
+// seed. iterations <= 0 defaults to 200·K²; restarts <= 0 defaults to 4.
+func AnnealPlacement(g *graph.Graph, parts []int, k int, t *Topology, rounds int64,
+	iterations, restarts int, seed int64) (*PlacementResult, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("fpga: k = %d must be positive", k)
+	}
+	if t.NumFPGAs() != k {
+		return nil, fmt.Errorf("fpga: topology has %d FPGAs, partition has %d parts", t.NumFPGAs(), k)
+	}
+	if err := metrics.Validate(g, parts, k); err != nil {
+		return nil, err
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	if iterations <= 0 {
+		iterations = 200 * k * k
+	}
+	if restarts <= 0 {
+		restarts = 4
+	}
+	traffic := metrics.BandwidthMatrix(g, parts, k)
+	res := metrics.PartResources(g, parts, k)
+
+	// cost: lexicographic (missing links, resource violations, bandwidth
+	// excess, worst-use) folded into a single comparable tuple.
+	type cost struct {
+		missing, resViol int
+		excess           int64
+		worstUse         float64
+	}
+	better := func(a, b cost) bool {
+		if a.missing != b.missing {
+			return a.missing < b.missing
+		}
+		if a.resViol != b.resViol {
+			return a.resViol < b.resViol
+		}
+		if a.excess != b.excess {
+			return a.excess < b.excess
+		}
+		return a.worstUse < b.worstUse
+	}
+	evaluate := func(perm []int) cost {
+		var c cost
+		for p := 0; p < k; p++ {
+			if res[p] > t.Resources[perm[p]] {
+				c.resViol++
+			}
+			for q := p + 1; q < k; q++ {
+				tr := traffic[p][q]
+				if tr == 0 {
+					continue
+				}
+				bwPQ := t.LinkBW[perm[p]][perm[q]]
+				if bwPQ == 0 {
+					c.missing++
+					continue
+				}
+				budget := bwPQ * rounds
+				if tr > budget {
+					c.excess += tr - budget
+				}
+				if use := float64(tr) / float64(budget); use > c.worstUse {
+					c.worstUse = use
+				}
+			}
+		}
+		return c
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	var globalBest []int
+	var globalCost cost
+	evaluated := 0
+	for r := 0; r < restarts; r++ {
+		perm := rng.Perm(k)
+		cur := evaluate(perm)
+		evaluated++
+		for it := 0; it < iterations; it++ {
+			i, j := rng.Intn(k), rng.Intn(k)
+			if i == j {
+				continue
+			}
+			perm[i], perm[j] = perm[j], perm[i]
+			cand := evaluate(perm)
+			evaluated++
+			if better(cand, cur) || cand == cur {
+				cur = cand
+			} else {
+				perm[i], perm[j] = perm[j], perm[i] // revert
+			}
+		}
+		if globalBest == nil || better(cur, globalCost) {
+			globalBest = append([]int(nil), perm...)
+			globalCost = cur
+		}
+	}
+
+	assignment := make([]int, len(parts))
+	for u, p := range parts {
+		assignment[u] = globalBest[p]
+	}
+	chk, err := t.CheckMapping(g, assignment, rounds)
+	if err != nil {
+		return nil, err
+	}
+	return &PlacementResult{
+		PartToFPGA: globalBest,
+		Assignment: assignment,
+		Check:      chk,
+		Evaluated:  evaluated,
+	}, nil
+}

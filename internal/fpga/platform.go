@@ -1,0 +1,99 @@
+// Package fpga models the multi-FPGA execution substrate the paper
+// targets (and leaves to future work to measure on real boards): a set of
+// FPGAs with a resource capacity each, connected by rate-limited links,
+// plus a token-level discrete-time simulator that executes a mapped
+// process network and exposes the consequences of violating the paper's
+// constraints — link saturation and throughput loss.
+package fpga
+
+import (
+	"fmt"
+
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+)
+
+// Platform describes a multi-FPGA system. Links are all-to-all (the
+// common mesh/backplane abstraction the paper assumes: "between each FPGA
+// involved in the system, only Bmax data can be transferred each unit of
+// time").
+type Platform struct {
+	// NumFPGAs is the number of devices.
+	NumFPGAs int
+	// Rmax is the per-FPGA resource capacity (e.g. LUTs).
+	Rmax int64
+	// LinkBandwidth is the per-link token capacity per cycle (the Bmax
+	// of the partitioning problem).
+	LinkBandwidth int64
+}
+
+// Validate checks platform sanity.
+func (p Platform) Validate() error {
+	if p.NumFPGAs < 1 {
+		return fmt.Errorf("fpga: platform needs >= 1 FPGA, has %d", p.NumFPGAs)
+	}
+	if p.Rmax <= 0 {
+		return fmt.Errorf("fpga: Rmax must be positive, is %d", p.Rmax)
+	}
+	if p.LinkBandwidth <= 0 {
+		return fmt.Errorf("fpga: LinkBandwidth must be positive, is %d", p.LinkBandwidth)
+	}
+	return nil
+}
+
+// Constraints returns the partitioning constraints the platform induces.
+func (p Platform) Constraints() metrics.Constraints {
+	return metrics.Constraints{Bmax: p.LinkBandwidth, Rmax: p.Rmax}
+}
+
+// Mapping assigns each process of a network to an FPGA.
+type Mapping struct {
+	// Assignment[i] is the FPGA hosting process i.
+	Assignment []int
+	// Platform is the target system.
+	Platform Platform
+}
+
+// CheckResult reports the static feasibility of a mapping.
+type CheckResult struct {
+	// Feasible is true when every FPGA fits and every link is within
+	// bandwidth.
+	Feasible bool
+	// Violations lists each violated constraint instance.
+	Violations []metrics.Violation
+	// PerFPGAResources is the resource load per device.
+	PerFPGAResources []int64
+	// LinkTraffic is the pairwise traffic matrix (tokens per round).
+	LinkTraffic [][]int64
+}
+
+// Check statically validates the mapping of the network (given as the
+// lowered graph g whose node weights are resources and edge weights are
+// per-round traffic).
+func (m Mapping) Check(g *graph.Graph) (CheckResult, error) {
+	if err := m.Platform.Validate(); err != nil {
+		return CheckResult{}, err
+	}
+	if len(m.Assignment) != g.NumNodes() {
+		return CheckResult{}, fmt.Errorf("fpga: mapping covers %d processes, network has %d",
+			len(m.Assignment), g.NumNodes())
+	}
+	for i, f := range m.Assignment {
+		if f < 0 || f >= m.Platform.NumFPGAs {
+			return CheckResult{}, fmt.Errorf("fpga: process %d mapped to missing FPGA %d", i, f)
+		}
+	}
+	c := m.Platform.Constraints()
+	viol := metrics.CheckConstraints(g, m.Assignment, m.Platform.NumFPGAs, c)
+	return CheckResult{
+		Feasible:         len(viol) == 0,
+		Violations:       viol,
+		PerFPGAResources: metrics.PartResources(g, m.Assignment, m.Platform.NumFPGAs),
+		LinkTraffic:      metrics.BandwidthMatrix(g, m.Assignment, m.Platform.NumFPGAs),
+	}, nil
+}
+
+// FromParts builds a Mapping from a partitioner assignment.
+func FromParts(parts []int, platform Platform) Mapping {
+	return Mapping{Assignment: append([]int(nil), parts...), Platform: platform}
+}

@@ -1,0 +1,339 @@
+package fpga
+
+import (
+	"fmt"
+	"sort"
+
+	"ppnpart/internal/ppn"
+)
+
+// SimOptions configures a simulation run.
+type SimOptions struct {
+	// MaxCycles aborts runs that fail to converge (default 10 million).
+	MaxCycles int64
+	// StallWindow declares deadlock after this many cycles without any
+	// firing or transfer (default 1024).
+	StallWindow int64
+}
+
+func (o SimOptions) withDefaults() SimOptions {
+	if o.MaxCycles <= 0 {
+		o.MaxCycles = 10_000_000
+	}
+	if o.StallWindow <= 0 {
+		o.StallWindow = 1024
+	}
+	return o
+}
+
+// LinkStats reports one inter-FPGA link's behaviour.
+type LinkStats struct {
+	// A, B are the FPGA endpoints (A < B).
+	A, B int
+	// TokensMoved is the total traffic carried.
+	TokensMoved int64
+	// BusyCycles counts cycles in which the link moved at least one token.
+	BusyCycles int64
+	// SaturatedCycles counts cycles in which the link moved exactly its
+	// bandwidth and still had tokens queued — the throttling signature.
+	SaturatedCycles int64
+	// PeakQueue is the largest backlog observed.
+	PeakQueue int64
+}
+
+// Utilization returns TokensMoved / (bandwidth · makespan).
+func (l LinkStats) Utilization(bandwidth, makespan int64) float64 {
+	if bandwidth <= 0 || makespan <= 0 {
+		return 0
+	}
+	return float64(l.TokensMoved) / float64(bandwidth*makespan)
+}
+
+// SimResult is the outcome of one simulation.
+type SimResult struct {
+	// Completed is true when every process finished all iterations.
+	Completed bool
+	// Deadlocked is true when progress stopped before completion.
+	Deadlocked bool
+	// Makespan is the number of cycles executed.
+	Makespan int64
+	// TotalFirings counts process firings.
+	TotalFirings int64
+	// Throughput is firings per cycle.
+	Throughput float64
+	// Links holds per-link statistics (only pairs with traffic).
+	Links []LinkStats
+	// MaxLinkUtilization is the highest per-link utilization.
+	MaxLinkUtilization float64
+	// SaturatedLinks counts links that were saturated at least 10% of
+	// the makespan.
+	SaturatedLinks int
+	// ChannelPeakOccupancy[c] is the largest number of tokens resident
+	// in channel c's FIFO (consumer-side buffer plus in-flight backlog)
+	// at any cycle — the minimum FIFO depth that would never have
+	// blocked, i.e. the simulator's answer to the PPN buffer-sizing
+	// question.
+	ChannelPeakOccupancy []int64
+}
+
+// Simulate executes the network under the mapping on the platform: a
+// token-level, cycle-accurate (at the abstraction of "one firing per
+// process per cycle") simulation. Channel tokens are spread evenly across
+// producer firings and demanded evenly across consumer firings; tokens
+// crossing FPGAs queue on the pairwise link, which moves at most
+// LinkBandwidth tokens per cycle (in each direction pair combined —
+// matching the paper's symmetric Bmax). Intra-FPGA tokens arrive
+// instantly.
+func Simulate(net *ppn.PPN, m Mapping, opts SimOptions) (*SimResult, error) {
+	if err := m.Platform.Validate(); err != nil {
+		return nil, err
+	}
+	uniform := m.Platform.LinkBandwidth
+	return simulateCore(net, m.Assignment, m.Platform.NumFPGAs,
+		func(a, b int) int64 { return uniform }, opts)
+}
+
+// SimulateTopology executes the network mapped onto a heterogeneous
+// Topology: each FPGA pair moves tokens at its own link rate; traffic on
+// a missing (zero-bandwidth) link is rejected up front, since the model
+// performs no multi-hop routing.
+func SimulateTopology(net *ppn.PPN, parts []int, t *Topology, opts SimOptions) (*SimResult, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if len(parts) != len(net.Processes) {
+		return nil, fmt.Errorf("fpga: mapping covers %d processes, network has %d", len(parts), len(net.Processes))
+	}
+	for _, ch := range net.Channels {
+		if ch.From == ch.To || ch.Tokens == 0 {
+			continue
+		}
+		fa, fb := parts[ch.From], parts[ch.To]
+		if fa < 0 || fa >= t.NumFPGAs() || fb < 0 || fb >= t.NumFPGAs() {
+			return nil, fmt.Errorf("fpga: channel %d->%d mapped to missing FPGA", ch.From, ch.To)
+		}
+		if fa != fb && t.LinkBW[fa][fb] == 0 {
+			return nil, fmt.Errorf("fpga: traffic between FPGAs %d and %d but no link exists", fa, fb)
+		}
+	}
+	return simulateCore(net, parts, t.NumFPGAs(),
+		func(a, b int) int64 { return t.LinkBW[a][b] }, opts)
+}
+
+// simulateCore is the engine behind Simulate and SimulateTopology; bw
+// yields the per-cycle token budget of each FPGA pair.
+func simulateCore(net *ppn.PPN, assignment []int, numFPGAs int, bw func(a, b int) int64, opts SimOptions) (*SimResult, error) {
+	opts = opts.withDefaults()
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(net.Processes)
+	if len(assignment) != n {
+		return nil, fmt.Errorf("fpga: mapping covers %d processes, network has %d", len(assignment), n)
+	}
+	for i, f := range assignment {
+		if f < 0 || f >= numFPGAs {
+			return nil, fmt.Errorf("fpga: process %d mapped to missing FPGA %d", i, f)
+		}
+	}
+	for i := range net.Processes {
+		if net.Processes[i].Iterations <= 0 {
+			return nil, fmt.Errorf("fpga: process %s has no iterations (run Finalize)", net.Processes[i].Name)
+		}
+	}
+
+	nch := len(net.Channels)
+	// Per-channel state, fixed-point credit scheme: producer firing f
+	// emits floor((f+1)*T/I) - floor(f*T/I) tokens; consumer firing f
+	// needs the same cumulative share. Cumulative bookkeeping avoids
+	// rounding drift.
+	prodFires := make([]int64, n) // firings so far per process
+	emitted := make([]int64, nch) // tokens emitted so far per channel
+	arrived := make([]int64, nch) // tokens arrived at consumer per channel
+	queued := make([]int64, nch)  // tokens waiting on the inter-FPGA link
+
+	// Link bookkeeping: pair index for (a,b), a < b.
+	pairIdx := func(a, b int) int {
+		if a > b {
+			a, b = b, a
+		}
+		return a*numFPGAs + b
+	}
+	linkStats := make(map[int]*LinkStats)
+	crossing := make([]bool, nch)
+	chLink := make([]int, nch)
+	for ci, ch := range net.Channels {
+		fa, fb := assignment[ch.From], assignment[ch.To]
+		if fa != fb {
+			crossing[ci] = true
+			chLink[ci] = pairIdx(fa, fb)
+			if _, ok := linkStats[chLink[ci]]; !ok {
+				a, b := fa, fb
+				if a > b {
+					a, b = b, a
+				}
+				linkStats[chLink[ci]] = &LinkStats{A: a, B: b}
+			}
+		}
+	}
+
+	// cumulative share helper: tokens due after f firings of I total.
+	share := func(tokens, f, iters int64) int64 {
+		if f >= iters {
+			return tokens
+		}
+		return tokens * f / iters
+	}
+
+	inCh := make([][]int, n)  // channels consumed by process i
+	outCh := make([][]int, n) // channels produced by process i
+	for ci, ch := range net.Channels {
+		if ch.From == ch.To {
+			continue // self loops carry state, not synchronization
+		}
+		inCh[ch.To] = append(inCh[ch.To], ci)
+		outCh[ch.From] = append(outCh[ch.From], ci)
+	}
+
+	var cycle, totalFirings, lastProgress int64
+	res := &SimResult{ChannelPeakOccupancy: make([]int64, nch)}
+	consumedShare := make([]int64, nch) // tokens logically consumed so far
+	done := func() bool {
+		for i := range net.Processes {
+			if prodFires[i] < net.Processes[i].Iterations {
+				return false
+			}
+		}
+		return true
+	}
+
+	for cycle = 0; cycle < opts.MaxCycles; cycle++ {
+		if done() {
+			break
+		}
+		progress := false
+
+		// Phase 1: fire every ready process (snapshot of arrivals).
+		for p := 0; p < n; p++ {
+			iters := net.Processes[p].Iterations
+			if prodFires[p] >= iters {
+				continue
+			}
+			f := prodFires[p]
+			ready := true
+			for _, ci := range inCh[p] {
+				ch := net.Channels[ci]
+				need := share(ch.Tokens, f+1, iters)
+				if arrived[ci] < need {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			// Record this firing's logical consumption for occupancy
+			// accounting. (Readiness is judged against the cumulative
+			// share, so arrived tokens are never handed out twice.)
+			for _, ci := range inCh[p] {
+				ch := net.Channels[ci]
+				consumedShare[ci] = share(ch.Tokens, f+1, iters)
+			}
+			// Emit this firing's share on every output. Occupancy peaks
+			// are sampled at emission time — before the consumer's next
+			// firing drains them — so cut-through chains still report
+			// the ≥1-token depth a real FIFO needs.
+			for _, ci := range outCh[p] {
+				ch := net.Channels[ci]
+				newEmit := share(ch.Tokens, f+1, iters) - emitted[ci]
+				emitted[ci] += newEmit
+				if crossing[ci] {
+					queued[ci] += newEmit
+					if ls := linkStats[chLink[ci]]; queued[ci] > ls.PeakQueue {
+						ls.PeakQueue = queued[ci]
+					}
+				} else {
+					arrived[ci] += newEmit
+				}
+				if occ := arrived[ci] - consumedShare[ci] + queued[ci]; occ > res.ChannelPeakOccupancy[ci] {
+					res.ChannelPeakOccupancy[ci] = occ
+				}
+			}
+			prodFires[p]++
+			totalFirings++
+			progress = true
+		}
+
+		// Phase 2: move queued tokens across links, bandwidth-limited.
+		// Round-robin across the link's channels for fairness.
+		for li, ls := range linkStats {
+			budget := bw(linkStats[li].A, linkStats[li].B)
+			moved := int64(0)
+			var backlog int64
+			for ci := range net.Channels {
+				if crossing[ci] && chLink[ci] == li {
+					backlog += queued[ci]
+				}
+			}
+			if backlog == 0 {
+				continue
+			}
+			for ci := range net.Channels {
+				if budget == 0 {
+					break
+				}
+				if !crossing[ci] || chLink[ci] != li || queued[ci] == 0 {
+					continue
+				}
+				move := queued[ci]
+				if move > budget {
+					move = budget
+				}
+				queued[ci] -= move
+				arrived[ci] += move
+				budget -= move
+				moved += move
+			}
+			if moved > 0 {
+				ls.TokensMoved += moved
+				ls.BusyCycles++
+				progress = true
+			}
+			if budget == 0 && backlog > moved {
+				ls.SaturatedCycles++
+			}
+		}
+
+		if progress {
+			lastProgress = cycle
+		} else if cycle-lastProgress >= opts.StallWindow {
+			res.Deadlocked = true
+			break
+		}
+	}
+
+	res.Makespan = cycle
+	res.TotalFirings = totalFirings
+	res.Completed = done()
+	if cycle > 0 {
+		res.Throughput = float64(totalFirings) / float64(cycle)
+	}
+	// Deterministic link order: by pair index.
+	var keys []int
+	for li := range linkStats {
+		keys = append(keys, li)
+	}
+	sort.Ints(keys)
+	for _, li := range keys {
+		ls := linkStats[li]
+		res.Links = append(res.Links, *ls)
+		u := ls.Utilization(bw(ls.A, ls.B), res.Makespan)
+		if u > res.MaxLinkUtilization {
+			res.MaxLinkUtilization = u
+		}
+		if res.Makespan > 0 && float64(ls.SaturatedCycles) >= 0.1*float64(res.Makespan) {
+			res.SaturatedLinks++
+		}
+	}
+	return res, nil
+}

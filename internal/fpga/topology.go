@@ -1,0 +1,160 @@
+package fpga
+
+import (
+	"fmt"
+
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+)
+
+// Topology generalizes Platform to heterogeneous systems — the "actual
+// multi-FPGA based systems" of the paper's future work, where devices
+// differ in capacity and links differ in rate (e.g. serial cables between
+// ring neighbors, a slower shared backplane elsewhere). A zero link
+// bandwidth means the pair is not directly connected; mappings placing
+// traffic on such a pair are statically rejected (the model does no
+// multi-hop routing).
+type Topology struct {
+	// Resources[i] is FPGA i's capacity.
+	Resources []int64
+	// LinkBW[i][j] is the link rate (tokens/cycle) between FPGAs i and j;
+	// must be symmetric with a zero diagonal.
+	LinkBW [][]int64
+}
+
+// NumFPGAs returns the device count.
+func (t *Topology) NumFPGAs() int { return len(t.Resources) }
+
+// Validate checks structural sanity.
+func (t *Topology) Validate() error {
+	n := len(t.Resources)
+	if n < 1 {
+		return fmt.Errorf("fpga: topology needs >= 1 FPGA")
+	}
+	if len(t.LinkBW) != n {
+		return fmt.Errorf("fpga: LinkBW has %d rows, want %d", len(t.LinkBW), n)
+	}
+	for i := 0; i < n; i++ {
+		if t.Resources[i] <= 0 {
+			return fmt.Errorf("fpga: FPGA %d has non-positive capacity %d", i, t.Resources[i])
+		}
+		if len(t.LinkBW[i]) != n {
+			return fmt.Errorf("fpga: LinkBW row %d has %d entries, want %d", i, len(t.LinkBW[i]), n)
+		}
+		if t.LinkBW[i][i] != 0 {
+			return fmt.Errorf("fpga: LinkBW diagonal [%d][%d] must be zero", i, i)
+		}
+		for j := 0; j < n; j++ {
+			if t.LinkBW[i][j] < 0 {
+				return fmt.Errorf("fpga: negative link bandwidth [%d][%d]", i, j)
+			}
+			if t.LinkBW[i][j] != t.LinkBW[j][i] {
+				return fmt.Errorf("fpga: asymmetric link bandwidth [%d][%d]", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Uniform builds the homogeneous topology equivalent to a Platform.
+func Uniform(n int, rmax, linkBW int64) *Topology {
+	t := &Topology{
+		Resources: make([]int64, n),
+		LinkBW:    make([][]int64, n),
+	}
+	for i := 0; i < n; i++ {
+		t.Resources[i] = rmax
+		t.LinkBW[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				t.LinkBW[i][j] = linkBW
+			}
+		}
+	}
+	return t
+}
+
+// RingTopology connects n FPGAs in a ring with fast neighbor links and a
+// slower all-to-all backplane (0 disables the backplane).
+func RingTopology(n int, rmax, neighborBW, backplaneBW int64) *Topology {
+	t := Uniform(n, rmax, backplaneBW)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if i != j {
+			t.LinkBW[i][j] = neighborBW
+			t.LinkBW[j][i] = neighborBW
+		}
+	}
+	return t
+}
+
+// TopologyCheck is the static verdict of a mapping on a topology.
+type TopologyCheck struct {
+	// Feasible is true when every FPGA fits, every connected pair is
+	// within bandwidth, and no traffic lands on a missing link.
+	Feasible bool
+	// ResourceViolations lists FPGAs over capacity (FPGA id, load).
+	ResourceViolations []metrics.Violation
+	// BandwidthViolations lists over-budget pairs.
+	BandwidthViolations []metrics.Violation
+	// MissingLinks lists pairs with traffic but no link.
+	MissingLinks [][2]int
+	// LinkTraffic is the pairwise traffic matrix.
+	LinkTraffic [][]int64
+}
+
+// CheckMapping statically validates parts (a partitioner assignment with
+// one part per FPGA) against the topology, using the lowered graph g.
+// Unlike the uniform Platform check, every pair is held to its own link
+// budget. The link budget is interpreted in the same unit as g's edge
+// weights (tokens per nominal round) scaled by `rounds` — pass rounds=1
+// when edge weights are already rates.
+func (t *Topology) CheckMapping(g *graph.Graph, parts []int, rounds int64) (*TopologyCheck, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	n := t.NumFPGAs()
+	if len(parts) != g.NumNodes() {
+		return nil, fmt.Errorf("fpga: mapping covers %d processes, network has %d", len(parts), g.NumNodes())
+	}
+	for i, p := range parts {
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("fpga: process %d mapped to missing FPGA %d", i, p)
+		}
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	out := &TopologyCheck{
+		LinkTraffic: metrics.BandwidthMatrix(g, parts, n),
+	}
+	res := metrics.PartResources(g, parts, n)
+	for i, r := range res {
+		if r > t.Resources[i] {
+			out.ResourceViolations = append(out.ResourceViolations, metrics.Violation{
+				Kind: "resource", PartA: i, PartB: -1, Value: r, Limit: t.Resources[i],
+			})
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			traffic := out.LinkTraffic[i][j]
+			if traffic == 0 {
+				continue
+			}
+			budget := t.LinkBW[i][j] * rounds
+			if t.LinkBW[i][j] == 0 {
+				out.MissingLinks = append(out.MissingLinks, [2]int{i, j})
+				continue
+			}
+			if traffic > budget {
+				out.BandwidthViolations = append(out.BandwidthViolations, metrics.Violation{
+					Kind: "bandwidth", PartA: i, PartB: j, Value: traffic, Limit: budget,
+				})
+			}
+		}
+	}
+	out.Feasible = len(out.ResourceViolations) == 0 &&
+		len(out.BandwidthViolations) == 0 && len(out.MissingLinks) == 0
+	return out, nil
+}

@@ -1,0 +1,43 @@
+package fpga
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON serialization of topologies, so deployment tools can describe the
+// physical system in a file:
+//
+//	{
+//	  "resources": [500, 500, 300, 300],
+//	  "linkBW": [[0,2,1,2],[2,0,2,1],[1,2,0,2],[2,1,2,0]]
+//	}
+
+type jsonTopology struct {
+	Resources []int64   `json:"resources"`
+	LinkBW    [][]int64 `json:"linkBW"`
+}
+
+// WriteTopologyJSON serializes the topology.
+func WriteTopologyJSON(w io.Writer, t *Topology) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonTopology{Resources: t.Resources, LinkBW: t.LinkBW})
+}
+
+// ReadTopologyJSON parses and validates a topology description.
+func ReadTopologyJSON(r io.Reader) (*Topology, error) {
+	var jt jsonTopology
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("topology json: %v", err)
+	}
+	t := &Topology{Resources: jt.Resources, LinkBW: jt.LinkBW}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("topology json: %v", err)
+	}
+	return t, nil
+}

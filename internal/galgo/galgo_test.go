@@ -1,0 +1,182 @@
+package galgo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+)
+
+func randomConnected(rng *rand.Rand, n int) *graph.Graph {
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = int64(1 + rng.Intn(30))
+	}
+	g := graph.NewWithWeights(w)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(graph.Node(i-1), graph.Node(i), int64(1+rng.Intn(15)))
+	}
+	for i := 0; i < 2*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.MustAddEdge(graph.Node(u), graph.Node(v), int64(1+rng.Intn(15)))
+		}
+	}
+	return g
+}
+
+func TestPartitionBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomConnected(rng, 40)
+	res, err := Partition(g, Options{K: 4, Seed: 2, Generations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.Validate(g, res.Parts, 4); err != nil {
+		t.Fatal(err)
+	}
+	for p, s := range metrics.PartSizes(res.Parts, 4) {
+		if s == 0 {
+			t.Fatalf("part %d empty", p)
+		}
+	}
+	if !res.Feasible {
+		t.Fatal("unconstrained GA must be feasible")
+	}
+	if res.Generations == 0 || res.Runtime <= 0 {
+		t.Fatal("run metadata missing")
+	}
+}
+
+func TestPartitionFindsClusterStructure(t *testing.T) {
+	// 3 clusters of 6 joined by light bridges: a decent GA should land
+	// near the cluster cut.
+	g := graph.New(18)
+	for c := 0; c < 3; c++ {
+		base := c * 6
+		for i := 0; i < 6; i++ {
+			for j := i + 1; j < 6; j++ {
+				g.MustAddEdge(graph.Node(base+i), graph.Node(base+j), 10)
+			}
+		}
+	}
+	g.MustAddEdge(0, 6, 1)
+	g.MustAddEdge(6, 12, 1)
+	g.MustAddEdge(12, 1, 1)
+	res, err := Partition(g, Options{K: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.EdgeCut > 10 {
+		t.Fatalf("GA cut = %d, want near 3 (cluster structure)", res.Report.EdgeCut)
+	}
+}
+
+func TestPartitionRespectsConstraintsWhenLoose(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomConnected(rng, 50)
+	c := metrics.Constraints{
+		Bmax: g.TotalEdgeWeight(),
+		Rmax: g.TotalNodeWeight()/2 + 50,
+	}
+	res, err := Partition(g, Options{K: 4, Constraints: c, Seed: 5, Generations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("loose constraints not met: %v", res.Report.Violations)
+	}
+	if res.Feasible != metrics.Feasible(g, res.Parts, 4, c) {
+		t.Fatal("feasibility flag stale")
+	}
+}
+
+func TestPartitionDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randomConnected(rng, 30)
+	r1, _ := Partition(g, Options{K: 3, Seed: 42, Generations: 20})
+	r2, _ := Partition(g, Options{K: 3, Seed: 42, Generations: 20})
+	for i := range r1.Parts {
+		if r1.Parts[i] != r2.Parts[i] {
+			t.Fatal("same seed produced different GA results")
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	g := graph.New(3)
+	if _, err := Partition(g, Options{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := Partition(g, Options{K: 5}); err == nil {
+		t.Fatal("K>n accepted")
+	}
+}
+
+func TestMemeticBeatsOrMatchesPureGA(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomConnected(rng, 60)
+	c := metrics.Constraints{Rmax: g.TotalNodeWeight()/3 + 30}
+	mem, err := Partition(g, Options{K: 4, Constraints: c, Seed: 8, Generations: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pure, err := Partition(g, Options{K: 4, Constraints: c, Seed: 8, Generations: 25, DisableMemetic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.Goodness > pure.Goodness {
+		t.Fatalf("memetic GA worse than pure GA: %v vs %v", mem.Goodness, pure.Goodness)
+	}
+}
+
+func TestCrossoverAndMutationHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := []int{0, 0, 0, 0}
+	b := []int{1, 1, 1, 1}
+	child := crossover(a, b, rng)
+	for _, v := range child {
+		if v != 0 && v != 1 {
+			t.Fatal("crossover invented a part id")
+		}
+	}
+	parts := []int{0, 0, 0, 0}
+	mutate(parts, 2, 1.0, rng) // rate 1: every node reassigned
+	g := graph.New(4)
+	fixEmpty(g, parts, 2, rng)
+	sizes := metrics.PartSizes(parts, 2)
+	if sizes[0] == 0 || sizes[1] == 0 {
+		t.Fatal("fixEmpty failed")
+	}
+}
+
+func TestPropertyGAAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(30)
+		g := randomConnected(rng, n)
+		k := 2 + rng.Intn(3)
+		c := metrics.Constraints{
+			Bmax: int64(1 + rng.Intn(int(g.TotalEdgeWeight())+1)),
+			Rmax: g.TotalNodeWeight()/int64(k) + int64(rng.Intn(60)),
+		}
+		res, err := Partition(g, Options{K: k, Constraints: c, Seed: seed, Generations: 10, PopSize: 16})
+		if err != nil {
+			return false
+		}
+		if metrics.Validate(g, res.Parts, k) != nil {
+			return false
+		}
+		for _, s := range metrics.PartSizes(res.Parts, k) {
+			if s == 0 {
+				return false
+			}
+		}
+		return res.Feasible == metrics.Feasible(g, res.Parts, k, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,326 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppnpart/internal/graph"
+	"ppnpart/internal/ppn"
+)
+
+var unit = WeightRange{Lo: 1, Hi: 1}
+var small = WeightRange{Lo: 1, Hi: 10}
+
+func TestRandomConnectedShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := RandomConnected(12, 33, small, small, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 12 || g.NumEdges() != 33 {
+		t.Fatalf("shape %s, want 12/33", g)
+	}
+	if !g.IsConnected() {
+		t.Fatal("not connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomConnectedEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Tree (m = n-1).
+	g, err := RandomConnected(10, 9, unit, unit, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 9 || !g.IsConnected() {
+		t.Fatal("tree case wrong")
+	}
+	// Complete graph.
+	g, err = RandomConnected(6, 15, unit, unit, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 15 {
+		t.Fatal("complete case wrong")
+	}
+	// Single node.
+	g, err = RandomConnected(1, 0, unit, unit, rng)
+	if err != nil || g.NumNodes() != 1 {
+		t.Fatal("single node case wrong")
+	}
+	// Errors.
+	if _, err := RandomConnected(0, 0, unit, unit, rng); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := RandomConnected(5, 3, unit, unit, rng); err == nil {
+		t.Fatal("m < n-1 accepted")
+	}
+	if _, err := RandomConnected(5, 11, unit, unit, rng); err == nil {
+		t.Fatal("m > max accepted")
+	}
+}
+
+func TestRandomConnectedDeterministic(t *testing.T) {
+	g1, _ := RandomConnected(20, 40, small, small, rand.New(rand.NewSource(7)))
+	g2, _ := RandomConnected(20, 40, small, small, rand.New(rand.NewSource(7)))
+	e1, e2 := g1.Edges(), g2.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+}
+
+func TestMesh2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := Mesh2D(4, 5, unit, unit, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 20 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Grid edges: r*(c-1) + (r-1)*c = 4*4 + 3*5 = 31.
+	if g.NumEdges() != 31 {
+		t.Fatalf("edges = %d, want 31", g.NumEdges())
+	}
+	if !g.IsConnected() {
+		t.Fatal("mesh disconnected")
+	}
+	if _, err := Mesh2D(0, 5, unit, unit, rng); err == nil {
+		t.Fatal("bad dims accepted")
+	}
+}
+
+func TestTorus2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := Torus2D(3, 4, unit, unit, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Torus: every node has degree 4 → edges = 2*n.
+	if g.NumEdges() != 24 {
+		t.Fatalf("edges = %d, want 24", g.NumEdges())
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.Degree(graph.Node(u)) != 4 {
+			t.Fatalf("node %d degree %d, want 4", u, g.Degree(graph.Node(u)))
+		}
+	}
+	if _, err := Torus2D(2, 4, unit, unit, rng); err == nil {
+		t.Fatal("small torus accepted")
+	}
+}
+
+func TestRing(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := Ring(7, unit, unit, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 7 || !g.IsConnected() {
+		t.Fatal("ring shape wrong")
+	}
+	for u := 0; u < 7; u++ {
+		if g.Degree(graph.Node(u)) != 2 {
+			t.Fatal("ring degree wrong")
+		}
+	}
+	if _, err := Ring(2, unit, unit, rng); err == nil {
+		t.Fatal("2-ring accepted")
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, err := RandomTree(15, unit, unit, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 14 || !g.IsConnected() {
+		t.Fatal("tree shape wrong")
+	}
+	if _, err := RandomTree(0, unit, unit, rng); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := Hypercube(4, unit, unit, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 16 || g.NumEdges() != 32 {
+		t.Fatalf("hypercube shape %s", g)
+	}
+	for u := 0; u < 16; u++ {
+		if g.Degree(graph.Node(u)) != 4 {
+			t.Fatal("hypercube degree wrong")
+		}
+	}
+	if _, err := Hypercube(0, unit, unit, rng); err == nil {
+		t.Fatal("dim 0 accepted")
+	}
+	if _, err := Hypercube(25, unit, unit, rng); err == nil {
+		t.Fatal("dim 25 accepted")
+	}
+}
+
+func TestLayered(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g, err := Layered(5, 4, 2, unit, unit, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 20 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if !g.IsConnected() {
+		t.Fatal("layered graph disconnected")
+	}
+	if _, err := Layered(1, 4, 2, unit, unit, rng); err == nil {
+		t.Fatal("1 layer accepted")
+	}
+	if _, err := Layered(3, 4, 9, unit, unit, rng); err == nil {
+		t.Fatal("fanout > width accepted")
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, err := PreferentialAttachment(50, 2, unit, unit, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 50 || !g.IsConnected() {
+		t.Fatal("BA graph wrong")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PreferentialAttachment(1, 2, unit, unit, rng); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}
+
+func TestPaperInstances(t *testing.T) {
+	if NumPaperInstances() != 3 {
+		t.Fatalf("paper instances = %d, want 3", NumPaperInstances())
+	}
+	wantEdges := []int{33, 30, 32}
+	wantBmax := []int64{16, 25, 20}
+	wantRmax := []int64{165, 130, 78}
+	for i := 1; i <= 3; i++ {
+		inst, err := PaperInstance(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.G.NumNodes() != 12 {
+			t.Fatalf("instance %d: %d nodes, want 12", i, inst.G.NumNodes())
+		}
+		if inst.G.NumEdges() != wantEdges[i-1] {
+			t.Fatalf("instance %d: %d edges, want %d", i, inst.G.NumEdges(), wantEdges[i-1])
+		}
+		if inst.K != 4 {
+			t.Fatalf("instance %d: K = %d, want 4", i, inst.K)
+		}
+		if inst.Constraints.Bmax != wantBmax[i-1] || inst.Constraints.Rmax != wantRmax[i-1] {
+			t.Fatalf("instance %d: constraints %+v", i, inst.Constraints)
+		}
+		if !inst.G.IsConnected() {
+			t.Fatalf("instance %d disconnected", i)
+		}
+		if inst.G.Name(0) == "" {
+			t.Fatalf("instance %d: nodes unnamed", i)
+		}
+	}
+	if _, err := PaperInstance(0); err == nil {
+		t.Fatal("instance 0 accepted")
+	}
+	if _, err := PaperInstance(4); err == nil {
+		t.Fatal("instance 4 accepted")
+	}
+}
+
+func TestPaperInstancesStable(t *testing.T) {
+	// Regenerating an instance must be bit-identical — the experiments
+	// depend on it.
+	a, _ := PaperInstance(1)
+	b, _ := PaperInstance(1)
+	ea, eb := a.G.Edges(), b.G.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("paper instance not stable across calls")
+		}
+	}
+	for u := 0; u < a.G.NumNodes(); u++ {
+		if a.G.NodeWeight(graph.Node(u)) != b.G.NodeWeight(graph.Node(u)) {
+			t.Fatal("paper instance node weights not stable")
+		}
+	}
+}
+
+func TestAllPaperInstances(t *testing.T) {
+	all, err := AllPaperInstances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("got %d instances", len(all))
+	}
+}
+
+func TestRandomPPN(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	net, err := RandomPPN(20, WeightRange{Lo: 10, Hi: 100}, WeightRange{Lo: 1, Hi: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Processes) != 20 {
+		t.Fatalf("processes = %d", len(net.Processes))
+	}
+	g, err := net.ToGraph(ppn.DefaultResourceModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RandomPPN(1, unit, unit, rng); err == nil {
+		t.Fatal("1-process PPN accepted")
+	}
+}
+
+func TestPropertyGeneratorsProduceValidGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		maxM := n * (n - 1) / 2
+		m := n - 1 + rng.Intn(maxM-(n-1)+1)
+		g1, err := RandomConnected(n, m, small, small, rng)
+		if err != nil || g1.Validate() != nil || !g1.IsConnected() || g1.NumEdges() != m {
+			return false
+		}
+		g2, err := Mesh2D(2+rng.Intn(5), 2+rng.Intn(5), small, small, rng)
+		if err != nil || g2.Validate() != nil || !g2.IsConnected() {
+			return false
+		}
+		g3, err := RandomTree(2+rng.Intn(30), small, small, rng)
+		if err != nil || g3.Validate() != nil || !g3.IsConnected() {
+			return false
+		}
+		g4, err := PreferentialAttachment(3+rng.Intn(30), 1+rng.Intn(3), small, small, rng)
+		if err != nil || g4.Validate() != nil || !g4.IsConnected() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ppnpart/internal/ppn"
+)
+
+// RandomPPN generates a random layered process network with nProcs
+// processes: a DAG-ish topology where each process feeds 1..3 later
+// processes, token counts drawn from tokens, and per-iteration work from
+// opsW. Mirrors the statistics of compiler-derived PPNs (mostly feed-
+// forward, a few skip connections).
+func RandomPPN(nProcs int, tokens WeightRange, opsW WeightRange, rng *rand.Rand) (*ppn.PPN, error) {
+	if nProcs < 2 {
+		return nil, fmt.Errorf("gen: random PPN needs >= 2 processes, got %d", nProcs)
+	}
+	net := &ppn.PPN{Name: fmt.Sprintf("random-%d", nProcs)}
+	for i := 0; i < nProcs; i++ {
+		net.AddProcess(ppn.Process{
+			Name:            fmt.Sprintf("proc%d", i),
+			Iterations:      1 + rng.Int63n(1000),
+			OpsPerIteration: opsW.sample(rng),
+		})
+	}
+	// Feed-forward edges: every process (except the last) feeds 1-3
+	// later processes.
+	for i := 0; i < nProcs-1; i++ {
+		fanout := 1 + rng.Intn(3)
+		for f := 0; f < fanout; f++ {
+			to := i + 1 + rng.Intn(nProcs-i-1)
+			net.AddChannel(ppn.Channel{
+				From:   i,
+				To:     to,
+				Tokens: tokens.sample(rng),
+			})
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}

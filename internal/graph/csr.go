@@ -1,0 +1,79 @@
+package graph
+
+// CSR is a compressed-sparse-row snapshot of a Graph. The partitioning hot
+// loops (matching, FM refinement) iterate adjacency billions of times on
+// large instances; CSR gives contiguous memory and no per-node slice
+// headers. A CSR is immutable: mutate the Graph and re-snapshot.
+type CSR struct {
+	XAdj   []int32 // offsets into Adj/AdjW, length NumNodes+1
+	Adj    []Node  // neighbor ids, length 2*NumEdges
+	AdjW   []int64 // edge weights parallel to Adj
+	NodeW  []int64 // node weights
+	EdgeWT int64   // total edge weight
+	NodeWT int64   // total node weight
+}
+
+// ToCSR snapshots the graph into CSR form. Neighbor order within a row
+// matches the Graph's insertion order, which keeps randomized algorithms
+// deterministic for a fixed build sequence.
+func (g *Graph) ToCSR() *CSR {
+	n := g.NumNodes()
+	c := &CSR{
+		XAdj:   make([]int32, n+1),
+		Adj:    make([]Node, 0, 2*g.NumEdges()),
+		AdjW:   make([]int64, 0, 2*g.NumEdges()),
+		NodeW:  append([]int64(nil), g.nodeWeights...),
+		EdgeWT: g.totalEdgeW,
+		NodeWT: g.totalNodeW,
+	}
+	for u := 0; u < n; u++ {
+		c.XAdj[u] = int32(len(c.Adj))
+		for _, h := range g.adj[u] {
+			c.Adj = append(c.Adj, h.To)
+			c.AdjW = append(c.AdjW, h.Weight)
+		}
+	}
+	c.XAdj[n] = int32(len(c.Adj))
+	return c
+}
+
+// NumNodes reports the number of nodes.
+func (c *CSR) NumNodes() int { return len(c.XAdj) - 1 }
+
+// NumEdges reports the number of undirected edges.
+func (c *CSR) NumEdges() int { return len(c.Adj) / 2 }
+
+// Row returns the neighbor ids and weights of node u as parallel slices.
+// The slices alias the CSR arrays and must not be mutated.
+func (c *CSR) Row(u Node) ([]Node, []int64) {
+	lo, hi := c.XAdj[u], c.XAdj[u+1]
+	return c.Adj[lo:hi], c.AdjW[lo:hi]
+}
+
+// Degree returns the number of neighbors of u.
+func (c *CSR) Degree(u Node) int { return int(c.XAdj[u+1] - c.XAdj[u]) }
+
+// WeightedDegree returns the total incident edge weight of u.
+func (c *CSR) WeightedDegree(u Node) int64 {
+	var s int64
+	lo, hi := c.XAdj[u], c.XAdj[u+1]
+	for i := lo; i < hi; i++ {
+		s += c.AdjW[i]
+	}
+	return s
+}
+
+// ToGraph reconstructs an adjacency-list Graph from the CSR.
+func (c *CSR) ToGraph() *Graph {
+	g := NewWithWeights(c.NodeW)
+	n := c.NumNodes()
+	for u := 0; u < n; u++ {
+		lo, hi := c.XAdj[u], c.XAdj[u+1]
+		for i := lo; i < hi; i++ {
+			if Node(u) < c.Adj[i] {
+				g.MustAddEdge(Node(u), c.Adj[i], c.AdjW[i])
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,247 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(6)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(3, 4, 1)
+	comp, k := g.ConnectedComponents()
+	if k != 3 {
+		t.Fatalf("components = %d, want 3", k)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatal("nodes 0,1,2 should share a component")
+	}
+	if comp[3] != comp[4] {
+		t.Fatal("nodes 3,4 should share a component")
+	}
+	if comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Fatal("node 5 should be isolated")
+	}
+	if g.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+}
+
+func TestIsConnectedTrivial(t *testing.T) {
+	if !New(0).IsConnected() {
+		t.Fatal("empty graph should count as connected")
+	}
+	if !New(1).IsConnected() {
+		t.Fatal("single node should count as connected")
+	}
+	g := New(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	if !g.IsConnected() {
+		t.Fatal("path should be connected")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := NewWithWeights([]int64{1, 2, 3, 4})
+	g.SetName(2, "keep")
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(1, 2, 20)
+	g.MustAddEdge(2, 3, 30)
+	g.MustAddEdge(0, 3, 40)
+	sub, remap := g.InducedSubgraph([]Node{1, 2, 3})
+	if sub.NumNodes() != 3 {
+		t.Fatalf("sub nodes = %d, want 3", sub.NumNodes())
+	}
+	if sub.NumEdges() != 2 {
+		t.Fatalf("sub edges = %d, want 2 ({1,2},{2,3})", sub.NumEdges())
+	}
+	if sub.EdgeWeight(remap[1], remap[2]) != 20 {
+		t.Fatal("edge {1,2} weight lost")
+	}
+	if sub.EdgeWeight(remap[2], remap[3]) != 30 {
+		t.Fatal("edge {2,3} weight lost")
+	}
+	if sub.NodeWeight(remap[3]) != 4 {
+		t.Fatal("node weight lost")
+	}
+	if sub.Name(remap[2]) != "keep" {
+		t.Fatal("name lost")
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestQuotientBasic(t *testing.T) {
+	// Square 0-1-2-3 with equal weights; blocks {0,1} and {2,3}.
+	g := NewWithWeights([]int64{1, 2, 3, 4})
+	g.MustAddEdge(0, 1, 5)  // intra block 0
+	g.MustAddEdge(1, 2, 7)  // cross
+	g.MustAddEdge(2, 3, 11) // intra block 1
+	g.MustAddEdge(3, 0, 13) // cross
+	q, err := g.Quotient([]int{0, 0, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumNodes() != 2 || q.NumEdges() != 1 {
+		t.Fatalf("quotient shape = %s", q)
+	}
+	if q.NodeWeight(0) != 3 || q.NodeWeight(1) != 7 {
+		t.Fatalf("quotient node weights = %d,%d want 3,7", q.NodeWeight(0), q.NodeWeight(1))
+	}
+	if q.EdgeWeight(0, 1) != 20 {
+		t.Fatalf("quotient edge weight = %d, want 20 (7+13)", q.EdgeWeight(0, 1))
+	}
+}
+
+func TestQuotientErrors(t *testing.T) {
+	g := New(3)
+	if _, err := g.Quotient([]int{0, 1}, 2); err == nil {
+		t.Fatal("short blocks accepted")
+	}
+	if _, err := g.Quotient([]int{0, 1, 5}, 2); err == nil {
+		t.Fatal("out-of-range block accepted")
+	}
+}
+
+func TestPermute(t *testing.T) {
+	g := NewWithWeights([]int64{10, 20, 30})
+	g.SetName(0, "zero")
+	g.MustAddEdge(0, 1, 7)
+	perm := []Node{2, 0, 1} // old 0 -> new 2, old 1 -> new 0, old 2 -> new 1
+	p, err := g.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NodeWeight(2) != 10 || p.NodeWeight(0) != 20 || p.NodeWeight(1) != 30 {
+		t.Fatal("permuted node weights wrong")
+	}
+	if p.EdgeWeight(2, 0) != 7 {
+		t.Fatal("permuted edge lost")
+	}
+	if p.Name(2) != "zero" {
+		t.Fatal("permuted name lost")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestPermuteRejectsNonBijection(t *testing.T) {
+	g := New(3)
+	if _, err := g.Permute([]Node{0, 0, 1}); err == nil {
+		t.Fatal("duplicate perm accepted")
+	}
+	if _, err := g.Permute([]Node{0, 1}); err == nil {
+		t.Fatal("short perm accepted")
+	}
+	if _, err := g.Permute([]Node{0, 1, 7}); err == nil {
+		t.Fatal("out-of-range perm accepted")
+	}
+}
+
+func TestBFSOrderCoversAllNodes(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	// 3, 4 disconnected
+	order := g.BFSOrder(1)
+	if len(order) != 5 {
+		t.Fatalf("BFS order covers %d nodes, want 5", len(order))
+	}
+	if order[0] != 1 {
+		t.Fatalf("BFS order starts at %d, want 1", order[0])
+	}
+	seen := make(map[Node]bool)
+	for _, u := range order {
+		if seen[u] {
+			t.Fatalf("node %d visited twice", u)
+		}
+		seen[u] = true
+	}
+}
+
+func TestPropertyQuotientPreservesTotals(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := randomGraph(rng, n, rng.Intn(100))
+		k := 1 + rng.Intn(n)
+		blocks := make([]int, n)
+		used := make(map[int]bool)
+		for i := range blocks {
+			blocks[i] = rng.Intn(k)
+			used[blocks[i]] = true
+		}
+		// Densify block ids so every id in [0,k') is used.
+		remap := make(map[int]int)
+		next := 0
+		for i := range blocks {
+			if _, ok := remap[blocks[i]]; !ok {
+				remap[blocks[i]] = next
+				next++
+			}
+			blocks[i] = remap[blocks[i]]
+		}
+		q, err := g.Quotient(blocks, next)
+		if err != nil {
+			return false
+		}
+		if q.TotalNodeWeight() != g.TotalNodeWeight() {
+			return false
+		}
+		// Edge weight of the quotient equals the total cut weight, which is
+		// at most the total edge weight.
+		if q.TotalEdgeWeight() > g.TotalEdgeWeight() {
+			return false
+		}
+		return q.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPermuteRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := randomGraph(rng, n, rng.Intn(60))
+		perm := make([]Node, n)
+		inv := make([]Node, n)
+		order := rng.Perm(n)
+		for i, p := range order {
+			perm[i] = Node(p)
+			inv[p] = Node(i)
+		}
+		p1, err := g.Permute(perm)
+		if err != nil {
+			return false
+		}
+		back, err := p1.Permute(inv)
+		if err != nil {
+			return false
+		}
+		ge, be := g.Edges(), back.Edges()
+		if len(ge) != len(be) {
+			return false
+		}
+		for i := range ge {
+			if ge[i] != be[i] {
+				return false
+			}
+		}
+		for u := 0; u < n; u++ {
+			if g.NodeWeight(Node(u)) != back.NodeWeight(Node(u)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeStats(t *testing.T) {
+	g := NewWithWeights([]int64{10, 20, 30, 40})
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(1, 2, 7)
+	g.MustAddEdge(2, 3, 11)
+	st := ComputeStats(g)
+	if st.Nodes != 4 || st.Edges != 3 {
+		t.Fatalf("counts: %+v", st)
+	}
+	if st.MinDegree != 1 || st.MaxDegree != 2 || st.MeanDegree != 1.5 {
+		t.Fatalf("degrees: %+v", st)
+	}
+	if st.Density != 2*3.0/(4*3) {
+		t.Fatalf("density = %v", st.Density)
+	}
+	if st.TotalNodeWeight != 100 || st.MaxNodeWeight != 40 || st.MedianNodeWeight != 30 {
+		t.Fatalf("node weights: %+v", st)
+	}
+	if st.TotalEdgeWeight != 23 || st.MaxEdgeWeight != 11 {
+		t.Fatalf("edge weights: %+v", st)
+	}
+	if st.Components != 1 {
+		t.Fatalf("components = %d", st.Components)
+	}
+	out := st.String()
+	for _, want := range []string{"nodes=4", "density=0.5000", "30 / 40"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestComputeStatsDegenerate(t *testing.T) {
+	empty := ComputeStats(New(0))
+	if empty.Nodes != 0 || empty.Components != 0 {
+		t.Fatalf("empty stats: %+v", empty)
+	}
+	single := ComputeStats(New(1))
+	if single.Components != 1 || single.Density != 0 {
+		t.Fatalf("single stats: %+v", single)
+	}
+	// Disconnected pieces counted.
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	if st := ComputeStats(g); st.Components != 3 {
+		t.Fatalf("components = %d, want 3", st.Components)
+	}
+}

@@ -1,0 +1,408 @@
+// Package initpart provides initial partitioning algorithms for the
+// coarsest graph of the multilevel hierarchy: the paper's greedy
+// resource-bounded graph growing with random restarts (§IV-B), plain
+// random partitioning, recursive FM-refined bisection (the METIS-style
+// seed), and spectral bisection via Laplacian power iteration (the
+// related-work comparator of §II-B).
+package initpart
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+	"ppnpart/internal/refine"
+)
+
+// Unassigned marks a node not yet placed by the greedy grower.
+const Unassigned = -1
+
+// GreedyOptions configures GreedyGrow.
+type GreedyOptions struct {
+	// K is the number of partitions. Required.
+	K int
+	// Rmax bounds the resource total of each partition during growth.
+	// <= 0 means grow toward balanced resources (total/K) instead.
+	Rmax int64
+	// Restarts repeats the whole process with randomly chosen seeds and
+	// keeps the best result (paper default: 10). The first attempt always
+	// seeds at the heaviest node, per the paper.
+	Restarts int
+	// Constraints are used to score candidates across restarts.
+	Constraints metrics.Constraints
+}
+
+func (o GreedyOptions) withDefaults() GreedyOptions {
+	if o.Restarts <= 0 {
+		o.Restarts = 10
+	}
+	return o
+}
+
+// GreedyGrow implements the paper's initial partitioning: start from the
+// heaviest node, grow the first partition by absorbing neighbors while
+// Rmax permits, then grow the remaining partitions the same way; place
+// leftovers best-fit by free space, force-place if nothing fits, then run
+// an FM-based bandwidth repair. The whole procedure is repeated Restarts
+// times with random seeds and the goodness-best assignment wins.
+func GreedyGrow(g *graph.Graph, opts GreedyOptions, rng *rand.Rand) ([]int, error) {
+	opts = opts.withDefaults()
+	n := g.NumNodes()
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("initpart: K = %d must be positive", opts.K)
+	}
+	if n < opts.K {
+		return nil, fmt.Errorf("initpart: cannot split %d nodes into %d parts", n, opts.K)
+	}
+	rmax := opts.Rmax
+	if rmax <= 0 {
+		// Resource-balanced growth target, with 10% slack so the last
+		// partition is not starved by rounding.
+		rmax = g.TotalNodeWeight()/int64(opts.K) + g.MaxNodeWeight()
+	}
+	var best []int
+	bestScore := 0.0
+	for attempt := 0; attempt < opts.Restarts; attempt++ {
+		var seed graph.Node
+		if attempt == 0 {
+			seed = g.HeaviestNode()
+		} else {
+			seed = graph.Node(rng.Intn(n))
+		}
+		parts := growOnce(g, opts.K, rmax, seed, rng)
+		refine.RepairBandwidth(g, parts, opts.K, opts.Constraints, 4)
+		score := metrics.Goodness(g, parts, opts.K, opts.Constraints)
+		if best == nil || score < bestScore {
+			best = parts
+			bestScore = score
+		}
+	}
+	return best, nil
+}
+
+// growOnce performs a single greedy growth from the given seed.
+func growOnce(g *graph.Graph, k int, rmax int64, seed graph.Node, rng *rand.Rand) []int {
+	n := g.NumNodes()
+	parts := make([]int, n)
+	for i := range parts {
+		parts[i] = Unassigned
+	}
+	res := make([]int64, k)
+	assigned := 0
+
+	// grow fills part p starting from node s via weighted-degree-greedy
+	// BFS, stopping at the resource bound.
+	grow := func(p int, s graph.Node) {
+		if parts[s] != Unassigned {
+			return
+		}
+		parts[s] = p
+		res[p] += g.NodeWeight(s)
+		assigned++
+		// Frontier: unassigned neighbors, expanded by strongest connection
+		// to the growing part first (keeps FIFO traffic internal).
+		frontier := newFrontier()
+		push := func(u graph.Node) {
+			for _, h := range g.Neighbors(u) {
+				if parts[h.To] == Unassigned {
+					frontier.add(h.To, h.Weight)
+				}
+			}
+		}
+		push(s)
+		for frontier.len() > 0 {
+			u := frontier.popMax()
+			if parts[u] != Unassigned {
+				continue
+			}
+			w := g.NodeWeight(u)
+			if res[p]+w > rmax {
+				continue // try other frontier nodes; some may be lighter
+			}
+			parts[u] = p
+			res[p] += w
+			assigned++
+			push(u)
+		}
+	}
+
+	grow(0, seed)
+	for p := 1; p < k; p++ {
+		// Seed each next partition at the heaviest unassigned node
+		// (paper: "we apply the same for the other partitions").
+		s := heaviestUnassigned(g, parts)
+		if s < 0 {
+			break
+		}
+		grow(p, s)
+	}
+
+	// Leftovers: best-fit by free space (paper: "the first partition which
+	// has biggest free space for that node").
+	if assigned < n {
+		order := unassignedByWeightDesc(g, parts)
+		for _, u := range order {
+			w := g.NodeWeight(u)
+			bestP := -1
+			var bestFree int64
+			for p := 0; p < k; p++ {
+				free := rmax - res[p]
+				if free >= w && (bestP < 0 || free > bestFree) {
+					bestP = p
+					bestFree = free
+				}
+			}
+			if bestP >= 0 {
+				parts[u] = bestP
+				res[bestP] += w
+				assigned++
+			}
+		}
+	}
+	// Forced placement: biggest free space even if Rmax is violated
+	// (paper: "even though this implies violating the Rmax constraint").
+	if assigned < n {
+		for u := 0; u < n; u++ {
+			if parts[u] != Unassigned {
+				continue
+			}
+			bestP := 0
+			var bestFree int64 = rmax - res[0]
+			for p := 1; p < k; p++ {
+				if free := rmax - res[p]; free > bestFree {
+					bestP = p
+					bestFree = free
+				}
+			}
+			parts[u] = bestP
+			res[bestP] += g.NodeWeight(graph.Node(u))
+			assigned++
+		}
+	}
+	// Guarantee every part is non-empty: steal the lightest node from the
+	// largest part for any empty part (k <= n guarantees feasibility).
+	fixEmptyParts(g, parts, k, rng)
+	return parts
+}
+
+// heaviestUnassigned returns the heaviest node not yet placed, or -1.
+func heaviestUnassigned(g *graph.Graph, parts []int) graph.Node {
+	best := graph.Node(-1)
+	var bw int64 = -1
+	for u := 0; u < g.NumNodes(); u++ {
+		if parts[u] == Unassigned && g.NodeWeight(graph.Node(u)) > bw {
+			best = graph.Node(u)
+			bw = g.NodeWeight(graph.Node(u))
+		}
+	}
+	return best
+}
+
+// unassignedByWeightDesc lists unplaced nodes heaviest-first.
+func unassignedByWeightDesc(g *graph.Graph, parts []int) []graph.Node {
+	var out []graph.Node
+	for u := 0; u < g.NumNodes(); u++ {
+		if parts[u] == Unassigned {
+			out = append(out, graph.Node(u))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		wi, wj := g.NodeWeight(out[i]), g.NodeWeight(out[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// fixEmptyParts ensures every part id in [0,k) owns at least one node.
+func fixEmptyParts(g *graph.Graph, parts []int, k int, rng *rand.Rand) {
+	sizes := metrics.PartSizes(parts, k)
+	for p := 0; p < k; p++ {
+		if sizes[p] > 0 {
+			continue
+		}
+		// Donate the lightest node from the most populous part.
+		donor := 0
+		for q := 1; q < k; q++ {
+			if sizes[q] > sizes[donor] {
+				donor = q
+			}
+		}
+		best := graph.Node(-1)
+		var bw int64
+		for u := 0; u < g.NumNodes(); u++ {
+			if parts[u] == donor {
+				w := g.NodeWeight(graph.Node(u))
+				if best < 0 || w < bw {
+					best = graph.Node(u)
+					bw = w
+				}
+			}
+		}
+		if best >= 0 {
+			parts[best] = p
+			sizes[donor]--
+			sizes[p]++
+		}
+	}
+}
+
+// frontier is a max-priority frontier keyed by connection weight; repeated
+// adds accumulate weight, mirroring "most connected first" growth.
+type frontier struct {
+	weight map[graph.Node]int64
+}
+
+func newFrontier() *frontier {
+	return &frontier{weight: make(map[graph.Node]int64)}
+}
+
+func (f *frontier) add(u graph.Node, w int64) { f.weight[u] += w }
+
+func (f *frontier) len() int { return len(f.weight) }
+
+// popMax removes and returns the strongest-connected node (ties: lowest
+// id, keeping the growth deterministic).
+func (f *frontier) popMax() graph.Node {
+	best := graph.Node(-1)
+	var bw int64 = -1
+	for u, w := range f.weight {
+		if w > bw || (w == bw && u < best) {
+			best, bw = u, w
+		}
+	}
+	delete(f.weight, best)
+	return best
+}
+
+// RandomPartition assigns every node uniformly at random, then repairs
+// empty parts. The simplest seeding; used by the cyclic re-partitioning
+// step of the paper's un-coarsening phase ("we go back to coarsening
+// phase and then partitioning phase (randomly), cyclically").
+func RandomPartition(g *graph.Graph, k int, rng *rand.Rand) ([]int, error) {
+	n := g.NumNodes()
+	if k <= 0 {
+		return nil, fmt.Errorf("initpart: K = %d must be positive", k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("initpart: cannot split %d nodes into %d parts", n, k)
+	}
+	parts := make([]int, n)
+	for i := range parts {
+		parts[i] = rng.Intn(k)
+	}
+	fixEmptyParts(g, parts, k, rng)
+	return parts, nil
+}
+
+// RecursiveBisect produces a k-way partition by recursive FM-refined
+// bisection — the METIS-style initial partitioner. Parts are balanced by
+// resources. k need not be a power of two: each split allocates part ids
+// proportionally.
+func RecursiveBisect(g *graph.Graph, k int, rng *rand.Rand) ([]int, error) {
+	n := g.NumNodes()
+	if k <= 0 {
+		return nil, fmt.Errorf("initpart: K = %d must be positive", k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("initpart: cannot split %d nodes into %d parts", n, k)
+	}
+	parts := make([]int, n)
+	nodes := make([]graph.Node, n)
+	for i := range nodes {
+		nodes[i] = graph.Node(i)
+	}
+	recursiveBisect(g, nodes, 0, k, parts, rng)
+	fixEmptyParts(g, parts, k, rng)
+	rebalanceToIdeal(g, parts, k)
+	return parts, nil
+}
+
+// rebalanceToIdeal drives every part under ideal-share-plus-one-node,
+// the balance a k-way seeder is expected to deliver.
+func rebalanceToIdeal(g *graph.Graph, parts []int, k int) {
+	bound := g.TotalNodeWeight()/int64(k) + g.MaxNodeWeight()
+	refine.RebalanceResources(g, parts, k, bound, 8)
+}
+
+// recursiveBisect splits the node set into kLeft+kRight shares and
+// recurses; base case assigns the whole set to one part id.
+func recursiveBisect(g *graph.Graph, nodes []graph.Node, firstPart, k int, parts []int, rng *rand.Rand) {
+	if k == 1 {
+		for _, u := range nodes {
+			parts[u] = firstPart
+		}
+		return
+	}
+	kLeft := k / 2
+	kRight := k - kLeft
+	sub, _ := g.InducedSubgraph(nodes)
+	// Target share of resources proportional to part counts.
+	total := sub.TotalNodeWeight()
+	targetLeft := total * int64(kLeft) / int64(k)
+	bi := growBisection(sub, targetLeft, rng)
+	// Refine with FM under a resource bound with slack.
+	slack := sub.MaxNodeWeight()
+	bound := maxI64(targetLeft, total-targetLeft) + slack
+	refine.FMBisect(sub, bi, bound, 6)
+	var left, right []graph.Node
+	for i, u := range nodes {
+		if bi[i] == 0 {
+			left = append(left, u)
+		} else {
+			right = append(right, u)
+		}
+	}
+	// Degenerate splits: force at least kLeft nodes left, kRight right.
+	for len(left) < kLeft && len(right) > kRight {
+		left = append(left, right[len(right)-1])
+		right = right[:len(right)-1]
+	}
+	for len(right) < kRight && len(left) > kLeft {
+		right = append(right, left[len(left)-1])
+		left = left[:len(left)-1]
+	}
+	recursiveBisect(g, left, firstPart, kLeft, parts, rng)
+	recursiveBisect(g, right, firstPart+kLeft, kRight, parts, rng)
+}
+
+// growBisection seeds side 0 from a random node and BFS-grows it until the
+// resource target is reached; remainder is side 1.
+func growBisection(g *graph.Graph, targetLeft int64, rng *rand.Rand) []int {
+	n := g.NumNodes()
+	parts := make([]int, n)
+	for i := range parts {
+		parts[i] = 1
+	}
+	if n == 0 {
+		return parts
+	}
+	start := graph.Node(rng.Intn(n))
+	order := g.BFSOrder(start)
+	var acc int64
+	placed := 0
+	for _, u := range order {
+		if placed > 0 && acc >= targetLeft {
+			break
+		}
+		parts[u] = 0
+		acc += g.NodeWeight(u)
+		placed++
+	}
+	// Both sides must be non-empty.
+	if placed == n {
+		parts[order[n-1]] = 1
+	}
+	return parts
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,53 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppnpart/internal/graph"
+)
+
+func benchGraph(n int) *graph.Graph {
+	rng := rand.New(rand.NewSource(1))
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = int64(1 + rng.Intn(100))
+	}
+	g := graph.NewWithWeights(w)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(graph.Node(i-1), graph.Node(i), int64(1+rng.Intn(20)))
+	}
+	for i := 0; i < 3*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.MustAddEdge(graph.Node(u), graph.Node(v), int64(1+rng.Intn(20)))
+		}
+	}
+	return g
+}
+
+func BenchmarkRandomMatching(b *testing.B) {
+	g := benchGraph(10000)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Random(g, rng)
+	}
+}
+
+func BenchmarkHeavyEdgeMatching(b *testing.B) {
+	g := benchGraph(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = HeavyEdge(g)
+	}
+}
+
+func BenchmarkKMeansMatching(b *testing.B) {
+	g := benchGraph(10000)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = KMeans(g, 4, rng)
+	}
+}

@@ -1,0 +1,299 @@
+// Package match implements the three matching heuristics the paper's
+// coarsening phase runs in competition (§IV-A): Random Maximal Matching,
+// Heavy-Edge Matching, and K-Means Matching. A matching pairs up adjacent
+// nodes; the coarsener contracts every matched pair into one coarse node.
+package match
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ppnpart/internal/graph"
+)
+
+// Unmatched marks a node left single by a matching.
+const Unmatched graph.Node = -1
+
+// Matching maps each node to its partner, or Unmatched. A valid matching
+// is symmetric (m[u]==v ⇒ m[v]==u), irreflexive, and only pairs adjacent
+// nodes.
+type Matching []graph.Node
+
+// NewMatching returns an all-unmatched matching over n nodes.
+func NewMatching(n int) Matching {
+	m := make(Matching, n)
+	for i := range m {
+		m[i] = Unmatched
+	}
+	return m
+}
+
+// Pairs returns the number of matched pairs.
+func (m Matching) Pairs() int {
+	c := 0
+	for u, v := range m {
+		if v != Unmatched && graph.Node(u) < v {
+			c++
+		}
+	}
+	return c
+}
+
+// Validate checks the matching invariants against g.
+func (m Matching) Validate(g *graph.Graph) error {
+	if len(m) != g.NumNodes() {
+		return fmt.Errorf("match: length %d != nodes %d", len(m), g.NumNodes())
+	}
+	for u, v := range m {
+		if v == Unmatched {
+			continue
+		}
+		if v == graph.Node(u) {
+			return fmt.Errorf("match: node %d matched to itself", u)
+		}
+		if int(v) < 0 || int(v) >= len(m) {
+			return fmt.Errorf("match: node %d matched to out-of-range %d", u, v)
+		}
+		if m[v] != graph.Node(u) {
+			return fmt.Errorf("match: asymmetric pair (%d,%d)", u, v)
+		}
+		if !g.HasEdge(graph.Node(u), v) {
+			return fmt.Errorf("match: pair (%d,%d) not adjacent", u, v)
+		}
+	}
+	return nil
+}
+
+// MatchedWeight returns the total weight of matched edges — the weight
+// that contraction removes from the graph. Heavier is generally better:
+// hidden intra-pair traffic can never be cut.
+func (m Matching) MatchedWeight(g *graph.Graph) int64 {
+	var s int64
+	for u, v := range m {
+		if v != Unmatched && graph.Node(u) < v {
+			s += g.EdgeWeight(graph.Node(u), v)
+		}
+	}
+	return s
+}
+
+// Random computes a Random Maximal Matching: nodes are visited in random
+// order; each unmatched node grabs a random unmatched neighbor. The result
+// is maximal: no edge has both endpoints unmatched.
+func Random(g *graph.Graph, rng *rand.Rand) Matching {
+	n := g.NumNodes()
+	m := NewMatching(n)
+	order := rng.Perm(n)
+	var cand []graph.Node
+	for _, ui := range order {
+		u := graph.Node(ui)
+		if m[u] != Unmatched {
+			continue
+		}
+		cand = cand[:0]
+		for _, h := range g.Neighbors(u) {
+			if m[h.To] == Unmatched {
+				cand = append(cand, h.To)
+			}
+		}
+		if len(cand) == 0 {
+			continue
+		}
+		v := cand[rng.Intn(len(cand))]
+		m[u], m[v] = v, u
+	}
+	return m
+}
+
+// HeavyEdge computes a Heavy-Edge Matching: edges are visited in
+// descending weight order (ties broken by endpoint ids for determinism)
+// and selected when both endpoints are free. This is the matching that
+// most reduces the exposed edge weight, per Karypis–Kumar.
+func HeavyEdge(g *graph.Graph) Matching {
+	edges := g.Edges()
+	sort.SliceStable(edges, func(i, j int) bool {
+		if edges[i].Weight != edges[j].Weight {
+			return edges[i].Weight > edges[j].Weight
+		}
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	m := NewMatching(g.NumNodes())
+	for _, e := range edges {
+		if m[e.U] == Unmatched && m[e.V] == Unmatched {
+			m[e.U], m[e.V] = e.V, e.U
+		}
+	}
+	return m
+}
+
+// KMeans computes the paper's K-Means Matching: nodes are clustered by
+// node weight into nClusters groups (1-D k-means on the weight axis), and
+// matching is attempted preferentially inside a cluster — pairing
+// similar-weight processes keeps coarse node weights homogeneous, which
+// eases the resource-balancing of the initial partitioner. Nodes whose
+// cluster offers no free adjacent partner fall back to any free neighbor
+// so the matching stays maximal.
+func KMeans(g *graph.Graph, nClusters int, rng *rand.Rand) Matching {
+	n := g.NumNodes()
+	m := NewMatching(n)
+	if n == 0 {
+		return m
+	}
+	if nClusters < 1 {
+		nClusters = 1
+	}
+	if nClusters > n {
+		nClusters = n
+	}
+	cluster := kmeans1D(g, nClusters)
+
+	order := rng.Perm(n)
+	var sameCluster, other []graph.Node
+	for _, ui := range order {
+		u := graph.Node(ui)
+		if m[u] != Unmatched {
+			continue
+		}
+		sameCluster = sameCluster[:0]
+		other = other[:0]
+		for _, h := range g.Neighbors(u) {
+			if m[h.To] != Unmatched {
+				continue
+			}
+			if cluster[h.To] == cluster[u] {
+				sameCluster = append(sameCluster, h.To)
+			} else {
+				other = append(other, h.To)
+			}
+		}
+		var v graph.Node
+		switch {
+		case len(sameCluster) > 0:
+			v = sameCluster[rng.Intn(len(sameCluster))]
+		case len(other) > 0:
+			v = other[rng.Intn(len(other))]
+		default:
+			continue
+		}
+		m[u], m[v] = v, u
+	}
+	return m
+}
+
+// kmeans1D clusters node weights with Lloyd's algorithm on one dimension.
+// Deterministic; always returns cluster ids in [0, k).
+func kmeans1D(g *graph.Graph, k int) []int {
+	n := g.NumNodes()
+	cluster := make([]int, n)
+	if k == 1 || n <= k {
+		for i := range cluster {
+			if n <= k {
+				cluster[i] = i % k
+			}
+		}
+		return cluster
+	}
+	// Initialize centroids at evenly spaced quantiles of the sorted
+	// weights — deterministic and robust; rng only breaks exact ties.
+	ws := make([]float64, n)
+	for u := 0; u < n; u++ {
+		ws[u] = float64(g.NodeWeight(graph.Node(u)))
+	}
+	sorted := append([]float64(nil), ws...)
+	sort.Float64s(sorted)
+	centroids := make([]float64, k)
+	for i := range centroids {
+		centroids[i] = sorted[(i*(n-1))/(k-1)]
+	}
+	for iter := 0; iter < 30; iter++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			best, bestD := 0, absF(ws[u]-centroids[0])
+			for c := 1; c < k; c++ {
+				d := absF(ws[u] - centroids[c])
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if cluster[u] != best {
+				cluster[u] = best
+				changed = true
+			}
+		}
+		sum := make([]float64, k)
+		cnt := make([]int, k)
+		for u := 0; u < n; u++ {
+			sum[cluster[u]] += ws[u]
+			cnt[cluster[u]]++
+		}
+		for c := 0; c < k; c++ {
+			if cnt[c] > 0 {
+				centroids[c] = sum[c] / float64(cnt[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return cluster
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Heuristic names the matching strategies for options and reports.
+type Heuristic int
+
+const (
+	// HeuristicRandom is Random Maximal Matching.
+	HeuristicRandom Heuristic = iota
+	// HeuristicHeavyEdge is Heavy-Edge Matching.
+	HeuristicHeavyEdge
+	// HeuristicKMeans is K-Means (weight-clustered) Matching.
+	HeuristicKMeans
+)
+
+// String returns the heuristic's name.
+func (h Heuristic) String() string {
+	switch h {
+	case HeuristicRandom:
+		return "random"
+	case HeuristicHeavyEdge:
+		return "heavy-edge"
+	case HeuristicKMeans:
+		return "k-means"
+	default:
+		return fmt.Sprintf("heuristic(%d)", int(h))
+	}
+}
+
+// Compute runs the named heuristic. kClusters is only used by KMeans; a
+// value <= 0 defaults to 4 weight clusters.
+func Compute(h Heuristic, g *graph.Graph, kClusters int, rng *rand.Rand) Matching {
+	switch h {
+	case HeuristicRandom:
+		return Random(g, rng)
+	case HeuristicHeavyEdge:
+		return HeavyEdge(g)
+	case HeuristicKMeans:
+		if kClusters <= 0 {
+			kClusters = 4
+		}
+		return KMeans(g, kClusters, rng)
+	default:
+		panic(fmt.Sprintf("match: unknown heuristic %d", int(h)))
+	}
+}
+
+// All lists every heuristic, in the order the paper names them.
+func All() []Heuristic {
+	return []Heuristic{HeuristicRandom, HeuristicHeavyEdge, HeuristicKMeans}
+}

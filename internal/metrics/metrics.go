@@ -1,0 +1,245 @@
+// Package metrics computes the quantities the paper's evaluation reports:
+// the global edge cut, the pairwise ("local") bandwidth matrix, the maximum
+// local bandwidth, per-partition resource totals, the maximum resource
+// allocation, balance factors, and the goodness function GP uses to rank
+// intermediate clusterings.
+//
+// Throughout, a partition is an assignment vector parts[u] ∈ [0, K) over
+// the nodes of a graph.
+package metrics
+
+import (
+	"fmt"
+
+	"ppnpart/internal/graph"
+)
+
+// Validate checks that parts is a well-formed assignment of every node of g
+// into [0, k).
+func Validate(g *graph.Graph, parts []int, k int) error {
+	if len(parts) != g.NumNodes() {
+		return fmt.Errorf("metrics: assignment length %d != nodes %d", len(parts), g.NumNodes())
+	}
+	if k <= 0 {
+		return fmt.Errorf("metrics: k = %d must be positive", k)
+	}
+	for u, p := range parts {
+		if p < 0 || p >= k {
+			return fmt.Errorf("metrics: node %d assigned to part %d outside [0,%d)", u, p, k)
+		}
+	}
+	return nil
+}
+
+// EdgeCut returns the total weight of edges whose endpoints lie in
+// different parts (the paper's "Global Edge Cut Sum").
+func EdgeCut(g *graph.Graph, parts []int) int64 {
+	var cut int64
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, h := range g.Neighbors(graph.Node(u)) {
+			if graph.Node(u) < h.To && parts[u] != parts[h.To] {
+				cut += h.Weight
+			}
+		}
+	}
+	return cut
+}
+
+// BandwidthMatrix returns the K×K symmetric matrix whose (i,j) entry is the
+// total weight of edges between part i and part j — the sustained traffic
+// each pair of FPGAs must carry. The diagonal is zero.
+func BandwidthMatrix(g *graph.Graph, parts []int, k int) [][]int64 {
+	m := make([][]int64, k)
+	for i := range m {
+		m[i] = make([]int64, k)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		pu := parts[u]
+		for _, h := range g.Neighbors(graph.Node(u)) {
+			if graph.Node(u) >= h.To {
+				continue
+			}
+			pv := parts[h.To]
+			if pu != pv {
+				m[pu][pv] += h.Weight
+				m[pv][pu] += h.Weight
+			}
+		}
+	}
+	return m
+}
+
+// MaxLocalBandwidth returns the largest entry of the bandwidth matrix —
+// the paper's "Maximum Local bandwidth" column.
+func MaxLocalBandwidth(g *graph.Graph, parts []int, k int) int64 {
+	m := BandwidthMatrix(g, parts, k)
+	var best int64
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if m[i][j] > best {
+				best = m[i][j]
+			}
+		}
+	}
+	return best
+}
+
+// PartResources returns the total node weight (resource consumption) of
+// each part.
+func PartResources(g *graph.Graph, parts []int, k int) []int64 {
+	r := make([]int64, k)
+	for u := 0; u < g.NumNodes(); u++ {
+		r[parts[u]] += g.NodeWeight(graph.Node(u))
+	}
+	return r
+}
+
+// MaxResource returns the largest per-part resource total — the paper's
+// "Maximum Resource Allocation" column.
+func MaxResource(g *graph.Graph, parts []int, k int) int64 {
+	var best int64
+	for _, r := range PartResources(g, parts, k) {
+		if r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+// Imbalance returns max_i(resource_i) / (total/K) — 1.0 means perfectly
+// balanced. Returns 0 for an empty graph.
+func Imbalance(g *graph.Graph, parts []int, k int) float64 {
+	total := g.TotalNodeWeight()
+	if total == 0 {
+		return 0
+	}
+	ideal := float64(total) / float64(k)
+	return float64(MaxResource(g, parts, k)) / ideal
+}
+
+// PartSizes returns the number of nodes in each part.
+func PartSizes(parts []int, k int) []int {
+	s := make([]int, k)
+	for _, p := range parts {
+		s[p]++
+	}
+	return s
+}
+
+// Constraints captures the paper's two mapping constraints.
+type Constraints struct {
+	// Bmax bounds the bandwidth between every pair of partitions
+	// (inter-FPGA link capacity). Zero or negative means unconstrained.
+	Bmax int64
+	// Rmax bounds the resource total of every partition (FPGA capacity).
+	// Zero or negative means unconstrained.
+	Rmax int64
+}
+
+// Unconstrained reports whether neither bound is active.
+func (c Constraints) Unconstrained() bool { return c.Bmax <= 0 && c.Rmax <= 0 }
+
+// Violation describes one violated constraint instance.
+type Violation struct {
+	// Kind is "bandwidth" or "resource".
+	Kind string
+	// PartA, PartB identify the offending pair for bandwidth violations;
+	// for resource violations PartA is the offending part and PartB is -1.
+	PartA, PartB int
+	// Value is the measured quantity, Limit the bound it exceeds.
+	Value, Limit int64
+}
+
+func (v Violation) String() string {
+	if v.Kind == "bandwidth" {
+		return fmt.Sprintf("bandwidth(%d,%d)=%d > Bmax=%d", v.PartA, v.PartB, v.Value, v.Limit)
+	}
+	return fmt.Sprintf("resource(%d)=%d > Rmax=%d", v.PartA, v.Value, v.Limit)
+}
+
+// CheckConstraints returns every violated constraint instance (empty slice
+// means the partition is feasible).
+func CheckConstraints(g *graph.Graph, parts []int, k int, c Constraints) []Violation {
+	var out []Violation
+	if c.Bmax > 0 {
+		m := BandwidthMatrix(g, parts, k)
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				if m[i][j] > c.Bmax {
+					out = append(out, Violation{Kind: "bandwidth", PartA: i, PartB: j, Value: m[i][j], Limit: c.Bmax})
+				}
+			}
+		}
+	}
+	if c.Rmax > 0 {
+		for i, r := range PartResources(g, parts, k) {
+			if r > c.Rmax {
+				out = append(out, Violation{Kind: "resource", PartA: i, PartB: -1, Value: r, Limit: c.Rmax})
+			}
+		}
+	}
+	return out
+}
+
+// Feasible reports whether the partition satisfies both constraints.
+func Feasible(g *graph.Graph, parts []int, k int, c Constraints) bool {
+	return len(CheckConstraints(g, parts, k, c)) == 0
+}
+
+// Goodness scores a candidate partition: lower is better. Feasible
+// partitions score as their edge cut; infeasible ones score as a large
+// penalty proportional to the total constraint excess, so that the search
+// (a) always prefers any feasible partition over any infeasible one, and
+// (b) among infeasible ones prefers the one "nearest to meeting the
+// constraints" — exactly the a-posteriori comparison of intermediate
+// clusterings described in §IV of the paper.
+func Goodness(g *graph.Graph, parts []int, k int, c Constraints) float64 {
+	cut := EdgeCut(g, parts)
+	var excess int64
+	for _, v := range CheckConstraints(g, parts, k, c) {
+		excess += v.Value - v.Limit
+	}
+	if excess == 0 {
+		return float64(cut)
+	}
+	// Any infeasible candidate must rank strictly worse than any feasible
+	// one: the penalty base exceeds the largest possible cut.
+	base := float64(g.TotalEdgeWeight() + 1)
+	return base + float64(excess)*base + float64(cut)
+}
+
+// Report is a complete evaluation of a partition — the four columns of the
+// paper's tables plus feasibility detail.
+type Report struct {
+	K                 int
+	EdgeCut           int64
+	MaxLocalBandwidth int64
+	MaxResource       int64
+	PartResources     []int64
+	PartSizes         []int
+	Imbalance         float64
+	Violations        []Violation
+	Feasible          bool
+}
+
+// Evaluate builds a Report for the given partition under the constraints.
+func Evaluate(g *graph.Graph, parts []int, k int, c Constraints) Report {
+	viol := CheckConstraints(g, parts, k, c)
+	return Report{
+		K:                 k,
+		EdgeCut:           EdgeCut(g, parts),
+		MaxLocalBandwidth: MaxLocalBandwidth(g, parts, k),
+		MaxResource:       MaxResource(g, parts, k),
+		PartResources:     PartResources(g, parts, k),
+		PartSizes:         PartSizes(parts, k),
+		Imbalance:         Imbalance(g, parts, k),
+		Violations:        viol,
+		Feasible:          len(viol) == 0,
+	}
+}
+
+// String renders the report in the layout of the paper's tables.
+func (r Report) String() string {
+	return fmt.Sprintf("cut=%d maxLocalBW=%d maxRes=%d imbalance=%.3f feasible=%v",
+		r.EdgeCut, r.MaxLocalBandwidth, r.MaxResource, r.Imbalance, r.Feasible)
+}

@@ -1,0 +1,108 @@
+package metrics
+
+import "fmt"
+
+// Multi-resource support: the paper restricts itself to a single resource
+// ("only one resource is considered at this time, for example LUTs", §V)
+// and names lifting that as implicit future work. Real FPGAs budget LUTs,
+// BRAM blocks and DSP slices independently; a partition can balance LUTs
+// perfectly while double-booking BRAM. This file extends the constraint
+// model to resource vectors: node u consumes Vectors[u][d] of resource
+// kind d, and every partition must fit under Rmax[d] for every kind.
+
+// VectorConstraints bounds every resource kind per partition.
+type VectorConstraints struct {
+	// Rmax[d] is the per-partition capacity of resource kind d; a
+	// non-positive entry disables that kind's bound.
+	Rmax []int64
+}
+
+// Active reports whether any kind is bounded.
+func (vc VectorConstraints) Active() bool {
+	for _, r := range vc.Rmax {
+		if r > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidateVectors checks that the vector table is rectangular, matches
+// the node count, and has no negative entries.
+func ValidateVectors(vectors [][]int64, n int) error {
+	if len(vectors) != n {
+		return fmt.Errorf("metrics: vector table has %d rows, want %d", len(vectors), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	d := len(vectors[0])
+	for u, row := range vectors {
+		if len(row) != d {
+			return fmt.Errorf("metrics: vector row %d has %d kinds, want %d", u, len(row), d)
+		}
+		for k, v := range row {
+			if v < 0 {
+				return fmt.Errorf("metrics: node %d has negative resource[%d] = %d", u, k, v)
+			}
+		}
+	}
+	return nil
+}
+
+// PartResourceVectors sums each partition's consumption per kind:
+// result[p][d].
+func PartResourceVectors(vectors [][]int64, parts []int, k int) [][]int64 {
+	var d int
+	if len(vectors) > 0 {
+		d = len(vectors[0])
+	}
+	out := make([][]int64, k)
+	for p := range out {
+		out[p] = make([]int64, d)
+	}
+	for u, row := range vectors {
+		pr := out[parts[u]]
+		for kind, v := range row {
+			pr[kind] += v
+		}
+	}
+	return out
+}
+
+// CheckVector returns one Violation per (partition, kind) pair exceeding
+// its bound; Kind is "resource[d]".
+func CheckVector(vectors [][]int64, parts []int, k int, vc VectorConstraints) []Violation {
+	if !vc.Active() {
+		return nil
+	}
+	totals := PartResourceVectors(vectors, parts, k)
+	var out []Violation
+	for p, row := range totals {
+		for d, v := range row {
+			if d < len(vc.Rmax) && vc.Rmax[d] > 0 && v > vc.Rmax[d] {
+				out = append(out, Violation{
+					Kind:  fmt.Sprintf("resource[%d]", d),
+					PartA: p, PartB: -1,
+					Value: v, Limit: vc.Rmax[d],
+				})
+			}
+		}
+	}
+	return out
+}
+
+// VectorFeasible reports whether every partition fits every kind.
+func VectorFeasible(vectors [][]int64, parts []int, k int, vc VectorConstraints) bool {
+	return len(CheckVector(vectors, parts, k, vc)) == 0
+}
+
+// VectorExcess sums the per-kind overflow across partitions — the
+// quantity the extended goodness function penalizes.
+func VectorExcess(vectors [][]int64, parts []int, k int, vc VectorConstraints) int64 {
+	var e int64
+	for _, v := range CheckVector(vectors, parts, k, vc) {
+		e += v.Value - v.Limit
+	}
+	return e
+}

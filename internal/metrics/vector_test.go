@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateVectors(t *testing.T) {
+	if err := ValidateVectors([][]int64{{1, 2}, {3, 4}}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateVectors(nil, 0); err != nil {
+		t.Fatal("empty table for empty graph rejected")
+	}
+	if err := ValidateVectors([][]int64{{1}}, 2); err == nil {
+		t.Fatal("short table accepted")
+	}
+	if err := ValidateVectors([][]int64{{1, 2}, {3}}, 2); err == nil {
+		t.Fatal("ragged table accepted")
+	}
+	if err := ValidateVectors([][]int64{{1, -2}}, 1); err == nil {
+		t.Fatal("negative entry accepted")
+	}
+}
+
+func TestPartResourceVectors(t *testing.T) {
+	vecs := [][]int64{
+		{10, 1}, // node 0: 10 LUT, 1 BRAM
+		{20, 0},
+		{5, 3},
+		{1, 1},
+	}
+	parts := []int{0, 0, 1, 1}
+	totals := PartResourceVectors(vecs, parts, 2)
+	if totals[0][0] != 30 || totals[0][1] != 1 {
+		t.Fatalf("part 0 totals = %v", totals[0])
+	}
+	if totals[1][0] != 6 || totals[1][1] != 4 {
+		t.Fatalf("part 1 totals = %v", totals[1])
+	}
+}
+
+func TestCheckVectorAndFeasible(t *testing.T) {
+	vecs := [][]int64{{10, 1}, {20, 0}, {5, 3}, {1, 1}}
+	parts := []int{0, 0, 1, 1}
+	vc := VectorConstraints{Rmax: []int64{25, 3}}
+	viol := CheckVector(vecs, parts, 2, vc)
+	// Part 0 LUT 30 > 25; part 1 BRAM 4 > 3.
+	if len(viol) != 2 {
+		t.Fatalf("violations = %v", viol)
+	}
+	if !strings.Contains(viol[0].Kind, "resource[") {
+		t.Fatalf("kind = %q", viol[0].Kind)
+	}
+	if VectorFeasible(vecs, parts, 2, vc) {
+		t.Fatal("infeasible reported feasible")
+	}
+	if VectorExcess(vecs, parts, 2, vc) != (30-25)+(4-3) {
+		t.Fatalf("excess = %d", VectorExcess(vecs, parts, 2, vc))
+	}
+	// Loose bounds: feasible.
+	loose := VectorConstraints{Rmax: []int64{100, 100}}
+	if !VectorFeasible(vecs, parts, 2, loose) {
+		t.Fatal("loose bounds infeasible")
+	}
+	// Disabled kind (0) never violates.
+	partial := VectorConstraints{Rmax: []int64{0, 3}}
+	viol = CheckVector(vecs, parts, 2, partial)
+	if len(viol) != 1 {
+		t.Fatalf("partial violations = %v", viol)
+	}
+	// Inactive constraints short-circuit.
+	if (VectorConstraints{}).Active() {
+		t.Fatal("empty constraints active")
+	}
+	if CheckVector(vecs, parts, 2, VectorConstraints{Rmax: []int64{0, 0}}) != nil {
+		t.Fatal("inactive constraints produced violations")
+	}
+}

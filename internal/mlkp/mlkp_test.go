@@ -1,0 +1,208 @@
+package mlkp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+)
+
+func randomConnected(rng *rand.Rand, n int) *graph.Graph {
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = int64(1 + rng.Intn(30))
+	}
+	g := graph.NewWithWeights(w)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(graph.Node(i-1), graph.Node(i), int64(1+rng.Intn(15)))
+	}
+	for i := 0; i < 2*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.MustAddEdge(graph.Node(u), graph.Node(v), int64(1+rng.Intn(15)))
+		}
+	}
+	return g
+}
+
+// clusters builds c dense clusters of size sz joined in a ring by light
+// bridges; the optimal k=c partition is one cluster per part.
+func clusters(c, sz int) *graph.Graph {
+	g := graph.New(c * sz)
+	for ci := 0; ci < c; ci++ {
+		base := ci * sz
+		for i := 0; i < sz; i++ {
+			for j := i + 1; j < sz; j++ {
+				g.MustAddEdge(graph.Node(base+i), graph.Node(base+j), 10)
+			}
+		}
+	}
+	for ci := 0; ci < c; ci++ {
+		g.MustAddEdge(graph.Node(ci*sz), graph.Node(((ci+1)%c)*sz+1), 1)
+	}
+	return g
+}
+
+func TestPartitionBasicValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomConnected(rng, 200)
+	res, err := Partition(g, Options{K: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.Validate(g, res.Parts, 4); err != nil {
+		t.Fatal(err)
+	}
+	for p, s := range metrics.PartSizes(res.Parts, 4) {
+		if s == 0 {
+			t.Fatalf("part %d empty", p)
+		}
+	}
+	if res.Report.EdgeCut != metrics.EdgeCut(g, res.Parts) {
+		t.Fatal("report cut mismatch")
+	}
+	if res.Levels == 0 {
+		t.Fatal("expected a multilevel hierarchy on 200 nodes")
+	}
+}
+
+func TestPartitionFindsClusters(t *testing.T) {
+	g := clusters(4, 8)
+	res, err := Partition(g, Options{K: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ring of 4 bridges: ideal cut is 4 (all bridges cut).
+	if res.Report.EdgeCut > 8 {
+		t.Fatalf("cut = %d, want near-optimal (<= 8)", res.Report.EdgeCut)
+	}
+	// Each cluster should be essentially intact: every part has 8 nodes.
+	for p, s := range metrics.PartSizes(res.Parts, 4) {
+		if s < 6 || s > 10 {
+			t.Fatalf("part %d size %d, want ~8", p, s)
+		}
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomConnected(rng, 300)
+	res, err := Partition(g, Options{K: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The configured factor is 1.03 but one heavy node of slack is
+	// tolerated; assert a loose envelope.
+	im := metrics.Imbalance(g, res.Parts, 6)
+	if im > 1.35 {
+		t.Fatalf("imbalance %.3f too high for a balance-constrained baseline", im)
+	}
+}
+
+func TestPartitionDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomConnected(rng, 150)
+	r1, err := Partition(g, Options{K: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Partition(g, Options{K: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Parts {
+		if r1.Parts[i] != r2.Parts[i] {
+			t.Fatal("same seed produced different partitions")
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	g := graph.New(3)
+	if _, err := Partition(g, Options{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := Partition(g, Options{K: 5}); err == nil {
+		t.Fatal("K>n accepted")
+	}
+}
+
+func TestPartitionSmallGraphNoCoarsening(t *testing.T) {
+	// 12-node graph (paper scale): coarsening target is far above n, so
+	// the hierarchy is trivial and the seeder does the work.
+	rng := rand.New(rand.NewSource(4))
+	g := randomConnected(rng, 12)
+	res, err := Partition(g, Options{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Levels != 0 {
+		t.Fatalf("12-node graph built %d levels, want 0", res.Levels)
+	}
+	if err := metrics.Validate(g, res.Parts, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionIgnoresConstraints(t *testing.T) {
+	// The baseline has no Bmax/Rmax inputs at all — structurally
+	// constraint-oblivious. This test documents that its Report is the
+	// unconstrained evaluation.
+	rng := rand.New(rand.NewSource(5))
+	g := randomConnected(rng, 60)
+	res, err := Partition(g, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Feasible || len(res.Report.Violations) != 0 {
+		t.Fatal("baseline report must be unconstrained-feasible")
+	}
+}
+
+func TestPropertyPartitionAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(150)
+		g := randomConnected(rng, n)
+		k := 2 + rng.Intn(6)
+		res, err := Partition(g, Options{K: k, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if metrics.Validate(g, res.Parts, k) != nil {
+			return false
+		}
+		for _, s := range metrics.PartSizes(res.Parts, k) {
+			if s == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCutNoWorseThanRandomAssignment(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(100)
+		g := randomConnected(rng, n)
+		k := 2 + rng.Intn(4)
+		res, err := Partition(g, Options{K: k, Seed: seed})
+		if err != nil {
+			return false
+		}
+		randParts := make([]int, n)
+		for i := range randParts {
+			randParts[i] = rng.Intn(k)
+		}
+		return res.Report.EdgeCut <= metrics.EdgeCut(g, randParts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package polyhedral is a small integer polyhedral library: affine
+// expressions and constraints over named iteration variables, bounded
+// integer sets (polyhedra), Fourier–Motzkin projection, point enumeration
+// and counting, and affine maps. It is the substrate from which
+// Polyhedral Process Networks are derived (package ppn): process iteration
+// domains are integer sets, channel traffic is counted by enumerating
+// dependence images. The paper's PPNs come from "suitable tools"
+// (polyhedral compiler front-ends); this package plays that role.
+package polyhedral
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is an affine expression: sum of coef*var + constant.
+type Expr struct {
+	// Coeffs maps variable names to integer coefficients. Absent = 0.
+	Coeffs map[string]int64
+	// Const is the constant term.
+	Const int64
+}
+
+// NewExpr returns the zero expression.
+func NewExpr() Expr {
+	return Expr{Coeffs: map[string]int64{}}
+}
+
+// Var returns the expression consisting of a single variable.
+func Var(name string) Expr {
+	return Expr{Coeffs: map[string]int64{name: 1}}
+}
+
+// Const returns a constant expression.
+func Const(c int64) Expr {
+	return Expr{Coeffs: map[string]int64{}, Const: c}
+}
+
+// clone deep-copies e.
+func (e Expr) clone() Expr {
+	out := Expr{Coeffs: make(map[string]int64, len(e.Coeffs)), Const: e.Const}
+	for k, v := range e.Coeffs {
+		out.Coeffs[k] = v
+	}
+	return out
+}
+
+// Add returns e + o.
+func (e Expr) Add(o Expr) Expr {
+	out := e.clone()
+	for k, v := range o.Coeffs {
+		out.Coeffs[k] += v
+		if out.Coeffs[k] == 0 {
+			delete(out.Coeffs, k)
+		}
+	}
+	out.Const += o.Const
+	return out
+}
+
+// Sub returns e - o.
+func (e Expr) Sub(o Expr) Expr {
+	return e.Add(o.Scale(-1))
+}
+
+// Scale returns s*e.
+func (e Expr) Scale(s int64) Expr {
+	out := NewExpr()
+	if s == 0 {
+		return out
+	}
+	for k, v := range e.Coeffs {
+		out.Coeffs[k] = v * s
+	}
+	out.Const = e.Const * s
+	return out
+}
+
+// AddConst returns e + c.
+func (e Expr) AddConst(c int64) Expr {
+	out := e.clone()
+	out.Const += c
+	return out
+}
+
+// Coeff returns the coefficient of the named variable.
+func (e Expr) Coeff(name string) int64 { return e.Coeffs[name] }
+
+// Vars returns the variables with nonzero coefficients, sorted.
+func (e Expr) Vars() []string {
+	out := make([]string, 0, len(e.Coeffs))
+	for k, v := range e.Coeffs {
+		if v != 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Eval evaluates the expression at a point (missing variables read 0).
+func (e Expr) Eval(point map[string]int64) int64 {
+	v := e.Const
+	for k, c := range e.Coeffs {
+		v += c * point[k]
+	}
+	return v
+}
+
+// IsConstant reports whether the expression has no variables.
+func (e Expr) IsConstant() bool {
+	for _, v := range e.Coeffs {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the expression, variables sorted.
+func (e Expr) String() string {
+	var sb strings.Builder
+	first := true
+	for _, k := range e.Vars() {
+		c := e.Coeffs[k]
+		switch {
+		case first && c == 1:
+			sb.WriteString(k)
+		case first && c == -1:
+			sb.WriteString("-" + k)
+		case first:
+			fmt.Fprintf(&sb, "%d%s", c, k)
+		case c == 1:
+			sb.WriteString(" + " + k)
+		case c == -1:
+			sb.WriteString(" - " + k)
+		case c > 0:
+			fmt.Fprintf(&sb, " + %d%s", c, k)
+		default:
+			fmt.Fprintf(&sb, " - %d%s", -c, k)
+		}
+		first = false
+	}
+	switch {
+	case first:
+		fmt.Fprintf(&sb, "%d", e.Const)
+	case e.Const > 0:
+		fmt.Fprintf(&sb, " + %d", e.Const)
+	case e.Const < 0:
+		fmt.Fprintf(&sb, " - %d", -e.Const)
+	}
+	return sb.String()
+}
+
+// Constraint is an affine constraint: Expr >= 0 (inequality) or
+// Expr == 0 (equality).
+type Constraint struct {
+	Expr Expr
+	// Eq marks an equality constraint; otherwise Expr >= 0.
+	Eq bool
+}
+
+// GE builds the constraint a >= b (i.e. a-b >= 0).
+func GE(a, b Expr) Constraint { return Constraint{Expr: a.Sub(b)} }
+
+// LE builds the constraint a <= b (i.e. b-a >= 0).
+func LE(a, b Expr) Constraint { return Constraint{Expr: b.Sub(a)} }
+
+// EQ builds the constraint a == b.
+func EQ(a, b Expr) Constraint { return Constraint{Expr: a.Sub(b), Eq: true} }
+
+// Holds reports whether the constraint is satisfied at the point.
+func (c Constraint) Holds(point map[string]int64) bool {
+	v := c.Expr.Eval(point)
+	if c.Eq {
+		return v == 0
+	}
+	return v >= 0
+}
+
+// String renders the constraint.
+func (c Constraint) String() string {
+	if c.Eq {
+		return c.Expr.String() + " == 0"
+	}
+	return c.Expr.String() + " >= 0"
+}

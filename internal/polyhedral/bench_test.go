@@ -1,0 +1,44 @@
+package polyhedral
+
+import "testing"
+
+func BenchmarkCountTriangle(b *testing.B) {
+	s := NewSet("i", "j")
+	s.Add(GE(Var("j"), Const(0)))
+	s.Add(GE(Var("i"), Var("j")))
+	s.Add(LE(Var("i"), Const(99)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Count(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFourierMotzkinProject(b *testing.B) {
+	// 4-D simplex-ish set projected to 1-D.
+	s := NewSet("i", "j", "k", "l")
+	s.Add(GE(Var("i"), Const(0)))
+	s.Add(GE(Var("j"), Var("i")))
+	s.Add(GE(Var("k"), Var("j")))
+	s.Add(GE(Var("l"), Var("k")))
+	s.Add(LE(Var("l"), Const(50)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Project("l"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkImageCount(b *testing.B) {
+	dom, _ := Box([]string{"i", "j"}, []int64{0, 0}, []int64{49, 49})
+	target, _ := Box([]string{"i", "j"}, []int64{1, 1}, []int64{48, 48})
+	m, _ := Shift([]string{"i", "j"}, []int64{1, 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ImageCount(dom, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

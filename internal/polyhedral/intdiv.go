@@ -1,0 +1,15 @@
+package polyhedral
+
+// floorDiv returns floor(a/b) for b > 0.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// ceilDiv returns ceil(a/b) for b > 0.
+func ceilDiv(a, b int64) int64 {
+	return -floorDiv(-a, b)
+}

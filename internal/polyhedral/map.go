@@ -1,0 +1,129 @@
+package polyhedral
+
+import "fmt"
+
+// Map is an affine map from an input tuple to an output tuple: each output
+// dimension is an affine expression over the input variables. Used to
+// model dependence functions between statement instances (e.g. the
+// consumer iteration (i) reads what producer iteration (i-1) wrote).
+type Map struct {
+	// InVars are the input tuple dimensions, in order.
+	InVars []string
+	// Outputs are the affine expressions producing each output dimension.
+	Outputs []Expr
+}
+
+// NewMap builds a map from input variables to output expressions.
+func NewMap(inVars []string, outputs []Expr) *Map {
+	return &Map{
+		InVars:  append([]string(nil), inVars...),
+		Outputs: append([]Expr(nil), outputs...),
+	}
+}
+
+// Identity returns the identity map over the given variables.
+func Identity(vars ...string) *Map {
+	outs := make([]Expr, len(vars))
+	for i, v := range vars {
+		outs[i] = Var(v)
+	}
+	return NewMap(vars, outs)
+}
+
+// Shift returns the uniform-dependence map v -> v + offset (per
+// dimension), the typical dependence of stencil kernels.
+func Shift(vars []string, offsets []int64) (*Map, error) {
+	if len(vars) != len(offsets) {
+		return nil, fmt.Errorf("polyhedral: shift dims mismatch (%d vars, %d offsets)", len(vars), len(offsets))
+	}
+	outs := make([]Expr, len(vars))
+	for i, v := range vars {
+		outs[i] = Var(v).AddConst(offsets[i])
+	}
+	return NewMap(vars, outs), nil
+}
+
+// OutDim returns the number of output dimensions.
+func (m *Map) OutDim() int { return len(m.Outputs) }
+
+// Apply evaluates the map at a point (ordered by InVars).
+func (m *Map) Apply(point []int64) ([]int64, error) {
+	if len(point) != len(m.InVars) {
+		return nil, fmt.Errorf("polyhedral: map applied to %d-tuple, expects %d", len(point), len(m.InVars))
+	}
+	env := make(map[string]int64, len(m.InVars))
+	for i, v := range m.InVars {
+		env[v] = point[i]
+	}
+	out := make([]int64, len(m.Outputs))
+	for i, e := range m.Outputs {
+		out[i] = e.Eval(env)
+	}
+	return out, nil
+}
+
+// ImageCount counts the points of dom whose image under m lies in target
+// — i.e. the number of dependence instances from dom into target. This is
+// exactly the token count a FIFO channel carries when dom is the producer
+// domain restricted to iterations whose value is consumed in target.
+func (m *Map) ImageCount(dom, target *Set) (int64, error) {
+	if len(dom.Vars) != len(m.InVars) {
+		return 0, fmt.Errorf("polyhedral: domain dim %d != map input dim %d", len(dom.Vars), len(m.InVars))
+	}
+	if len(target.Vars) != m.OutDim() {
+		return 0, fmt.Errorf("polyhedral: target dim %d != map output dim %d", len(target.Vars), m.OutDim())
+	}
+	pts, err := dom.Points(0)
+	if err != nil {
+		return 0, err
+	}
+	var count int64
+	for _, p := range pts {
+		img, err := m.Apply(p)
+		if err != nil {
+			return 0, err
+		}
+		if target.Contains(img) {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// Compose returns m ∘ inner: (m.Compose(inner))(x) = m(inner(x)).
+// inner's output arity must equal m's input arity.
+func (m *Map) Compose(inner *Map) (*Map, error) {
+	if inner.OutDim() != len(m.InVars) {
+		return nil, fmt.Errorf("polyhedral: compose arity mismatch (%d outputs vs %d inputs)",
+			inner.OutDim(), len(m.InVars))
+	}
+	outs := make([]Expr, len(m.Outputs))
+	for i, e := range m.Outputs {
+		// Substitute each input variable of m with inner's expression.
+		acc := Const(e.Const)
+		for v, c := range e.Coeffs {
+			idx := -1
+			for j, iv := range m.InVars {
+				if iv == v {
+					idx = j
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("polyhedral: compose: %s not an input of the outer map", v)
+			}
+			acc = acc.Add(inner.Outputs[idx].Scale(c))
+		}
+		outs[i] = acc
+	}
+	return NewMap(inner.InVars, outs), nil
+}
+
+// String renders the map in isl-like notation.
+func (m *Map) String() string {
+	outs := make([]string, len(m.Outputs))
+	for i, e := range m.Outputs {
+		outs[i] = e.String()
+	}
+	return fmt.Sprintf("{ [%s] -> [%s] }", join(m.InVars, ", "), join(outs, ", "))
+}

@@ -1,0 +1,374 @@
+package polyhedral
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestExprArithmetic(t *testing.T) {
+	e := Var("i").Scale(2).Add(Var("j")).AddConst(3) // 2i + j + 3
+	if got := e.Eval(map[string]int64{"i": 5, "j": 7}); got != 20 {
+		t.Fatalf("eval = %d, want 20", got)
+	}
+	d := e.Sub(Var("j")) // 2i + 3
+	if d.Coeff("j") != 0 {
+		t.Fatal("subtraction did not cancel j")
+	}
+	if got := d.Eval(map[string]int64{"i": 1}); got != 5 {
+		t.Fatalf("eval = %d, want 5", got)
+	}
+	if !Const(7).IsConstant() || Var("x").IsConstant() {
+		t.Fatal("IsConstant wrong")
+	}
+	z := Var("x").Scale(0)
+	if !z.IsConstant() || z.Eval(nil) != 0 {
+		t.Fatal("zero scale should be the zero expression")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := Var("i").Scale(2).Sub(Var("j")).AddConst(-3)
+	s := e.String()
+	if !strings.Contains(s, "2i") || !strings.Contains(s, "- j") || !strings.Contains(s, "- 3") {
+		t.Fatalf("String = %q", s)
+	}
+	if Const(0).String() != "0" {
+		t.Fatalf("zero renders as %q", Const(0).String())
+	}
+	if Var("x").String() != "x" {
+		t.Fatalf("x renders as %q", Var("x").String())
+	}
+	neg := Var("x").Scale(-1)
+	if neg.String() != "-x" {
+		t.Fatalf("-x renders as %q", neg.String())
+	}
+}
+
+func TestConstraintHolds(t *testing.T) {
+	c := GE(Var("i"), Const(3)) // i >= 3
+	if c.Holds(map[string]int64{"i": 2}) || !c.Holds(map[string]int64{"i": 3}) {
+		t.Fatal("GE wrong")
+	}
+	le := LE(Var("i"), Const(3))
+	if !le.Holds(map[string]int64{"i": 3}) || le.Holds(map[string]int64{"i": 4}) {
+		t.Fatal("LE wrong")
+	}
+	eq := EQ(Var("i"), Var("j"))
+	if !eq.Holds(map[string]int64{"i": 2, "j": 2}) || eq.Holds(map[string]int64{"i": 2, "j": 3}) {
+		t.Fatal("EQ wrong")
+	}
+	if !strings.Contains(eq.String(), "== 0") {
+		t.Fatal("EQ String missing ==")
+	}
+}
+
+func TestBoxSetBasics(t *testing.T) {
+	s, err := Box([]string{"i", "j"}, []int64{0, 0}, []int64{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dim() != 2 {
+		t.Fatalf("dim = %d", s.Dim())
+	}
+	n, err := s.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 12 {
+		t.Fatalf("count = %d, want 12", n)
+	}
+	if !s.Contains([]int64{3, 2}) || s.Contains([]int64{4, 0}) || s.Contains([]int64{0}) {
+		t.Fatal("Contains wrong")
+	}
+	if s.IsEmpty() {
+		t.Fatal("non-empty box reported empty")
+	}
+	if _, err := Box([]string{"i"}, []int64{0, 0}, []int64{1}); err == nil {
+		t.Fatal("mismatched box dims accepted")
+	}
+}
+
+func TestTriangleCount(t *testing.T) {
+	// { (i,j) : 0 <= j <= i <= 9 } has 55 points.
+	s := NewSet("i", "j")
+	s.Add(GE(Var("j"), Const(0)))
+	s.Add(GE(Var("i"), Var("j")))
+	s.Add(LE(Var("i"), Const(9)))
+	n, err := s.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 55 {
+		t.Fatalf("count = %d, want 55", n)
+	}
+}
+
+func TestBoundsViaFourierMotzkin(t *testing.T) {
+	// j constrained only transitively: 0 <= j <= i <= 5.
+	s := NewSet("i", "j")
+	s.Add(GE(Var("j"), Const(0)))
+	s.Add(GE(Var("i"), Var("j")))
+	s.Add(LE(Var("i"), Const(5)))
+	lo, hi, err := s.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo[0] != 0 || hi[0] != 5 {
+		t.Fatalf("i bounds [%d,%d], want [0,5]", lo[0], hi[0])
+	}
+	if lo[1] != 0 || hi[1] != 5 {
+		t.Fatalf("j bounds [%d,%d], want [0,5]", lo[1], hi[1])
+	}
+}
+
+func TestUnboundedDetected(t *testing.T) {
+	s := NewSet("i").Add(GE(Var("i"), Const(0)))
+	if _, _, err := s.Bounds(); err == nil {
+		t.Fatal("unbounded set accepted")
+	}
+	if !s.IsEmpty() {
+		// IsEmpty returns true on unbounded (documented behaviour).
+		t.Fatal("unbounded IsEmpty should report true (unsupported)")
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	s := NewSet("i")
+	s.Add(GE(Var("i"), Const(5)))
+	s.Add(LE(Var("i"), Const(3)))
+	if !s.IsEmpty() {
+		t.Fatal("empty set not detected")
+	}
+	if _, err := s.LexMin(); err == nil {
+		t.Fatal("LexMin of empty set accepted")
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// Diagonal of a 5x5 box: i == j.
+	s, _ := Box([]string{"i", "j"}, []int64{0, 0}, []int64{4, 4})
+	s.Add(EQ(Var("i"), Var("j")))
+	n, err := s.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("diagonal count = %d, want 5", n)
+	}
+}
+
+func TestPointsLexOrderAndLexMinMax(t *testing.T) {
+	s, _ := Box([]string{"i", "j"}, []int64{0, 0}, []int64{1, 1})
+	pts, err := s.Points(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	if len(pts) != len(want) {
+		t.Fatalf("points = %v", pts)
+	}
+	for i := range want {
+		if pts[i][0] != want[i][0] || pts[i][1] != want[i][1] {
+			t.Fatalf("points[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+	mn, _ := s.LexMin()
+	mx, _ := s.LexMax()
+	if mn[0] != 0 || mn[1] != 0 || mx[0] != 1 || mx[1] != 1 {
+		t.Fatalf("lexmin %v lexmax %v", mn, mx)
+	}
+}
+
+func TestPointsLimit(t *testing.T) {
+	s, _ := Box([]string{"i"}, []int64{0}, []int64{99})
+	if _, err := s.Points(10); err == nil {
+		t.Fatal("limit not enforced")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a, _ := Box([]string{"i"}, []int64{0}, []int64{10})
+	b, _ := Box([]string{"i"}, []int64{5}, []int64{20})
+	ab, err := a.Intersect(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := ab.Count()
+	if n != 6 { // 5..10
+		t.Fatalf("intersection count = %d, want 6", n)
+	}
+	c, _ := Box([]string{"j"}, []int64{0}, []int64{1})
+	if _, err := a.Intersect(c); err == nil {
+		t.Fatal("var mismatch accepted")
+	}
+	d, _ := Box([]string{"i", "j"}, []int64{0, 0}, []int64{1, 1})
+	if _, err := a.Intersect(d); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestProject(t *testing.T) {
+	// Project { (i,j) : 0<=i<=3, i<=j<=i+2 } onto j: j ∈ [0,5].
+	s := NewSet("i", "j")
+	s.Add(GE(Var("i"), Const(0)))
+	s.Add(LE(Var("i"), Const(3)))
+	s.Add(GE(Var("j"), Var("i")))
+	s.Add(LE(Var("j"), Var("i").AddConst(2)))
+	p, err := s.Project("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dim() != 1 || p.Vars[0] != "j" {
+		t.Fatalf("projection vars = %v", p.Vars)
+	}
+	lo, hi, err := p.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo[0] != 0 || hi[0] != 5 {
+		t.Fatalf("projected bounds [%d,%d], want [0,5]", lo[0], hi[0])
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s, _ := Box([]string{"i"}, []int64{0}, []int64{2})
+	str := s.String()
+	if !strings.Contains(str, "[i]") || !strings.Contains(str, ">= 0") {
+		t.Fatalf("String = %q", str)
+	}
+}
+
+func TestMapApplyAndIdentity(t *testing.T) {
+	m := Identity("i", "j")
+	out, err := m.Apply([]int64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 3 || out[1] != 4 {
+		t.Fatalf("identity apply = %v", out)
+	}
+	if _, err := m.Apply([]int64{1}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestShiftMap(t *testing.T) {
+	m, err := Shift([]string{"i"}, []int64{-1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := m.Apply([]int64{5})
+	if out[0] != 4 {
+		t.Fatalf("shift apply = %v", out)
+	}
+	if _, err := Shift([]string{"i"}, []int64{1, 2}); err == nil {
+		t.Fatal("mismatched shift accepted")
+	}
+}
+
+func TestImageCountUniformDependence(t *testing.T) {
+	// Producer domain i ∈ [0,9]; consumer reads producer(i-1) for
+	// i ∈ [1,9]: map i -> i+1 from producer into consumer domain [1,9]
+	// counts tokens actually consumed: producer iterations 0..8 → 9.
+	dom, _ := Box([]string{"i"}, []int64{0}, []int64{9})
+	target, _ := Box([]string{"i"}, []int64{1}, []int64{9})
+	m, _ := Shift([]string{"i"}, []int64{1})
+	n, err := m.ImageCount(dom, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 9 {
+		t.Fatalf("dependence count = %d, want 9", n)
+	}
+}
+
+func TestImageCountErrors(t *testing.T) {
+	dom, _ := Box([]string{"i"}, []int64{0}, []int64{3})
+	dom2, _ := Box([]string{"i", "j"}, []int64{0, 0}, []int64{1, 1})
+	m := Identity("i")
+	if _, err := m.ImageCount(dom2, dom); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := m.ImageCount(dom, dom2); err == nil {
+		t.Fatal("target dim mismatch accepted")
+	}
+}
+
+func TestCompose(t *testing.T) {
+	// outer: i -> 2i + 1; inner: i -> i + 3. outer∘inner: i -> 2i + 7.
+	outer := NewMap([]string{"i"}, []Expr{Var("i").Scale(2).AddConst(1)})
+	inner := NewMap([]string{"i"}, []Expr{Var("i").AddConst(3)})
+	comp, err := outer.Compose(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := comp.Apply([]int64{5})
+	if out[0] != 17 {
+		t.Fatalf("compose apply = %d, want 17", out[0])
+	}
+	// Arity mismatch.
+	two := Identity("a", "b")
+	if _, err := outer.Compose(two); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestMapString(t *testing.T) {
+	m, _ := Shift([]string{"i"}, []int64{2})
+	if !strings.Contains(m.String(), "->") {
+		t.Fatalf("map String = %q", m.String())
+	}
+}
+
+func TestPropertyBoxCountMatchesVolume(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := 1 + rng.Intn(3)
+		vars := []string{"i", "j", "k"}[:dims]
+		lo := make([]int64, dims)
+		hi := make([]int64, dims)
+		want := int64(1)
+		for d := 0; d < dims; d++ {
+			lo[d] = int64(rng.Intn(5))
+			hi[d] = lo[d] + int64(rng.Intn(8))
+			want *= hi[d] - lo[d] + 1
+		}
+		s, err := Box(vars, lo, hi)
+		if err != nil {
+			return false
+		}
+		n, err := s.Count()
+		return err == nil && n == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPointsAllContained(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, _ := Box([]string{"i", "j"}, []int64{0, 0},
+			[]int64{int64(1 + rng.Intn(6)), int64(1 + rng.Intn(6))})
+		s.Add(GE(Var("i"), Var("j"))) // triangle
+		pts, err := s.Points(0)
+		if err != nil {
+			return false
+		}
+		cnt, err := s.Count()
+		if err != nil || cnt != int64(len(pts)) {
+			return false
+		}
+		for _, p := range pts {
+			if !s.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

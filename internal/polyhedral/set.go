@@ -1,0 +1,352 @@
+package polyhedral
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Set is a bounded integer set: the integer points of {vars | constraints}.
+// Variables are ordered (the tuple dimensions); constraints are affine.
+type Set struct {
+	// Vars are the tuple dimensions, in order.
+	Vars []string
+	// Constraints define the polyhedron.
+	Constraints []Constraint
+}
+
+// NewSet creates a set over the given dimensions with no constraints
+// (unbounded until constraints are added).
+func NewSet(vars ...string) *Set {
+	return &Set{Vars: append([]string(nil), vars...)}
+}
+
+// Box returns the rectangular set lo[i] <= vars[i] <= hi[i].
+func Box(vars []string, lo, hi []int64) (*Set, error) {
+	if len(vars) != len(lo) || len(vars) != len(hi) {
+		return nil, fmt.Errorf("polyhedral: box dims mismatch (%d vars, %d lo, %d hi)", len(vars), len(lo), len(hi))
+	}
+	s := NewSet(vars...)
+	for i, v := range vars {
+		s.Add(GE(Var(v), Const(lo[i])))
+		s.Add(LE(Var(v), Const(hi[i])))
+	}
+	return s, nil
+}
+
+// Add appends a constraint and returns the set for chaining.
+func (s *Set) Add(c Constraint) *Set {
+	s.Constraints = append(s.Constraints, c)
+	return s
+}
+
+// Dim returns the number of tuple dimensions.
+func (s *Set) Dim() int { return len(s.Vars) }
+
+// Contains reports whether a point (ordered by Vars) is in the set.
+func (s *Set) Contains(point []int64) bool {
+	if len(point) != len(s.Vars) {
+		return false
+	}
+	env := make(map[string]int64, len(s.Vars))
+	for i, v := range s.Vars {
+		env[v] = point[i]
+	}
+	for _, c := range s.Constraints {
+		if !c.Holds(env) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bounds computes per-dimension integer bounds [lo, hi] by Fourier–Motzkin
+// projection onto each variable. Returns an error if any dimension is
+// unbounded (this library only enumerates bounded sets).
+func (s *Set) Bounds() (lo, hi []int64, err error) {
+	lo = make([]int64, len(s.Vars))
+	hi = make([]int64, len(s.Vars))
+	for i, v := range s.Vars {
+		l, h, err := boundsOf(s, v)
+		if err != nil {
+			return nil, nil, err
+		}
+		lo[i], hi[i] = l, h
+	}
+	return lo, hi, nil
+}
+
+// boundsOf eliminates every variable except `keep` and reads the bounds.
+func boundsOf(s *Set, keep string) (int64, int64, error) {
+	cons := expandEqualities(s.Constraints)
+	for _, v := range s.Vars {
+		if v == keep {
+			continue
+		}
+		var err error
+		cons, err = eliminate(cons, v)
+		if err != nil {
+			return 0, 0, fmt.Errorf("polyhedral: eliminating %s: %v", v, err)
+		}
+	}
+	// Remaining constraints involve only `keep` (or are constant).
+	var lo, hi int64
+	loSet, hiSet := false, false
+	for _, c := range cons {
+		a := c.Expr.Coeff(keep)
+		b := c.Expr.Const
+		switch {
+		case a == 0:
+			if b < 0 {
+				return 0, 0, fmt.Errorf("polyhedral: empty set (constraint %v infeasible)", c)
+			}
+		case a > 0:
+			// a*keep + b >= 0  =>  keep >= ceil(-b/a)
+			l := ceilDiv(-b, a)
+			if !loSet || l > lo {
+				lo, loSet = l, true
+			}
+		default:
+			// a*keep + b >= 0, a<0  =>  keep <= floor(b/(-a))
+			h := floorDiv(b, -a)
+			if !hiSet || h < hi {
+				hi, hiSet = h, true
+			}
+		}
+	}
+	if !loSet || !hiSet {
+		return 0, 0, fmt.Errorf("polyhedral: dimension %s unbounded", keep)
+	}
+	if lo > hi {
+		return 0, 0, fmt.Errorf("polyhedral: empty set (dimension %s has lo %d > hi %d)", keep, lo, hi)
+	}
+	return lo, hi, nil
+}
+
+// expandEqualities rewrites each equality e==0 as e>=0 and -e>=0.
+func expandEqualities(cons []Constraint) []Constraint {
+	out := make([]Constraint, 0, len(cons))
+	for _, c := range cons {
+		if c.Eq {
+			out = append(out, Constraint{Expr: c.Expr}, Constraint{Expr: c.Expr.Scale(-1)})
+		} else {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// eliminate performs one Fourier–Motzkin elimination step on v over
+// inequality constraints (equalities must be expanded first). Exact over
+// the rationals; since we only use the result for integer bounding boxes
+// followed by exact point filtering, the relaxation is safe.
+func eliminate(cons []Constraint, v string) ([]Constraint, error) {
+	var lower, upper, free []Constraint
+	for _, c := range cons {
+		switch a := c.Expr.Coeff(v); {
+		case a > 0:
+			lower = append(lower, c)
+		case a < 0:
+			upper = append(upper, c)
+		default:
+			free = append(free, c)
+		}
+	}
+	out := append([]Constraint(nil), free...)
+	for _, lc := range lower {
+		for _, uc := range upper {
+			la := lc.Expr.Coeff(v)  // > 0
+			ua := -uc.Expr.Coeff(v) // > 0
+			// la*ua combination eliminates v:
+			// ua*(lc) + la*(uc) has v-coefficient ua*la - la*ua = 0.
+			comb := lc.Expr.Scale(ua).Add(uc.Expr.Scale(la))
+			delete(comb.Coeffs, v)
+			out = append(out, Constraint{Expr: comb})
+		}
+	}
+	const maxConstraints = 100000
+	if len(out) > maxConstraints {
+		return nil, fmt.Errorf("constraint blow-up (%d)", len(out))
+	}
+	return out, nil
+}
+
+// Points enumerates all integer points of the set in lexicographic order.
+// Returns an error for unbounded or pathologically large sets (> limit
+// points; limit <= 0 means 10 million).
+func (s *Set) Points(limit int) ([][]int64, error) {
+	if limit <= 0 {
+		limit = 10_000_000
+	}
+	lo, hi, err := s.Bounds()
+	if err != nil {
+		return nil, err
+	}
+	var out [][]int64
+	point := make([]int64, len(s.Vars))
+	var rec func(d int) error
+	rec = func(d int) error {
+		if d == len(s.Vars) {
+			if s.Contains(point) {
+				cp := append([]int64(nil), point...)
+				out = append(out, cp)
+				if len(out) > limit {
+					return fmt.Errorf("polyhedral: enumeration exceeds %d points", limit)
+				}
+			}
+			return nil
+		}
+		for v := lo[d]; v <= hi[d]; v++ {
+			point[d] = v
+			if err := rec(d + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Count returns the number of integer points (exact, by enumeration).
+func (s *Set) Count() (int64, error) {
+	lo, hi, err := s.Bounds()
+	if err != nil {
+		return 0, err
+	}
+	var count int64
+	point := make([]int64, len(s.Vars))
+	var rec func(d int)
+	rec = func(d int) {
+		if d == len(s.Vars) {
+			if s.Contains(point) {
+				count++
+			}
+			return
+		}
+		for v := lo[d]; v <= hi[d]; v++ {
+			point[d] = v
+			rec(d + 1)
+		}
+	}
+	rec(0)
+	return count, nil
+}
+
+// IsEmpty reports whether the set has no integer points.
+func (s *Set) IsEmpty() bool {
+	lo, hi, err := s.Bounds()
+	if err != nil {
+		return true // unbounded sets are not handled; empty on error
+	}
+	point := make([]int64, len(s.Vars))
+	var rec func(d int) bool
+	rec = func(d int) bool {
+		if d == len(s.Vars) {
+			return s.Contains(point)
+		}
+		for v := lo[d]; v <= hi[d]; v++ {
+			point[d] = v
+			if rec(d + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return !rec(0)
+}
+
+// LexMin returns the lexicographically smallest point, or an error if the
+// set is empty or unbounded.
+func (s *Set) LexMin() ([]int64, error) {
+	pts, err := s.Points(0)
+	if err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("polyhedral: LexMin of empty set")
+	}
+	return pts[0], nil // Points enumerates lexicographically
+}
+
+// LexMax returns the lexicographically largest point.
+func (s *Set) LexMax() ([]int64, error) {
+	pts, err := s.Points(0)
+	if err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("polyhedral: LexMax of empty set")
+	}
+	return pts[len(pts)-1], nil
+}
+
+// Intersect returns the set with both constraint systems (dimensions must
+// match).
+func (s *Set) Intersect(o *Set) (*Set, error) {
+	if len(s.Vars) != len(o.Vars) {
+		return nil, fmt.Errorf("polyhedral: intersect dims %d != %d", len(s.Vars), len(o.Vars))
+	}
+	for i := range s.Vars {
+		if s.Vars[i] != o.Vars[i] {
+			return nil, fmt.Errorf("polyhedral: intersect var mismatch %s != %s", s.Vars[i], o.Vars[i])
+		}
+	}
+	out := NewSet(s.Vars...)
+	out.Constraints = append(append([]Constraint(nil), s.Constraints...), o.Constraints...)
+	return out, nil
+}
+
+// Project returns the set projected onto a subset of its variables
+// (Fourier–Motzkin elimination of the others). The result is the rational
+// shadow tightened by nothing — callers that need integer exactness should
+// filter with the original set.
+func (s *Set) Project(keep ...string) (*Set, error) {
+	keepSet := map[string]bool{}
+	for _, k := range keep {
+		keepSet[k] = true
+	}
+	cons := expandEqualities(s.Constraints)
+	for _, v := range s.Vars {
+		if keepSet[v] {
+			continue
+		}
+		var err error
+		cons, err = eliminate(cons, v)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Preserve the original ordering of kept vars.
+	var vars []string
+	for _, v := range s.Vars {
+		if keepSet[v] {
+			vars = append(vars, v)
+		}
+	}
+	out := NewSet(vars...)
+	out.Constraints = cons
+	return out, nil
+}
+
+// String renders the set in isl-like notation.
+func (s *Set) String() string {
+	cons := make([]string, len(s.Constraints))
+	for i, c := range s.Constraints {
+		cons[i] = c.String()
+	}
+	sort.Strings(cons)
+	return fmt.Sprintf("{ [%s] : %s }", join(s.Vars, ", "), join(cons, " and "))
+}
+
+func join(xs []string, sep string) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += sep
+		}
+		out += x
+	}
+	return out
+}

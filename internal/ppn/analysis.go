@@ -1,0 +1,83 @@
+package ppn
+
+// Structural analysis helpers used by the deployment tools.
+
+// HasCycle reports whether the channel graph (ignoring self loops)
+// contains a directed cycle. Feed-forward networks (all the kernel
+// library) are acyclic and deadlock-free under unbounded FIFOs; cyclic
+// networks (KPNs with feedback) can deadlock under finite FIFO depths,
+// so tools warn before sizing buffers from simulation peaks.
+func (p *PPN) HasCycle() bool {
+	n := len(p.Processes)
+	adj := make([][]int, n)
+	for _, ch := range p.Channels {
+		if ch.From == ch.To {
+			continue
+		}
+		adj[ch.From] = append(adj[ch.From], ch.To)
+	}
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make([]int, n)
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		state[u] = inStack
+		for _, v := range adj[u] {
+			switch state[v] {
+			case inStack:
+				return true
+			case unvisited:
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		state[u] = done
+		return false
+	}
+	for u := 0; u < n; u++ {
+		if state[u] == unvisited && dfs(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// Sources returns the indices of processes with no incoming channels
+// (ignoring self loops) — the network's external inputs.
+func (p *PPN) Sources() []int {
+	hasIn := make([]bool, len(p.Processes))
+	for _, ch := range p.Channels {
+		if ch.From != ch.To {
+			hasIn[ch.To] = true
+		}
+	}
+	var out []int
+	for i, h := range hasIn {
+		if !h {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Sinks returns the indices of processes with no outgoing channels
+// (ignoring self loops) — the network's external outputs.
+func (p *PPN) Sinks() []int {
+	hasOut := make([]bool, len(p.Processes))
+	for _, ch := range p.Channels {
+		if ch.From != ch.To {
+			hasOut[ch.From] = true
+		}
+	}
+	var out []int
+	for i, h := range hasOut {
+		if !h {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package ppn
+
+import "testing"
+
+func TestHasCycleFeedForward(t *testing.T) {
+	for _, build := range []func() (*PPN, error){
+		func() (*PPN, error) { return FIR(4, 64) },
+		func() (*PPN, error) { return Pipeline(5, 64) },
+		func() (*PPN, error) { return SplitMerge(3, 64) },
+		func() (*PPN, error) { return FFT(3, 10) },
+	} {
+		net, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if net.HasCycle() {
+			t.Fatalf("%s: kernel networks are feed-forward", net.Name)
+		}
+	}
+}
+
+func TestHasCycleDetectsFeedback(t *testing.T) {
+	net := &PPN{}
+	a := net.AddProcess(Process{Name: "a", Iterations: 1})
+	b := net.AddProcess(Process{Name: "b", Iterations: 1})
+	c := net.AddProcess(Process{Name: "c", Iterations: 1})
+	net.AddChannel(Channel{From: a, To: b, Tokens: 1})
+	net.AddChannel(Channel{From: b, To: c, Tokens: 1})
+	if net.HasCycle() {
+		t.Fatal("chain misdetected as cyclic")
+	}
+	net.AddChannel(Channel{From: c, To: a, Tokens: 1}) // feedback
+	if !net.HasCycle() {
+		t.Fatal("feedback loop not detected")
+	}
+}
+
+func TestHasCycleIgnoresSelfLoops(t *testing.T) {
+	net := &PPN{}
+	a := net.AddProcess(Process{Name: "a", Iterations: 1})
+	net.AddChannel(Channel{From: a, To: a, Tokens: 5})
+	if net.HasCycle() {
+		t.Fatal("self loop (state channel) should not count as a cycle")
+	}
+}
+
+func TestSourcesAndSinks(t *testing.T) {
+	net, err := SplitMerge(3, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := net.Sources()
+	snks := net.Sinks()
+	if len(srcs) != 1 || net.Processes[srcs[0]].Name != "split" {
+		t.Fatalf("sources = %v", srcs)
+	}
+	if len(snks) != 1 || net.Processes[snks[0]].Name != "merge" {
+		t.Fatalf("sinks = %v", snks)
+	}
+	// Self loops don't make a node internal.
+	lone := &PPN{}
+	a := lone.AddProcess(Process{Name: "a", Iterations: 1})
+	lone.AddChannel(Channel{From: a, To: a, Tokens: 1})
+	if len(lone.Sources()) != 1 || len(lone.Sinks()) != 1 {
+		t.Fatal("self loop should leave node as both source and sink")
+	}
+}

@@ -1,0 +1,88 @@
+package ppn
+
+import (
+	"fmt"
+
+	"ppnpart/internal/polyhedral"
+)
+
+// Statement is one affine statement of a polyhedral program: it executes
+// once per point of Domain, performing Ops abstract operations.
+type Statement struct {
+	// Name identifies the statement (becomes the process name).
+	Name string
+	// Domain is the statement's iteration domain.
+	Domain *polyhedral.Set
+	// Ops is the work per iteration.
+	Ops int64
+}
+
+// Dependence is a flow dependence between two statements: consumer
+// iteration x reads the value produced by producer iteration Map(x)...
+// expressed here producer-side: producer iteration p feeds consumer
+// iteration Map(p). Only producer iterations whose image lands inside the
+// consumer's domain generate tokens.
+type Dependence struct {
+	// Producer and Consumer are statement indices.
+	Producer, Consumer int
+	// Map sends producer iterations to the consumer iterations that read
+	// them (one token per mapped pair inside both domains).
+	Map *polyhedral.Map
+	// TokenBytes sizes each token (default 4).
+	TokenBytes int64
+}
+
+// Program is a set of statements plus their flow dependences — the input
+// a polyhedral front-end would extract from an affine loop nest.
+type Program struct {
+	// Name labels the program.
+	Name string
+	// Statements lists the program statements.
+	Statements []Statement
+	// Dependences lists the flow dependences.
+	Dependences []Dependence
+}
+
+// Derive converts the program into a Polyhedral Process Network: one
+// process per statement, one channel per dependence, with token counts
+// computed exactly by counting the dependence instances (the polyhedral
+// analogue of the pn tool's FIFO sizing).
+func Derive(prog Program) (*PPN, error) {
+	net := &PPN{Name: prog.Name}
+	for _, st := range prog.Statements {
+		if st.Domain == nil {
+			return nil, fmt.Errorf("ppn: statement %s has no domain", st.Name)
+		}
+		net.AddProcess(Process{
+			Name:            st.Name,
+			Domain:          st.Domain,
+			OpsPerIteration: st.Ops,
+		})
+	}
+	for i, dep := range prog.Dependences {
+		if dep.Producer < 0 || dep.Producer >= len(prog.Statements) ||
+			dep.Consumer < 0 || dep.Consumer >= len(prog.Statements) {
+			return nil, fmt.Errorf("ppn: dependence %d references missing statement", i)
+		}
+		if dep.Map == nil {
+			return nil, fmt.Errorf("ppn: dependence %d has no map", i)
+		}
+		prodDom := prog.Statements[dep.Producer].Domain
+		consDom := prog.Statements[dep.Consumer].Domain
+		tokens, err := dep.Map.ImageCount(prodDom, consDom)
+		if err != nil {
+			return nil, fmt.Errorf("ppn: dependence %d (%s -> %s): %v",
+				i, prog.Statements[dep.Producer].Name, prog.Statements[dep.Consumer].Name, err)
+		}
+		net.AddChannel(Channel{
+			From:       dep.Producer,
+			To:         dep.Consumer,
+			Tokens:     tokens,
+			TokenBytes: dep.TokenBytes,
+		})
+	}
+	if err := net.Finalize(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}

@@ -1,0 +1,90 @@
+package ppn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON serialization of process networks. Unlike the lowered graph
+// formats (which keep only weights), this preserves the full PPN:
+// iteration counts, per-firing work, explicit resources, and channel
+// token counts — everything the simulator needs. Polyhedral domains are
+// not serialized; Finalize has already folded them into Iterations.
+
+type jsonPPN struct {
+	Name      string        `json:"name"`
+	Processes []jsonProcess `json:"processes"`
+	Channels  []jsonChannel `json:"channels"`
+}
+
+type jsonProcess struct {
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	Ops        int64  `json:"opsPerIteration,omitempty"`
+	Resources  int64  `json:"resources,omitempty"`
+}
+
+type jsonChannel struct {
+	From       int   `json:"from"`
+	To         int   `json:"to"`
+	Tokens     int64 `json:"tokens"`
+	TokenBytes int64 `json:"tokenBytes,omitempty"`
+}
+
+// WriteJSON serializes the network. The network must be finalized
+// (Iterations filled in).
+func WriteJSON(w io.Writer, p *PPN) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	jp := jsonPPN{Name: p.Name}
+	for _, proc := range p.Processes {
+		if proc.Iterations <= 0 {
+			return fmt.Errorf("ppn: process %s not finalized (no iterations)", proc.Name)
+		}
+		jp.Processes = append(jp.Processes, jsonProcess{
+			Name:       proc.Name,
+			Iterations: proc.Iterations,
+			Ops:        proc.OpsPerIteration,
+			Resources:  proc.Resources,
+		})
+	}
+	for _, ch := range p.Channels {
+		jp.Channels = append(jp.Channels, jsonChannel{
+			From: ch.From, To: ch.To, Tokens: ch.Tokens, TokenBytes: ch.TokenBytes,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jp)
+}
+
+// ReadJSON parses a serialized network and validates it.
+func ReadJSON(r io.Reader) (*PPN, error) {
+	var jp jsonPPN
+	if err := json.NewDecoder(r).Decode(&jp); err != nil {
+		return nil, fmt.Errorf("ppn json: %v", err)
+	}
+	net := &PPN{Name: jp.Name}
+	for _, proc := range jp.Processes {
+		if proc.Iterations <= 0 {
+			return nil, fmt.Errorf("ppn json: process %q has no iterations", proc.Name)
+		}
+		net.AddProcess(Process{
+			Name:            proc.Name,
+			Iterations:      proc.Iterations,
+			OpsPerIteration: proc.Ops,
+			Resources:       proc.Resources,
+		})
+	}
+	for _, ch := range jp.Channels {
+		net.AddChannel(Channel{
+			From: ch.From, To: ch.To, Tokens: ch.Tokens, TokenBytes: ch.TokenBytes,
+		})
+	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("ppn json: %v", err)
+	}
+	return net, nil
+}

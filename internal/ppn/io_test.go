@@ -1,0 +1,73 @@
+package ppn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPPNJSONRoundTrip(t *testing.T) {
+	net, err := FIR(4, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != net.Name {
+		t.Fatal("name lost")
+	}
+	if len(back.Processes) != len(net.Processes) || len(back.Channels) != len(net.Channels) {
+		t.Fatal("shape lost")
+	}
+	for i := range net.Processes {
+		if back.Processes[i].Name != net.Processes[i].Name ||
+			back.Processes[i].Iterations != net.Processes[i].Iterations ||
+			back.Processes[i].OpsPerIteration != net.Processes[i].OpsPerIteration {
+			t.Fatalf("process %d lost data", i)
+		}
+	}
+	for i := range net.Channels {
+		if back.Channels[i] != net.Channels[i] {
+			t.Fatalf("channel %d lost data", i)
+		}
+	}
+	// Lowered graphs must agree exactly.
+	g1, _ := net.ToGraph(DefaultResourceModel())
+	g2, _ := back.ToGraph(DefaultResourceModel())
+	if g1.TotalEdgeWeight() != g2.TotalEdgeWeight() || g1.TotalNodeWeight() != g2.TotalNodeWeight() {
+		t.Fatal("lowered graphs differ after round trip")
+	}
+}
+
+func TestPPNJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{oops")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"processes":[{"name":"a","iterations":0}]}`)); err == nil {
+		t.Fatal("zero-iteration process accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(
+		`{"processes":[{"name":"a","iterations":1}],"channels":[{"from":0,"to":9,"tokens":1}]}`)); err == nil {
+		t.Fatal("dangling channel accepted")
+	}
+	// Writing an unfinalized network fails.
+	raw := &PPN{}
+	raw.AddProcess(Process{Name: "x"})
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, raw); err == nil {
+		t.Fatal("unfinalized network serialized")
+	}
+	// Writing an invalid network fails.
+	dup := &PPN{}
+	dup.AddProcess(Process{Name: "x", Iterations: 1})
+	dup.AddProcess(Process{Name: "x", Iterations: 1})
+	if err := WriteJSON(&buf, dup); err == nil {
+		t.Fatal("invalid network serialized")
+	}
+}

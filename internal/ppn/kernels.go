@@ -1,0 +1,182 @@
+package ppn
+
+import (
+	"fmt"
+
+	"ppnpart/internal/polyhedral"
+)
+
+// This file provides the kernel library: canonical affine kernels of the
+// reconfigurable-computing literature, each derived into a PPN. These are
+// the "realistic scenarios" of the examples and the workloads the
+// benchmark harness maps onto simulated multi-FPGA platforms.
+
+// FIR builds an nTaps-tap FIR filter over nSamples samples, in the classic
+// PPN decomposition: a source, one multiply-accumulate stage per tap
+// (pipelined), and a sink.
+func FIR(nTaps int, nSamples int64) (*PPN, error) {
+	if nTaps < 1 || nSamples < int64(nTaps)+1 {
+		return nil, fmt.Errorf("ppn: FIR needs >= 1 tap and > taps samples (got %d, %d)", nTaps, nSamples)
+	}
+	sampleDom, err := polyhedral.Box([]string{"i"}, []int64{0}, []int64{nSamples - 1})
+	if err != nil {
+		return nil, err
+	}
+	prog := Program{Name: fmt.Sprintf("fir%d", nTaps)}
+	src := 0
+	prog.Statements = append(prog.Statements, Statement{Name: "src", Domain: sampleDom, Ops: 1})
+	prev := src
+	ident := polyhedral.Identity("i")
+	for t := 0; t < nTaps; t++ {
+		st := Statement{Name: fmt.Sprintf("mac%d", t), Domain: sampleDom, Ops: 2}
+		idx := len(prog.Statements)
+		prog.Statements = append(prog.Statements, st)
+		// Each MAC consumes the running sum from the previous stage and
+		// the (delayed) sample stream from the source.
+		prog.Dependences = append(prog.Dependences,
+			Dependence{Producer: prev, Consumer: idx, Map: ident},
+			Dependence{Producer: src, Consumer: idx, Map: ident},
+		)
+		prev = idx
+	}
+	sink := len(prog.Statements)
+	prog.Statements = append(prog.Statements, Statement{Name: "snk", Domain: sampleDom, Ops: 1})
+	prog.Dependences = append(prog.Dependences, Dependence{Producer: prev, Consumer: sink, Map: ident})
+	return Derive(prog)
+}
+
+// Jacobi1D builds a 1-D Jacobi stencil over n points and t time steps,
+// decomposed time-step-wise: each step is a process consuming the
+// previous step's halo (left, center, right uniform dependences).
+func Jacobi1D(n int64, steps int) (*PPN, error) {
+	if n < 3 || steps < 1 {
+		return nil, fmt.Errorf("ppn: Jacobi1D needs n >= 3, steps >= 1 (got %d, %d)", n, steps)
+	}
+	interior, err := polyhedral.Box([]string{"i"}, []int64{1}, []int64{n - 2})
+	if err != nil {
+		return nil, err
+	}
+	full, err := polyhedral.Box([]string{"i"}, []int64{0}, []int64{n - 1})
+	if err != nil {
+		return nil, err
+	}
+	prog := Program{Name: fmt.Sprintf("jacobi1d-n%d-t%d", n, steps)}
+	prog.Statements = append(prog.Statements, Statement{Name: "init", Domain: full, Ops: 1})
+	left, _ := polyhedral.Shift([]string{"i"}, []int64{+1})  // producer i feeds consumer i+1
+	center := polyhedral.Identity("i")                       // producer i feeds consumer i
+	right, _ := polyhedral.Shift([]string{"i"}, []int64{-1}) // producer i feeds consumer i-1
+	prev := 0
+	for s := 0; s < steps; s++ {
+		idx := len(prog.Statements)
+		prog.Statements = append(prog.Statements, Statement{
+			Name: fmt.Sprintf("step%d", s), Domain: interior, Ops: 4,
+		})
+		for _, m := range []*polyhedral.Map{left, center, right} {
+			prog.Dependences = append(prog.Dependences,
+				Dependence{Producer: prev, Consumer: idx, Map: m})
+		}
+		prev = idx
+	}
+	return Derive(prog)
+}
+
+// MatMul builds a blocked matrix-multiply network: a row streamer, a
+// column streamer, a grid of block-multiply processes (one per output
+// block), and an accumulator/collector. blocks is the number of blocks
+// per matrix dimension; blockSize the iterations inside one block product.
+func MatMul(blocks int, blockSize int64) (*PPN, error) {
+	if blocks < 1 || blockSize < 1 {
+		return nil, fmt.Errorf("ppn: MatMul needs blocks >= 1, blockSize >= 1 (got %d, %d)", blocks, blockSize)
+	}
+	blockDom, err := polyhedral.Box([]string{"k"}, []int64{0}, []int64{blockSize - 1})
+	if err != nil {
+		return nil, err
+	}
+	net := &PPN{Name: fmt.Sprintf("matmul-b%d", blocks)}
+	rowS := net.AddProcess(Process{Name: "rowStream", Domain: blockDom, OpsPerIteration: 1})
+	colS := net.AddProcess(Process{Name: "colStream", Domain: blockDom, OpsPerIteration: 1})
+	coll := -1
+	for i := 0; i < blocks; i++ {
+		for j := 0; j < blocks; j++ {
+			mm := net.AddProcess(Process{
+				Name:            fmt.Sprintf("mm_%d_%d", i, j),
+				Domain:          blockDom,
+				OpsPerIteration: 2,
+			})
+			// Every block product streams blockSize tokens from each
+			// streamer and emits blockSize partial results.
+			net.AddChannel(Channel{From: rowS, To: mm, Tokens: blockSize})
+			net.AddChannel(Channel{From: colS, To: mm, Tokens: blockSize})
+			if coll < 0 {
+				coll = net.AddProcess(Process{Name: "collect", Domain: blockDom, OpsPerIteration: 1})
+			}
+			net.AddChannel(Channel{From: mm, To: coll, Tokens: blockSize})
+		}
+	}
+	if err := net.Finalize(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// Pipeline builds a linear chain of stages streams tokens long — the
+// canonical producer→consumer PPN of the paper's introduction.
+func Pipeline(stages int, streamLen int64) (*PPN, error) {
+	if stages < 2 || streamLen < 1 {
+		return nil, fmt.Errorf("ppn: Pipeline needs stages >= 2, streamLen >= 1 (got %d, %d)", stages, streamLen)
+	}
+	dom, err := polyhedral.Box([]string{"i"}, []int64{0}, []int64{streamLen - 1})
+	if err != nil {
+		return nil, err
+	}
+	prog := Program{Name: fmt.Sprintf("pipe%d", stages)}
+	ident := polyhedral.Identity("i")
+	for s := 0; s < stages; s++ {
+		prog.Statements = append(prog.Statements, Statement{
+			Name: fmt.Sprintf("s%d", s), Domain: dom, Ops: int64(1 + s%3),
+		})
+		if s > 0 {
+			prog.Dependences = append(prog.Dependences,
+				Dependence{Producer: s - 1, Consumer: s, Map: ident})
+		}
+	}
+	return Derive(prog)
+}
+
+// SplitMerge builds a fork/join network: a source fans out to `ways`
+// parallel workers which merge into a sink — the shape produced when a
+// polyhedral compiler partitions a data-parallel loop.
+func SplitMerge(ways int, streamLen int64) (*PPN, error) {
+	if ways < 2 || streamLen < int64(ways) {
+		return nil, fmt.Errorf("ppn: SplitMerge needs ways >= 2, streamLen >= ways (got %d, %d)", ways, streamLen)
+	}
+	fullDom, err := polyhedral.Box([]string{"i"}, []int64{0}, []int64{streamLen - 1})
+	if err != nil {
+		return nil, err
+	}
+	share := streamLen / int64(ways)
+	net := &PPN{Name: fmt.Sprintf("splitmerge%d", ways)}
+	src := net.AddProcess(Process{Name: "split", Domain: fullDom, OpsPerIteration: 1})
+	snk := net.AddProcess(Process{Name: "merge", Domain: fullDom, OpsPerIteration: 1})
+	for w := 0; w < ways; w++ {
+		lo := int64(w) * share
+		hi := lo + share - 1
+		if w == ways-1 {
+			hi = streamLen - 1
+		}
+		dom, err := polyhedral.Box([]string{"i"}, []int64{lo}, []int64{hi})
+		if err != nil {
+			return nil, err
+		}
+		wk := net.AddProcess(Process{
+			Name: fmt.Sprintf("work%d", w), Domain: dom, OpsPerIteration: 6,
+		})
+		n := hi - lo + 1
+		net.AddChannel(Channel{From: src, To: wk, Tokens: n})
+		net.AddChannel(Channel{From: wk, To: snk, Tokens: n})
+	}
+	if err := net.Finalize(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}

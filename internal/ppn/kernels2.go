@@ -1,0 +1,175 @@
+package ppn
+
+import (
+	"fmt"
+
+	"ppnpart/internal/polyhedral"
+)
+
+// Additional kernels beyond the core set: a 2-D Jacobi stencil decomposed
+// into row bands, the Sobel edge-detection pipeline (the canonical
+// image-processing PPN of the reconfigurable-computing literature), and
+// an FFT butterfly network.
+
+// Jacobi2D builds a 2-D Jacobi stencil over an n×n grid and `steps` time
+// steps, decomposed into `bands` horizontal bands per step: each band
+// process updates its rows and exchanges one halo row with its vertical
+// neighbors — the decomposition used when tiling stencils across FPGAs.
+func Jacobi2D(n int64, steps, bands int) (*PPN, error) {
+	if n < 4 || steps < 1 || bands < 1 || int64(bands) > n/2 {
+		return nil, fmt.Errorf("ppn: Jacobi2D(n=%d, steps=%d, bands=%d) invalid", n, steps, bands)
+	}
+	net := &PPN{Name: fmt.Sprintf("jacobi2d-n%d-t%d-b%d", n, steps, bands)}
+	rowsPerBand := n / int64(bands)
+
+	// Band domains: rows [lo, hi] × cols [0, n-1].
+	bandDom := func(b int) (*polyhedral.Set, int64, error) {
+		lo := int64(b) * rowsPerBand
+		hi := lo + rowsPerBand - 1
+		if b == bands-1 {
+			hi = n - 1
+		}
+		dom, err := polyhedral.Box([]string{"i", "j"}, []int64{lo, 0}, []int64{hi, n - 1})
+		return dom, hi - lo + 1, err
+	}
+
+	// init processes, one per band.
+	prev := make([]int, bands)
+	for b := 0; b < bands; b++ {
+		dom, _, err := bandDom(b)
+		if err != nil {
+			return nil, err
+		}
+		prev[b] = net.AddProcess(Process{
+			Name: fmt.Sprintf("init%d", b), Domain: dom, OpsPerIteration: 1,
+		})
+	}
+	for s := 0; s < steps; s++ {
+		cur := make([]int, bands)
+		for b := 0; b < bands; b++ {
+			dom, rows, err := bandDom(b)
+			if err != nil {
+				return nil, err
+			}
+			cur[b] = net.AddProcess(Process{
+				Name: fmt.Sprintf("s%d_band%d", s, b), Domain: dom, OpsPerIteration: 5,
+			})
+			// Bulk dependence: the band's own previous values.
+			net.AddChannel(Channel{From: prev[b], To: cur[b], Tokens: rows * n})
+			// Halo rows from vertical neighbors (one row of n values each).
+			if b > 0 {
+				net.AddChannel(Channel{From: prev[b-1], To: cur[b], Tokens: n})
+			}
+			if b < bands-1 {
+				net.AddChannel(Channel{From: prev[b+1], To: cur[b], Tokens: n})
+			}
+		}
+		prev = cur
+	}
+	if err := net.Finalize(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// Sobel builds the Sobel edge-detection pipeline over a w×h image: a
+// line-buffer reader, horizontal and vertical gradient processes (each
+// consuming the full pixel stream), a magnitude combiner, a threshold
+// stage and a writer. Token counts are exact pixel counts.
+func Sobel(w, h int64) (*PPN, error) {
+	if w < 3 || h < 3 {
+		return nil, fmt.Errorf("ppn: Sobel image %dx%d too small", w, h)
+	}
+	img, err := polyhedral.Box([]string{"y", "x"}, []int64{0, 0}, []int64{h - 1, w - 1})
+	if err != nil {
+		return nil, err
+	}
+	interior, err := polyhedral.Box([]string{"y", "x"}, []int64{1, 1}, []int64{h - 2, w - 2})
+	if err != nil {
+		return nil, err
+	}
+	net := &PPN{Name: fmt.Sprintf("sobel-%dx%d", w, h)}
+	pixels := w * h
+	inner := (w - 2) * (h - 2)
+
+	read := net.AddProcess(Process{Name: "read", Domain: img, OpsPerIteration: 1})
+	gx := net.AddProcess(Process{Name: "gradX", Domain: interior, OpsPerIteration: 6})
+	gy := net.AddProcess(Process{Name: "gradY", Domain: interior, OpsPerIteration: 6})
+	mag := net.AddProcess(Process{Name: "magnitude", Domain: interior, OpsPerIteration: 3})
+	thr := net.AddProcess(Process{Name: "threshold", Domain: interior, OpsPerIteration: 1})
+	wr := net.AddProcess(Process{Name: "write", Domain: interior, OpsPerIteration: 1})
+
+	net.AddChannel(Channel{From: read, To: gx, Tokens: pixels})
+	net.AddChannel(Channel{From: read, To: gy, Tokens: pixels})
+	net.AddChannel(Channel{From: gx, To: mag, Tokens: inner})
+	net.AddChannel(Channel{From: gy, To: mag, Tokens: inner})
+	net.AddChannel(Channel{From: mag, To: thr, Tokens: inner})
+	net.AddChannel(Channel{From: thr, To: wr, Tokens: inner})
+
+	if err := net.Finalize(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// FFT builds the butterfly dataflow of an N-point radix-2 FFT
+// (N = 2^logN): logN stages of N/2 butterfly processes each, wired with
+// the standard stride pattern. Each butterfly consumes two complex values
+// per transform and the network processes `transforms` back-to-back
+// transforms (scaling every channel's token count).
+func FFT(logN int, transforms int64) (*PPN, error) {
+	if logN < 1 || logN > 10 {
+		return nil, fmt.Errorf("ppn: FFT logN=%d out of range [1,10]", logN)
+	}
+	if transforms < 1 {
+		return nil, fmt.Errorf("ppn: FFT needs >= 1 transform")
+	}
+	n := 1 << logN
+	half := n / 2
+	dom, err := polyhedral.Box([]string{"t"}, []int64{0}, []int64{transforms - 1})
+	if err != nil {
+		return nil, err
+	}
+	net := &PPN{Name: fmt.Sprintf("fft%d", n)}
+	src := net.AddProcess(Process{Name: "src", Domain: dom, OpsPerIteration: 1})
+	snk := -1
+
+	// owner[line] = process currently producing signal line `line`.
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = src
+	}
+	for stage := 0; stage < logN; stage++ {
+		stride := 1 << stage
+		newOwner := make([]int, n)
+		for b := 0; b < half; b++ {
+			// Butterfly b of this stage pairs lines (lo, hi).
+			group := b / stride
+			offset := b % stride
+			lo := group*2*stride + offset
+			hi := lo + stride
+			bf := net.AddProcess(Process{
+				Name:            fmt.Sprintf("bf_s%d_%d", stage, b),
+				Domain:          dom,
+				OpsPerIteration: 10, // complex multiply-add pair
+			})
+			// Two input lines, each carrying `transforms` values.
+			net.AddChannel(Channel{From: owner[lo], To: bf, Tokens: transforms})
+			net.AddChannel(Channel{From: owner[hi], To: bf, Tokens: transforms})
+			newOwner[lo] = bf
+			newOwner[hi] = bf
+		}
+		owner = newOwner
+	}
+	snk = net.AddProcess(Process{Name: "snk", Domain: dom, OpsPerIteration: 1})
+	// Collect every line from the last stage; lines sharing a butterfly
+	// fold into one channel via AddEdge-style accumulation at lowering,
+	// but tokens are per line here.
+	for line := 0; line < n; line++ {
+		net.AddChannel(Channel{From: owner[line], To: snk, Tokens: transforms})
+	}
+	if err := net.Finalize(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}

@@ -1,0 +1,201 @@
+// Package ppn models Polyhedral Process Networks: networks of processes
+// (each with a polyhedral iteration domain) connected by FIFO channels
+// whose token counts are derived from affine dependences. A PPN lowers to
+// the weighted graph the partitioner consumes: node weight = estimated
+// FPGA resources of the process, edge weight = sustained FIFO traffic.
+//
+// The paper obtains these networks "via suitable tools" (polyhedral
+// compiler front-ends such as pn/Compaan); this package plays that role,
+// deriving networks from affine kernels (see kernels.go and derive.go).
+package ppn
+
+import (
+	"fmt"
+
+	"ppnpart/internal/graph"
+	"ppnpart/internal/polyhedral"
+)
+
+// Process is one node of the network: a potentially recurrent, potentially
+// periodic task (paper §I).
+type Process struct {
+	// Name identifies the process (unique within a PPN).
+	Name string
+	// Domain is the iteration domain; may be nil for opaque processes
+	// whose Iterations are given directly.
+	Domain *polyhedral.Set
+	// Iterations caches the domain cardinality (filled by Finalize when a
+	// Domain is present; otherwise must be set by the builder).
+	Iterations int64
+	// OpsPerIteration is the computational work of one firing, in
+	// abstract operations; drives the resource estimate.
+	OpsPerIteration int64
+	// Resources overrides the resource model when > 0 (e.g. from a
+	// synthesis report); otherwise EstimateResources applies.
+	Resources int64
+}
+
+// Channel is a FIFO between two processes.
+type Channel struct {
+	// From and To are producer and consumer process indices.
+	From, To int
+	// Tokens is the total number of tokens carried over one execution of
+	// the network (derived from the dependence relation).
+	Tokens int64
+	// TokenBytes is the size of one token (default 4, one word).
+	TokenBytes int64
+}
+
+// Traffic returns the channel's total traffic in bytes.
+func (c Channel) Traffic() int64 {
+	b := c.TokenBytes
+	if b <= 0 {
+		b = 4
+	}
+	return c.Tokens * b
+}
+
+// PPN is a process network.
+type PPN struct {
+	// Name labels the network.
+	Name string
+	// Processes are the nodes.
+	Processes []Process
+	// Channels are the FIFOs.
+	Channels []Channel
+}
+
+// ResourceModel converts process characteristics into an FPGA resource
+// estimate (a single resource kind, e.g. LUTs, as in the paper §V).
+type ResourceModel struct {
+	// BaseLUT is the fixed controller cost per process.
+	BaseLUT int64
+	// LUTPerOp is the datapath cost per operation of one firing.
+	LUTPerOp int64
+	// LUTPerPort is the FIFO interface cost per incident channel.
+	LUTPerPort int64
+}
+
+// DefaultResourceModel reflects a small streaming core on a mid-range
+// FPGA: ~50 LUT control skeleton, ~12 LUT per arithmetic op, ~8 LUT per
+// FIFO port.
+func DefaultResourceModel() ResourceModel {
+	return ResourceModel{BaseLUT: 50, LUTPerOp: 12, LUTPerPort: 8}
+}
+
+// AddProcess appends a process and returns its index.
+func (p *PPN) AddProcess(proc Process) int {
+	p.Processes = append(p.Processes, proc)
+	return len(p.Processes) - 1
+}
+
+// AddChannel appends a channel.
+func (p *PPN) AddChannel(ch Channel) {
+	p.Channels = append(p.Channels, ch)
+}
+
+// Finalize computes Iterations for every process with a Domain and
+// validates the network.
+func (p *PPN) Finalize() error {
+	for i := range p.Processes {
+		proc := &p.Processes[i]
+		if proc.Domain != nil {
+			n, err := proc.Domain.Count()
+			if err != nil {
+				return fmt.Errorf("ppn: process %s: %v", proc.Name, err)
+			}
+			proc.Iterations = n
+		}
+		if proc.Iterations <= 0 {
+			return fmt.Errorf("ppn: process %s has no iterations", proc.Name)
+		}
+	}
+	return p.Validate()
+}
+
+// Validate checks structural sanity: channel endpoints exist, names are
+// unique, token counts are non-negative.
+func (p *PPN) Validate() error {
+	seen := make(map[string]bool, len(p.Processes))
+	for _, proc := range p.Processes {
+		if proc.Name == "" {
+			return fmt.Errorf("ppn: unnamed process")
+		}
+		if seen[proc.Name] {
+			return fmt.Errorf("ppn: duplicate process name %q", proc.Name)
+		}
+		seen[proc.Name] = true
+	}
+	for i, ch := range p.Channels {
+		if ch.From < 0 || ch.From >= len(p.Processes) || ch.To < 0 || ch.To >= len(p.Processes) {
+			return fmt.Errorf("ppn: channel %d references missing process", i)
+		}
+		if ch.Tokens < 0 {
+			return fmt.Errorf("ppn: channel %d has negative tokens", i)
+		}
+	}
+	return nil
+}
+
+// EstimateResources applies the model to one process given its incident
+// channel count.
+func (m ResourceModel) EstimateResources(proc Process, ports int) int64 {
+	if proc.Resources > 0 {
+		return proc.Resources
+	}
+	ops := proc.OpsPerIteration
+	if ops <= 0 {
+		ops = 1
+	}
+	return m.BaseLUT + m.LUTPerOp*ops + m.LUTPerPort*int64(ports)
+}
+
+// ToGraph lowers the PPN to the partitioner's weighted undirected graph:
+// node weight = resource estimate, edge weight = channel traffic in
+// tokens (parallel and antiparallel channels between the same pair fold
+// with summed traffic; self-loop channels never cross a partition
+// boundary and are dropped). Node names carry over for visualisation.
+func (p *PPN) ToGraph(model ResourceModel) (*graph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ports := make([]int, len(p.Processes))
+	for _, ch := range p.Channels {
+		if ch.From != ch.To {
+			ports[ch.From]++
+			ports[ch.To]++
+		}
+	}
+	g := graph.New(len(p.Processes))
+	for i, proc := range p.Processes {
+		g.SetNodeWeight(graph.Node(i), model.EstimateResources(proc, ports[i]))
+		g.SetName(graph.Node(i), proc.Name)
+	}
+	for _, ch := range p.Channels {
+		if ch.From == ch.To {
+			continue
+		}
+		if ch.Tokens == 0 {
+			continue
+		}
+		if err := g.AddEdge(graph.Node(ch.From), graph.Node(ch.To), ch.Tokens); err != nil {
+			return nil, fmt.Errorf("ppn: lowering channel %d->%d: %v", ch.From, ch.To, err)
+		}
+	}
+	return g, nil
+}
+
+// TotalTokens sums the traffic of all channels.
+func (p *PPN) TotalTokens() int64 {
+	var s int64
+	for _, ch := range p.Channels {
+		s += ch.Tokens
+	}
+	return s
+}
+
+// String summarizes the network.
+func (p *PPN) String() string {
+	return fmt.Sprintf("PPN(%s: %d processes, %d channels, %d tokens)",
+		p.Name, len(p.Processes), len(p.Channels), p.TotalTokens())
+}

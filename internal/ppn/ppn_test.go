@@ -1,0 +1,349 @@
+package ppn
+
+import (
+	"strings"
+	"testing"
+
+	"ppnpart/internal/polyhedral"
+)
+
+func TestPPNBuildAndValidate(t *testing.T) {
+	net := &PPN{Name: "t"}
+	a := net.AddProcess(Process{Name: "a", Iterations: 10, OpsPerIteration: 2})
+	b := net.AddProcess(Process{Name: "b", Iterations: 10, OpsPerIteration: 3})
+	net.AddChannel(Channel{From: a, To: b, Tokens: 10})
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if net.TotalTokens() != 10 {
+		t.Fatalf("tokens = %d", net.TotalTokens())
+	}
+	if !strings.Contains(net.String(), "2 processes") {
+		t.Fatalf("String = %q", net.String())
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	dup := &PPN{}
+	dup.AddProcess(Process{Name: "x", Iterations: 1})
+	dup.AddProcess(Process{Name: "x", Iterations: 1})
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	unnamed := &PPN{}
+	unnamed.AddProcess(Process{Iterations: 1})
+	if err := unnamed.Validate(); err == nil {
+		t.Fatal("unnamed process accepted")
+	}
+	dangling := &PPN{}
+	dangling.AddProcess(Process{Name: "a", Iterations: 1})
+	dangling.AddChannel(Channel{From: 0, To: 5, Tokens: 1})
+	if err := dangling.Validate(); err == nil {
+		t.Fatal("dangling channel accepted")
+	}
+	negative := &PPN{}
+	negative.AddProcess(Process{Name: "a", Iterations: 1})
+	negative.AddProcess(Process{Name: "b", Iterations: 1})
+	negative.AddChannel(Channel{From: 0, To: 1, Tokens: -5})
+	if err := negative.Validate(); err == nil {
+		t.Fatal("negative tokens accepted")
+	}
+}
+
+func TestFinalizeComputesIterations(t *testing.T) {
+	dom, _ := polyhedral.Box([]string{"i"}, []int64{0}, []int64{9})
+	net := &PPN{}
+	net.AddProcess(Process{Name: "p", Domain: dom, OpsPerIteration: 1})
+	if err := net.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if net.Processes[0].Iterations != 10 {
+		t.Fatalf("iterations = %d, want 10", net.Processes[0].Iterations)
+	}
+	empty := &PPN{}
+	empty.AddProcess(Process{Name: "q"})
+	if err := empty.Finalize(); err == nil {
+		t.Fatal("process with no iterations accepted")
+	}
+}
+
+func TestChannelTraffic(t *testing.T) {
+	c := Channel{Tokens: 10}
+	if c.Traffic() != 40 {
+		t.Fatalf("default token bytes: traffic = %d, want 40", c.Traffic())
+	}
+	c.TokenBytes = 8
+	if c.Traffic() != 80 {
+		t.Fatalf("traffic = %d, want 80", c.Traffic())
+	}
+}
+
+func TestResourceModel(t *testing.T) {
+	m := DefaultResourceModel()
+	p := Process{Name: "p", OpsPerIteration: 3}
+	r := m.EstimateResources(p, 2)
+	want := m.BaseLUT + 3*m.LUTPerOp + 2*m.LUTPerPort
+	if r != want {
+		t.Fatalf("resources = %d, want %d", r, want)
+	}
+	// Explicit resources override the model.
+	p.Resources = 999
+	if m.EstimateResources(p, 2) != 999 {
+		t.Fatal("explicit resources not honored")
+	}
+	// Zero ops defaults to 1.
+	q := Process{Name: "q"}
+	if m.EstimateResources(q, 0) != m.BaseLUT+m.LUTPerOp {
+		t.Fatal("zero-op default wrong")
+	}
+}
+
+func TestToGraphLowering(t *testing.T) {
+	net := &PPN{Name: "t"}
+	a := net.AddProcess(Process{Name: "a", Iterations: 10, OpsPerIteration: 1})
+	b := net.AddProcess(Process{Name: "b", Iterations: 10, OpsPerIteration: 1})
+	c := net.AddProcess(Process{Name: "c", Iterations: 10, OpsPerIteration: 1})
+	net.AddChannel(Channel{From: a, To: b, Tokens: 7})
+	net.AddChannel(Channel{From: b, To: a, Tokens: 5}) // antiparallel folds
+	net.AddChannel(Channel{From: b, To: c, Tokens: 3})
+	net.AddChannel(Channel{From: c, To: c, Tokens: 99}) // self loop dropped
+	net.AddChannel(Channel{From: a, To: c, Tokens: 0})  // zero-token dropped
+	g, err := net.ToGraph(DefaultResourceModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("graph shape %s", g)
+	}
+	if g.EdgeWeight(0, 1) != 12 {
+		t.Fatalf("folded edge weight = %d, want 12", g.EdgeWeight(0, 1))
+	}
+	if g.Name(0) != "a" {
+		t.Fatal("names not carried over")
+	}
+	// Port counts: a has 2 incident (a->b, b->a), b has 3, self loop not
+	// counted; zero-token channel still counts as a port (it exists).
+	m := DefaultResourceModel()
+	wantA := m.BaseLUT + m.LUTPerOp + 3*m.LUTPerPort // a: a->b, b->a, a->c
+	if g.NodeWeight(0) != wantA {
+		t.Fatalf("node a weight = %d, want %d", g.NodeWeight(0), wantA)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeriveSimpleChain(t *testing.T) {
+	dom, _ := polyhedral.Box([]string{"i"}, []int64{0}, []int64{99})
+	ident := polyhedral.Identity("i")
+	prog := Program{
+		Name: "chain",
+		Statements: []Statement{
+			{Name: "p", Domain: dom, Ops: 1},
+			{Name: "c", Domain: dom, Ops: 2},
+		},
+		Dependences: []Dependence{{Producer: 0, Consumer: 1, Map: ident}},
+	}
+	net, err := Derive(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Channels) != 1 || net.Channels[0].Tokens != 100 {
+		t.Fatalf("channels = %+v", net.Channels)
+	}
+	if net.Processes[0].Iterations != 100 {
+		t.Fatal("iterations not derived")
+	}
+}
+
+func TestDeriveShiftDependencePartialOverlap(t *testing.T) {
+	// Producer [0,9] feeding consumer i+1 in [0,9]: images 1..10, inside
+	// the domain only 1..9 → 9 tokens.
+	dom, _ := polyhedral.Box([]string{"i"}, []int64{0}, []int64{9})
+	shift, _ := polyhedral.Shift([]string{"i"}, []int64{1})
+	prog := Program{
+		Statements: []Statement{
+			{Name: "p", Domain: dom, Ops: 1},
+			{Name: "c", Domain: dom, Ops: 1},
+		},
+		Dependences: []Dependence{{Producer: 0, Consumer: 1, Map: shift}},
+	}
+	net, err := Derive(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Channels[0].Tokens != 9 {
+		t.Fatalf("tokens = %d, want 9", net.Channels[0].Tokens)
+	}
+}
+
+func TestDeriveErrors(t *testing.T) {
+	dom, _ := polyhedral.Box([]string{"i"}, []int64{0}, []int64{9})
+	if _, err := Derive(Program{Statements: []Statement{{Name: "x"}}}); err == nil {
+		t.Fatal("statement without domain accepted")
+	}
+	bad := Program{
+		Statements:  []Statement{{Name: "x", Domain: dom}},
+		Dependences: []Dependence{{Producer: 0, Consumer: 5, Map: polyhedral.Identity("i")}},
+	}
+	if _, err := Derive(bad); err == nil {
+		t.Fatal("dangling dependence accepted")
+	}
+	noMap := Program{
+		Statements:  []Statement{{Name: "x", Domain: dom}, {Name: "y", Domain: dom}},
+		Dependences: []Dependence{{Producer: 0, Consumer: 1}},
+	}
+	if _, err := Derive(noMap); err == nil {
+		t.Fatal("dependence without map accepted")
+	}
+}
+
+func TestFIRKernel(t *testing.T) {
+	net, err := FIR(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src + 4 macs + snk = 6 processes.
+	if len(net.Processes) != 6 {
+		t.Fatalf("processes = %d, want 6", len(net.Processes))
+	}
+	// Each MAC has 2 inputs, sink has 1: 9 channels.
+	if len(net.Channels) != 9 {
+		t.Fatalf("channels = %d, want 9", len(net.Channels))
+	}
+	for _, ch := range net.Channels {
+		if ch.Tokens != 100 {
+			t.Fatalf("channel tokens = %d, want 100", ch.Tokens)
+		}
+	}
+	g, err := net.ToGraph(DefaultResourceModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Fatal("FIR graph disconnected")
+	}
+	if _, err := FIR(0, 10); err == nil {
+		t.Fatal("0 taps accepted")
+	}
+}
+
+func TestJacobi1DKernel(t *testing.T) {
+	net, err := Jacobi1D(50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Processes) != 4 { // init + 3 steps
+		t.Fatalf("processes = %d, want 4", len(net.Processes))
+	}
+	// Step 0 consumes from init (full domain [0,49]); interior [1,48]:
+	// center dep = 48 tokens, left (i->i+1) = 48, right (i->i-1) = 48.
+	for _, ch := range net.Channels[:3] {
+		if ch.Tokens < 46 || ch.Tokens > 48 {
+			t.Fatalf("halo channel tokens = %d, want 46..48", ch.Tokens)
+		}
+	}
+	if _, err := Jacobi1D(2, 1); err == nil {
+		t.Fatal("tiny Jacobi accepted")
+	}
+}
+
+func TestMatMulKernel(t *testing.T) {
+	net, err := MatMul(3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 streamers + 9 blocks + 1 collector = 12 processes.
+	if len(net.Processes) != 12 {
+		t.Fatalf("processes = %d, want 12", len(net.Processes))
+	}
+	if len(net.Channels) != 27 { // 9 blocks × 3 channels
+		t.Fatalf("channels = %d, want 27", len(net.Channels))
+	}
+	if _, err := MatMul(0, 4); err == nil {
+		t.Fatal("0 blocks accepted")
+	}
+}
+
+func TestPipelineKernel(t *testing.T) {
+	net, err := Pipeline(5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Processes) != 5 || len(net.Channels) != 4 {
+		t.Fatalf("shape: %d processes, %d channels", len(net.Processes), len(net.Channels))
+	}
+	for _, ch := range net.Channels {
+		if ch.Tokens != 200 {
+			t.Fatalf("tokens = %d, want 200", ch.Tokens)
+		}
+	}
+	if _, err := Pipeline(1, 10); err == nil {
+		t.Fatal("1-stage pipeline accepted")
+	}
+}
+
+func TestSplitMergeKernel(t *testing.T) {
+	net, err := SplitMerge(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Processes) != 6 { // split + merge + 4 workers
+		t.Fatalf("processes = %d, want 6", len(net.Processes))
+	}
+	// Total split-side tokens must equal the stream length.
+	var splitTokens int64
+	for _, ch := range net.Channels {
+		if ch.From == 0 {
+			splitTokens += ch.Tokens
+		}
+	}
+	if splitTokens != 100 {
+		t.Fatalf("split tokens = %d, want 100", splitTokens)
+	}
+	if _, err := SplitMerge(1, 10); err == nil {
+		t.Fatal("1-way split accepted")
+	}
+}
+
+func TestKernelsLowerAndPartitionable(t *testing.T) {
+	// Every kernel must lower to a valid, connected graph.
+	nets := []*PPN{}
+	if n, err := FIR(8, 256); err == nil {
+		nets = append(nets, n)
+	} else {
+		t.Fatal(err)
+	}
+	if n, err := Jacobi1D(64, 4); err == nil {
+		nets = append(nets, n)
+	} else {
+		t.Fatal(err)
+	}
+	if n, err := MatMul(4, 8); err == nil {
+		nets = append(nets, n)
+	} else {
+		t.Fatal(err)
+	}
+	if n, err := Pipeline(10, 512); err == nil {
+		nets = append(nets, n)
+	} else {
+		t.Fatal(err)
+	}
+	if n, err := SplitMerge(6, 600); err == nil {
+		nets = append(nets, n)
+	} else {
+		t.Fatal(err)
+	}
+	for _, n := range nets {
+		g, err := n.ToGraph(DefaultResourceModel())
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("%s: disconnected", n.Name)
+		}
+	}
+}

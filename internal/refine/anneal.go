@@ -1,0 +1,90 @@
+package refine
+
+import (
+	"math"
+	"math/rand"
+
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+)
+
+// AnnealOptions configures Anneal.
+type AnnealOptions struct {
+	// Iterations is the number of proposed moves (default 200·n).
+	Iterations int
+	// InitialTemp sets the starting temperature as a fraction of the
+	// total edge weight (default 0.05).
+	InitialTemp float64
+	// Cooling is the geometric cooling factor applied every n proposals
+	// (default 0.95).
+	Cooling float64
+}
+
+// Anneal refines a k-way partition by simulated annealing on the same
+// constrained objective as TabuSearch: random single-node moves, always
+// accepted when improving, accepted with probability exp(-Δ/T) when
+// worsening, geometric cooling. The best state seen is restored at the
+// end. The rng makes runs reproducible.
+func Anneal(g *graph.Graph, parts []int, k int, c metrics.Constraints, opts AnnealOptions, rng *rand.Rand) (Stats, bool) {
+	n := g.NumNodes()
+	if opts.Iterations <= 0 {
+		opts.Iterations = 200 * n
+	}
+	if opts.InitialTemp <= 0 {
+		opts.InitialTemp = 0.05
+	}
+	if opts.Cooling <= 0 || opts.Cooling >= 1 {
+		opts.Cooling = 0.95
+	}
+	st := Stats{CutBefore: metrics.EdgeCut(g, parts)}
+	if n == 0 || k < 2 {
+		st.CutAfter = st.CutBefore
+		return st, metrics.Feasible(g, parts, k, c)
+	}
+	s := newBWState(g, parts, k)
+	penalty := penaltyUnit(g)
+	bmax := c.Bmax
+	if bmax <= 0 {
+		bmax = 1 << 62
+	}
+	cur := objective(st.CutBefore, s.excess(bmax)+resourceExcess(s.res, c.Rmax), penalty)
+	best := cur
+	bestParts := append([]int(nil), parts...)
+	temp := opts.InitialTemp * float64(g.TotalEdgeWeight()+1)
+
+	for iter := 0; iter < opts.Iterations; iter++ {
+		if iter > 0 && iter%n == 0 {
+			temp *= opts.Cooling
+		}
+		u := graph.Node(rng.Intn(n))
+		from := s.parts[u]
+		if s.cnt[from] == 1 {
+			continue
+		}
+		to := rng.Intn(k - 1)
+		if to >= from {
+			to++
+		}
+		ed, cd := s.moveDelta(u, to, bmax)
+		red := resourceMoveDelta(s.res, from, to, g.NodeWeight(u), c.Rmax)
+		dObj := cd + (ed+red)*penalty
+		accept := dObj <= 0
+		if !accept && temp > 0 {
+			accept = rng.Float64() < math.Exp(-float64(dObj)/temp)
+		}
+		if !accept {
+			continue
+		}
+		s.apply(u, to)
+		cur += dObj
+		st.Moves++
+		if cur < best {
+			best = cur
+			copy(bestParts, s.parts)
+		}
+	}
+	copy(parts, bestParts)
+	st.Passes = 1
+	st.CutAfter = metrics.EdgeCut(g, parts)
+	return st, metrics.Feasible(g, parts, k, c)
+}

@@ -1,0 +1,289 @@
+package refine
+
+import (
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+)
+
+// BandwidthStats reports the outcome of a bandwidth-repair run.
+type BandwidthStats struct {
+	// Moves is the number of node moves applied.
+	Moves int
+	// Passes is the number of repair sweeps executed.
+	Passes int
+	// ExcessBefore and ExcessAfter are the summed pairwise-bandwidth
+	// excesses over Bmax before and after the run.
+	ExcessBefore, ExcessAfter int64
+	// Feasible reports whether every pair now meets Bmax.
+	Feasible bool
+}
+
+// bwState tracks the pairwise bandwidth matrix and per-part resources
+// incrementally so each candidate move is O(degree).
+type bwState struct {
+	g     *graph.Graph
+	parts []int
+	k     int
+	bw    [][]int64
+	res   []int64
+	cnt   []int
+	conn  []int64 // scratch: per-part connectivity of the node in hand
+}
+
+func newBWState(g *graph.Graph, parts []int, k int) *bwState {
+	s := &bwState{
+		g:     g,
+		parts: parts,
+		k:     k,
+		bw:    metrics.BandwidthMatrix(g, parts, k),
+		res:   metrics.PartResources(g, parts, k),
+		cnt:   metrics.PartSizes(parts, k),
+		conn:  make([]int64, k),
+	}
+	return s
+}
+
+// connectivity fills the scratch buffer with u's edge weight into each
+// part and returns it. The buffer is invalidated by the next call.
+func (s *bwState) connectivity(u graph.Node) []int64 {
+	for i := range s.conn {
+		s.conn[i] = 0
+	}
+	for _, h := range s.g.Neighbors(u) {
+		s.conn[s.parts[h.To]] += h.Weight
+	}
+	return s.conn
+}
+
+// excess returns the total pairwise bandwidth above bmax.
+func (s *bwState) excess(bmax int64) int64 {
+	var e int64
+	for i := 0; i < s.k; i++ {
+		for j := i + 1; j < s.k; j++ {
+			if s.bw[i][j] > bmax {
+				e += s.bw[i][j] - bmax
+			}
+		}
+	}
+	return e
+}
+
+// moveDelta computes, without mutating, how the total excess over bmax
+// would change if u moved from its part to `to`, along with the cut delta.
+func (s *bwState) moveDelta(u graph.Node, to int, bmax int64) (excessDelta, cutDelta int64) {
+	from := s.parts[u]
+	conn := s.connectivity(u)
+	over := func(v int64) int64 {
+		if v > bmax {
+			return v - bmax
+		}
+		return 0
+	}
+	// Pairs whose bandwidth changes: (from,p) loses conn[p] for p != from,to;
+	// (to,p) gains conn[p] for p != from,to; (from,to) becomes
+	// bw[from][to] - conn[to] + conn[from].
+	for p := 0; p < s.k; p++ {
+		if p == from || p == to {
+			continue
+		}
+		if conn[p] == 0 {
+			continue
+		}
+		excessDelta += over(s.bw[from][p]-conn[p]) - over(s.bw[from][p])
+		excessDelta += over(s.bw[to][p]+conn[p]) - over(s.bw[to][p])
+	}
+	newFT := s.bw[from][to] - conn[to] + conn[from]
+	excessDelta += over(newFT) - over(s.bw[from][to])
+	cutDelta = conn[from] - conn[to]
+	return excessDelta, cutDelta
+}
+
+// apply moves u to part `to`, updating the matrices.
+func (s *bwState) apply(u graph.Node, to int) {
+	from := s.parts[u]
+	conn := s.connectivity(u)
+	for p := 0; p < s.k; p++ {
+		if p == from || p == to {
+			continue
+		}
+		s.bw[from][p] -= conn[p]
+		s.bw[p][from] = s.bw[from][p]
+		s.bw[to][p] += conn[p]
+		s.bw[p][to] = s.bw[to][p]
+	}
+	nft := s.bw[from][to] - conn[to] + conn[from]
+	s.bw[from][to] = nft
+	s.bw[to][from] = nft
+	w := s.g.NodeWeight(u)
+	s.res[from] -= w
+	s.res[to] += w
+	s.cnt[from]--
+	s.cnt[to]++
+	s.parts[u] = to
+}
+
+// RepairBandwidth greedily moves boundary nodes between parts to drive
+// every pairwise bandwidth under c.Bmax, while respecting c.Rmax on the
+// destination part when possible (the paper's FM-based bandwidth-repair
+// step of §IV-B/§IV-C: "Partitions will be changed and nodes will move
+// between partitions as far as constraints met"). Each pass considers all
+// nodes incident to an over-budget pair and applies the move with the best
+// (excess reduction, cut reduction) lexicographic gain; a node moves at
+// most once per pass. Stops when feasible, when a pass makes no progress,
+// or after maxPasses (default 16).
+func RepairBandwidth(g *graph.Graph, parts []int, k int, c metrics.Constraints, maxPasses int) BandwidthStats {
+	if maxPasses <= 0 {
+		maxPasses = 16
+	}
+	st := BandwidthStats{}
+	if c.Bmax <= 0 {
+		st.Feasible = true
+		return st
+	}
+	s := newBWState(g, parts, k)
+	st.ExcessBefore = s.excess(c.Bmax)
+	st.ExcessAfter = st.ExcessBefore
+	if st.ExcessBefore == 0 {
+		st.Feasible = true
+		return st
+	}
+	n := g.NumNodes()
+	for pass := 0; pass < maxPasses; pass++ {
+		st.Passes++
+		moved := make([]bool, n)
+		progressed := false
+		for {
+			// Collect nodes incident to violating pairs.
+			var bestU graph.Node = -1
+			bestTo := -1
+			var bestExcess, bestCut int64
+			for u := 0; u < n; u++ {
+				if moved[u] {
+					continue
+				}
+				un := graph.Node(u)
+				from := s.parts[u]
+				if s.cnt[from] == 1 {
+					continue
+				}
+				// Is u on a violating pair's boundary?
+				touches := false
+				for _, h := range g.Neighbors(un) {
+					p := s.parts[h.To]
+					if p != from && s.bw[from][p] > c.Bmax {
+						touches = true
+						break
+					}
+				}
+				if !touches {
+					continue
+				}
+				w := g.NodeWeight(un)
+				for to := 0; to < k; to++ {
+					if to == from {
+						continue
+					}
+					if c.Rmax > 0 && s.res[to]+w > c.Rmax {
+						continue
+					}
+					ed, cd := s.moveDelta(un, to, c.Bmax)
+					if ed < bestExcess || (ed == bestExcess && ed < 0 && cd < bestCut) {
+						bestU, bestTo, bestExcess, bestCut = un, to, ed, cd
+					}
+				}
+			}
+			if bestU < 0 || bestExcess >= 0 {
+				break
+			}
+			s.apply(bestU, bestTo)
+			moved[bestU] = true
+			st.Moves++
+			progressed = true
+			st.ExcessAfter += bestExcess
+			if st.ExcessAfter == 0 {
+				st.Feasible = true
+				return st
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	st.ExcessAfter = s.excess(c.Bmax)
+	st.Feasible = st.ExcessAfter == 0
+	return st
+}
+
+// RebalanceResources moves nodes out of parts whose resource total
+// exceeds rmax into the part with the most free space, preferring moves
+// that increase the cut least. It is the repair used after the greedy
+// initial partitioning when forced placement overfilled a part. Stops
+// when all parts fit, when stuck, or after maxPasses (default 16).
+// Returns the number of moves applied and whether all parts now fit.
+func RebalanceResources(g *graph.Graph, parts []int, k int, rmax int64, maxPasses int) (int, bool) {
+	if rmax <= 0 {
+		return 0, true
+	}
+	if maxPasses <= 0 {
+		maxPasses = 16
+	}
+	res := metrics.PartResources(g, parts, k)
+	cnt := metrics.PartSizes(parts, k)
+	fits := func() bool {
+		for _, r := range res {
+			if r > rmax {
+				return false
+			}
+		}
+		return true
+	}
+	moves := 0
+	n := g.NumNodes()
+	conn := make([]int64, k)
+	for pass := 0; pass < maxPasses && !fits(); pass++ {
+		progressed := false
+		for u := 0; u < n && !fits(); u++ {
+			un := graph.Node(u)
+			from := parts[u]
+			if res[from] <= rmax || cnt[from] == 1 {
+				continue
+			}
+			w := g.NodeWeight(un)
+			for i := range conn {
+				conn[i] = 0
+			}
+			for _, h := range g.Neighbors(un) {
+				conn[parts[h.To]] += h.Weight
+			}
+			// Choose the destination that fits and costs the least cut,
+			// breaking ties toward the most free space.
+			bestTo := -1
+			var bestCost int64
+			var bestFree int64
+			for to := 0; to < k; to++ {
+				if to == from || res[to]+w > rmax {
+					continue
+				}
+				cost := conn[from] - conn[to]
+				free := rmax - (res[to] + w)
+				if bestTo < 0 || cost < bestCost || (cost == bestCost && free > bestFree) {
+					bestTo, bestCost, bestFree = to, cost, free
+				}
+			}
+			if bestTo < 0 {
+				continue
+			}
+			parts[u] = bestTo
+			res[from] -= w
+			res[bestTo] += w
+			cnt[from]--
+			cnt[bestTo]++
+			moves++
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	return moves, fits()
+}

@@ -1,0 +1,252 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+)
+
+func TestBWStateMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomConnected(rng, 40)
+	k := 4
+	parts := make([]int, 40)
+	for i := range parts {
+		parts[i] = rng.Intn(k)
+	}
+	s := newBWState(g, parts, k)
+	// Apply a series of random moves and check incremental state equals a
+	// from-scratch recomputation after each.
+	for step := 0; step < 30; step++ {
+		u := graph.Node(rng.Intn(40))
+		to := rng.Intn(k)
+		if to == parts[u] || s.cnt[parts[u]] == 1 {
+			continue
+		}
+		s.apply(u, to)
+		want := metrics.BandwidthMatrix(g, parts, k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				if s.bw[i][j] != want[i][j] {
+					t.Fatalf("step %d: bw[%d][%d] = %d, want %d", step, i, j, s.bw[i][j], want[i][j])
+				}
+			}
+		}
+		wantRes := metrics.PartResources(g, parts, k)
+		for i := 0; i < k; i++ {
+			if s.res[i] != wantRes[i] {
+				t.Fatalf("step %d: res[%d] = %d, want %d", step, i, s.res[i], wantRes[i])
+			}
+		}
+	}
+}
+
+func TestMoveDeltaMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomConnected(rng, 30)
+	k := 3
+	var bmax int64 = 25
+	parts := make([]int, 30)
+	for i := range parts {
+		parts[i] = rng.Intn(k)
+	}
+	s := newBWState(g, parts, k)
+	for step := 0; step < 40; step++ {
+		u := graph.Node(rng.Intn(30))
+		to := rng.Intn(k)
+		if to == parts[u] || s.cnt[parts[u]] == 1 {
+			continue
+		}
+		exBefore := s.excess(bmax)
+		cutBefore := metrics.EdgeCut(g, parts)
+		ed, cd := s.moveDelta(u, to, bmax)
+		s.apply(u, to)
+		exAfter := s.excess(bmax)
+		cutAfter := metrics.EdgeCut(g, parts)
+		if exAfter-exBefore != ed {
+			t.Fatalf("step %d: excess delta predicted %d, actual %d", step, ed, exAfter-exBefore)
+		}
+		if cutAfter-cutBefore != cd {
+			t.Fatalf("step %d: cut delta predicted %d, actual %d", step, cd, cutAfter-cutBefore)
+		}
+	}
+}
+
+func TestRepairBandwidthFixesViolation(t *testing.T) {
+	// Two halves with a heavy bundle of edges between them; a third part
+	// can absorb boundary nodes to split the traffic.
+	g := graph.New(9)
+	// Parts: 0 = {0,1,2}, 1 = {3,4,5}, 2 = {6,7,8}.
+	parts := []int{0, 0, 0, 1, 1, 1, 2, 2, 2}
+	// Heavy traffic between parts 0 and 1 via nodes 2-3 and 1-4.
+	g.MustAddEdge(2, 3, 10)
+	g.MustAddEdge(1, 4, 10)
+	// Light internal edges.
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(3, 4, 1)
+	g.MustAddEdge(4, 5, 1)
+	g.MustAddEdge(6, 7, 1)
+	g.MustAddEdge(7, 8, 1)
+	// Links so part 2 is adjacent to both.
+	g.MustAddEdge(5, 6, 1)
+	g.MustAddEdge(0, 8, 1)
+
+	c := metrics.Constraints{Bmax: 12}
+	if metrics.Feasible(g, parts, 3, c) {
+		t.Fatal("test setup: expected initial violation")
+	}
+	st := RepairBandwidth(g, parts, 3, c, 0)
+	if !st.Feasible {
+		t.Fatalf("repair failed: %+v, bw=%v", st, metrics.BandwidthMatrix(g, parts, 3))
+	}
+	if !metrics.Feasible(g, parts, 3, c) {
+		t.Fatal("stats claim feasible but metrics disagree")
+	}
+	if st.Moves == 0 {
+		t.Fatal("repair reported no moves despite fixing a violation")
+	}
+	if st.ExcessAfter != 0 || st.ExcessBefore <= 0 {
+		t.Fatalf("excess accounting wrong: %+v", st)
+	}
+}
+
+func TestRepairBandwidthNoopWhenFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomConnected(rng, 20)
+	parts := make([]int, 20)
+	for i := range parts {
+		parts[i] = i % 2
+	}
+	huge := metrics.Constraints{Bmax: 1 << 40}
+	st := RepairBandwidth(g, parts, 2, huge, 0)
+	if !st.Feasible || st.Moves != 0 {
+		t.Fatalf("feasible input should be a no-op: %+v", st)
+	}
+	// Bmax <= 0 disables the pass entirely.
+	st2 := RepairBandwidth(g, parts, 2, metrics.Constraints{}, 0)
+	if !st2.Feasible || st2.Moves != 0 {
+		t.Fatalf("unconstrained input should be a no-op: %+v", st2)
+	}
+}
+
+func TestRepairBandwidthRespectsRmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		g := randomConnected(rng, 30)
+		k := 3
+		parts := make([]int, 30)
+		for i := range parts {
+			parts[i] = rng.Intn(k)
+		}
+		res := metrics.PartResources(g, parts, k)
+		var rmax int64
+		for _, r := range res {
+			if r > rmax {
+				rmax = r
+			}
+		}
+		c := metrics.Constraints{Bmax: 10, Rmax: rmax}
+		RepairBandwidth(g, parts, k, c, 4)
+		for p, r := range metrics.PartResources(g, parts, k) {
+			if r > rmax {
+				t.Fatalf("trial %d: part %d resource %d > Rmax %d", trial, p, r, rmax)
+			}
+		}
+	}
+}
+
+func TestRepairBandwidthNeverIncreasesExcess(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnected(rng, 10+rng.Intn(40))
+		k := 2 + rng.Intn(4)
+		parts := make([]int, g.NumNodes())
+		for i := range parts {
+			parts[i] = rng.Intn(k)
+		}
+		bmax := int64(1 + rng.Intn(30))
+		c := metrics.Constraints{Bmax: bmax}
+		s := newBWState(g, append([]int(nil), parts...), k)
+		before := s.excess(bmax)
+		st := RepairBandwidth(g, parts, k, c, 4)
+		if st.ExcessBefore != before {
+			return false
+		}
+		after := newBWState(g, parts, k).excess(bmax)
+		return st.ExcessAfter == after && after <= before &&
+			metrics.Validate(g, parts, k) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebalanceResources(t *testing.T) {
+	// Part 0 holds everything; rmax forces spreading across 3 parts.
+	g := graph.NewWithWeights([]int64{10, 10, 10, 10, 10, 10})
+	for i := 1; i < 6; i++ {
+		g.MustAddEdge(graph.Node(i-1), graph.Node(i), 1)
+	}
+	parts := []int{0, 0, 0, 0, 1, 2}
+	moves, ok := RebalanceResources(g, parts, 3, 20, 0)
+	if !ok {
+		t.Fatalf("rebalance failed; res=%v", metrics.PartResources(g, parts, 3))
+	}
+	if moves == 0 {
+		t.Fatal("expected moves")
+	}
+	for p, r := range metrics.PartResources(g, parts, 3) {
+		if r > 20 {
+			t.Fatalf("part %d still overflows: %d", p, r)
+		}
+	}
+}
+
+func TestRebalanceResourcesImpossible(t *testing.T) {
+	// One node heavier than rmax can never fit.
+	g := graph.NewWithWeights([]int64{100, 1})
+	g.MustAddEdge(0, 1, 1)
+	parts := []int{0, 1}
+	_, ok := RebalanceResources(g, parts, 2, 50, 0)
+	if ok {
+		t.Fatal("impossible instance reported balanced")
+	}
+}
+
+func TestRebalanceResourcesNoopWhenFits(t *testing.T) {
+	g := graph.NewWithWeights([]int64{5, 5})
+	g.MustAddEdge(0, 1, 1)
+	parts := []int{0, 1}
+	moves, ok := RebalanceResources(g, parts, 2, 10, 0)
+	if !ok || moves != 0 {
+		t.Fatalf("fitting input should be a no-op: moves=%d ok=%v", moves, ok)
+	}
+	// rmax <= 0 disables the pass.
+	moves, ok = RebalanceResources(g, parts, 2, 0, 0)
+	if !ok || moves != 0 {
+		t.Fatal("disabled pass should be a no-op")
+	}
+}
+
+func TestPropertyRebalanceNeverOverflowsFittingParts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnected(rng, 10+rng.Intn(30))
+		k := 2 + rng.Intn(3)
+		parts := make([]int, g.NumNodes())
+		for i := range parts {
+			parts[i] = rng.Intn(k)
+		}
+		// Generous bound: total/k * 2.
+		rmax := 2 * g.TotalNodeWeight() / int64(k)
+		RebalanceResources(g, parts, k, rmax, 8)
+		return metrics.Validate(g, parts, k) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+package refine
+
+import (
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+)
+
+// Stats summarizes what a refinement pass achieved.
+type Stats struct {
+	// Passes is the number of full passes executed.
+	Passes int
+	// Moves is the number of node moves kept (after rollback).
+	Moves int
+	// CutBefore and CutAfter bracket the global edge cut.
+	CutBefore, CutAfter int64
+}
+
+// Improved reports whether the refinement reduced the cut.
+func (s Stats) Improved() bool { return s.CutAfter < s.CutBefore }
+
+// FMBisect runs Fiduccia–Mattheyses passes on a 2-way partition
+// (parts[u] ∈ {0,1}), mutating parts in place. Each pass moves every node
+// at most once, always taking the highest-gain admissible move, allowing
+// negative-gain moves (hill climbing), and finally rolls back to the best
+// prefix seen. maxResource bounds the node-weight total of each side
+// (<= 0: the only bound is that no side may be emptied); maxPasses <= 0
+// defaults to 8. Terminates when a pass yields no improvement.
+func FMBisect(g *graph.Graph, parts []int, maxResource int64, maxPasses int) Stats {
+	if maxPasses <= 0 {
+		maxPasses = 8
+	}
+	st := Stats{CutBefore: metrics.EdgeCut(g, parts)}
+	cur := st.CutBefore
+	for pass := 0; pass < maxPasses; pass++ {
+		st.Passes++
+		improved, newCut, kept := fmBisectPass(g, parts, maxResource, cur)
+		cur = newCut
+		st.Moves += kept
+		if !improved {
+			break
+		}
+	}
+	st.CutAfter = cur
+	return st
+}
+
+// fmBisectPass runs one FM pass. Returns (improved, cut after rollback,
+// moves kept).
+func fmBisectPass(g *graph.Graph, parts []int, maxResource int64, startCut int64) (bool, int64, int) {
+	n := g.NumNodes()
+	// Side resource totals.
+	var res [2]int64
+	var cnt [2]int
+	for u := 0; u < n; u++ {
+		res[parts[u]] += g.NodeWeight(graph.Node(u))
+		cnt[parts[u]]++
+	}
+	// gain(u) = external(u) - internal(u): cut reduction if u switches side.
+	pq := newGainPQ(n)
+	gains := make([]int64, n)
+	for u := 0; u < n; u++ {
+		var ext, int_ int64
+		for _, h := range g.Neighbors(graph.Node(u)) {
+			if parts[h.To] == parts[u] {
+				int_ += h.Weight
+			} else {
+				ext += h.Weight
+			}
+		}
+		gains[u] = ext - int_
+		pq.Push(graph.Node(u), gains[u])
+	}
+	locked := make([]bool, n)
+	type move struct {
+		node graph.Node
+		from int
+	}
+	var seq []move
+	cut := startCut
+	bestCut := startCut
+	bestLen := 0
+
+	for pq.Len() > 0 {
+		// Find the best admissible move: highest gain whose move does not
+		// overflow the destination or empty the source.
+		var chosen graph.Node = -1
+		var skipped []graph.Node
+		for pq.Len() > 0 {
+			u, _ := pq.Pop()
+			from := parts[u]
+			to := 1 - from
+			w := g.NodeWeight(u)
+			overflow := maxResource > 0 && res[to]+w > maxResource
+			empties := cnt[from] == 1
+			if overflow || empties {
+				skipped = append(skipped, u)
+				continue
+			}
+			chosen = u
+			break
+		}
+		// Skipped nodes stay candidates for later (resources shift).
+		for _, s := range skipped {
+			pq.Push(s, gains[s])
+		}
+		if chosen < 0 {
+			break
+		}
+		u := chosen
+		from := parts[u]
+		to := 1 - from
+		cut -= gains[u]
+		parts[u] = to
+		res[from] -= g.NodeWeight(u)
+		res[to] += g.NodeWeight(u)
+		cnt[from]--
+		cnt[to]++
+		locked[u] = true
+		seq = append(seq, move{u, from})
+		// Update neighbor gains: for neighbor v on side s, edge {u,v}
+		// changed from internal↔external.
+		for _, h := range g.Neighbors(u) {
+			v := h.To
+			if locked[v] {
+				continue
+			}
+			var delta int64
+			if parts[v] == to {
+				// Edge was external to v (u was opposite), now internal.
+				delta = -2 * h.Weight
+			} else {
+				// Edge was internal to v's side? v is on `from`; u left it.
+				delta = 2 * h.Weight
+			}
+			gains[v] += delta
+			pq.Adjust(v, delta)
+		}
+		if cut < bestCut {
+			bestCut = cut
+			bestLen = len(seq)
+		}
+	}
+	// Roll back to the best prefix.
+	for i := len(seq) - 1; i >= bestLen; i-- {
+		parts[seq[i].node] = seq[i].from
+	}
+	return bestCut < startCut, bestCut, bestLen
+}
+
+// KWayFM runs greedy k-way FM refinement: repeated passes over boundary
+// nodes, each pass moving nodes (at most once each) to the neighbor part
+// with the best positive gain, subject to the resource bound. Unlike
+// 2-way FM it does not hill-climb — this mirrors the coarse-grained
+// k-way refinement used in multilevel k-way partitioners. maxResource
+// <= 0 disables the bound; maxPasses <= 0 defaults to 8.
+func KWayFM(g *graph.Graph, parts []int, k int, maxResource int64, maxPasses int) Stats {
+	if maxPasses <= 0 {
+		maxPasses = 8
+	}
+	st := Stats{CutBefore: metrics.EdgeCut(g, parts)}
+	n := g.NumNodes()
+	res := make([]int64, k)
+	cnt := make([]int, k)
+	for u := 0; u < n; u++ {
+		res[parts[u]] += g.NodeWeight(graph.Node(u))
+		cnt[parts[u]]++
+	}
+	conn := make([]int64, k) // scratch: connectivity of one node to each part
+	for pass := 0; pass < maxPasses; pass++ {
+		st.Passes++
+		moves := 0
+		for u := 0; u < n; u++ {
+			un := graph.Node(u)
+			from := parts[u]
+			if cnt[from] == 1 {
+				continue // never empty a part
+			}
+			boundary := false
+			for i := range conn {
+				conn[i] = 0
+			}
+			for _, h := range g.Neighbors(un) {
+				conn[parts[h.To]] += h.Weight
+				if parts[h.To] != from {
+					boundary = true
+				}
+			}
+			if !boundary {
+				continue
+			}
+			w := g.NodeWeight(un)
+			bestTo := -1
+			var bestGain int64
+			for to := 0; to < k; to++ {
+				if to == from || conn[to] == 0 {
+					continue
+				}
+				if maxResource > 0 && res[to]+w > maxResource {
+					continue
+				}
+				// bestGain starts at 0, so only strictly improving moves
+				// are taken; ascending iteration breaks ties toward the
+				// lowest part id.
+				if gain := conn[to] - conn[from]; gain > bestGain {
+					bestGain = gain
+					bestTo = to
+				}
+			}
+			if bestTo >= 0 {
+				parts[u] = bestTo
+				res[from] -= w
+				res[bestTo] += w
+				cnt[from]--
+				cnt[bestTo]++
+				moves++
+			}
+		}
+		st.Moves += moves
+		if moves == 0 {
+			break
+		}
+	}
+	st.CutAfter = metrics.EdgeCut(g, parts)
+	return st
+}

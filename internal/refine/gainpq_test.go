@@ -1,0 +1,132 @@
+package refine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ppnpart/internal/graph"
+)
+
+func TestGainPQBasicOrdering(t *testing.T) {
+	pq := newGainPQ(5)
+	pq.Push(0, 10)
+	pq.Push(1, 30)
+	pq.Push(2, 20)
+	if pq.Len() != 3 {
+		t.Fatalf("Len = %d", pq.Len())
+	}
+	u, g := pq.Peek()
+	if u != 1 || g != 30 {
+		t.Fatalf("Peek = %d/%d, want 1/30", u, g)
+	}
+	u, g = pq.Pop()
+	if u != 1 || g != 30 {
+		t.Fatalf("Pop = %d/%d", u, g)
+	}
+	u, _ = pq.Pop()
+	if u != 2 {
+		t.Fatalf("second Pop = %d, want 2", u)
+	}
+	u, _ = pq.Pop()
+	if u != 0 {
+		t.Fatalf("third Pop = %d, want 0", u)
+	}
+	if pq.Len() != 0 {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestGainPQTieBreaksByLowerID(t *testing.T) {
+	pq := newGainPQ(4)
+	pq.Push(3, 7)
+	pq.Push(1, 7)
+	pq.Push(2, 7)
+	u, _ := pq.Pop()
+	if u != 1 {
+		t.Fatalf("tie Pop = %d, want lowest id 1", u)
+	}
+}
+
+func TestGainPQUpdateAndAdjust(t *testing.T) {
+	pq := newGainPQ(4)
+	pq.Push(0, 1)
+	pq.Push(1, 2)
+	pq.Update(0, 100)
+	if u, g := pq.Peek(); u != 0 || g != 100 {
+		t.Fatalf("after Update Peek = %d/%d", u, g)
+	}
+	pq.Adjust(1, 200) // 2 + 200 = 202
+	if u, g := pq.Peek(); u != 1 || g != 202 {
+		t.Fatalf("after Adjust Peek = %d/%d", u, g)
+	}
+	pq.Adjust(3, 50) // absent: no-op
+	if pq.Contains(3) {
+		t.Fatal("Adjust inserted absent node")
+	}
+	pq.Update(3, 5) // absent: inserts
+	if !pq.Contains(3) || pq.Gain(3) != 5 {
+		t.Fatal("Update on absent node should insert")
+	}
+	pq.Push(1, 1) // present: updates key downward
+	if pq.Gain(1) != 1 {
+		t.Fatal("Push on present node should update")
+	}
+}
+
+func TestGainPQRemove(t *testing.T) {
+	pq := newGainPQ(5)
+	for i := 0; i < 5; i++ {
+		pq.Push(graph.Node(i), int64(i))
+	}
+	pq.Remove(4) // max
+	if u, _ := pq.Peek(); u != 3 {
+		t.Fatalf("after removing max, Peek = %d, want 3", u)
+	}
+	pq.Remove(0)
+	pq.Remove(0) // double remove is a no-op
+	if pq.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", pq.Len())
+	}
+}
+
+func TestGainPQRandomizedAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(200)
+		pq := newGainPQ(n)
+		gains := make([]int64, n)
+		for i := 0; i < n; i++ {
+			gains[i] = int64(rng.Intn(1000) - 500)
+			pq.Push(graph.Node(i), gains[i])
+		}
+		// Random updates.
+		for j := 0; j < n/2; j++ {
+			u := rng.Intn(n)
+			gains[u] = int64(rng.Intn(1000) - 500)
+			pq.Update(graph.Node(u), gains[u])
+		}
+		// Drain and compare with sorted order.
+		type kv struct {
+			id   int
+			gain int64
+		}
+		want := make([]kv, n)
+		for i := range want {
+			want[i] = kv{i, gains[i]}
+		}
+		sort.Slice(want, func(a, b int) bool {
+			if want[a].gain != want[b].gain {
+				return want[a].gain > want[b].gain
+			}
+			return want[a].id < want[b].id
+		})
+		for i := 0; i < n; i++ {
+			u, g := pq.Pop()
+			if int(u) != want[i].id || g != want[i].gain {
+				t.Fatalf("trial %d drain[%d] = %d/%d, want %d/%d",
+					trial, i, u, g, want[i].id, want[i].gain)
+			}
+		}
+	}
+}

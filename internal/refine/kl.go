@@ -1,0 +1,111 @@
+package refine
+
+import (
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+)
+
+// KernighanLin runs the classic KL pair-swap heuristic on a bisection
+// (parts[u] ∈ {0,1}), mutating parts in place. Each pass tentatively swaps
+// the best remaining (a ∈ side0, b ∈ side1) pair until both sides are
+// exhausted, then keeps the best prefix of swaps. Swapping preserves side
+// node counts exactly, matching KL's original exact-bisection restriction
+// (§II-A.1 of the paper lists this as one of KL's drawbacks). maxPasses
+// <= 0 defaults to 4. KL is O(n^2·passes); it exists as the historical
+// baseline and for cross-checking FM on small graphs.
+func KernighanLin(g *graph.Graph, parts []int, maxPasses int) Stats {
+	if maxPasses <= 0 {
+		maxPasses = 4
+	}
+	st := Stats{CutBefore: metrics.EdgeCut(g, parts)}
+	for pass := 0; pass < maxPasses; pass++ {
+		st.Passes++
+		gain, swaps := klPass(g, parts)
+		st.Moves += 2 * swaps
+		if gain <= 0 {
+			break
+		}
+	}
+	st.CutAfter = metrics.EdgeCut(g, parts)
+	return st
+}
+
+// klPass performs one KL pass and returns (total gain kept, swaps kept).
+func klPass(g *graph.Graph, parts []int) (int64, int) {
+	n := g.NumNodes()
+	// D[u] = external - internal connectivity.
+	d := make([]int64, n)
+	for u := 0; u < n; u++ {
+		for _, h := range g.Neighbors(graph.Node(u)) {
+			if parts[h.To] == parts[u] {
+				d[u] -= h.Weight
+			} else {
+				d[u] += h.Weight
+			}
+		}
+	}
+	locked := make([]bool, n)
+	type swap struct {
+		a, b graph.Node
+		gain int64
+	}
+	var seq []swap
+	for {
+		// Find best unlocked pair (a in 0, b in 1).
+		var bestA, bestB graph.Node = -1, -1
+		var bestGain int64
+		first := true
+		for a := 0; a < n; a++ {
+			if locked[a] || parts[a] != 0 {
+				continue
+			}
+			for b := 0; b < n; b++ {
+				if locked[b] || parts[b] != 1 {
+					continue
+				}
+				gain := d[a] + d[b] - 2*g.EdgeWeight(graph.Node(a), graph.Node(b))
+				if first || gain > bestGain {
+					bestA, bestB, bestGain = graph.Node(a), graph.Node(b), gain
+					first = false
+				}
+			}
+		}
+		if bestA < 0 {
+			break
+		}
+		// Tentatively swap (record only; D-values updated as if swapped).
+		locked[bestA], locked[bestB] = true, true
+		seq = append(seq, swap{bestA, bestB, bestGain})
+		for u := 0; u < n; u++ {
+			if locked[u] {
+				continue
+			}
+			un := graph.Node(u)
+			wA := g.EdgeWeight(un, bestA)
+			wB := g.EdgeWeight(un, bestB)
+			if parts[u] == 0 {
+				d[u] += 2*wA - 2*wB
+			} else {
+				d[u] += 2*wB - 2*wA
+			}
+		}
+	}
+	// Keep the best prefix.
+	var acc, best int64
+	bestLen := 0
+	for i, s := range seq {
+		acc += s.gain
+		if acc > best {
+			best = acc
+			bestLen = i + 1
+		}
+	}
+	for i := 0; i < bestLen; i++ {
+		parts[seq[i].a] = 1
+		parts[seq[i].b] = 0
+	}
+	if best <= 0 {
+		return 0, 0
+	}
+	return best, bestLen
+}

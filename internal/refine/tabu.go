@@ -1,0 +1,155 @@
+package refine
+
+import (
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+)
+
+// This file implements the "more costly local search" strategies §II-A of
+// the paper contrasts with FM: Tabu Search, which lifts FM's
+// move-at-most-once-per-pass restriction ("a node can be moved different
+// times during one iteration"), and simulated annealing, the canonical
+// non-greedy hill-climber ("will sometimes accept a solution that is
+// worse than the existing solution ... to avoid getting trapped in local
+// minima"). Both optimize the same constrained objective as GP's
+// goodness function: feasibility first, cut second.
+
+// TabuOptions configures TabuSearch.
+type TabuOptions struct {
+	// Iterations bounds the number of moves considered (default 100·n).
+	Iterations int
+	// Tenure is how many iterations a moved node stays tabu (default
+	// max(7, n/10)).
+	Tenure int
+	// Patience stops the search after this many non-improving moves
+	// (default 4·Tenure).
+	Patience int
+}
+
+// penaltyUnit returns the weight that makes one unit of constraint excess
+// dominate any possible cut difference.
+func penaltyUnit(g *graph.Graph) int64 {
+	return g.TotalEdgeWeight() + 1
+}
+
+// objective scores a state from its cut and total constraint excess:
+// lower is better, and any infeasible state scores worse than any
+// feasible one (the integer analogue of metrics.Goodness).
+func objective(cut, excess, penalty int64) int64 {
+	return cut + excess*penalty
+}
+
+// TabuSearch refines a k-way partition under the constraints: each
+// iteration applies the best non-tabu single-node move (by objective
+// delta, even if worsening), marks the node tabu for Tenure iterations
+// (aspiration: a tabu move that improves the best-known state is
+// allowed), and finally restores the best state seen. Returns Stats on
+// the cut plus whether the final state is feasible.
+func TabuSearch(g *graph.Graph, parts []int, k int, c metrics.Constraints, opts TabuOptions) (Stats, bool) {
+	n := g.NumNodes()
+	if opts.Iterations <= 0 {
+		opts.Iterations = 100 * n
+	}
+	if opts.Tenure <= 0 {
+		opts.Tenure = n / 10
+		if opts.Tenure < 7 {
+			opts.Tenure = 7
+		}
+	}
+	if opts.Patience <= 0 {
+		opts.Patience = 4 * opts.Tenure
+	}
+	st := Stats{CutBefore: metrics.EdgeCut(g, parts)}
+	s := newBWState(g, parts, k)
+	penalty := penaltyUnit(g)
+	bmax := c.Bmax
+	if bmax <= 0 {
+		bmax = 1 << 62 // effectively unconstrained
+	}
+	cut := st.CutBefore
+	excess := s.excess(bmax)
+	resExcess := resourceExcess(s.res, c.Rmax)
+	cur := objective(cut, excess+resExcess, penalty)
+	best := cur
+	bestParts := append([]int(nil), parts...)
+	tabuUntil := make([]int, n)
+	sinceImprove := 0
+
+	for iter := 1; iter <= opts.Iterations && sinceImprove < opts.Patience; iter++ {
+		// Best admissible move over all (node, target) pairs.
+		var moveU graph.Node = -1
+		moveTo := -1
+		var moveDeltaObj int64
+		for u := 0; u < n; u++ {
+			un := graph.Node(u)
+			from := s.parts[u]
+			if s.cnt[from] == 1 {
+				continue
+			}
+			w := g.NodeWeight(un)
+			for to := 0; to < k; to++ {
+				if to == from {
+					continue
+				}
+				ed, cd := s.moveDelta(un, to, bmax)
+				// Resource excess delta.
+				red := resourceMoveDelta(s.res, from, to, w, c.Rmax)
+				dObj := cd + (ed+red)*penalty
+				isTabu := tabuUntil[u] > iter
+				if isTabu && cur+dObj >= best {
+					continue // tabu and not aspirational
+				}
+				if moveU < 0 || dObj < moveDeltaObj {
+					moveU, moveTo, moveDeltaObj = un, to, dObj
+				}
+			}
+		}
+		if moveU < 0 {
+			break
+		}
+		s.apply(moveU, moveTo)
+		cur += moveDeltaObj
+		tabuUntil[moveU] = iter + opts.Tenure
+		st.Moves++
+		if cur < best {
+			best = cur
+			copy(bestParts, s.parts)
+			sinceImprove = 0
+		} else {
+			sinceImprove++
+		}
+	}
+	copy(parts, bestParts)
+	st.Passes = 1
+	st.CutAfter = metrics.EdgeCut(g, parts)
+	return st, metrics.Feasible(g, parts, k, c)
+}
+
+// resourceExcess sums per-part overflow above rmax.
+func resourceExcess(res []int64, rmax int64) int64 {
+	if rmax <= 0 {
+		return 0
+	}
+	var e int64
+	for _, r := range res {
+		if r > rmax {
+			e += r - rmax
+		}
+	}
+	return e
+}
+
+// resourceMoveDelta is the change in total resource excess if a node of
+// weight w moves from part `from` to part `to`.
+func resourceMoveDelta(res []int64, from, to int, w, rmax int64) int64 {
+	if rmax <= 0 {
+		return 0
+	}
+	over := func(v int64) int64 {
+		if v > rmax {
+			return v - rmax
+		}
+		return 0
+	}
+	return over(res[from]-w) - over(res[from]) + over(res[to]+w) - over(res[to])
+}

@@ -1,0 +1,114 @@
+// Package viz renders graphs and partitionings as Graphviz DOT and as
+// standalone SVG (dependency-free circular layout), regenerating the
+// figure set of the paper: each experiment graph unweighted, weighted
+// (node radius ∝ resource weight), GP-partitioned, and
+// baseline-partitioned (Figures 2–13).
+package viz
+
+import (
+	"fmt"
+	"io"
+
+	"ppnpart/internal/graph"
+)
+
+// Style configures a rendering.
+type Style struct {
+	// ShowWeights draws node and edge weights (the paper's "after
+	// weighting and resource allocation" figures).
+	ShowWeights bool
+	// Parts colors nodes by partition; nil renders all nodes alike.
+	Parts []int
+	// K is the number of partitions when Parts is set.
+	K int
+	// Title is drawn as the graph label.
+	Title string
+	// Layout selects SVG node positioning (circle by default; force for
+	// a spring embedding like the paper's figures). DOT output always
+	// delegates layout to Graphviz.
+	Layout Layout
+}
+
+// partPalette matches the four-cluster look of the paper's figures plus
+// spares for larger K.
+var partPalette = []string{
+	"#e41a1c", "#377eb8", "#4daf4a", "#984ea3",
+	"#ff7f00", "#a65628", "#f781bf", "#999999",
+	"#66c2a5", "#fc8d62", "#8da0cb", "#e78ac3",
+}
+
+// PartColor returns the fill color of a partition id.
+func PartColor(p int) string {
+	return partPalette[p%len(partPalette)]
+}
+
+// WriteDOT emits the graph in Graphviz format under the style.
+func WriteDOT(w io.Writer, g *graph.Graph, st Style) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("graph ppn {\n")
+	p("  layout=neato;\n  overlap=false;\n  splines=true;\n")
+	if st.Title != "" {
+		p("  label=%q;\n  labelloc=t;\n", st.Title)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		name := g.Name(graph.Node(u))
+		if name == "" {
+			name = fmt.Sprintf("n%d", u)
+		}
+		label := name
+		if st.ShowWeights {
+			label = fmt.Sprintf("%s\\n%d", name, g.NodeWeight(graph.Node(u)))
+		}
+		attrs := fmt.Sprintf("label=%q", label)
+		if st.ShowWeights {
+			// Radius proportional to weight, echoing the paper's figures.
+			maxW := g.MaxNodeWeight()
+			if maxW > 0 {
+				r := 0.3 + 0.5*float64(g.NodeWeight(graph.Node(u)))/float64(maxW)
+				attrs += fmt.Sprintf(", width=%.2f, height=%.2f, fixedsize=true", 2*r, 2*r)
+			}
+		}
+		if st.Parts != nil {
+			attrs += fmt.Sprintf(", style=filled, fillcolor=%q", PartColor(st.Parts[u]))
+		}
+		p("  %d [%s];\n", u, attrs)
+	}
+	for _, e := range g.Edges() {
+		attrs := ""
+		if st.ShowWeights {
+			attrs = fmt.Sprintf(" [label=%q]", fmt.Sprintf("%d", e.Weight))
+		}
+		if st.Parts != nil && st.Parts[e.U] != st.Parts[e.V] {
+			if attrs == "" {
+				attrs = " [style=dashed]"
+			} else {
+				attrs = attrs[:len(attrs)-1] + ", style=dashed]"
+			}
+		}
+		p("  %d -- %d%s;\n", e.U, e.V, attrs)
+	}
+	p("}\n")
+	return err
+}
+
+// PartitionLegend returns a DOT-compatible summary line per part (size and
+// resource totals), used by the experiment harness to annotate figures.
+func PartitionLegend(g *graph.Graph, parts []int, k int) []string {
+	res := make([]int64, k)
+	cnt := make([]int, k)
+	for u := 0; u < g.NumNodes(); u++ {
+		res[parts[u]] += g.NodeWeight(graph.Node(u))
+		cnt[parts[u]]++
+	}
+	out := make([]string, 0, k)
+	for pIdx := 0; pIdx < k; pIdx++ {
+		out = append(out, fmt.Sprintf("part %d: %d nodes, %d resources (%s)",
+			pIdx, cnt[pIdx], res[pIdx], PartColor(pIdx)))
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package viz
+
+import (
+	"math"
+
+	"ppnpart/internal/graph"
+)
+
+// Layout selects node positioning for SVG rendering.
+type Layout int
+
+const (
+	// LayoutCircle places nodes on a circle (grouped by partition when
+	// one is given) — fast, deterministic, always readable.
+	LayoutCircle Layout = iota
+	// LayoutForce runs a deterministic Fruchterman–Reingold spring
+	// embedding, visually closer to the paper's figures. Edge weights
+	// attract proportionally, so tightly-coupled processes cluster.
+	LayoutForce
+)
+
+// forceLayout computes positions in [0,1]² with a fixed-iteration,
+// deterministically-seeded Fruchterman–Reingold embedding. The initial
+// placement is the circle layout, so the result is stable across runs.
+func forceLayout(g *graph.Graph, st Style) [][2]float64 {
+	n := g.NumNodes()
+	pos := make([][2]float64, n)
+	if n == 0 {
+		return pos
+	}
+	if n == 1 {
+		pos[0] = [2]float64{0.5, 0.5}
+		return pos
+	}
+	// Seed on the (partition-grouped) circle.
+	order := circleOrder(g, st)
+	for i, u := range order {
+		angle := 2*math.Pi*float64(i)/float64(n) - math.Pi/2
+		pos[u] = [2]float64{0.5 + 0.4*math.Cos(angle), 0.5 + 0.4*math.Sin(angle)}
+	}
+
+	// Normalize weights so spring strength is scale-free.
+	var maxW int64 = 1
+	for _, e := range g.Edges() {
+		if e.Weight > maxW {
+			maxW = e.Weight
+		}
+	}
+
+	kIdeal := math.Sqrt(1.0 / float64(n)) // ideal spacing in unit square
+	disp := make([][2]float64, n)
+	const iterations = 150
+	temp := 0.1
+	cool := math.Pow(0.01/temp, 1.0/iterations)
+
+	for it := 0; it < iterations; it++ {
+		for i := range disp {
+			disp[i] = [2]float64{}
+		}
+		// Repulsion between all pairs.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				dx := pos[u][0] - pos[v][0]
+				dy := pos[u][1] - pos[v][1]
+				d2 := dx*dx + dy*dy
+				if d2 < 1e-9 {
+					// Coincident nodes: deterministic nudge along the
+					// index axis.
+					dx, dy, d2 = 1e-3*float64(u-v), 1e-3, 2e-6
+				}
+				d := math.Sqrt(d2)
+				f := kIdeal * kIdeal / d
+				fx, fy := f*dx/d, f*dy/d
+				disp[u][0] += fx
+				disp[u][1] += fy
+				disp[v][0] -= fx
+				disp[v][1] -= fy
+			}
+		}
+		// Attraction along edges, weighted.
+		for _, e := range g.Edges() {
+			dx := pos[e.U][0] - pos[e.V][0]
+			dy := pos[e.U][1] - pos[e.V][1]
+			d := math.Hypot(dx, dy)
+			if d < 1e-9 {
+				continue
+			}
+			strength := 0.5 + 0.5*float64(e.Weight)/float64(maxW)
+			f := d * d / kIdeal * strength
+			fx, fy := f*dx/d, f*dy/d
+			disp[e.U][0] -= fx
+			disp[e.U][1] -= fy
+			disp[e.V][0] += fx
+			disp[e.V][1] += fy
+		}
+		// Apply displacements, capped by temperature, clamped to the box.
+		for u := 0; u < n; u++ {
+			d := math.Hypot(disp[u][0], disp[u][1])
+			if d < 1e-12 {
+				continue
+			}
+			step := math.Min(d, temp)
+			pos[u][0] += disp[u][0] / d * step
+			pos[u][1] += disp[u][1] / d * step
+			pos[u][0] = math.Min(0.97, math.Max(0.03, pos[u][0]))
+			pos[u][1] = math.Min(0.97, math.Max(0.03, pos[u][1]))
+		}
+		temp *= cool
+	}
+	return pos
+}
+
+// circleOrder returns nodes in circle order, grouped by partition when
+// the style carries one.
+func circleOrder(g *graph.Graph, st Style) []graph.Node {
+	n := g.NumNodes()
+	order := make([]graph.Node, 0, n)
+	if st.Parts != nil {
+		for p := 0; p < st.K; p++ {
+			for u := 0; u < n; u++ {
+				if st.Parts[u] == p {
+					order = append(order, graph.Node(u))
+				}
+			}
+		}
+	} else {
+		for u := 0; u < n; u++ {
+			order = append(order, graph.Node(u))
+		}
+	}
+	return order
+}

@@ -1,0 +1,128 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"ppnpart/internal/graph"
+)
+
+// WriteSVG renders the graph as a standalone SVG using a deterministic
+// circular layout (optionally grouped by partition so each part occupies
+// an arc, visually matching the paper's partitioned figures). No external
+// tooling is needed to view the output.
+func WriteSVG(w io.Writer, g *graph.Graph, st Style) error {
+	const (
+		size   = 720.0
+		margin = 80.0
+	)
+	n := g.NumNodes()
+	if n == 0 {
+		_, err := fmt.Fprint(w, `<svg xmlns="http://www.w3.org/2000/svg" width="720" height="720"/>`)
+		return err
+	}
+	cx := size / 2
+	pos := make([][2]float64, n)
+	switch st.Layout {
+	case LayoutForce:
+		unit := forceLayout(g, st)
+		for u := 0; u < n; u++ {
+			pos[u] = [2]float64{
+				margin + unit[u][0]*(size-2*margin),
+				margin + unit[u][1]*(size-2*margin),
+			}
+		}
+	default:
+		// Circle: grouped by partition when given, so parts form
+		// contiguous arcs.
+		order := circleOrder(g, st)
+		cy := size / 2
+		radius := size/2 - margin
+		for i, u := range order {
+			angle := 2*math.Pi*float64(i)/float64(n) - math.Pi/2
+			pos[u] = [2]float64{cx + radius*math.Cos(angle), cy + radius*math.Sin(angle)}
+		}
+	}
+
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p(`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		size, size, size, size)
+	p(`<rect width="100%%" height="100%%" fill="white"/>` + "\n")
+	if st.Title != "" {
+		p(`<text x="%.0f" y="30" text-anchor="middle" font-family="sans-serif" font-size="18">%s</text>`+"\n",
+			cx, xmlEscape(st.Title))
+	}
+
+	// Edges under nodes. Cut edges dashed, as in the partitioned figures.
+	for _, e := range g.Edges() {
+		x1, y1 := pos[e.U][0], pos[e.U][1]
+		x2, y2 := pos[e.V][0], pos[e.V][1]
+		dash := ""
+		stroke := "#888888"
+		if st.Parts != nil && st.Parts[e.U] != st.Parts[e.V] {
+			dash = ` stroke-dasharray="6,4"`
+			stroke = "#cc3333"
+		}
+		p(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1.4"%s/>`+"\n",
+			x1, y1, x2, y2, stroke, dash)
+		if st.ShowWeights {
+			mx, my := (x1+x2)/2, (y1+y2)/2
+			p(`<text x="%.1f" y="%.1f" text-anchor="middle" font-family="sans-serif" font-size="10" fill="#555555">%d</text>`+"\n",
+				mx, my-2, e.Weight)
+		}
+	}
+
+	// Nodes: radius proportional to weight when ShowWeights.
+	maxW := g.MaxNodeWeight()
+	for u := 0; u < n; u++ {
+		r := 14.0
+		if st.ShowWeights && maxW > 0 {
+			r = 10 + 18*float64(g.NodeWeight(graph.Node(u)))/float64(maxW)
+		}
+		fill := "#dddddd"
+		if st.Parts != nil {
+			fill = PartColor(st.Parts[u])
+		}
+		p(`<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" stroke="#333333" stroke-width="1.2"/>`+"\n",
+			pos[u][0], pos[u][1], r, fill)
+		label := g.Name(graph.Node(u))
+		if label == "" {
+			label = fmt.Sprintf("%d", u)
+		}
+		if st.ShowWeights {
+			label = fmt.Sprintf("%s:%d", label, g.NodeWeight(graph.Node(u)))
+		}
+		p(`<text x="%.1f" y="%.1f" text-anchor="middle" dominant-baseline="middle" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			pos[u][0], pos[u][1], xmlEscape(label))
+	}
+	p("</svg>\n")
+	return err
+}
+
+// xmlEscape escapes the five XML special characters.
+func xmlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			out = append(out, "&amp;"...)
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		case '\'':
+			out = append(out, "&apos;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

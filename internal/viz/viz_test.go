@@ -1,0 +1,247 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ppnpart/internal/graph"
+)
+
+func sample() *graph.Graph {
+	g := graph.NewWithWeights([]int64{10, 20, 30, 40})
+	g.SetName(0, "P0")
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(1, 2, 7)
+	g.MustAddEdge(2, 3, 11)
+	g.MustAddEdge(3, 0, 13)
+	return g
+}
+
+func TestWriteDOTPlain(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, sample(), Style{Title: "fig"}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"graph ppn {", `label="fig"`, "0 -- 1", "2 -- 3", `label="P0"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "fillcolor") {
+		t.Fatal("plain style should not color nodes")
+	}
+}
+
+func TestWriteDOTWeighted(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, sample(), Style{ShowWeights: true}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "fixedsize=true") {
+		t.Fatal("weighted style should size nodes")
+	}
+	if !strings.Contains(s, `[label="5"]`) {
+		t.Fatal("weighted style should label edges")
+	}
+}
+
+func TestWriteDOTPartitioned(t *testing.T) {
+	var buf bytes.Buffer
+	st := Style{Parts: []int{0, 0, 1, 1}, K: 2}
+	if err := WriteDOT(&buf, sample(), st); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "fillcolor") {
+		t.Fatal("partitioned style should color nodes")
+	}
+	// Cut edges {1,2} and {3,0} should be dashed.
+	if !strings.Contains(s, "style=dashed") {
+		t.Fatal("cut edges should be dashed")
+	}
+}
+
+func TestWriteDOTPartitionedWeighted(t *testing.T) {
+	var buf bytes.Buffer
+	st := Style{Parts: []int{0, 0, 1, 1}, K: 2, ShowWeights: true}
+	if err := WriteDOT(&buf, sample(), st); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ", style=dashed]") {
+		t.Fatal("weighted cut edges should merge label and dash attrs")
+	}
+}
+
+func TestPartColorCycles(t *testing.T) {
+	if PartColor(0) == "" || PartColor(0) != PartColor(len(partPalette)) {
+		t.Fatal("palette should cycle")
+	}
+}
+
+func TestWriteSVGPlain(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, sample(), Style{Title: "fig <1>"}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "<svg") || !strings.HasSuffix(strings.TrimSpace(s), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	if !strings.Contains(s, "fig &lt;1&gt;") {
+		t.Fatal("title not escaped")
+	}
+	if strings.Count(s, "<circle") != 4 {
+		t.Fatalf("want 4 node circles, got %d", strings.Count(s, "<circle"))
+	}
+	if strings.Count(s, "<line") != 4 {
+		t.Fatalf("want 4 edges, got %d", strings.Count(s, "<line"))
+	}
+}
+
+func TestWriteSVGPartitionedDashesCutEdges(t *testing.T) {
+	var buf bytes.Buffer
+	st := Style{Parts: []int{0, 0, 1, 1}, K: 2}
+	if err := WriteSVG(&buf, sample(), st); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Count(s, "stroke-dasharray") != 2 {
+		t.Fatalf("want 2 dashed (cut) edges, got %d", strings.Count(s, "stroke-dasharray"))
+	}
+}
+
+func TestWriteSVGWeightsChangeRadii(t *testing.T) {
+	var plain, weighted bytes.Buffer
+	if err := WriteSVG(&plain, sample(), Style{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSVG(&weighted, sample(), Style{ShowWeights: true}); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() == weighted.String() {
+		t.Fatal("weighted rendering should differ")
+	}
+	if !strings.Contains(weighted.String(), "P0:10") {
+		t.Fatal("weighted labels missing")
+	}
+}
+
+func TestWriteSVGEmptyGraph(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, graph.New(0), Style{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Fatal("empty graph should still produce an SVG")
+	}
+}
+
+func TestPartitionLegend(t *testing.T) {
+	legend := PartitionLegend(sample(), []int{0, 0, 1, 1}, 2)
+	if len(legend) != 2 {
+		t.Fatalf("legend entries = %d", len(legend))
+	}
+	if !strings.Contains(legend[0], "2 nodes") || !strings.Contains(legend[0], "30 resources") {
+		t.Fatalf("legend[0] = %q", legend[0])
+	}
+	if !strings.Contains(legend[1], "70 resources") {
+		t.Fatalf("legend[1] = %q", legend[1])
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	in := `a&b<c>d"e'f`
+	want := "a&amp;b&lt;c&gt;d&quot;e&apos;f"
+	if got := xmlEscape(in); got != want {
+		t.Fatalf("xmlEscape = %q, want %q", got, want)
+	}
+}
+
+func TestForceLayoutDeterministicAndBounded(t *testing.T) {
+	g := sample()
+	st := Style{Layout: LayoutForce, Parts: []int{0, 0, 1, 1}, K: 2}
+	p1 := forceLayout(g, st)
+	p2 := forceLayout(g, st)
+	for u := range p1 {
+		if p1[u] != p2[u] {
+			t.Fatal("force layout nondeterministic")
+		}
+		if p1[u][0] < 0 || p1[u][0] > 1 || p1[u][1] < 0 || p1[u][1] > 1 {
+			t.Fatalf("node %d out of unit box: %v", u, p1[u])
+		}
+	}
+	// Distinct nodes must not be coincident.
+	for u := range p1 {
+		for v := u + 1; v < len(p1); v++ {
+			dx := p1[u][0] - p1[v][0]
+			dy := p1[u][1] - p1[v][1]
+			if dx*dx+dy*dy < 1e-6 {
+				t.Fatalf("nodes %d and %d coincident", u, v)
+			}
+		}
+	}
+}
+
+func TestForceLayoutClustersHeavyEdges(t *testing.T) {
+	// Two 4-cliques with heavy internal edges, one light bridge: the
+	// intra-clique mean distance should be well below the inter-clique
+	// mean distance.
+	g := graph.New(8)
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				g.MustAddEdge(graph.Node(c*4+i), graph.Node(c*4+j), 10)
+			}
+		}
+	}
+	g.MustAddEdge(0, 4, 1)
+	pos := forceLayout(g, Style{})
+	dist := func(a, b int) float64 {
+		dx := pos[a][0] - pos[b][0]
+		dy := pos[a][1] - pos[b][1]
+		return dx*dx + dy*dy
+	}
+	var intra, inter float64
+	var nIntra, nInter int
+	for u := 0; u < 8; u++ {
+		for v := u + 1; v < 8; v++ {
+			if u/4 == v/4 {
+				intra += dist(u, v)
+				nIntra++
+			} else {
+				inter += dist(u, v)
+				nInter++
+			}
+		}
+	}
+	if intra/float64(nIntra) >= inter/float64(nInter) {
+		t.Fatalf("clusters not separated: intra %f >= inter %f",
+			intra/float64(nIntra), inter/float64(nInter))
+	}
+}
+
+func TestWriteSVGForceLayout(t *testing.T) {
+	var buf bytes.Buffer
+	st := Style{Layout: LayoutForce, ShowWeights: true}
+	if err := WriteSVG(&buf, sample(), st); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "<circle") != 4 {
+		t.Fatal("force-layout SVG lost nodes")
+	}
+	var circleBuf bytes.Buffer
+	if err := WriteSVG(&circleBuf, sample(), Style{ShowWeights: true}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() == circleBuf.String() {
+		t.Fatal("force layout identical to circle layout")
+	}
+	// Trivial sizes.
+	var tiny bytes.Buffer
+	if err := WriteSVG(&tiny, graph.New(1), Style{Layout: LayoutForce}); err != nil {
+		t.Fatal(err)
+	}
+}

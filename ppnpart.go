@@ -1,0 +1,254 @@
+// Package ppnpart partitions Polyhedral Process Networks (and other
+// weighted process graphs) across multi-FPGA systems under simultaneous
+// bandwidth and resource constraints, implementing the Multi-Level K-Ways
+// algorithm of Cattaneo, Moradmand, Sciuto and Santambrogio, "K-Ways
+// Partitioning of Polyhedral Process Networks: a Multi-Level Approach"
+// (IPDPSW 2015).
+//
+// The central entry point is PartitionGP, which finds a K-way partition
+// whose pairwise inter-partition traffic stays below Bmax and whose
+// per-partition resource usage stays below Rmax — or reports that no such
+// partition was found within its iteration budget. PartitionBaseline
+// provides the constraint-oblivious METIS-style partitioner the paper
+// compares against.
+//
+// Process networks can be built directly (PPN, Process, Channel), derived
+// from affine programs via the polyhedral front-end (Program, Derive), or
+// taken from the kernel library (FIR, Jacobi1D, MatMul, Pipeline,
+// SplitMerge). A network lowers to a weighted Graph with ToGraph; the
+// graph feeds the partitioners; the resulting mapping can be statically
+// checked and dynamically simulated on a Platform.
+//
+//	net, _ := ppnpart.FIR(8, 4096)
+//	g, _ := net.ToGraph(ppnpart.DefaultResourceModel())
+//	res, _ := ppnpart.PartitionGP(g, ppnpart.GPOptions{
+//		K:           4,
+//		Constraints: ppnpart.Constraints{Bmax: 9600, Rmax: 500},
+//	})
+//	fmt.Println(res.Feasible, res.Report.EdgeCut)
+package ppnpart
+
+import (
+	"ppnpart/internal/core"
+	"ppnpart/internal/fpga"
+	"ppnpart/internal/gen"
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+	"ppnpart/internal/mlkp"
+	"ppnpart/internal/polyhedral"
+	"ppnpart/internal/ppn"
+	"ppnpart/internal/viz"
+)
+
+// Graph types.
+type (
+	// Graph is a weighted undirected process graph: node weights are
+	// resources, edge weights are channel bandwidth.
+	Graph = graph.Graph
+	// Node identifies a graph vertex.
+	Node = graph.Node
+	// Edge is an undirected weighted edge.
+	Edge = graph.Edge
+)
+
+// Graph constructors and I/O.
+var (
+	// NewGraph returns a graph with n unit-weight nodes.
+	NewGraph = graph.New
+	// NewGraphWithWeights returns a graph with the given node weights.
+	NewGraphWithWeights = graph.NewWithWeights
+	// ReadMETIS / WriteMETIS exchange the METIS .graph format.
+	ReadMETIS  = graph.ReadMETIS
+	WriteMETIS = graph.WriteMETIS
+	// ReadGraphJSON / WriteGraphJSON exchange the JSON graph format.
+	ReadGraphJSON  = graph.ReadJSON
+	WriteGraphJSON = graph.WriteJSON
+)
+
+// Constraint and metric types.
+type (
+	// Constraints carries the paper's two bounds: Bmax on every pairwise
+	// inter-partition bandwidth and Rmax on every partition's resources.
+	Constraints = metrics.Constraints
+	// Report evaluates a partition: cut, max local bandwidth, max
+	// resources, violations.
+	Report = metrics.Report
+	// Violation describes one violated constraint instance.
+	Violation = metrics.Violation
+	// VectorConstraints bounds multiple resource kinds per partition
+	// (LUT, BRAM, DSP, ...) — the multi-resource extension beyond the
+	// paper's single-resource model.
+	VectorConstraints = metrics.VectorConstraints
+)
+
+// Metric functions.
+var (
+	// EdgeCut returns the total weight of edges crossing partitions.
+	EdgeCut = metrics.EdgeCut
+	// BandwidthMatrix returns the pairwise inter-partition traffic.
+	BandwidthMatrix = metrics.BandwidthMatrix
+	// MaxLocalBandwidth returns the largest pairwise traffic entry.
+	MaxLocalBandwidth = metrics.MaxLocalBandwidth
+	// MaxResource returns the largest per-partition resource total.
+	MaxResource = metrics.MaxResource
+	// Evaluate builds a full Report for a partition.
+	Evaluate = metrics.Evaluate
+	// Feasible reports whether a partition meets the constraints.
+	Feasible = metrics.Feasible
+)
+
+// Partitioner types.
+type (
+	// GPOptions configures the paper's constrained partitioner.
+	GPOptions = core.Options
+	// GPResult is the constrained partitioner's outcome.
+	GPResult = core.Result
+	// BaselineOptions configures the METIS-style baseline.
+	BaselineOptions = mlkp.Options
+	// BaselineResult is the baseline's outcome.
+	BaselineResult = mlkp.Result
+)
+
+// PartitionGP runs the paper's GP algorithm: multilevel K-ways
+// partitioning with best-of-three coarsening, greedy restarts seeding,
+// bandwidth/resource-aware refinement and cyclic re-coarsening until the
+// constraints are met or the budget is exhausted.
+func PartitionGP(g *Graph, opts GPOptions) (*GPResult, error) {
+	return core.Partition(g, opts)
+}
+
+// PartitionBaseline runs the METIS-style multilevel k-way partitioner
+// (cut and balance only, constraint-oblivious).
+func PartitionBaseline(g *Graph, opts BaselineOptions) (*BaselineResult, error) {
+	return mlkp.Partition(g, opts)
+}
+
+// Process-network types.
+type (
+	// PPN is a (polyhedral) process network.
+	PPN = ppn.PPN
+	// Process is one node of a network.
+	Process = ppn.Process
+	// Channel is a FIFO between processes.
+	Channel = ppn.Channel
+	// ResourceModel estimates FPGA resources per process.
+	ResourceModel = ppn.ResourceModel
+	// Program is an affine program for the polyhedral front-end.
+	Program = ppn.Program
+	// Statement is one statement of a Program.
+	Statement = ppn.Statement
+	// Dependence is a flow dependence between statements.
+	Dependence = ppn.Dependence
+)
+
+// Process-network constructors.
+var (
+	// DefaultResourceModel reflects a small streaming core per process.
+	DefaultResourceModel = ppn.DefaultResourceModel
+	// Derive converts an affine Program into a PPN with exact token
+	// counts.
+	Derive = ppn.Derive
+	// Kernel library.
+	FIR        = ppn.FIR
+	Jacobi1D   = ppn.Jacobi1D
+	Jacobi2D   = ppn.Jacobi2D
+	Sobel      = ppn.Sobel
+	FFT        = ppn.FFT
+	MatMul     = ppn.MatMul
+	Pipeline   = ppn.Pipeline
+	SplitMerge = ppn.SplitMerge
+)
+
+// Polyhedral building blocks (for writing Programs).
+type (
+	// Set is a bounded integer set (iteration domain).
+	Set = polyhedral.Set
+	// AffineMap is an affine map between iteration tuples.
+	AffineMap = polyhedral.Map
+	// AffineExpr is an affine expression over iteration variables.
+	AffineExpr = polyhedral.Expr
+)
+
+var (
+	// Box builds a rectangular iteration domain.
+	Box = polyhedral.Box
+	// IdentityMap builds the identity dependence.
+	IdentityMap = polyhedral.Identity
+	// ShiftMap builds a uniform (stencil) dependence.
+	ShiftMap = polyhedral.Shift
+)
+
+// Multi-FPGA platform types.
+type (
+	// Platform is a homogeneous multi-FPGA system (device count, Rmax,
+	// link rate).
+	Platform = fpga.Platform
+	// Topology is a heterogeneous multi-FPGA system with per-device
+	// capacities and per-pair link rates.
+	Topology = fpga.Topology
+	// Mapping assigns processes to FPGAs.
+	Mapping = fpga.Mapping
+	// SimOptions configures a simulation.
+	SimOptions = fpga.SimOptions
+	// SimResult reports makespan, throughput, and link saturation.
+	SimResult = fpga.SimResult
+	// PlacementResult is the outcome of a part→FPGA placement search.
+	PlacementResult = fpga.PlacementResult
+)
+
+var (
+	// MappingFromParts wraps a partitioner assignment as a Mapping.
+	MappingFromParts = fpga.FromParts
+	// Simulate executes a mapped network on a homogeneous platform.
+	Simulate = fpga.Simulate
+	// SimulateTopology executes a mapped network on a heterogeneous
+	// topology.
+	SimulateTopology = fpga.SimulateTopology
+	// UniformTopology builds the homogeneous special case.
+	UniformTopology = fpga.Uniform
+	// RingTopology builds a ring of fast neighbor links over an optional
+	// slower backplane.
+	RingTopology = fpga.RingTopology
+	// BestPlacement exhaustively searches the part→FPGA assignment on a
+	// heterogeneous topology (K ≤ 8).
+	BestPlacement = fpga.BestPlacement
+	// AnnealPlacement is the swap-based heuristic placer for larger K.
+	AnnealPlacement = fpga.AnnealPlacement
+	// ReadTopologyJSON / WriteTopologyJSON exchange topology files.
+	ReadTopologyJSON  = fpga.ReadTopologyJSON
+	WriteTopologyJSON = fpga.WriteTopologyJSON
+	// ReadPPNJSON / WritePPNJSON exchange full process networks.
+	ReadPPNJSON  = ppn.ReadJSON
+	WritePPNJSON = ppn.WriteJSON
+)
+
+// Generators.
+type (
+	// WeightRange is an inclusive range for generated weights.
+	WeightRange = gen.WeightRange
+	// Instance is one of the paper's experiment setups.
+	Instance = gen.Instance
+)
+
+var (
+	// RandomConnectedGraph generates a connected graph with exact node
+	// and edge counts.
+	RandomConnectedGraph = gen.RandomConnected
+	// RandomPPN generates a random feed-forward process network.
+	RandomPPN = gen.RandomPPN
+	// PaperInstance regenerates one of the paper's experiments (1-3).
+	PaperInstance = gen.PaperInstance
+)
+
+// Visualization.
+type (
+	// VizStyle configures DOT/SVG rendering.
+	VizStyle = viz.Style
+)
+
+var (
+	// WriteDOT renders a graph (optionally partition-colored) as DOT.
+	WriteDOT = viz.WriteDOT
+	// WriteSVG renders a graph as a standalone SVG.
+	WriteSVG = viz.WriteSVG
+)

@@ -1,0 +1,158 @@
+package ppnpart_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ppnpart"
+)
+
+// These tests exercise the library exclusively through the public facade,
+// as a downstream user would.
+
+func TestFacadeEndToEndKernelToMapping(t *testing.T) {
+	net, err := ppnpart.FIR(4, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := net.ToGraph(ppnpart.DefaultResourceModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ppnpart.PartitionGP(g, ppnpart.GPOptions{
+		K:           3,
+		Constraints: ppnpart.Constraints{Rmax: g.TotalNodeWeight()/2 + 100},
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("infeasible: %v", res.Report.Violations)
+	}
+	// Map and simulate.
+	p := ppnpart.Platform{NumFPGAs: 3, Rmax: g.TotalNodeWeight(), LinkBandwidth: 100}
+	sim, err := ppnpart.Simulate(net, ppnpart.MappingFromParts(res.Parts, p), ppnpart.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Completed {
+		t.Fatal("simulation did not complete")
+	}
+}
+
+func TestFacadeBaselineAndMetrics(t *testing.T) {
+	g := ppnpart.NewGraphWithWeights([]int64{5, 6, 7, 8})
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(1, 2, 3)
+	g.MustAddEdge(2, 3, 4)
+	res, err := ppnpart.PartitionBaseline(g, ppnpart.BaselineOptions{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := ppnpart.EdgeCut(g, res.Parts)
+	if cut != res.Report.EdgeCut {
+		t.Fatal("facade metrics disagree with result report")
+	}
+	m := ppnpart.BandwidthMatrix(g, res.Parts, 2)
+	if m[0][1] != cut {
+		t.Fatal("bandwidth matrix inconsistent with cut for K=2")
+	}
+	if ppnpart.MaxLocalBandwidth(g, res.Parts, 2) != m[0][1] {
+		t.Fatal("max local bandwidth wrong")
+	}
+}
+
+func TestFacadePolyhedralProgram(t *testing.T) {
+	dom, err := ppnpart.Box([]string{"i"}, []int64{0}, []int64{63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift, err := ppnpart.ShiftMap([]string{"i"}, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := ppnpart.Program{
+		Name: "chain",
+		Statements: []ppnpart.Statement{
+			{Name: "a", Domain: dom, Ops: 1},
+			{Name: "b", Domain: dom, Ops: 1},
+		},
+		Dependences: []ppnpart.Dependence{{Producer: 0, Consumer: 1, Map: shift}},
+	}
+	net, err := ppnpart.Derive(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Channels[0].Tokens != 63 {
+		t.Fatalf("tokens = %d, want 63", net.Channels[0].Tokens)
+	}
+}
+
+func TestFacadeIOAndViz(t *testing.T) {
+	inst, err := ppnpart.PaperInstance(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ppnpart.WriteMETIS(&buf, inst.G); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ppnpart.ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != 12 {
+		t.Fatal("round trip lost nodes")
+	}
+	var svg bytes.Buffer
+	if err := ppnpart.WriteSVG(&svg, inst.G, ppnpart.VizStyle{ShowWeights: true}); err != nil {
+		t.Fatal(err)
+	}
+	if svg.Len() == 0 {
+		t.Fatal("empty SVG")
+	}
+}
+
+func TestFacadeHeterogeneousTopology(t *testing.T) {
+	topo := ppnpart.RingTopology(4, 1000, 10, 1)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	net, err := ppnpart.Pipeline(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := ppnpart.SimulateTopology(net, []int{0, 1, 2, 3}, topo, ppnpart.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Completed {
+		t.Fatal("ring simulation did not complete")
+	}
+	u := ppnpart.UniformTopology(2, 100, 5)
+	if u.NumFPGAs() != 2 {
+		t.Fatal("uniform topology wrong")
+	}
+}
+
+func TestFacadeVectorConstraints(t *testing.T) {
+	g := ppnpart.NewGraphWithWeights([]int64{10, 10, 10, 10})
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	vecs := [][]int64{{10, 2}, {10, 0}, {10, 2}, {10, 0}}
+	res, err := ppnpart.PartitionGP(g, ppnpart.GPOptions{
+		K:                 2,
+		Constraints:       ppnpart.Constraints{Rmax: 25},
+		VectorResources:   vecs,
+		VectorConstraints: ppnpart.VectorConstraints{Rmax: []int64{25, 2}},
+		Seed:              1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("vector-feasible split exists (one BRAM node per side) but was not found")
+	}
+}
