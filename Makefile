@@ -3,9 +3,26 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench figures report examples clean
+.PHONY: all build test vet race cover bench figures report examples clean \
+	check fuzz-smoke
 
 all: build vet test
+
+# The CI gate: vet, race-enabled tests, and a short fuzz smoke pass over
+# every fuzz target.
+check: vet
+	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke
+
+# Go refuses -fuzz patterns matching more than one target per package,
+# so each target runs on its own.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReadMETIS -fuzztime=$(FUZZTIME) ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzReadEdgeList -fuzztime=$(FUZZTIME) ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzReadIncidence -fuzztime=$(FUZZTIME) ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzReadJSON -fuzztime=$(FUZZTIME) ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzReadTopologyJSON -fuzztime=$(FUZZTIME) ./internal/fpga
 
 build:
 	$(GO) build ./...

@@ -15,10 +15,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"ppnpart/internal/core"
 	"ppnpart/internal/graph"
@@ -27,43 +29,57 @@ import (
 	"ppnpart/internal/viz"
 )
 
+// config carries the flag values into run.
+type config struct {
+	graphPath, format string
+	k                 int
+	bmax, rmax        int64
+	algo              string
+	seed              int64
+	cycles            int
+	minimize          bool
+	timeout           time.Duration
+	dotPath, svgPath  string
+	outPath, evalPath string
+	stats, quiet      bool
+}
+
 func main() {
-	var (
-		graphPath = flag.String("graph", "", "input graph file (required)")
-		format    = flag.String("format", "metis", "input format: metis, json, edgelist, incidence")
-		k         = flag.Int("k", 4, "number of partitions (FPGAs)")
-		bmax      = flag.Int64("bmax", 0, "max bandwidth between any pair of partitions (0 = unconstrained)")
-		rmax      = flag.Int64("rmax", 0, "max resources per partition (0 = unconstrained)")
-		algo      = flag.String("algo", "gp", "algorithm: gp (constrained) or baseline (METIS-style)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		cycles    = flag.Int("cycles", 16, "GP cyclic iteration budget")
-		minimize  = flag.Bool("minimize", false, "keep cycling after feasibility to lower the cut")
-		dotPath   = flag.String("dot", "", "write the partitioned graph as Graphviz DOT")
-		svgPath   = flag.String("svg", "", "write the partitioned graph as SVG")
-		outPath   = flag.String("out", "", "write the partition to this file (node part per line)")
-		evalPath  = flag.String("eval", "", "evaluate an existing partition file instead of partitioning")
-		stats     = flag.Bool("stats", false, "print graph statistics and exit (no partitioning)")
-		quiet     = flag.Bool("quiet", false, "suppress the per-node assignment listing")
-	)
+	var cfg config
+	flag.StringVar(&cfg.graphPath, "graph", "", "input graph file (required)")
+	flag.StringVar(&cfg.format, "format", "metis", "input format: metis, json, edgelist, incidence")
+	flag.IntVar(&cfg.k, "k", 4, "number of partitions (FPGAs)")
+	flag.Int64Var(&cfg.bmax, "bmax", 0, "max bandwidth between any pair of partitions (0 = unconstrained)")
+	flag.Int64Var(&cfg.rmax, "rmax", 0, "max resources per partition (0 = unconstrained)")
+	flag.StringVar(&cfg.algo, "algo", "gp", "algorithm: gp (constrained) or baseline (METIS-style)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random seed")
+	flag.IntVar(&cfg.cycles, "cycles", 16, "GP cyclic iteration budget")
+	flag.BoolVar(&cfg.minimize, "minimize", false, "keep cycling after feasibility to lower the cut")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "wall-clock budget for GP; on expiry the best partition so far is reported (0 = none)")
+	flag.StringVar(&cfg.dotPath, "dot", "", "write the partitioned graph as Graphviz DOT")
+	flag.StringVar(&cfg.svgPath, "svg", "", "write the partitioned graph as SVG")
+	flag.StringVar(&cfg.outPath, "out", "", "write the partition to this file (node part per line)")
+	flag.StringVar(&cfg.evalPath, "eval", "", "evaluate an existing partition file instead of partitioning")
+	flag.BoolVar(&cfg.stats, "stats", false, "print graph statistics and exit (no partitioning)")
+	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress the per-node assignment listing")
 	flag.Parse()
-	if err := run(*graphPath, *format, *k, *bmax, *rmax, *algo, *seed, *cycles, *minimize, *dotPath, *svgPath, *outPath, *evalPath, *stats, *quiet); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "gpart: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, format string, k int, bmax, rmax int64, algo string, seed int64,
-	cycles int, minimize bool, dotPath, svgPath, outPath, evalPath string, stats, quiet bool) error {
-	if graphPath == "" {
+func run(cfg config) error {
+	if cfg.graphPath == "" {
 		return fmt.Errorf("-graph is required")
 	}
-	f, err := os.Open(graphPath)
+	f, err := os.Open(cfg.graphPath)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	var g *graph.Graph
-	switch format {
+	switch cfg.format {
 	case "metis":
 		g, err = graph.ReadMETIS(f)
 	case "json":
@@ -73,58 +89,64 @@ func run(graphPath, format string, k int, bmax, rmax int64, algo string, seed in
 	case "incidence":
 		g, err = graph.ReadIncidence(f)
 	default:
-		return fmt.Errorf("unknown format %q", format)
+		return fmt.Errorf("unknown format %q", cfg.format)
 	}
 	if err != nil {
 		return err
 	}
-	if stats {
+	if cfg.stats {
 		fmt.Println(graph.ComputeStats(g))
 		return nil
 	}
-	c := metrics.Constraints{Bmax: bmax, Rmax: rmax}
+	c := metrics.Constraints{Bmax: cfg.bmax, Rmax: cfg.rmax}
 
 	var parts []int
-	if evalPath != "" {
-		parts, err = readPartition(evalPath, g.NumNodes())
+	if cfg.evalPath != "" {
+		parts, err = readPartition(cfg.evalPath, g.NumNodes())
 		if err != nil {
 			return err
 		}
-		if err := metrics.Validate(g, parts, k); err != nil {
+		if err := metrics.Validate(g, parts, cfg.k); err != nil {
 			return err
 		}
-		fmt.Printf("evaluating partition from %s\n", evalPath)
-		return report(g, parts, k, c, dotPath, svgPath, outPath, quiet)
+		fmt.Printf("evaluating partition from %s\n", cfg.evalPath)
+		return report(g, parts, cfg.k, c, cfg.dotPath, cfg.svgPath, cfg.outPath, cfg.quiet)
 	}
-	switch algo {
+	switch cfg.algo {
 	case "gp":
-		res, err := core.Partition(g, core.Options{
-			K:                     k,
+		ctx := context.Background()
+		if cfg.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+			defer cancel()
+		}
+		res, err := core.PartitionCtx(ctx, g, core.Options{
+			K:                     cfg.k,
 			Constraints:           c,
-			Seed:                  seed,
-			MaxCycles:             cycles,
-			MinimizeAfterFeasible: minimize,
+			Seed:                  cfg.seed,
+			MaxCycles:             cfg.cycles,
+			MinimizeAfterFeasible: cfg.minimize,
 		})
 		if err != nil {
 			return err
 		}
 		parts = res.Parts
-		if !res.Feasible {
+		if res.Stopped || !res.Feasible {
 			fmt.Fprintf(os.Stderr, "gpart: WARNING: %s\n", res.Message)
 		}
-		fmt.Printf("algorithm: GP (cycles=%d, feasible=%v, %s)\n", res.Cycles, res.Feasible, res.Runtime)
+		fmt.Printf("algorithm: GP (cycles=%d, feasible=%v, stopped=%v, %s)\n", res.Cycles, res.Feasible, res.Stopped, res.Runtime)
 	case "baseline":
-		res, err := mlkp.Partition(g, mlkp.Options{K: k, Seed: seed})
+		res, err := mlkp.Partition(g, mlkp.Options{K: cfg.k, Seed: cfg.seed})
 		if err != nil {
 			return err
 		}
 		parts = res.Parts
 		fmt.Printf("algorithm: METIS-like baseline (levels=%d, %s)\n", res.Levels, res.Runtime)
 	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
+		return fmt.Errorf("unknown algorithm %q", cfg.algo)
 	}
 
-	return report(g, parts, k, c, dotPath, svgPath, outPath, quiet)
+	return report(g, parts, cfg.k, c, cfg.dotPath, cfg.svgPath, cfg.outPath, cfg.quiet)
 }
 
 // report prints the metrics and writes the requested artifacts.

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"ppnpart/internal/gen"
 	"ppnpart/internal/graph"
@@ -31,31 +32,50 @@ func writeInstance(t *testing.T, dir string) string {
 	return path
 }
 
+// gpConfig is the constrained-GP baseline most tests start from.
+func gpConfig(gpath string) config {
+	return config{graphPath: gpath, format: "metis", k: 4, bmax: 16, rmax: 165,
+		algo: "gp", seed: 1, cycles: 16, quiet: true}
+}
+
 func TestRunGPEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	gpath := writeInstance(t, dir)
-	out := filepath.Join(dir, "e1.part")
-	dot := filepath.Join(dir, "e1.dot")
-	svg := filepath.Join(dir, "e1.svg")
-	if err := run(gpath, "metis", 4, 16, 165, "gp", 1, 16, false, dot, svg, out, "", false, true); err != nil {
+	cfg := gpConfig(gpath)
+	cfg.outPath = filepath.Join(dir, "e1.part")
+	cfg.dotPath = filepath.Join(dir, "e1.dot")
+	cfg.svgPath = filepath.Join(dir, "e1.svg")
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
-	for _, p := range []string{out, dot, svg} {
+	for _, p := range []string{cfg.outPath, cfg.dotPath, cfg.svgPath} {
 		data, err := os.ReadFile(p)
 		if err != nil || len(data) == 0 {
 			t.Fatalf("artifact %s missing or empty: %v", p, err)
 		}
 	}
 	// Evaluate the partition we just wrote.
-	if err := run(gpath, "metis", 4, 16, 165, "gp", 1, 16, false, "", "", "", out, false, true); err != nil {
+	eval := gpConfig(gpath)
+	eval.evalPath = cfg.outPath
+	if err := run(eval); err != nil {
 		t.Fatalf("eval mode: %v", err)
+	}
+}
+
+func TestRunGPWithTimeoutBestEffort(t *testing.T) {
+	dir := t.TempDir()
+	cfg := gpConfig(writeInstance(t, dir))
+	cfg.timeout = time.Nanosecond // expired before GP starts: best-effort partition
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
 	}
 }
 
 func TestRunBaseline(t *testing.T) {
 	dir := t.TempDir()
-	gpath := writeInstance(t, dir)
-	if err := run(gpath, "metis", 4, 0, 0, "baseline", 1, 16, false, "", "", "", "", false, true); err != nil {
+	cfg := gpConfig(writeInstance(t, dir))
+	cfg.algo, cfg.bmax, cfg.rmax = "baseline", 0, 0
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -63,16 +83,21 @@ func TestRunBaseline(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	gpath := writeInstance(t, dir)
-	if err := run("", "metis", 4, 0, 0, "gp", 1, 16, false, "", "", "", "", false, true); err == nil {
+	cfg := gpConfig("")
+	if err := run(cfg); err == nil {
 		t.Fatal("missing -graph accepted")
 	}
-	if err := run(gpath, "nope", 4, 0, 0, "gp", 1, 16, false, "", "", "", "", false, true); err == nil {
+	cfg = gpConfig(gpath)
+	cfg.format = "nope"
+	if err := run(cfg); err == nil {
 		t.Fatal("bad format accepted")
 	}
-	if err := run(gpath, "metis", 4, 0, 0, "nope", 1, 16, false, "", "", "", "", false, true); err == nil {
+	cfg = gpConfig(gpath)
+	cfg.algo = "nope"
+	if err := run(cfg); err == nil {
 		t.Fatal("bad algorithm accepted")
 	}
-	if err := run(filepath.Join(dir, "absent"), "metis", 4, 0, 0, "gp", 1, 16, false, "", "", "", "", false, true); err == nil {
+	if err := run(gpConfig(filepath.Join(dir, "absent"))); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -111,8 +136,9 @@ func TestPartitionFileParsing(t *testing.T) {
 
 func TestRunStatsMode(t *testing.T) {
 	dir := t.TempDir()
-	gpath := writeInstance(t, dir)
-	if err := run(gpath, "metis", 4, 0, 0, "gp", 1, 16, false, "", "", "", "", true, true); err != nil {
+	cfg := gpConfig(writeInstance(t, dir))
+	cfg.stats = true
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -6,53 +6,90 @@
 // discrete-event simulator — reporting makespan, throughput, link
 // saturation and the per-channel FIFO depths the deployment needs.
 //
+// It also tells the fault-tolerance story end to end: -fail-fpga,
+// -degrade-link and -outage inject platform faults mid-run, -repair
+// evacuates the broken mapping onto the surviving devices and
+// re-simulates, and -timeout bounds the partitioner, settling for its
+// best-effort result when the deadline fires.
+//
 // Usage:
 //
 //	ppnsim -ppn fir.ppn.json -fpgas 4 -rmax 500 -linkbw 2
 //	ppnsim -ppn net.ppn.json -topology ring.topo.json -place
 //	ppnsim -ppn net.ppn.json -fpgas 2 -rmax 900 -linkbw 4 -partition my.part
+//	ppnsim -ppn net.ppn.json -fpgas 4 -rmax 500 -linkbw 2 -fail-fpga 2 -fail-at 100 -repair
+//	ppnsim -ppn net.ppn.json -fpgas 4 -rmax 500 -linkbw 2 -degrade-link 0:1:0.5 -timeout 2s
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"ppnpart/internal/core"
 	"ppnpart/internal/fpga"
 	"ppnpart/internal/metrics"
 	"ppnpart/internal/ppn"
+	"ppnpart/internal/repair"
 )
 
+// config gathers every flag so tests can drive run directly.
+type config struct {
+	ppnPath   string
+	fpgas     int
+	rmax      int64
+	linkBW    int64
+	topoPath  string
+	partPath  string
+	place     bool
+	seed      int64
+	cycles    int
+	fifoDepth bool
+	// Fault tolerance.
+	timeout      time.Duration
+	failFPGAs    string
+	failAt       int64
+	degradeLinks string
+	outages      string
+	repair       bool
+}
+
 func main() {
-	var (
-		ppnPath   = flag.String("ppn", "", "process network JSON (required)")
-		fpgas     = flag.Int("fpgas", 4, "number of FPGAs (homogeneous platform)")
-		rmax      = flag.Int64("rmax", 0, "per-FPGA resources (homogeneous platform)")
-		linkBW    = flag.Int64("linkbw", 0, "per-link tokens/cycle (homogeneous platform)")
-		topoPath  = flag.String("topology", "", "heterogeneous topology JSON (overrides -fpgas/-rmax/-linkbw)")
-		partPath  = flag.String("partition", "", "use this partition file instead of running GP")
-		place     = flag.Bool("place", false, "search the best part-to-FPGA placement (heterogeneous)")
-		seed      = flag.Int64("seed", 1, "GP random seed")
-		cycles    = flag.Int("cycles", 16, "GP cyclic iteration budget")
-		fifoDepth = flag.Bool("fifos", false, "print per-channel FIFO depth requirements")
-	)
+	var cfg config
+	flag.StringVar(&cfg.ppnPath, "ppn", "", "process network JSON (required)")
+	flag.IntVar(&cfg.fpgas, "fpgas", 4, "number of FPGAs (homogeneous platform)")
+	flag.Int64Var(&cfg.rmax, "rmax", 0, "per-FPGA resources (homogeneous platform)")
+	flag.Int64Var(&cfg.linkBW, "linkbw", 0, "per-link tokens/cycle (homogeneous platform)")
+	flag.StringVar(&cfg.topoPath, "topology", "", "heterogeneous topology JSON (overrides -fpgas/-rmax/-linkbw)")
+	flag.StringVar(&cfg.partPath, "partition", "", "use this partition file instead of running GP")
+	flag.BoolVar(&cfg.place, "place", false, "search the best part-to-FPGA placement (heterogeneous)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "GP random seed")
+	flag.IntVar(&cfg.cycles, "cycles", 16, "GP cyclic iteration budget")
+	flag.BoolVar(&cfg.fifoDepth, "fifos", false, "print per-channel FIFO depth requirements")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "GP latency budget; on expiry the best-effort partition is used (0 = none)")
+	flag.StringVar(&cfg.failFPGAs, "fail-fpga", "", "comma-separated FPGA ids to take offline at -fail-at")
+	flag.Int64Var(&cfg.failAt, "fail-at", 0, "cycle at which the FPGAs named by -fail-fpga go offline")
+	flag.StringVar(&cfg.degradeLinks, "degrade-link", "", "comma-separated a:b:factor[:cycle] link degradations")
+	flag.StringVar(&cfg.outages, "outage", "", "comma-separated a:b:start:end transient link outages")
+	flag.BoolVar(&cfg.repair, "repair", false, "after injecting faults, repair the mapping on the survivors and re-simulate")
 	flag.Parse()
-	if err := run(*ppnPath, *fpgas, *rmax, *linkBW, *topoPath, *partPath, *place, *seed, *cycles, *fifoDepth); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "ppnsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(ppnPath string, fpgas int, rmax, linkBW int64, topoPath, partPath string,
-	place bool, seed int64, cycles int, fifoDepth bool) error {
-	if ppnPath == "" {
+func run(cfg config) error {
+	if cfg.ppnPath == "" {
 		return fmt.Errorf("-ppn is required")
 	}
-	pf, err := os.Open(ppnPath)
+	pf, err := os.Open(cfg.ppnPath)
 	if err != nil {
 		return err
 	}
@@ -69,8 +106,8 @@ func run(ppnPath string, fpgas int, rmax, linkBW int64, topoPath, partPath strin
 
 	// Platform / topology.
 	var topo *fpga.Topology
-	if topoPath != "" {
-		tf, err := os.Open(topoPath)
+	if cfg.topoPath != "" {
+		tf, err := os.Open(cfg.topoPath)
 		if err != nil {
 			return err
 		}
@@ -80,12 +117,23 @@ func run(ppnPath string, fpgas int, rmax, linkBW int64, topoPath, partPath strin
 			return err
 		}
 	} else {
-		if rmax <= 0 || linkBW <= 0 {
+		if cfg.rmax <= 0 || cfg.linkBW <= 0 {
 			return fmt.Errorf("homogeneous platform needs -rmax and -linkbw (or pass -topology)")
 		}
-		topo = fpga.Uniform(fpgas, rmax, linkBW)
+		topo = fpga.Uniform(cfg.fpgas, cfg.rmax, cfg.linkBW)
 	}
 	k := topo.NumFPGAs()
+
+	plan, err := parseFaultPlan(cfg)
+	if err != nil {
+		return err
+	}
+	if err := plan.Validate(k); err != nil {
+		return err
+	}
+	if cfg.repair && plan.Empty() {
+		return fmt.Errorf("-repair needs a fault to repair from (-fail-fpga, -degrade-link or -outage)")
+	}
 
 	g, err := net.ToGraph(ppn.DefaultResourceModel())
 	if err != nil {
@@ -97,15 +145,15 @@ func run(ppnPath string, fpgas int, rmax, linkBW int64, topoPath, partPath strin
 	// topology's weakest link and smallest device (the uniform
 	// abstraction of the heterogeneous system).
 	var parts []int
-	if partPath != "" {
-		parts, err = readPartition(partPath, g.NumNodes())
+	if cfg.partPath != "" {
+		parts, err = readPartition(cfg.partPath, g.NumNodes())
 		if err != nil {
 			return err
 		}
 		if err := metrics.Validate(g, parts, k); err != nil {
 			return err
 		}
-		fmt.Printf("partition: loaded from %s\n", partPath)
+		fmt.Printf("partition: loaded from %s\n", cfg.partPath)
 	} else {
 		minRes, minBW := topo.Resources[0], int64(0)
 		for _, r := range topo.Resources {
@@ -121,8 +169,14 @@ func run(ppnPath string, fpgas int, rmax, linkBW int64, topoPath, partPath strin
 			}
 		}
 		c := metrics.Constraints{Rmax: minRes, Bmax: minBW * rounds}
-		res, err := core.Partition(g, core.Options{
-			K: k, Constraints: c, Seed: seed, MaxCycles: cycles,
+		ctx := context.Background()
+		if cfg.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+			defer cancel()
+		}
+		res, err := core.PartitionCtx(ctx, g, core.Options{
+			K: k, Constraints: c, Seed: cfg.seed, MaxCycles: cfg.cycles,
 		})
 		if err != nil {
 			return err
@@ -130,17 +184,20 @@ func run(ppnPath string, fpgas int, rmax, linkBW int64, topoPath, partPath strin
 		parts = res.Parts
 		fmt.Printf("partition: GP cut=%d feasible=%v (Bmax=%d tokens, Rmax=%d, %s)\n",
 			res.Report.EdgeCut, res.Feasible, c.Bmax, c.Rmax, res.Runtime)
+		if res.Stopped {
+			fmt.Printf("partition: %s\n", res.Message)
+		}
 	}
 
 	assignment := parts
-	if place {
+	if cfg.place {
 		var pr *fpga.PlacementResult
 		if k <= 8 {
 			pr, err = fpga.BestPlacement(g, parts, k, topo, rounds)
 		} else {
 			// Beyond the exhaustive ceiling, the swap-based heuristic
 			// placer takes over.
-			pr, err = fpga.AnnealPlacement(g, parts, k, topo, rounds, 0, 0, seed)
+			pr, err = fpga.AnnealPlacement(g, parts, k, topo, rounds, 0, 0, cfg.seed)
 		}
 		if err != nil {
 			return err
@@ -165,8 +222,76 @@ func run(ppnPath string, fpgas int, rmax, linkBW int64, topoPath, partPath strin
 	if err != nil {
 		return err
 	}
-	fmt.Printf("simulation: completed=%v makespan=%d cycles throughput=%.3f firings/cycle\n",
-		sim.Completed, sim.Makespan, sim.Throughput)
+	printSim("simulation", net, sim, cfg.fifoDepth)
+
+	if plan.Empty() {
+		return nil
+	}
+
+	// Fault injection: re-run the same mapping while the plan unfolds.
+	faulted, err := fpga.SimulateTopologyFaults(net, assignment, topo, plan, fpga.SimOptions{})
+	if err != nil {
+		return err
+	}
+	printSim("faulted simulation", net, faulted, false)
+	if sim.Throughput > 0 {
+		fmt.Printf("fault impact: throughput %.3f -> %.3f (%.0f%%), firings %d -> %d\n",
+			sim.Throughput, faulted.Throughput, 100*faulted.Throughput/sim.Throughput,
+			sim.TotalFirings, faulted.TotalFirings)
+	}
+	for _, ci := range faulted.StalledChannels {
+		ch := net.Channels[ci]
+		fmt.Printf("  stalled channel: %s -> %s\n", net.Processes[ch.From].Name, net.Processes[ch.To].Name)
+	}
+	if len(faulted.DeadProcesses) > 0 {
+		fmt.Printf("  dead processes: %d on failed FPGAs %v\n", len(faulted.DeadProcesses), plan.FailedFPGAs())
+	}
+
+	if !cfg.repair {
+		return nil
+	}
+
+	// Repair: evacuate the survivors' platform and re-simulate.
+	degraded, err := plan.DegradedTopology(topo)
+	if err != nil {
+		return err
+	}
+	rep, err := repair.Repair(g, assignment, degraded, plan.FailedFPGAs(), repair.Options{
+		Rounds: rounds, Seed: cfg.seed, MaxCycles: cfg.cycles,
+	})
+	if err != nil {
+		return err
+	}
+	mode := "incremental"
+	if rep.Repartitioned {
+		mode = "full re-partition"
+	}
+	fmt.Printf("repair: %s, evacuated %d, moved %d processes, cut %d -> %d (delta %+d), feasible=%v\n",
+		mode, rep.Evacuated, len(rep.Moved), rep.CutBefore, rep.CutAfter, rep.DeltaCut, rep.Feasible)
+	if !rep.Feasible {
+		for _, v := range rep.Check.ResourceViolations {
+			fmt.Printf("  violation: %s\n", v)
+		}
+		for _, v := range rep.Check.BandwidthViolations {
+			fmt.Printf("  violation: %s\n", v)
+		}
+		return fmt.Errorf("repair could not reach a feasible mapping on the surviving platform")
+	}
+	resim, err := fpga.SimulateTopologyFaults(net, rep.Assignment, topo, plan, fpga.SimOptions{})
+	if err != nil {
+		return err
+	}
+	printSim("repaired simulation", net, resim, cfg.fifoDepth)
+	if !resim.Completed {
+		return fmt.Errorf("repaired mapping still does not complete under the fault plan")
+	}
+	return nil
+}
+
+// printSim reports one simulation run.
+func printSim(label string, net *ppn.PPN, sim *fpga.SimResult, fifoDepth bool) {
+	fmt.Printf("%s: completed=%v makespan=%d cycles throughput=%.3f firings/cycle\n",
+		label, sim.Completed, sim.Makespan, sim.Throughput)
 	fmt.Printf("links: %d with traffic, %d saturated, max utilization %.2f\n",
 		len(sim.Links), sim.SaturatedLinks, sim.MaxLinkUtilization)
 	for _, l := range sim.Links {
@@ -190,7 +315,69 @@ func run(ppnPath string, fpgas int, rmax, linkBW int64, topoPath, partPath strin
 				net.Processes[ch.From].Name, net.Processes[ch.To].Name, d.peak, ch.Tokens)
 		}
 	}
-	return nil
+}
+
+// parseFaultPlan builds the FaultPlan described by the fault flags.
+func parseFaultPlan(cfg config) (*fpga.FaultPlan, error) {
+	plan := &fpga.FaultPlan{}
+	if cfg.failAt < 0 {
+		return nil, fmt.Errorf("-fail-at must be >= 0")
+	}
+	for _, tok := range splitList(cfg.failFPGAs) {
+		id, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, fmt.Errorf("-fail-fpga: bad FPGA id %q", tok)
+		}
+		plan.FPGAFailures = append(plan.FPGAFailures, fpga.FPGAFailure{FPGA: id, Cycle: cfg.failAt})
+	}
+	for _, tok := range splitList(cfg.degradeLinks) {
+		f := strings.Split(tok, ":")
+		if len(f) != 3 && len(f) != 4 {
+			return nil, fmt.Errorf("-degrade-link: want a:b:factor[:cycle], got %q", tok)
+		}
+		a, err1 := strconv.Atoi(f[0])
+		b, err2 := strconv.Atoi(f[1])
+		factor, err3 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("-degrade-link: malformed spec %q", tok)
+		}
+		var from int64
+		if len(f) == 4 {
+			from, err1 = strconv.ParseInt(f[3], 10, 64)
+			if err1 != nil {
+				return nil, fmt.Errorf("-degrade-link: malformed cycle in %q", tok)
+			}
+		}
+		plan.Degradations = append(plan.Degradations, fpga.LinkDegradation{
+			A: a, B: b, Factor: factor, FromCycle: from,
+		})
+	}
+	for _, tok := range splitList(cfg.outages) {
+		f := strings.Split(tok, ":")
+		if len(f) != 4 {
+			return nil, fmt.Errorf("-outage: want a:b:start:end, got %q", tok)
+		}
+		a, err1 := strconv.Atoi(f[0])
+		b, err2 := strconv.Atoi(f[1])
+		start, err3 := strconv.ParseInt(f[2], 10, 64)
+		end, err4 := strconv.ParseInt(f[3], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("-outage: malformed spec %q", tok)
+		}
+		plan.Outages = append(plan.Outages, fpga.LinkOutage{A: a, B: b, Start: start, End: end})
+	}
+	return plan, nil
+}
+
+// splitList splits a comma-separated flag, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
 }
 
 // nominalRounds is the longest process iteration count.

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"ppnpart/internal/fpga"
 	"ppnpart/internal/ppn"
@@ -41,29 +42,47 @@ func writeTopo(t *testing.T, dir string, topo *fpga.Topology) string {
 	return path
 }
 
+// homogeneous is the baseline config most tests start from.
+func homogeneous(ppnPath string) config {
+	return config{ppnPath: ppnPath, fpgas: 2, rmax: 2000, linkBW: 4, seed: 1, cycles: 8}
+}
+
 func TestRunHomogeneous(t *testing.T) {
 	dir := t.TempDir()
-	ppnPath := writePPN(t, dir)
-	if err := run(ppnPath, 2, 2000, 4, "", "", false, 1, 8, true); err != nil {
+	cfg := homogeneous(writePPN(t, dir))
+	cfg.fifoDepth = true
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunHeterogeneousWithPlacement(t *testing.T) {
 	dir := t.TempDir()
-	ppnPath := writePPN(t, dir)
-	topoPath := writeTopo(t, dir, fpga.RingTopology(4, 2000, 2, 1))
-	if err := run(ppnPath, 0, 0, 0, topoPath, "", true, 1, 8, false); err != nil {
+	cfg := config{
+		ppnPath:  writePPN(t, dir),
+		topoPath: writeTopo(t, dir, fpga.RingTopology(4, 2000, 2, 1)),
+		place:    true, seed: 1, cycles: 8,
+	}
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithPartitionFile(t *testing.T) {
 	dir := t.TempDir()
-	ppnPath := writePPN(t, dir)
-	partPath := filepath.Join(dir, "p.part")
-	os.WriteFile(partPath, []byte("0 0\n1 0\n2 1\n3 1\n"), 0o644)
-	if err := run(ppnPath, 2, 2000, 4, "", partPath, false, 1, 8, false); err != nil {
+	cfg := homogeneous(writePPN(t, dir))
+	cfg.partPath = filepath.Join(dir, "p.part")
+	os.WriteFile(cfg.partPath, []byte("0 0\n1 0\n2 1\n3 1\n"), 0o644)
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithTimeoutBestEffort(t *testing.T) {
+	dir := t.TempDir()
+	cfg := homogeneous(writePPN(t, dir))
+	cfg.timeout = time.Nanosecond // expired before GP starts: best-effort partition
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -71,34 +90,121 @@ func TestRunWithPartitionFile(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	ppnPath := writePPN(t, dir)
-	if err := run("", 2, 100, 1, "", "", false, 1, 8, false); err == nil {
+	if err := run(config{}); err == nil {
 		t.Fatal("missing -ppn accepted")
 	}
-	if err := run(ppnPath, 2, 0, 0, "", "", false, 1, 8, false); err == nil {
+	if err := run(config{ppnPath: ppnPath, fpgas: 2}); err == nil {
 		t.Fatal("missing platform parameters accepted")
 	}
-	if err := run(filepath.Join(dir, "absent"), 2, 100, 1, "", "", false, 1, 8, false); err == nil {
+	cfg := homogeneous(filepath.Join(dir, "absent"))
+	if err := run(cfg); err == nil {
 		t.Fatal("absent PPN file accepted")
 	}
-	if err := run(ppnPath, 0, 0, 0, filepath.Join(dir, "absent"), "", false, 1, 8, false); err == nil {
+	if err := run(config{ppnPath: ppnPath, topoPath: filepath.Join(dir, "absent")}); err == nil {
 		t.Fatal("absent topology accepted")
 	}
-	badPart := filepath.Join(dir, "bad.part")
-	os.WriteFile(badPart, []byte("0 0\n"), 0o644)
-	if err := run(ppnPath, 2, 2000, 4, "", badPart, false, 1, 8, false); err == nil {
-		t.Fatal("incomplete partition accepted")
+	malformedTopo := filepath.Join(dir, "bad.topo.json")
+	os.WriteFile(malformedTopo, []byte(`{"resources":[5,5],"linkBW":[[0,1]]}`), 0o644)
+	if err := run(config{ppnPath: ppnPath, topoPath: malformedTopo}); err == nil {
+		t.Fatal("malformed topology JSON accepted")
+	}
+	notJSONTopo := filepath.Join(dir, "not.topo.json")
+	os.WriteFile(notJSONTopo, []byte("not json at all"), 0o644)
+	if err := run(config{ppnPath: ppnPath, topoPath: notJSONTopo}); err == nil {
+		t.Fatal("non-JSON topology accepted")
+	}
+	badPart := homogeneous(ppnPath)
+	badPart.partPath = filepath.Join(dir, "bad.part")
+	os.WriteFile(badPart.partPath, []byte("0 0\n"), 0o644)
+	if err := run(badPart); err == nil {
+		t.Fatal("partition shorter than the network accepted")
+	}
+}
+
+func TestRunFaultFlagErrors(t *testing.T) {
+	dir := t.TempDir()
+	base := homogeneous(writePPN(t, dir))
+
+	cfg := base
+	cfg.failFPGAs = "zero"
+	if err := run(cfg); err == nil {
+		t.Fatal("non-numeric -fail-fpga accepted")
+	}
+	cfg = base
+	cfg.failFPGAs = "7" // platform has 2 FPGAs
+	if err := run(cfg); err == nil {
+		t.Fatal("out-of-range -fail-fpga accepted")
+	}
+	cfg = base
+	cfg.failFPGAs = "0"
+	cfg.failAt = -5
+	if err := run(cfg); err == nil {
+		t.Fatal("negative -fail-at accepted")
+	}
+	cfg = base
+	cfg.degradeLinks = "0:1"
+	if err := run(cfg); err == nil {
+		t.Fatal("short -degrade-link spec accepted")
+	}
+	cfg = base
+	cfg.degradeLinks = "0:1:2.5"
+	if err := run(cfg); err == nil {
+		t.Fatal("degradation factor > 1 accepted")
+	}
+	cfg = base
+	cfg.outages = "0:1:50"
+	if err := run(cfg); err == nil {
+		t.Fatal("short -outage spec accepted")
+	}
+	cfg = base
+	cfg.outages = "0:1:50:10"
+	if err := run(cfg); err == nil {
+		t.Fatal("inverted outage window accepted")
+	}
+	cfg = base
+	cfg.repair = true // no fault to repair from
+	if err := run(cfg); err == nil {
+		t.Fatal("-repair without any fault accepted")
+	}
+}
+
+func TestRunFailureThenRepair(t *testing.T) {
+	// The full story: partition onto 4 FPGAs, kill one mid-run, repair
+	// onto the 3 survivors, re-simulate to completion.
+	dir := t.TempDir()
+	cfg := config{
+		ppnPath: writePPN(t, dir),
+		fpgas:   4, rmax: 2000, linkBW: 4,
+		seed: 1, cycles: 8,
+		failFPGAs: "1", failAt: 50,
+		repair: true,
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDegradedLinkAndOutage(t *testing.T) {
+	dir := t.TempDir()
+	cfg := homogeneous(writePPN(t, dir))
+	cfg.degradeLinks = "0:1:0.5:10"
+	cfg.outages = "0:1:20:40"
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
 	}
 }
 
 func TestMissingLinkRejected(t *testing.T) {
 	dir := t.TempDir()
-	ppnPath := writePPN(t, dir)
-	// Ring without backplane; partition file placing stage 0 and 2
-	// together... place stages on FPGAs 0,2 (no link) directly:
-	topoPath := writeTopo(t, dir, fpga.RingTopology(4, 2000, 2, 0))
-	partPath := filepath.Join(dir, "diag.part")
-	os.WriteFile(partPath, []byte("0 0\n1 2\n2 0\n3 2\n"), 0o644)
-	if err := run(ppnPath, 0, 0, 0, topoPath, partPath, false, 1, 8, false); err == nil {
+	// Ring without backplane; partition file placing traffic on FPGAs
+	// 0 and 2 (no link) directly:
+	cfg := config{
+		ppnPath:  writePPN(t, dir),
+		topoPath: writeTopo(t, dir, fpga.RingTopology(4, 2000, 2, 0)),
+		partPath: filepath.Join(dir, "diag.part"),
+	}
+	os.WriteFile(cfg.partPath, []byte("0 0\n1 2\n2 0\n3 2\n"), 0o644)
+	if err := run(cfg); err == nil {
 		t.Fatal("traffic over missing link should fail without -place")
 	}
 }

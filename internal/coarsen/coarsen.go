@@ -193,7 +193,10 @@ func BestMatching(g *graph.Graph, opts Options, rng *rand.Rand) (match.Matching,
 	var bestW int64 = -1
 	bestPairs := -1
 	for _, h := range opts.Heuristics {
-		m := match.Compute(h, g, opts.KMeansClusters, rng)
+		m, err := match.Compute(h, g, opts.KMeansClusters, rng)
+		if err != nil {
+			continue // unknown heuristics are skipped; callers validate up front
+		}
 		w := m.MatchedWeight(g)
 		p := m.Pairs()
 		if w > bestW || (w == bestW && p > bestPairs) {

@@ -18,7 +18,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -181,22 +183,29 @@ type Result struct {
 	Runtime time.Duration
 	// Report evaluates the partition under the run's constraints.
 	Report metrics.Report
+	// Stopped is true when the run was cut short by context cancellation
+	// or deadline expiry; Parts then holds the best partition found so
+	// far (a round-robin fallback if no cycle finished) and Report its
+	// violation report — a best-effort result rather than nothing.
+	Stopped bool
 }
 
 // Partition runs GP on g.
 func Partition(g *graph.Graph, opts Options) (*Result, error) {
+	return PartitionCtx(context.Background(), g, opts)
+}
+
+// PartitionCtx runs GP on g under a context. Cancellation or deadline
+// expiry stops the cyclic re-coarsen search at the next level boundary
+// and returns the best partition found so far together with its
+// violation report (Result.Stopped is set); it never returns an error
+// for cancellation alone. Invalid options are rejected up front with
+// typed errors wrapping ErrInvalidOptions.
+func PartitionCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
+	if err := opts.Validate(g); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
-	if opts.K <= 0 {
-		return nil, fmt.Errorf("core: K = %d must be positive", opts.K)
-	}
-	if g.NumNodes() < opts.K {
-		return nil, fmt.Errorf("core: cannot split %d nodes into %d parts", g.NumNodes(), opts.K)
-	}
-	if len(opts.VectorResources) > 0 {
-		if err := metrics.ValidateVectors(opts.VectorResources, g.NumNodes()); err != nil {
-			return nil, fmt.Errorf("core: %v", err)
-		}
-	}
 	start := time.Now()
 
 	type candidate struct {
@@ -209,7 +218,11 @@ func Partition(g *graph.Graph, opts Options) (*Result, error) {
 	runCycle := func(cycle int) candidate {
 		// Each cycle gets an independent deterministic stream.
 		rng := rand.New(rand.NewSource(opts.Seed + int64(cycle)*0x9E3779B9))
-		parts := gpCycle(g, opts, cycle, rng)
+		parts := gpCycle(ctx, g, opts, cycle, rng)
+		if parts == nil {
+			// Cancelled before the cycle produced a full assignment.
+			return candidate{cycle: cycle, goodness: math.Inf(1)}
+		}
 		return candidate{
 			cycle:    cycle,
 			parts:    parts,
@@ -232,7 +245,7 @@ func Partition(g *graph.Graph, opts Options) (*Result, error) {
 	// stop at the first feasible cycle (lowest cycle index) unless
 	// MinimizeAfterFeasible. A batch may overshoot the stopping cycle;
 	// overshoot results are discarded to keep parallel == serial.
-	for base := 0; base < opts.MaxCycles; base += opts.Parallelism {
+	for base := 0; base < opts.MaxCycles && ctx.Err() == nil; base += opts.Parallelism {
 		batch := opts.Parallelism
 		if base+batch > opts.MaxCycles {
 			batch = opts.MaxCycles - base
@@ -255,6 +268,9 @@ func Partition(g *graph.Graph, opts Options) (*Result, error) {
 			}
 		}
 		for _, c := range results {
+			if c.parts == nil {
+				continue // cancelled mid-cycle, no assignment produced
+			}
 			if stopAt >= 0 && c.cycle > stopAt {
 				continue // serial run would never have executed this cycle
 			}
@@ -267,7 +283,26 @@ func Partition(g *graph.Graph, opts Options) (*Result, error) {
 			break
 		}
 	}
+	stopped := ctx.Err() != nil
 
+	if best.parts == nil {
+		// Nothing completed before cancellation: fall back to a trivial
+		// round-robin assignment so callers always get a full-length
+		// partition and an honest violation report.
+		parts := make([]int, g.NumNodes())
+		for i := range parts {
+			parts[i] = i % opts.K
+		}
+		best.parts = parts
+		best.goodness = opts.score(g, parts)
+		best.feasible = opts.feasibleAll(g, parts)
+	}
+
+	if stopped {
+		// Best-effort return: skip polishing, which could take arbitrary
+		// extra time after the caller's deadline already fired.
+		opts.Polish = PolishNone
+	}
 	switch opts.Polish {
 	case PolishTabu:
 		refine.TabuSearch(g, best.parts, opts.K, opts.Constraints, refine.TabuOptions{})
@@ -296,8 +331,16 @@ func Partition(g *graph.Graph, opts Options) (*Result, error) {
 		Goodness: best.goodness,
 		Runtime:  time.Since(start),
 		Report:   metrics.Evaluate(g, best.parts, opts.K, opts.Constraints),
+		Stopped:  stopped,
 	}
-	if !res.Feasible {
+	switch {
+	case stopped && !res.Feasible:
+		res.Message = fmt.Sprintf(
+			"search stopped early (%v) after %d cycles: returning best-effort infeasible partition (Bmax=%d, Rmax=%d)",
+			ctx.Err(), cyclesRun, opts.Constraints.Bmax, opts.Constraints.Rmax)
+	case stopped:
+		res.Message = fmt.Sprintf("search stopped early (%v) after %d cycles: returning best feasible partition found", ctx.Err(), cyclesRun)
+	case !res.Feasible:
 		res.Message = fmt.Sprintf(
 			"no feasible %d-way partition found within %d cycles: constraints (Bmax=%d, Rmax=%d) are either impossible or need more iterations (raise MaxCycles)",
 			opts.K, cyclesRun, opts.Constraints.Bmax, opts.Constraints.Rmax)
@@ -306,8 +349,15 @@ func Partition(g *graph.Graph, opts Options) (*Result, error) {
 }
 
 // gpCycle executes one full coarsen → seed → uncoarsen+refine cycle and
-// returns the finest-level assignment it produced.
-func gpCycle(g *graph.Graph, opts Options, cycle int, rng *rand.Rand) []int {
+// returns the finest-level assignment it produced. Cancellation is
+// honored at phase and level boundaries: a cancelled cycle projects its
+// current clustering straight to the finest graph (skipping refinement)
+// so the caller still receives a usable assignment, or nil when not even
+// the seeding finished.
+func gpCycle(ctx context.Context, g *graph.Graph, opts Options, cycle int, rng *rand.Rand) []int {
+	if ctx.Err() != nil {
+		return nil
+	}
 	var hier *coarsen.Hierarchy
 	var err error
 	if opts.NLevelCoarsening {
@@ -354,6 +404,13 @@ func gpCycle(g *graph.Graph, opts Options, cycle int, rng *rand.Rand) []int {
 			Constraints: opts.Constraints,
 		}, rng)
 	}
+	if ctx.Err() != nil {
+		full, perr := hier.ProjectTo(parts, hier.Depth(), 0)
+		if perr != nil {
+			return nil
+		}
+		return full
+	}
 	parts = refineLevel(coarsest, parts, opts)
 
 	// Uncoarsen with goodness-ranked intermediate clusterings: at each
@@ -365,6 +422,15 @@ func gpCycle(g *graph.Graph, opts Options, cycle int, rng *rand.Rand) []int {
 		projected, err := hier.ProjectTo(parts, lvl, lvl-1)
 		if err != nil {
 			break
+		}
+		if ctx.Err() != nil {
+			// Deadline hit mid-uncoarsening: project the current level's
+			// assignment to the finest graph without further refinement.
+			full, perr := hier.ProjectTo(projected, lvl-1, 0)
+			if perr != nil {
+				return nil
+			}
+			return full
 		}
 		parts = bestRefinement(hier.GraphAt(lvl-1), projected, opts)
 	}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ppnpart/internal/graph"
+	"ppnpart/internal/match"
+	"ppnpart/internal/metrics"
+)
+
+// ErrInvalidOptions is the base of every option-validation failure; all
+// the specific sentinels below wrap it, so callers can match either the
+// family (errors.Is(err, ErrInvalidOptions)) or the precise cause.
+var ErrInvalidOptions = errors.New("core: invalid options")
+
+var (
+	// ErrNonPositiveK rejects K <= 0.
+	ErrNonPositiveK = fmt.Errorf("%w: K must be positive", ErrInvalidOptions)
+	// ErrTooFewNodes rejects graphs with fewer nodes than parts.
+	ErrTooFewNodes = fmt.Errorf("%w: fewer nodes than parts", ErrInvalidOptions)
+	// ErrNegativeBmax rejects a negative bandwidth bound (zero disables it).
+	ErrNegativeBmax = fmt.Errorf("%w: negative Bmax", ErrInvalidOptions)
+	// ErrNegativeRmax rejects a negative resource bound (zero disables it).
+	ErrNegativeRmax = fmt.Errorf("%w: negative Rmax", ErrInvalidOptions)
+	// ErrNegativeRestarts rejects Restarts < 0 (zero selects the default).
+	ErrNegativeRestarts = fmt.Errorf("%w: negative Restarts", ErrInvalidOptions)
+	// ErrUnknownHeuristic rejects a MatchHeuristics entry outside the
+	// known set; it also wraps match.ErrUnknownHeuristic.
+	ErrUnknownHeuristic = fmt.Errorf("%w: %w", ErrInvalidOptions, match.ErrUnknownHeuristic)
+)
+
+// Validate checks opts against g up front, returning a typed, wrapped
+// error for the first problem found. Partition and PartitionCtx call it
+// before doing any work, so an invalid configuration fails fast instead
+// of panicking deep inside a coarsening cycle.
+func (o Options) Validate(g *graph.Graph) error {
+	if o.K <= 0 {
+		return fmt.Errorf("%w (K = %d)", ErrNonPositiveK, o.K)
+	}
+	if g.NumNodes() < o.K {
+		return fmt.Errorf("%w (%d nodes, K = %d)", ErrTooFewNodes, g.NumNodes(), o.K)
+	}
+	if o.Constraints.Bmax < 0 {
+		return fmt.Errorf("%w (Bmax = %d)", ErrNegativeBmax, o.Constraints.Bmax)
+	}
+	if o.Constraints.Rmax < 0 {
+		return fmt.Errorf("%w (Rmax = %d)", ErrNegativeRmax, o.Constraints.Rmax)
+	}
+	if o.Restarts < 0 {
+		return fmt.Errorf("%w (Restarts = %d)", ErrNegativeRestarts, o.Restarts)
+	}
+	for _, h := range o.MatchHeuristics {
+		if !h.Valid() {
+			return fmt.Errorf("%w (heuristic %d)", ErrUnknownHeuristic, int(h))
+		}
+	}
+	if len(o.VectorResources) > 0 {
+		if err := metrics.ValidateVectors(o.VectorResources, g.NumNodes()); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package fpga
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fault injection: a FaultPlan describes how the physical platform
+// changes while a network is running — an FPGA going offline, a link
+// degrading below its nominal rate, a transient link outage window. The
+// simulator applies the plan mid-run (SimulateTopologyFaults), so a
+// deployment can measure how makespan and throughput degrade and which
+// channels stall; the repair package consumes the post-fault platform
+// (DegradedTopology + FailedFPGAs) to fix the mapping up incrementally.
+
+// FPGAFailure takes one device offline permanently at a given cycle.
+// Processes mapped on it stop firing and every link touching it stops
+// moving tokens from that cycle on.
+type FPGAFailure struct {
+	// FPGA is the failing device.
+	FPGA int
+	// Cycle is the first cycle at which the device is offline; 0 means
+	// the device is down from the start.
+	Cycle int64
+}
+
+// LinkDegradation permanently scales the bandwidth of one link by a
+// factor in [0, 1] from a given cycle on (e.g. a cable renegotiating to
+// a lower rate). The effective rate is floor(factor · nominal).
+type LinkDegradation struct {
+	// A, B are the FPGA endpoints (order irrelevant).
+	A, B int
+	// Factor scales the nominal bandwidth; 0 kills the link, 1 is a
+	// no-op.
+	Factor float64
+	// FromCycle is the first affected cycle.
+	FromCycle int64
+}
+
+// LinkOutage zeroes one link's bandwidth during [Start, End) — a
+// transient blackout after which the link recovers on its own.
+type LinkOutage struct {
+	// A, B are the FPGA endpoints (order irrelevant).
+	A, B int
+	// Start (inclusive) and End (exclusive) bound the outage window.
+	Start, End int64
+}
+
+// FaultPlan aggregates the faults injected into one simulation run.
+// The zero value (or nil) injects nothing.
+type FaultPlan struct {
+	FPGAFailures []FPGAFailure
+	Degradations []LinkDegradation
+	Outages      []LinkOutage
+}
+
+// Empty reports whether the plan injects any fault at all.
+func (p *FaultPlan) Empty() bool {
+	return p == nil ||
+		len(p.FPGAFailures) == 0 && len(p.Degradations) == 0 && len(p.Outages) == 0
+}
+
+// Validate checks the plan against a platform with n FPGAs.
+func (p *FaultPlan) Validate(n int) error {
+	if p == nil {
+		return nil
+	}
+	for _, f := range p.FPGAFailures {
+		if f.FPGA < 0 || f.FPGA >= n {
+			return fmt.Errorf("fpga: fault plan fails missing FPGA %d (platform has %d)", f.FPGA, n)
+		}
+		if f.Cycle < 0 {
+			return fmt.Errorf("fpga: fault plan FPGA %d failure at negative cycle %d", f.FPGA, f.Cycle)
+		}
+	}
+	for _, d := range p.Degradations {
+		if d.A < 0 || d.A >= n || d.B < 0 || d.B >= n || d.A == d.B {
+			return fmt.Errorf("fpga: fault plan degrades bad link (%d,%d)", d.A, d.B)
+		}
+		if d.Factor < 0 || d.Factor > 1 {
+			return fmt.Errorf("fpga: fault plan degradation factor %g outside [0,1]", d.Factor)
+		}
+		if d.FromCycle < 0 {
+			return fmt.Errorf("fpga: fault plan degradation at negative cycle %d", d.FromCycle)
+		}
+	}
+	for _, o := range p.Outages {
+		if o.A < 0 || o.A >= n || o.B < 0 || o.B >= n || o.A == o.B {
+			return fmt.Errorf("fpga: fault plan outage on bad link (%d,%d)", o.A, o.B)
+		}
+		if o.Start < 0 || o.End < o.Start {
+			return fmt.Errorf("fpga: fault plan outage window [%d,%d) invalid", o.Start, o.End)
+		}
+	}
+	return nil
+}
+
+// FailedFPGAs returns the sorted, de-duplicated devices the plan takes
+// offline (at any cycle).
+func (p *FaultPlan) FailedFPGAs() []int {
+	if p == nil {
+		return nil
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, f := range p.FPGAFailures {
+		if !seen[f.FPGA] {
+			seen[f.FPGA] = true
+			out = append(out, f.FPGA)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// deadAt reports whether FPGA f is offline at the given cycle.
+func (p *FaultPlan) deadAt(f int, cycle int64) bool {
+	if p == nil {
+		return false
+	}
+	for _, ff := range p.FPGAFailures {
+		if ff.FPGA == f && cycle >= ff.Cycle {
+			return true
+		}
+	}
+	return false
+}
+
+// bandwidthAt returns the effective rate of link (a,b) at the given
+// cycle, starting from its nominal rate. Degradations compose
+// multiplicatively; an active outage zeroes the link.
+func (p *FaultPlan) bandwidthAt(nominal int64, a, b int, cycle int64) int64 {
+	if p == nil {
+		return nominal
+	}
+	bw := nominal
+	for _, d := range p.Degradations {
+		if samePair(d.A, d.B, a, b) && cycle >= d.FromCycle {
+			bw = int64(float64(bw) * d.Factor)
+		}
+	}
+	for _, o := range p.Outages {
+		if samePair(o.A, o.B, a, b) && cycle >= o.Start && cycle < o.End {
+			return 0
+		}
+	}
+	return bw
+}
+
+func samePair(a1, b1, a2, b2 int) bool {
+	return (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2)
+}
+
+// DegradedTopology returns the steady-state platform after every
+// permanent fault has landed: link degradations are applied to the
+// nominal rates and every link touching a failed FPGA is zeroed.
+// Transient outages do not appear (the link recovers). Device
+// capacities are left untouched — the repair layer excludes failed
+// FPGAs by id rather than by zero capacity, so the returned topology
+// still validates.
+func (p *FaultPlan) DegradedTopology(t *Topology) (*Topology, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	n := t.NumFPGAs()
+	if err := p.Validate(n); err != nil {
+		return nil, err
+	}
+	out := &Topology{
+		Resources: append([]int64(nil), t.Resources...),
+		LinkBW:    make([][]int64, n),
+	}
+	for i := range out.LinkBW {
+		out.LinkBW[i] = append([]int64(nil), t.LinkBW[i]...)
+	}
+	if p == nil {
+		return out, nil
+	}
+	for _, d := range p.Degradations {
+		bw := int64(float64(out.LinkBW[d.A][d.B]) * d.Factor)
+		out.LinkBW[d.A][d.B] = bw
+		out.LinkBW[d.B][d.A] = bw
+	}
+	for _, f := range p.FPGAFailures {
+		for j := 0; j < n; j++ {
+			out.LinkBW[f.FPGA][j] = 0
+			out.LinkBW[j][f.FPGA] = 0
+		}
+	}
+	return out, nil
+}

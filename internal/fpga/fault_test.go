@@ -1,0 +1,214 @@
+package fpga
+
+import (
+	"testing"
+
+	"ppnpart/internal/ppn"
+)
+
+func pipelineNet(t *testing.T, stages int, iters int64) *ppn.PPN {
+	t.Helper()
+	net, err := ppn.Pipeline(stages, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestFaultPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan FaultPlan
+	}{
+		{"missingFPGA", FaultPlan{FPGAFailures: []FPGAFailure{{FPGA: 4, Cycle: 0}}}},
+		{"negativeFailCycle", FaultPlan{FPGAFailures: []FPGAFailure{{FPGA: 0, Cycle: -1}}}},
+		{"selfLink", FaultPlan{Degradations: []LinkDegradation{{A: 1, B: 1, Factor: 0.5}}}},
+		{"factorAboveOne", FaultPlan{Degradations: []LinkDegradation{{A: 0, B: 1, Factor: 1.5}}}},
+		{"negativeFactor", FaultPlan{Degradations: []LinkDegradation{{A: 0, B: 1, Factor: -0.1}}}},
+		{"outageBadWindow", FaultPlan{Outages: []LinkOutage{{A: 0, B: 1, Start: 10, End: 5}}}},
+		{"outageBadLink", FaultPlan{Outages: []LinkOutage{{A: 0, B: 9, Start: 0, End: 5}}}},
+	}
+	for _, c := range cases {
+		if err := c.plan.Validate(4); err == nil {
+			t.Errorf("%s: invalid plan accepted", c.name)
+		}
+	}
+	var nilPlan *FaultPlan
+	if err := nilPlan.Validate(4); err != nil {
+		t.Errorf("nil plan rejected: %v", err)
+	}
+	if !nilPlan.Empty() {
+		t.Error("nil plan should be empty")
+	}
+	ok := FaultPlan{
+		FPGAFailures: []FPGAFailure{{FPGA: 1, Cycle: 100}},
+		Degradations: []LinkDegradation{{A: 0, B: 2, Factor: 0.5, FromCycle: 3}},
+		Outages:      []LinkOutage{{A: 2, B: 3, Start: 5, End: 9}},
+	}
+	if err := ok.Validate(4); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	if ok.Empty() {
+		t.Error("populated plan should not be empty")
+	}
+	if got := ok.FailedFPGAs(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("FailedFPGAs = %v, want [1]", got)
+	}
+}
+
+func TestDegradedTopology(t *testing.T) {
+	topo := Uniform(4, 500, 4)
+	plan := &FaultPlan{
+		FPGAFailures: []FPGAFailure{{FPGA: 3, Cycle: 50}},
+		Degradations: []LinkDegradation{{A: 0, B: 1, Factor: 0.5, FromCycle: 10}},
+		Outages:      []LinkOutage{{A: 1, B: 2, Start: 0, End: 100}},
+	}
+	deg, err := plan.DegradedTopology(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := deg.Validate(); err != nil {
+		t.Fatalf("degraded topology invalid: %v", err)
+	}
+	if deg.LinkBW[0][1] != 2 || deg.LinkBW[1][0] != 2 {
+		t.Errorf("degraded link (0,1) = %d/%d, want 2/2", deg.LinkBW[0][1], deg.LinkBW[1][0])
+	}
+	for j := 0; j < 3; j++ {
+		if deg.LinkBW[3][j] != 0 || deg.LinkBW[j][3] != 0 {
+			t.Errorf("links of failed FPGA 3 not zeroed: [3][%d]=%d", j, deg.LinkBW[3][j])
+		}
+	}
+	// Transient outage does not persist.
+	if deg.LinkBW[1][2] != 4 {
+		t.Errorf("outage persisted into degraded topology: %d", deg.LinkBW[1][2])
+	}
+	// Original untouched.
+	if topo.LinkBW[0][1] != 4 || topo.LinkBW[3][0] != 4 {
+		t.Error("DegradedTopology mutated its input")
+	}
+}
+
+func TestSimulateFaultsEmptyPlanMatchesBaseline(t *testing.T) {
+	net := pipelineNet(t, 4, 300)
+	topo := Uniform(2, 5000, 2)
+	parts := []int{0, 0, 1, 1}
+	base, err := SimulateTopology(net, parts, topo, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPlan, err := SimulateTopologyFaults(net, parts, topo, &FaultPlan{}, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Makespan != withPlan.Makespan || base.TotalFirings != withPlan.TotalFirings {
+		t.Fatalf("empty plan diverges: makespan %d vs %d", base.Makespan, withPlan.Makespan)
+	}
+}
+
+func TestFPGAFailureStallsDownstream(t *testing.T) {
+	net := pipelineNet(t, 4, 300)
+	topo := Uniform(2, 5000, 2)
+	parts := []int{0, 0, 1, 1}
+	plan := &FaultPlan{FPGAFailures: []FPGAFailure{{FPGA: 0, Cycle: 10}}}
+	res, err := SimulateTopologyFaults(net, parts, topo, plan, SimOptions{StallWindow: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("run completed although the source FPGA died")
+	}
+	if !res.Deadlocked {
+		t.Fatal("starved run should be declared deadlocked")
+	}
+	if len(res.StalledChannels) == 0 {
+		t.Fatal("no stalled channels reported")
+	}
+	if len(res.DeadProcesses) == 0 {
+		t.Fatal("no dead processes reported")
+	}
+	for _, p := range res.DeadProcesses {
+		if parts[p] != 0 {
+			t.Errorf("process %d reported dead but sits on surviving FPGA %d", p, parts[p])
+		}
+	}
+	healthy, err := SimulateTopology(net, parts, topo, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalFirings >= healthy.TotalFirings {
+		t.Errorf("faulted run fired %d >= healthy %d", res.TotalFirings, healthy.TotalFirings)
+	}
+}
+
+// burstNet is a two-process network emitting several tokens per firing,
+// so that reduced link bandwidth actually throttles it.
+func burstNet(t *testing.T, iters, tokensPerFiring int64) *ppn.PPN {
+	t.Helper()
+	net := &ppn.PPN{Name: "burst"}
+	a := net.AddProcess(ppn.Process{Name: "a", Iterations: iters, OpsPerIteration: 1})
+	b := net.AddProcess(ppn.Process{Name: "b", Iterations: iters, OpsPerIteration: 1})
+	net.AddChannel(ppn.Channel{From: a, To: b, Tokens: iters * tokensPerFiring})
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestLinkDegradationSlowsButCompletes(t *testing.T) {
+	net := burstNet(t, 400, 4)
+	topo := Uniform(2, 5000, 4)
+	parts := []int{0, 1}
+	healthy, err := SimulateTopology(net, parts, topo, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &FaultPlan{Degradations: []LinkDegradation{{A: 0, B: 1, Factor: 0.25, FromCycle: 0}}}
+	slow, err := SimulateTopologyFaults(net, parts, topo, plan, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slow.Completed {
+		t.Fatal("degraded run should still complete")
+	}
+	if slow.Makespan <= healthy.Makespan {
+		t.Errorf("degraded makespan %d <= healthy %d", slow.Makespan, healthy.Makespan)
+	}
+	if slow.Throughput >= healthy.Throughput {
+		t.Errorf("degraded throughput %.3f >= healthy %.3f", slow.Throughput, healthy.Throughput)
+	}
+}
+
+func TestLinkOutageDelaysButRecovers(t *testing.T) {
+	net := burstNet(t, 200, 2)
+	topo := Uniform(2, 5000, 2)
+	parts := []int{0, 1}
+	healthy, err := SimulateTopology(net, parts, topo, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &FaultPlan{Outages: []LinkOutage{{A: 0, B: 1, Start: 0, End: 80}}}
+	res, err := SimulateTopologyFaults(net, parts, topo, plan, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("run should complete once the outage ends")
+	}
+	if res.Makespan <= healthy.Makespan {
+		t.Errorf("outage makespan %d <= healthy %d", res.Makespan, healthy.Makespan)
+	}
+}
+
+func TestFailureFromCycleZero(t *testing.T) {
+	net := pipelineNet(t, 4, 100)
+	topo := Uniform(4, 5000, 2)
+	parts := []int{0, 1, 2, 3}
+	plan := &FaultPlan{FPGAFailures: []FPGAFailure{{FPGA: 0, Cycle: 0}}}
+	res, err := SimulateTopologyFaults(net, parts, topo, plan, SimOptions{StallWindow: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed || res.TotalFirings != 0 {
+		t.Fatalf("dead-from-start source still made progress: %d firings", res.TotalFirings)
+	}
+}

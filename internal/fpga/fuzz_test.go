@@ -1,0 +1,61 @@
+package fpga
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz target: the topology parser must never panic and must never
+// return a topology violating its own invariants, whatever bytes
+// arrive (mirrors internal/graph/fuzz_test.go). Run with
+// `go test -fuzz FuzzReadTopologyJSON ./internal/fpga` for a real
+// campaign; under plain `go test` the seed corpus doubles as
+// regression tests.
+
+func FuzzReadTopologyJSON(f *testing.F) {
+	f.Add(`{"resources":[500,500],"linkBW":[[0,2],[2,0]]}`)
+	f.Add(`{"resources":[500,500,300,300],"linkBW":[[0,2,1,2],[2,0,2,1],[1,2,0,2],[2,1,2,0]]}`)
+	f.Add(`{}`)
+	f.Add(`{"resources":[],"linkBW":[]}`)
+	f.Add(`{"resources":[1],"linkBW":[[0]]}`)
+	f.Add(`{"resources":[-5],"linkBW":[[0]]}`)
+	f.Add(`{"resources":[1,1],"linkBW":[[0,1],[2,0]]}`)
+	f.Add(`{"resources":[1,1],"linkBW":[[1,1],[1,1]]}`)
+	f.Add(`{"resources":[1,1],"linkBW":[[0,1]]}`)
+	f.Add(`not json at all`)
+	f.Add(``)
+	f.Add(`null`)
+	f.Add(`{"resources":[9007199254740993],"linkBW":[[0]]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		topo, err := ReadTopologyJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if vErr := topo.Validate(); vErr != nil {
+			t.Fatalf("parsed topology violates invariants: %v\ninput: %q", vErr, input)
+		}
+		// Round trip: what we write must parse back to an equal topology.
+		var buf bytes.Buffer
+		if wErr := WriteTopologyJSON(&buf, topo); wErr != nil {
+			t.Fatalf("write failed on valid topology: %v", wErr)
+		}
+		back, rErr := ReadTopologyJSON(&buf)
+		if rErr != nil {
+			t.Fatalf("round trip failed: %v", rErr)
+		}
+		if back.NumFPGAs() != topo.NumFPGAs() {
+			t.Fatalf("round trip changed FPGA count for input %q", input)
+		}
+		for i := range topo.Resources {
+			if back.Resources[i] != topo.Resources[i] {
+				t.Fatalf("round trip changed resources for input %q", input)
+			}
+			for j := range topo.LinkBW[i] {
+				if back.LinkBW[i][j] != topo.LinkBW[i][j] {
+					t.Fatalf("round trip changed link bandwidth for input %q", input)
+				}
+			}
+		}
+	})
+}

@@ -74,6 +74,14 @@ type SimResult struct {
 	// blocked, i.e. the simulator's answer to the PPN buffer-sizing
 	// question.
 	ChannelPeakOccupancy []int64
+	// StalledChannels lists (sorted) the channels whose consumer was
+	// still waiting for tokens when the run ended — empty on a completed
+	// run, and the fault-diagnosis signal under fault injection: these
+	// are the FIFOs starved by a dead FPGA or a severed link.
+	StalledChannels []int
+	// DeadProcesses lists (sorted) the processes that sat on an FPGA
+	// taken offline by the fault plan before they finished.
+	DeadProcesses []int
 }
 
 // Simulate executes the network under the mapping on the platform: a
@@ -90,7 +98,7 @@ func Simulate(net *ppn.PPN, m Mapping, opts SimOptions) (*SimResult, error) {
 	}
 	uniform := m.Platform.LinkBandwidth
 	return simulateCore(net, m.Assignment, m.Platform.NumFPGAs,
-		func(a, b int) int64 { return uniform }, opts)
+		func(a, b int, cycle int64) int64 { return uniform }, nil, opts)
 }
 
 // SimulateTopology executes the network mapped onto a heterogeneous
@@ -117,12 +125,56 @@ func SimulateTopology(net *ppn.PPN, parts []int, t *Topology, opts SimOptions) (
 		}
 	}
 	return simulateCore(net, parts, t.NumFPGAs(),
-		func(a, b int) int64 { return t.LinkBW[a][b] }, opts)
+		func(a, b int, cycle int64) int64 { return t.LinkBW[a][b] }, nil, opts)
 }
 
-// simulateCore is the engine behind Simulate and SimulateTopology; bw
-// yields the per-cycle token budget of each FPGA pair.
-func simulateCore(net *ppn.PPN, assignment []int, numFPGAs int, bw func(a, b int) int64, opts SimOptions) (*SimResult, error) {
+// SimulateTopologyFaults executes the network on a topology while a
+// FaultPlan unfolds: processes on a failed FPGA stop firing at its
+// failure cycle, links touching it stop moving tokens, degraded links
+// run at their reduced rate, and outage windows black links out
+// transiently. A run starved by a fault ends Deadlocked (after the
+// stall window) with the starved FIFOs listed in StalledChannels, so
+// callers can see exactly which traffic the fault severed and how far
+// makespan and throughput fell versus the fault-free run.
+func SimulateTopologyFaults(net *ppn.PPN, parts []int, t *Topology, plan *FaultPlan, opts SimOptions) (*SimResult, error) {
+	if plan.Empty() {
+		return SimulateTopology(net, parts, t, opts)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(t.NumFPGAs()); err != nil {
+		return nil, err
+	}
+	if len(parts) != len(net.Processes) {
+		return nil, fmt.Errorf("fpga: mapping covers %d processes, network has %d", len(parts), len(net.Processes))
+	}
+	// Traffic on links missing from the *nominal* topology is rejected as
+	// usual; links that only a fault removes are legal — stalling on them
+	// is precisely what the injection should expose.
+	for _, ch := range net.Channels {
+		if ch.From == ch.To || ch.Tokens == 0 {
+			continue
+		}
+		fa, fb := parts[ch.From], parts[ch.To]
+		if fa < 0 || fa >= t.NumFPGAs() || fb < 0 || fb >= t.NumFPGAs() {
+			return nil, fmt.Errorf("fpga: channel %d->%d mapped to missing FPGA", ch.From, ch.To)
+		}
+		if fa != fb && t.LinkBW[fa][fb] == 0 {
+			return nil, fmt.Errorf("fpga: traffic between FPGAs %d and %d but no link exists", fa, fb)
+		}
+	}
+	bw := func(a, b int, cycle int64) int64 {
+		return plan.bandwidthAt(t.LinkBW[a][b], a, b, cycle)
+	}
+	return simulateCore(net, parts, t.NumFPGAs(), bw, plan.deadAt, opts)
+}
+
+// simulateCore is the engine behind Simulate, SimulateTopology and
+// SimulateTopologyFaults; bw yields the per-cycle token budget of each
+// FPGA pair at a given cycle, and dead (optional, nil means never)
+// reports whether an FPGA is offline at a cycle.
+func simulateCore(net *ppn.PPN, assignment []int, numFPGAs int, bw func(a, b int, cycle int64) int64, dead func(f int, cycle int64) bool, opts SimOptions) (*SimResult, error) {
 	opts = opts.withDefaults()
 	if err := net.Validate(); err != nil {
 		return nil, err
@@ -197,6 +249,9 @@ func simulateCore(net *ppn.PPN, assignment []int, numFPGAs int, bw func(a, b int
 
 	var cycle, totalFirings, lastProgress int64
 	res := &SimResult{ChannelPeakOccupancy: make([]int64, nch)}
+	// Per-link sum of per-cycle budgets, so utilization stays honest when
+	// bandwidth varies over the run (degradations, outages).
+	capacitySum := make(map[int]int64)
 	consumedShare := make([]int64, nch) // tokens logically consumed so far
 	done := func() bool {
 		for i := range net.Processes {
@@ -218,6 +273,9 @@ func simulateCore(net *ppn.PPN, assignment []int, numFPGAs int, bw func(a, b int
 			iters := net.Processes[p].Iterations
 			if prodFires[p] >= iters {
 				continue
+			}
+			if dead != nil && dead(assignment[p], cycle) {
+				continue // the process's FPGA is offline
 			}
 			f := prodFires[p]
 			ready := true
@@ -267,7 +325,11 @@ func simulateCore(net *ppn.PPN, assignment []int, numFPGAs int, bw func(a, b int
 		// Phase 2: move queued tokens across links, bandwidth-limited.
 		// Round-robin across the link's channels for fairness.
 		for li, ls := range linkStats {
-			budget := bw(linkStats[li].A, linkStats[li].B)
+			if dead != nil && (dead(ls.A, cycle) || dead(ls.B, cycle)) {
+				continue // a dead endpoint strands the link's backlog
+			}
+			budget := bw(ls.A, ls.B, cycle)
+			capacitySum[li] += budget
 			moved := int64(0)
 			var backlog int64
 			for ci := range net.Channels {
@@ -327,13 +389,40 @@ func simulateCore(net *ppn.PPN, assignment []int, numFPGAs int, bw func(a, b int
 	for _, li := range keys {
 		ls := linkStats[li]
 		res.Links = append(res.Links, *ls)
-		u := ls.Utilization(bw(ls.A, ls.B), res.Makespan)
+		var u float64
+		if capacitySum[li] > 0 {
+			u = float64(ls.TokensMoved) / float64(capacitySum[li])
+		}
 		if u > res.MaxLinkUtilization {
 			res.MaxLinkUtilization = u
 		}
 		if res.Makespan > 0 && float64(ls.SaturatedCycles) >= 0.1*float64(res.Makespan) {
 			res.SaturatedLinks++
 		}
+	}
+	// Post-mortem for incomplete runs: which FIFOs is each unfinished
+	// consumer still waiting on, and which processes sat on a dead FPGA.
+	if !res.Completed {
+		stalled := map[int]bool{}
+		for p := 0; p < n; p++ {
+			iters := net.Processes[p].Iterations
+			if prodFires[p] >= iters {
+				continue
+			}
+			for _, ci := range inCh[p] {
+				ch := net.Channels[ci]
+				if arrived[ci] < share(ch.Tokens, prodFires[p]+1, iters) {
+					stalled[ci] = true
+				}
+			}
+			if dead != nil && dead(assignment[p], cycle) {
+				res.DeadProcesses = append(res.DeadProcesses, p)
+			}
+		}
+		for ci := range stalled {
+			res.StalledChannels = append(res.StalledChannels, ci)
+		}
+		sort.Ints(res.StalledChannels)
 	}
 	return res, nil
 }

@@ -5,12 +5,17 @@
 package match
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"ppnpart/internal/graph"
 )
+
+// ErrUnknownHeuristic is returned (wrapped) by Compute when asked for a
+// heuristic outside the known set.
+var ErrUnknownHeuristic = errors.New("match: unknown heuristic")
 
 // Unmatched marks a node left single by a matching.
 const Unmatched graph.Node = -1
@@ -275,21 +280,31 @@ func (h Heuristic) String() string {
 	}
 }
 
+// Valid reports whether h names one of the known heuristics.
+func (h Heuristic) Valid() bool {
+	switch h {
+	case HeuristicRandom, HeuristicHeavyEdge, HeuristicKMeans:
+		return true
+	}
+	return false
+}
+
 // Compute runs the named heuristic. kClusters is only used by KMeans; a
-// value <= 0 defaults to 4 weight clusters.
-func Compute(h Heuristic, g *graph.Graph, kClusters int, rng *rand.Rand) Matching {
+// value <= 0 defaults to 4 weight clusters. An unknown heuristic yields
+// an error wrapping ErrUnknownHeuristic.
+func Compute(h Heuristic, g *graph.Graph, kClusters int, rng *rand.Rand) (Matching, error) {
 	switch h {
 	case HeuristicRandom:
-		return Random(g, rng)
+		return Random(g, rng), nil
 	case HeuristicHeavyEdge:
-		return HeavyEdge(g)
+		return HeavyEdge(g), nil
 	case HeuristicKMeans:
 		if kClusters <= 0 {
 			kClusters = 4
 		}
-		return KMeans(g, kClusters, rng)
+		return KMeans(g, kClusters, rng), nil
 	default:
-		panic(fmt.Sprintf("match: unknown heuristic %d", int(h)))
+		return nil, fmt.Errorf("%w %d", ErrUnknownHeuristic, int(h))
 	}
 }
 

@@ -1,6 +1,7 @@
 package match
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -217,9 +218,15 @@ func TestComputeAndNames(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	g := randomConnected(rng, 20)
 	for _, h := range All() {
-		m := Compute(h, g, 0, rng)
+		m, err := Compute(h, g, 0, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
 		if err := m.Validate(g); err != nil {
 			t.Fatalf("%v: %v", h, err)
+		}
+		if !h.Valid() {
+			t.Fatalf("heuristic %v should be valid", h)
 		}
 		if h.String() == "" {
 			t.Fatalf("heuristic %d has empty name", int(h))
@@ -228,12 +235,16 @@ func TestComputeAndNames(t *testing.T) {
 	if Heuristic(99).String() == "" {
 		t.Fatal("unknown heuristic should still render")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Compute with unknown heuristic should panic")
-		}
-	}()
-	Compute(Heuristic(99), g, 0, rng)
+	if Heuristic(99).Valid() {
+		t.Fatal("heuristic 99 should not be valid")
+	}
+	m, err := Compute(Heuristic(99), g, 0, rng)
+	if !errors.Is(err, ErrUnknownHeuristic) {
+		t.Fatalf("Compute with unknown heuristic: err = %v, want ErrUnknownHeuristic", err)
+	}
+	if m != nil {
+		t.Fatal("Compute with unknown heuristic returned a matching")
+	}
 }
 
 func TestPropertyAllHeuristicsValidMaximal(t *testing.T) {
@@ -241,8 +252,8 @@ func TestPropertyAllHeuristicsValidMaximal(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		g := randomConnected(rng, 2+rng.Intn(40))
 		for _, h := range All() {
-			m := Compute(h, g, 3, rng)
-			if m.Validate(g) != nil || !isMaximal(g, m) {
+			m, err := Compute(h, g, 3, rng)
+			if err != nil || m.Validate(g) != nil || !isMaximal(g, m) {
 				return false
 			}
 		}
@@ -258,7 +269,10 @@ func TestPropertyMatchedWeightBounded(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		g := randomConnected(rng, 2+rng.Intn(40))
 		for _, h := range All() {
-			m := Compute(h, g, 3, rng)
+			m, err := Compute(h, g, 3, rng)
+			if err != nil {
+				return false
+			}
 			w := m.MatchedWeight(g)
 			if w < 0 || w > g.TotalEdgeWeight() {
 				return false

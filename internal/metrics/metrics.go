@@ -129,10 +129,12 @@ func PartSizes(parts []int, k int) []int {
 // Constraints captures the paper's two mapping constraints.
 type Constraints struct {
 	// Bmax bounds the bandwidth between every pair of partitions
-	// (inter-FPGA link capacity). Zero or negative means unconstrained.
+	// (inter-FPGA link capacity). Zero means unconstrained; negative
+	// values are rejected by core option validation.
 	Bmax int64
 	// Rmax bounds the resource total of every partition (FPGA capacity).
-	// Zero or negative means unconstrained.
+	// Zero means unconstrained; negative values are rejected by core
+	// option validation.
 	Rmax int64
 }
 

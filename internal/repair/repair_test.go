@@ -1,0 +1,213 @@
+package repair
+
+import (
+	"testing"
+
+	"ppnpart/internal/core"
+	"ppnpart/internal/fpga"
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+	"ppnpart/internal/ppn"
+)
+
+// kernelSuite lowers the paper's kernel networks to graphs.
+func kernelSuite(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	out := map[string]*graph.Graph{}
+	builders := map[string]func() (*ppn.PPN, error){
+		"FIR":      func() (*ppn.PPN, error) { return ppn.FIR(8, 4096) },
+		"Jacobi1D": func() (*ppn.PPN, error) { return ppn.Jacobi1D(256, 8) },
+		"MatMul":   func() (*ppn.PPN, error) { return ppn.MatMul(3, 64) },
+	}
+	for name, build := range builders {
+		net, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g, err := net.ToGraph(ppn.DefaultResourceModel())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = g
+	}
+	return out
+}
+
+// generousTopology sizes a uniform K-FPGA platform so that any K-1
+// survivors can still host the whole graph.
+func generousTopology(g *graph.Graph, k int) *fpga.Topology {
+	var total, maxEdge int64
+	for u := 0; u < g.NumNodes(); u++ {
+		total += g.NodeWeight(graph.Node(u))
+	}
+	for _, e := range g.Edges() {
+		if e.Weight > maxEdge {
+			maxEdge = e.Weight
+		}
+	}
+	return fpga.Uniform(k, total, g.TotalEdgeWeight()+maxEdge)
+}
+
+func TestRepairAfterFPGAFailureKernelSuite(t *testing.T) {
+	const k = 4
+	for name, g := range kernelSuite(t) {
+		topo := generousTopology(g, k)
+		res, err := core.Partition(g, core.Options{
+			K:           k,
+			Constraints: metrics.Constraints{Rmax: topo.Resources[0], Bmax: topo.LinkBW[0][1]},
+			Seed:        1,
+		})
+		if err != nil {
+			t.Fatalf("%s: partition: %v", name, err)
+		}
+		const dead = 2
+		rep, err := Repair(g, res.Parts, topo, []int{dead}, Options{})
+		if err != nil {
+			t.Fatalf("%s: repair: %v", name, err)
+		}
+		if !rep.Feasible {
+			t.Fatalf("%s: repair infeasible on a generous surviving platform: %+v", name, rep.Check)
+		}
+		if rep.Repartitioned {
+			t.Errorf("%s: generous platform should not need a full re-partition", name)
+		}
+		for u, f := range rep.Assignment {
+			if f == dead {
+				t.Fatalf("%s: process %d still on failed FPGA %d", name, u, dead)
+			}
+		}
+		// Every process evacuated from the dead FPGA must appear in Moved.
+		moved := map[int]bool{}
+		for _, u := range rep.Moved {
+			moved[u] = true
+		}
+		evacuated := 0
+		for u, f := range res.Parts {
+			if f == dead {
+				evacuated++
+				if !moved[u] {
+					t.Fatalf("%s: evacuee %d not recorded as moved", name, u)
+				}
+			}
+		}
+		if rep.Evacuated != evacuated {
+			t.Errorf("%s: Evacuated = %d, want %d", name, rep.Evacuated, evacuated)
+		}
+		if rep.DeltaCut != rep.CutAfter-rep.CutBefore {
+			t.Errorf("%s: DeltaCut inconsistent", name)
+		}
+	}
+}
+
+func TestRepairNoFaultIsNoOp(t *testing.T) {
+	g := kernelSuite(t)["FIR"]
+	topo := generousTopology(g, 4)
+	res, err := core.Partition(g, core.Options{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Repair(g, res.Parts, topo, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Moved) != 0 {
+		t.Fatalf("repair with no failures moved %d processes", len(rep.Moved))
+	}
+	if !rep.Feasible || rep.DeltaCut != 0 {
+		t.Fatalf("no-op repair should keep the feasible mapping (feasible=%v, delta=%d)", rep.Feasible, rep.DeltaCut)
+	}
+}
+
+func TestRepairDegradedLinkRefitsTraffic(t *testing.T) {
+	// Two heavy talkers pinned across a link that then degrades to a
+	// trickle: repair must reroute by colocating them (cut drops), since
+	// the surviving constraint cannot carry the old cut.
+	g := graph.NewWithWeights([]int64{10, 10, 10, 10})
+	g.MustAddEdge(0, 1, 100) // heavy pair split across FPGAs 0|1
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(1, 2, 1)
+	topo := fpga.Uniform(2, 40, 2) // degraded: only 2 tokens/round
+	parts := []int{0, 1, 0, 1}     // cut = 102 > 2
+	rep, err := Repair(g, parts, topo, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible {
+		t.Fatalf("repair could not refit degraded bandwidth: %+v", rep.Check)
+	}
+	if rep.CutAfter > 2 {
+		t.Fatalf("cut %d still exceeds surviving bandwidth 2", rep.CutAfter)
+	}
+}
+
+func TestRepairInfeasibleIsHonest(t *testing.T) {
+	// Survivor capacity cannot host the evacuees: repair must return a
+	// best-effort assignment and report infeasibility, not lie.
+	g := graph.NewWithWeights([]int64{50, 50, 50, 50})
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	topo := fpga.Uniform(2, 110, 10)
+	parts := []int{0, 0, 1, 1}
+	rep, err := Repair(g, parts, topo, []int{1}, Options{NoFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feasible {
+		t.Fatal("200 weight cannot fit one FPGA of capacity 110")
+	}
+	if len(rep.Assignment) != 4 {
+		t.Fatal("best-effort assignment missing")
+	}
+	for u, f := range rep.Assignment {
+		if f != 0 {
+			t.Fatalf("process %d not evacuated to the only survivor (got %d)", u, f)
+		}
+	}
+	if rep.Check == nil || len(rep.Check.ResourceViolations) == 0 {
+		t.Fatal("violation report missing for infeasible repair")
+	}
+}
+
+func TestRepairValidation(t *testing.T) {
+	g := graph.NewWithWeights([]int64{1, 1})
+	g.MustAddEdge(0, 1, 1)
+	topo := fpga.Uniform(2, 10, 1)
+	if _, err := Repair(g, []int{0}, topo, nil, Options{}); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := Repair(g, []int{0, 5}, topo, nil, Options{}); err == nil {
+		t.Error("out-of-range assignment accepted")
+	}
+	if _, err := Repair(g, []int{0, 1}, topo, []int{7}, Options{}); err == nil {
+		t.Error("bad failed-FPGA id accepted")
+	}
+	if _, err := Repair(g, []int{0, 1}, topo, []int{0, 1}, Options{}); err == nil {
+		t.Error("all-FPGAs-failed accepted")
+	}
+}
+
+func TestRepairFallbackRepartitions(t *testing.T) {
+	// A ring of eight unit processes on 4 FPGAs, two of which die. The
+	// survivors' capacity forces an even 4|4 split; whatever the
+	// incremental path produces, the full partitioner can always find
+	// the feasible split, so the result must be feasible either way.
+	g := graph.NewWithWeights([]int64{1, 1, 1, 1, 1, 1, 1, 1})
+	for i := 0; i < 8; i++ {
+		g.MustAddEdge(graph.Node(i), graph.Node((i+1)%8), 1)
+	}
+	topo := fpga.Uniform(4, 4, 8)
+	parts := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	rep, err := Repair(g, parts, topo, []int{2, 3}, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible {
+		t.Fatalf("repair (or its fallback) should find the 4|4 split: %+v", rep.Check)
+	}
+	for u, f := range rep.Assignment {
+		if f == 2 || f == 3 {
+			t.Fatalf("process %d on failed FPGA %d", u, f)
+		}
+	}
+}

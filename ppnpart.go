@@ -29,6 +29,8 @@
 package ppnpart
 
 import (
+	"context"
+
 	"ppnpart/internal/core"
 	"ppnpart/internal/fpga"
 	"ppnpart/internal/gen"
@@ -37,6 +39,7 @@ import (
 	"ppnpart/internal/mlkp"
 	"ppnpart/internal/polyhedral"
 	"ppnpart/internal/ppn"
+	"ppnpart/internal/repair"
 	"ppnpart/internal/viz"
 )
 
@@ -109,12 +112,32 @@ type (
 	BaselineResult = mlkp.Result
 )
 
+// Typed option errors: every invalid GPOptions value is rejected up
+// front with an error wrapping ErrInvalidOptions.
+var (
+	// ErrInvalidOptions is the base of every option-validation error.
+	ErrInvalidOptions = core.ErrInvalidOptions
+	// ErrNonPositiveK rejects K <= 0.
+	ErrNonPositiveK = core.ErrNonPositiveK
+	// ErrNegativeBmax / ErrNegativeRmax reject negative constraints.
+	ErrNegativeBmax = core.ErrNegativeBmax
+	ErrNegativeRmax = core.ErrNegativeRmax
+)
+
 // PartitionGP runs the paper's GP algorithm: multilevel K-ways
 // partitioning with best-of-three coarsening, greedy restarts seeding,
 // bandwidth/resource-aware refinement and cyclic re-coarsening until the
 // constraints are met or the budget is exhausted.
 func PartitionGP(g *Graph, opts GPOptions) (*GPResult, error) {
 	return core.Partition(g, opts)
+}
+
+// PartitionGPCtx is PartitionGP under a context: on cancellation or
+// deadline expiry it stops at the next cycle or level boundary and
+// returns the best partition found so far (Result.Stopped is set and the
+// Report carries any remaining violations) instead of an error.
+func PartitionGPCtx(ctx context.Context, g *Graph, opts GPOptions) (*GPResult, error) {
+	return core.PartitionCtx(ctx, g, opts)
 }
 
 // PartitionBaseline runs the METIS-style multilevel k-way partitioner
@@ -220,6 +243,36 @@ var (
 	// ReadPPNJSON / WritePPNJSON exchange full process networks.
 	ReadPPNJSON  = ppn.ReadJSON
 	WritePPNJSON = ppn.WriteJSON
+)
+
+// Fault injection and repair.
+type (
+	// FaultPlan describes platform faults to inject mid-run: permanent
+	// FPGA failures, multiplicative link degradations, and transient link
+	// outages.
+	FaultPlan = fpga.FaultPlan
+	// FPGAFailure kills one FPGA permanently from a given cycle.
+	FPGAFailure = fpga.FPGAFailure
+	// LinkDegradation scales one link's bandwidth from a given cycle.
+	LinkDegradation = fpga.LinkDegradation
+	// LinkOutage zeroes one link's bandwidth over a cycle window.
+	LinkOutage = fpga.LinkOutage
+	// RepairOptions configures an incremental partition repair.
+	RepairOptions = repair.Options
+	// RepairResult reports the moved processes, cut delta and feasibility
+	// verdict of a repair.
+	RepairResult = repair.Result
+)
+
+var (
+	// SimulateTopologyFaults executes a mapped network while injecting
+	// the faults of a FaultPlan, reporting stalled channels and dead
+	// processes when the run cannot complete.
+	SimulateTopologyFaults = fpga.SimulateTopologyFaults
+	// RepairPartition evacuates processes from failed FPGAs and re-fits
+	// them onto the survivors, falling back to a full re-partition only
+	// when the incremental fix-up is infeasible.
+	RepairPartition = repair.Repair
 )
 
 // Generators.

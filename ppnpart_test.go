@@ -2,6 +2,8 @@ package ppnpart_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
 
 	"ppnpart"
@@ -133,6 +135,77 @@ func TestFacadeHeterogeneousTopology(t *testing.T) {
 	u := ppnpart.UniformTopology(2, 100, 5)
 	if u.NumFPGAs() != 2 {
 		t.Fatal("uniform topology wrong")
+	}
+}
+
+func TestFacadeFaultAndRepair(t *testing.T) {
+	// Partition a kernel onto 4 FPGAs, kill one mid-run, watch the
+	// simulation stall, repair onto the survivors and complete.
+	net, err := ppnpart.FIR(6, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := net.ToGraph(ppnpart.DefaultResourceModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := ppnpart.UniformTopology(4, g.TotalNodeWeight(), g.TotalEdgeWeight())
+	res, err := ppnpart.PartitionGP(g, ppnpart.GPOptions{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &ppnpart.FaultPlan{
+		FPGAFailures: []ppnpart.FPGAFailure{{FPGA: 1, Cycle: 20}},
+	}
+	faulted, err := ppnpart.SimulateTopologyFaults(net, res.Parts, topo, plan, ppnpart.SimOptions{StallWindow: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Completed {
+		t.Fatal("run survived a dead FPGA without repair")
+	}
+	degraded, err := plan.DegradedTopology(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ppnpart.RepairPartition(g, res.Parts, degraded, plan.FailedFPGAs(), ppnpart.RepairOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible {
+		t.Fatalf("repair infeasible on a generous surviving platform: %+v", rep.Check)
+	}
+	fixed, err := ppnpart.SimulateTopologyFaults(net, rep.Assignment, topo, plan, ppnpart.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fixed.Completed {
+		t.Fatal("repaired mapping still stalls under the same fault")
+	}
+}
+
+func TestFacadeCtxAndTypedErrors(t *testing.T) {
+	g := ppnpart.NewGraphWithWeights([]int64{1, 2, 3, 4})
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ppnpart.PartitionGPCtx(ctx, g, ppnpart.GPOptions{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped || len(res.Parts) != 4 {
+		t.Fatalf("best-effort result missing: stopped=%v parts=%v", res.Stopped, res.Parts)
+	}
+	if _, err := ppnpart.PartitionGP(g, ppnpart.GPOptions{K: 0}); !errors.Is(err, ppnpart.ErrNonPositiveK) || !errors.Is(err, ppnpart.ErrInvalidOptions) {
+		t.Fatalf("K=0 error not typed: %v", err)
+	}
+	if _, err := ppnpart.PartitionGP(g, ppnpart.GPOptions{K: 2, Constraints: ppnpart.Constraints{Bmax: -1}}); !errors.Is(err, ppnpart.ErrNegativeBmax) {
+		t.Fatalf("Bmax<0 error not typed: %v", err)
+	}
+	if _, err := ppnpart.PartitionGP(g, ppnpart.GPOptions{K: 2, Constraints: ppnpart.Constraints{Rmax: -1}}); !errors.Is(err, ppnpart.ErrNegativeRmax) {
+		t.Fatalf("Rmax<0 error not typed: %v", err)
 	}
 }
 
