@@ -3,8 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench figures report examples clean \
-	check fuzz-smoke
+.PHONY: all build test vet race cover bench bench-json figures report \
+	examples clean check fuzz-smoke
 
 all: build vet test
 
@@ -23,6 +23,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadIncidence -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzReadJSON -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzReadTopologyJSON -fuzztime=$(FUZZTIME) ./internal/fpga
+	$(GO) test -run='^$$' -fuzz=FuzzStateDifferential -fuzztime=$(FUZZTIME) ./internal/pstate
 
 build:
 	$(GO) build ./...
@@ -43,6 +44,18 @@ cover:
 # values attached as custom metrics.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Benchmark trajectory: runs the partitioning hot-path benches, converts
+# the output to JSON and merges the checked-in baseline so the file holds
+# before/after ns/op, allocs/op and cut metrics plus speedups.
+# BENCHPAT/BENCHTIME narrow the run (CI smoke uses the small instance).
+BENCHPAT ?= BenchmarkScaleGP|BenchmarkPState
+BENCHTIME ?= 3x
+bench-json:
+	$(GO) test -run='^$$' -bench='$(BENCHPAT)' -benchtime=$(BENCHTIME) \
+		-benchmem . ./internal/pstate | \
+		$(GO) run ./cmd/benchjson -baseline bench_baseline.json -o BENCH_partition.json
+	@echo wrote BENCH_partition.json
 
 # Figures 2-13 (DOT + SVG) plus the printed tables.
 figures:

@@ -1,0 +1,196 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// benchmark-trajectory file. It parses the standard benchmark lines
+// (iterations, ns/op, B/op, allocs/op) together with any custom
+// b.ReportMetric values the suite attaches (cut, feasibility, makespan,
+// ...), and can merge a checked-in baseline file so the emitted JSON
+// carries before/after numbers and the speedup per benchmark — the
+// regression trail for the partitioner's hot paths.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH.json
+//	go test -bench ScaleGP . | benchjson -baseline old.json -o BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result.
+type Entry struct {
+	// Name is the benchmark name without the Benchmark prefix and the
+	// -GOMAXPROCS suffix, e.g. "ScaleGP/n10000".
+	Name string `json:"name"`
+	// Pkg is the package the benchmark ran in.
+	Pkg string `json:"pkg,omitempty"`
+	// Iterations is the b.N the reported averages cover.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value: ns/op, B/op, allocs/op, and any custom
+	// ReportMetric units (cut, feasible, ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// File is the emitted JSON document.
+type File struct {
+	// Context echoes the go test header (goos, goarch, cpu, pkg list).
+	Context map[string]string `json:"context,omitempty"`
+	// Benchmarks are the parsed results of this run.
+	Benchmarks []Entry `json:"benchmarks"`
+	// Baseline carries the benchmarks of the merged baseline file, when
+	// one was given.
+	Baseline []Entry `json:"baseline,omitempty"`
+	// BaselineContext echoes the baseline's context.
+	BaselineContext map[string]string `json:"baseline_context,omitempty"`
+	// Speedup maps benchmark name -> baseline ns/op ÷ current ns/op for
+	// every benchmark present in both runs.
+	Speedup map[string]float64 `json:"speedup,omitempty"`
+}
+
+// benchLine matches "BenchmarkName-4   	 123	 456 ns/op	 7 extra/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S*)\s+(\d+)\s+(.*)$`)
+
+// gomaxprocsSuffix strips the trailing -N goroutine count from a name.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` output and returns the entries plus the
+// header context. Non-benchmark lines (PASS, ok, warnings) are skipped.
+func Parse(r io.Reader) ([]Entry, map[string]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var entries []Entry
+	ctx := map[string]string{}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		// Header lines: "goos: linux", "pkg: ppnpart", "cpu: ...".
+		if key, val, ok := strings.Cut(line, ": "); ok && !strings.HasPrefix(line, "Benchmark") {
+			switch key {
+			case "goos", "goarch", "cpu":
+				ctx[key] = val
+				continue
+			case "pkg":
+				pkg = val
+				continue
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		name = gomaxprocsSuffix.ReplaceAllString(name, "")
+		e := Entry{Name: name, Pkg: pkg, Iterations: iters, Metrics: map[string]float64{}}
+		// The tail is "value unit" pairs: "123 ns/op  7 B/op  2 allocs/op".
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("benchjson: bad value %q in %q", fields[i], line)
+			}
+			e.Metrics[fields[i+1]] = v
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return entries, ctx, nil
+}
+
+// Merge attaches a baseline to the current results and computes speedups.
+func Merge(cur []Entry, curCtx map[string]string, base *File) *File {
+	out := &File{Context: curCtx, Benchmarks: cur}
+	if base == nil {
+		return out
+	}
+	out.Baseline = base.Benchmarks
+	out.BaselineContext = base.Context
+	byName := map[string]Entry{}
+	for _, e := range base.Benchmarks {
+		byName[e.Name] = e
+	}
+	speedup := map[string]float64{}
+	for _, e := range cur {
+		b, ok := byName[e.Name]
+		if !ok {
+			continue
+		}
+		bn, cn := b.Metrics["ns/op"], e.Metrics["ns/op"]
+		if bn > 0 && cn > 0 {
+			speedup[e.Name] = bn / cn
+		}
+	}
+	if len(speedup) > 0 {
+		out.Speedup = speedup
+	}
+	return out
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "baseline JSON to merge (computes speedups)")
+		outPath      = flag.String("o", "", "output file (default stdout)")
+		inPath       = flag.String("i", "", "bench output to parse (default stdin)")
+	)
+	flag.Parse()
+	if err := run(*inPath, *baselinePath, *outPath); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(inPath, baselinePath, outPath string) error {
+	in := io.Reader(os.Stdin)
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	entries, ctx, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	var base *File
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return err
+		}
+		base = &File{}
+		if err := json.Unmarshal(raw, base); err != nil {
+			return fmt.Errorf("baseline %s: %v", baselinePath, err)
+		}
+	}
+	out := Merge(entries, ctx, base)
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(outPath, enc, 0o644)
+}

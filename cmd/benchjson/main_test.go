@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ppnpart
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkScaleGP/n100-4         	      33	  35159322 ns/op	     120 cut
+BenchmarkScaleGP/n10000-4       	       3	 110000000 ns/op	  101254 cut	  524288 B/op	    1024 allocs/op
+PASS
+ok  	ppnpart	0.922s
+pkg: ppnpart/internal/pstate
+BenchmarkPStateMove-4   	12345678	        95.2 ns/op
+PASS
+ok  	ppnpart/internal/pstate	1.5s
+`
+
+func TestParse(t *testing.T) {
+	entries, ctx, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(entries))
+	}
+	if ctx["goos"] != "linux" || ctx["cpu"] == "" {
+		t.Fatalf("context not captured: %v", ctx)
+	}
+	e := entries[1]
+	if e.Name != "ScaleGP/n10000" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix should be stripped)", e.Name)
+	}
+	if e.Pkg != "ppnpart" {
+		t.Fatalf("pkg = %q", e.Pkg)
+	}
+	if e.Iterations != 3 {
+		t.Fatalf("iterations = %d", e.Iterations)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 110000000, "cut": 101254, "B/op": 524288, "allocs/op": 1024,
+	} {
+		if got := e.Metrics[unit]; got != want {
+			t.Fatalf("%s = %v, want %v", unit, got, want)
+		}
+	}
+	if p := entries[2]; p.Pkg != "ppnpart/internal/pstate" || p.Metrics["ns/op"] != 95.2 {
+		t.Fatalf("pkg header not tracked across packages: %+v", p)
+	}
+}
+
+func TestMergeComputesSpeedup(t *testing.T) {
+	cur, _, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &File{Benchmarks: []Entry{{
+		Name:    "ScaleGP/n10000",
+		Metrics: map[string]float64{"ns/op": 220000000, "cut": 101254},
+	}}}
+	out := Merge(cur, nil, base)
+	got, ok := out.Speedup["ScaleGP/n10000"]
+	if !ok {
+		t.Fatal("no speedup computed for the shared benchmark")
+	}
+	if got < 1.99 || got > 2.01 {
+		t.Fatalf("speedup = %v, want 2.0", got)
+	}
+	if _, ok := out.Speedup["ScaleGP/n100"]; ok {
+		t.Fatal("speedup computed for a benchmark absent from the baseline")
+	}
+}
+
+func TestParseRejectsGarbageValue(t *testing.T) {
+	_, _, err := Parse(strings.NewReader("BenchmarkX-1 10 zz ns/op\n"))
+	if err == nil {
+		t.Fatal("expected error for non-numeric value")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"ppnpart/internal/graph"
 	"ppnpart/internal/metrics"
 	"ppnpart/internal/mlkp"
+	"ppnpart/internal/prof"
 	"ppnpart/internal/viz"
 )
 
@@ -42,6 +43,7 @@ type config struct {
 	dotPath, svgPath  string
 	outPath, evalPath string
 	stats, quiet      bool
+	cpuProf, memProf  string
 }
 
 func main() {
@@ -62,9 +64,22 @@ func main() {
 	flag.StringVar(&cfg.evalPath, "eval", "", "evaluate an existing partition file instead of partitioning")
 	flag.BoolVar(&cfg.stats, "stats", false, "print graph statistics and exit (no partitioning)")
 	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress the per-node assignment listing")
+	flag.StringVar(&cfg.cpuProf, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&cfg.memProf, "memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
-	if err := run(cfg); err != nil {
+	stop, err := prof.StartCPU(cfg.cpuProf)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "gpart: %v\n", err)
+		os.Exit(1)
+	}
+	runErr := run(cfg)
+	stop()
+	if err := prof.WriteHeap(cfg.memProf); err != nil {
+		fmt.Fprintf(os.Stderr, "gpart: %v\n", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "gpart: %v\n", runErr)
 		os.Exit(1)
 	}
 }

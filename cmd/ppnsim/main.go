@@ -36,6 +36,7 @@ import (
 	"ppnpart/internal/fpga"
 	"ppnpart/internal/metrics"
 	"ppnpart/internal/ppn"
+	"ppnpart/internal/prof"
 	"ppnpart/internal/repair"
 )
 
@@ -58,6 +59,8 @@ type config struct {
 	degradeLinks string
 	outages      string
 	repair       bool
+	// Profiling.
+	cpuProf, memProf string
 }
 
 func main() {
@@ -78,9 +81,22 @@ func main() {
 	flag.StringVar(&cfg.degradeLinks, "degrade-link", "", "comma-separated a:b:factor[:cycle] link degradations")
 	flag.StringVar(&cfg.outages, "outage", "", "comma-separated a:b:start:end transient link outages")
 	flag.BoolVar(&cfg.repair, "repair", false, "after injecting faults, repair the mapping on the survivors and re-simulate")
+	flag.StringVar(&cfg.cpuProf, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&cfg.memProf, "memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
-	if err := run(cfg); err != nil {
+	stop, err := prof.StartCPU(cfg.cpuProf)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "ppnsim: %v\n", err)
+		os.Exit(1)
+	}
+	runErr := run(cfg)
+	stop()
+	if err := prof.WriteHeap(cfg.memProf); err != nil {
+		fmt.Fprintf(os.Stderr, "ppnsim: %v\n", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "ppnsim: %v\n", runErr)
 		os.Exit(1)
 	}
 }

@@ -10,6 +10,7 @@ package coarsen
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"ppnpart/internal/graph"
 	"ppnpart/internal/match"
@@ -61,7 +62,10 @@ func Contract(g *graph.Graph, m match.Matching) (*Level, error) {
 	for u := 0; u < n; u++ {
 		w[fineToCoarse[u]] += g.NodeWeight(graph.Node(u))
 	}
-	coarse := graph.NewWithWeights(w)
+	// The Builder folds duplicate coarse edges in O(1) amortized (AddEdge's
+	// linear dup-scan is quadratic on dense coarse nodes) while keeping the
+	// exact first-encounter adjacency order sequential AddEdge produces.
+	b := graph.NewBuilder(w)
 	for u := 0; u < n; u++ {
 		cu := fineToCoarse[u]
 		for _, h := range g.Neighbors(graph.Node(u)) {
@@ -72,13 +76,12 @@ func Contract(g *graph.Graph, m match.Matching) (*Level, error) {
 			if cu == cv {
 				continue // intra-pair edge vanishes
 			}
-			// AddEdge folds duplicates by accumulating weights.
-			if err := coarse.AddEdge(cu, cv, h.Weight); err != nil {
+			if err := b.AddEdge(cu, cv, h.Weight); err != nil {
 				return nil, fmt.Errorf("coarsen: %v", err)
 			}
 		}
 	}
-	return &Level{Coarse: coarse, FineToCoarse: fineToCoarse}, nil
+	return &Level{Coarse: b.Graph(), FineToCoarse: fineToCoarse}, nil
 }
 
 // ProjectUp lifts a partition of the coarse graph to the fine graph: each
@@ -186,21 +189,53 @@ func (h *Hierarchy) ProjectTo(parts []int, fromLevel, toLevel int) ([]int, error
 // that hides the most edge weight (ties: most pairs, then heuristic
 // order). This is the paper's per-level comparison of the three
 // strategies.
+//
+// The heuristics run concurrently with a deterministic split: every
+// RNG-consuming heuristic stays on one goroutine, executed in declaration
+// order against the shared stream (so the random draws are exactly those
+// of a serial run), while RNG-free heuristics fan out to their own
+// goroutines. Results are reduced in heuristic order, which makes the
+// winner — and therefore the whole hierarchy — bit-identical to a serial
+// execution for a fixed seed.
 func BestMatching(g *graph.Graph, opts Options, rng *rand.Rand) (match.Matching, match.Heuristic) {
 	opts = opts.withDefaults()
+	results := make([]match.Matching, len(opts.Heuristics))
+	var wg sync.WaitGroup
+	var rngChain []int // indexes of RNG-consuming heuristics, in order
+	for i, h := range opts.Heuristics {
+		if h.UsesRNG() {
+			rngChain = append(rngChain, i)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, h match.Heuristic) {
+			defer wg.Done()
+			// Unknown heuristics yield a nil matching and are skipped in
+			// the reduction; callers validate up front.
+			results[i], _ = match.Compute(h, g, opts.KMeansClusters, rng)
+		}(i, h)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, i := range rngChain {
+			results[i], _ = match.Compute(opts.Heuristics[i], g, opts.KMeansClusters, rng)
+		}
+	}()
+	wg.Wait()
+
 	var bestM match.Matching
 	var bestH match.Heuristic
 	var bestW int64 = -1
 	bestPairs := -1
-	for _, h := range opts.Heuristics {
-		m, err := match.Compute(h, g, opts.KMeansClusters, rng)
-		if err != nil {
-			continue // unknown heuristics are skipped; callers validate up front
+	for i, m := range results {
+		if m == nil {
+			continue
 		}
 		w := m.MatchedWeight(g)
 		p := m.Pairs()
 		if w > bestW || (w == bestW && p > bestPairs) {
-			bestM, bestH, bestW, bestPairs = m, h, w, p
+			bestM, bestH, bestW, bestPairs = m, opts.Heuristics[i], w, p
 		}
 	}
 	return bestM, bestH

@@ -31,6 +31,7 @@ import (
 	"ppnpart/internal/initpart"
 	"ppnpart/internal/match"
 	"ppnpart/internal/metrics"
+	"ppnpart/internal/pstate"
 	"ppnpart/internal/refine"
 )
 
@@ -88,31 +89,26 @@ func (o Options) vectorActive() bool {
 	return len(o.VectorResources) > 0 && o.VectorConstraints.Active()
 }
 
-// score is the search objective: the paper's goodness, plus a dominant
-// penalty for multi-resource overflow when the extension is active.
-func (o Options) score(g *graph.Graph, parts []int) float64 {
-	s := metrics.Goodness(g, parts, o.K, o.Constraints)
+// evaluate scores an assignment and checks every constraint from a single
+// incremental state build. The score is the paper's goodness plus a
+// dominant penalty for multi-resource overflow when the extension is
+// active; pstate mirrors the metrics arithmetic operation-for-operation,
+// so the value is bit-identical to composing metrics.Goodness with
+// metrics.VectorExcess — but one adjacency sweep replaces the four that
+// separate score and feasibility checks used to cost.
+func (o Options) evaluate(csr *graph.CSR, parts []int) (float64, bool) {
+	cfg := pstate.Config{K: o.K, Constraints: o.Constraints}
 	// The vector table indexes original (finest-level) nodes; on coarse
 	// graphs the assignment is shorter and the table does not apply.
 	if o.vectorActive() && len(parts) == len(o.VectorResources) {
-		if ex := metrics.VectorExcess(o.VectorResources, parts, o.K, o.VectorConstraints); ex > 0 {
-			base := float64(g.TotalEdgeWeight() + 1)
-			s += float64(ex) * base
-		}
+		cfg.Vectors = o.VectorResources
+		cfg.VectorConstraints = o.VectorConstraints
 	}
-	return s
-}
-
-// feasibleAll checks the scalar constraints and, when active, the vector
-// constraints.
-func (o Options) feasibleAll(g *graph.Graph, parts []int) bool {
-	if !metrics.Feasible(g, parts, o.K, o.Constraints) {
-		return false
+	s, err := pstate.New(csr, parts, cfg)
+	if err != nil {
+		return math.Inf(1), false
 	}
-	if o.vectorActive() && len(parts) == len(o.VectorResources) {
-		return metrics.VectorFeasible(o.VectorResources, parts, o.K, o.VectorConstraints)
-	}
-	return true
+	return s.Score(), s.Feasible()
 }
 
 // PolishStrategy selects the optional final local-search pass.
@@ -207,6 +203,9 @@ func PartitionCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, e
 	}
 	opts = opts.withDefaults()
 	start := time.Now()
+	// One finest-level CSR snapshot serves every candidate evaluation;
+	// cycles only read it, so sharing across goroutines is safe.
+	fcsr := g.ToCSR()
 
 	type candidate struct {
 		cycle    int
@@ -223,11 +222,12 @@ func PartitionCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, e
 			// Cancelled before the cycle produced a full assignment.
 			return candidate{cycle: cycle, goodness: math.Inf(1)}
 		}
+		goodness, feasible := opts.evaluate(fcsr, parts)
 		return candidate{
 			cycle:    cycle,
 			parts:    parts,
-			goodness: opts.score(g, parts),
-			feasible: opts.feasibleAll(g, parts),
+			goodness: goodness,
+			feasible: feasible,
 		}
 	}
 
@@ -294,8 +294,7 @@ func PartitionCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, e
 			parts[i] = i % opts.K
 		}
 		best.parts = parts
-		best.goodness = opts.score(g, parts)
-		best.feasible = opts.feasibleAll(g, parts)
+		best.goodness, best.feasible = opts.evaluate(fcsr, parts)
 	}
 
 	if stopped {
@@ -319,8 +318,7 @@ func PartitionCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, e
 			refine.RebalanceVector(g, opts.VectorResources, best.parts, opts.K,
 				opts.VectorConstraints, opts.RefinePasses)
 		}
-		best.goodness = opts.score(g, best.parts)
-		best.feasible = opts.feasibleAll(g, best.parts)
+		best.goodness, best.feasible = opts.evaluate(fcsr, best.parts)
 	}
 
 	res := &Result{
@@ -432,31 +430,33 @@ func gpCycle(ctx context.Context, g *graph.Graph, opts Options, cycle int, rng *
 			}
 			return full
 		}
-		parts = bestRefinement(hier.GraphAt(lvl-1), projected, opts)
+		parts = bestRefinement(hier.GraphAt(lvl-1).ToCSR(), projected, opts)
 	}
 	return parts
 }
 
-// refinePipeline is one ordering of the three local-search stages.
-type refinePipeline []func(*graph.Graph, []int, Options)
+// refinePipeline is one ordering of the three local-search stages. Stages
+// read adjacency through a CSR snapshot built once per hierarchy level and
+// shared by all pipelines at that level.
+type refinePipeline []func(*graph.CSR, []int, Options)
 
-func stageCut(g *graph.Graph, parts []int, opts Options) {
-	refine.KWayFM(g, parts, opts.K, opts.Constraints.Rmax, opts.RefinePasses)
+func stageCut(csr *graph.CSR, parts []int, opts Options) {
+	refine.KWayFMCSR(csr, parts, opts.K, opts.Constraints.Rmax, opts.RefinePasses)
 }
 
-func stageBandwidth(g *graph.Graph, parts []int, opts Options) {
-	refine.RepairBandwidth(g, parts, opts.K, opts.Constraints, opts.RefinePasses)
+func stageBandwidth(csr *graph.CSR, parts []int, opts Options) {
+	refine.RepairBandwidthCSR(csr, parts, opts.K, opts.Constraints, opts.RefinePasses)
 }
 
-func stageResources(g *graph.Graph, parts []int, opts Options) {
-	refine.RebalanceResources(g, parts, opts.K, opts.Constraints.Rmax, opts.RefinePasses)
+func stageResources(csr *graph.CSR, parts []int, opts Options) {
+	refine.RebalanceResourcesCSR(csr, parts, opts.K, opts.Constraints.Rmax, opts.RefinePasses)
 }
 
 // stageVector repairs multi-resource overflow; it only applies at the
 // finest level, where the assignment indexes the original nodes.
-func stageVector(g *graph.Graph, parts []int, opts Options) {
+func stageVector(csr *graph.CSR, parts []int, opts Options) {
 	if opts.vectorActive() && len(parts) == len(opts.VectorResources) {
-		refine.RebalanceVector(g, opts.VectorResources, parts, opts.K,
+		refine.RebalanceVectorCSR(csr, opts.VectorResources, parts, opts.K,
 			opts.VectorConstraints, opts.RefinePasses)
 	}
 }
@@ -468,17 +468,30 @@ var pipelines = []refinePipeline{
 	{stageBandwidth, stageCut, stageResources, stageVector},
 }
 
-// bestRefinement runs every pipeline on a copy of the projected partition
-// and returns the goodness-best outcome.
-func bestRefinement(g *graph.Graph, parts []int, opts Options) []int {
+// bestRefinement runs every pipeline concurrently, each on its own copy of
+// the projected partition, and returns the goodness-best outcome. Every
+// stage is RNG-free and deterministic, and the reduction scans candidates
+// in pipeline order with strict-improvement selection (ties keep the
+// earlier pipeline), so the result is bit-identical to the serial loop.
+func bestRefinement(csr *graph.CSR, parts []int, opts Options) []int {
+	cands := make([][]int, len(pipelines))
+	var wg sync.WaitGroup
+	for i, pl := range pipelines {
+		wg.Add(1)
+		go func(i int, pl refinePipeline) {
+			defer wg.Done()
+			cand := append([]int(nil), parts...)
+			for _, stage := range pl {
+				stage(csr, cand, opts)
+			}
+			cands[i] = cand
+		}(i, pl)
+	}
+	wg.Wait()
 	var best []int
 	bestScore := 0.0
-	for _, pl := range pipelines {
-		cand := append([]int(nil), parts...)
-		for _, stage := range pl {
-			stage(g, cand, opts)
-		}
-		score := opts.score(g, cand)
+	for _, cand := range cands {
+		score, _ := opts.evaluate(csr, cand)
 		if best == nil || score < bestScore {
 			best, bestScore = cand, score
 		}
@@ -486,8 +499,8 @@ func bestRefinement(g *graph.Graph, parts []int, opts Options) []int {
 	return best
 }
 
-// refineLevel applies the canonical pipeline once (used on the coarsest
+// refineLevel applies the competing pipelines once (used on the coarsest
 // graph right after seeding).
 func refineLevel(g *graph.Graph, parts []int, opts Options) []int {
-	return bestRefinement(g, parts, opts)
+	return bestRefinement(g.ToCSR(), parts, opts)
 }

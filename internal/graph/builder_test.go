@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBuilderMatchesAddEdge checks that a Builder-built graph is
+// indistinguishable from one built with sequential AddEdge calls:
+// identical adjacency rows (order included), totals, and validation.
+func TestBuilderMatchesAddEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(40)
+		w := make([]int64, n)
+		for i := range w {
+			w[i] = int64(1 + rng.Intn(20))
+		}
+		type edge struct {
+			u, v Node
+			w    int64
+		}
+		var edges []edge
+		for i := 0; i < 6*n; i++ {
+			u, v := Node(rng.Intn(n)), Node(rng.Intn(n))
+			if u != v {
+				edges = append(edges, edge{u, v, int64(1 + rng.Intn(9))})
+			}
+		}
+		ref := NewWithWeights(w)
+		b := NewBuilder(w)
+		for _, e := range edges {
+			if err := ref.AddEdge(e.u, e.v, e.w); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.AddEdge(e.u, e.v, e.w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := b.Graph()
+		if err := got.Validate(); err != nil {
+			t.Fatalf("built graph invalid: %v", err)
+		}
+		if got.NumEdges() != ref.NumEdges() || got.TotalEdgeWeight() != ref.TotalEdgeWeight() {
+			t.Fatalf("totals differ: (%d,%d) vs (%d,%d)",
+				got.NumEdges(), got.TotalEdgeWeight(), ref.NumEdges(), ref.TotalEdgeWeight())
+		}
+		for u := 0; u < n; u++ {
+			ga, ra := got.Neighbors(Node(u)), ref.Neighbors(Node(u))
+			if len(ga) != len(ra) {
+				t.Fatalf("node %d: degree %d vs %d", u, len(ga), len(ra))
+			}
+			for i := range ga {
+				if ga[i] != ra[i] {
+					t.Fatalf("node %d row %d: %+v vs %+v (order must match AddEdge)", u, i, ga[i], ra[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBuilderRejectsBadEdges(t *testing.T) {
+	b := NewBuilder([]int64{1, 1})
+	if err := b.AddEdge(0, 0, 1); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	if err := b.AddEdge(0, 5, 1); err == nil {
+		t.Fatal("dangling endpoint accepted")
+	}
+	if err := b.AddEdge(0, 1, -2); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}

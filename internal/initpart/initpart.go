@@ -13,6 +13,7 @@ import (
 
 	"ppnpart/internal/graph"
 	"ppnpart/internal/metrics"
+	"ppnpart/internal/pstate"
 	"ppnpart/internal/refine"
 )
 
@@ -62,6 +63,10 @@ func GreedyGrow(g *graph.Graph, opts GreedyOptions, rng *rand.Rand) ([]int, erro
 		// partition is not starved by rounding.
 		rmax = g.TotalNodeWeight()/int64(opts.K) + g.MaxNodeWeight()
 	}
+	// One CSR snapshot serves the repair and scoring of every restart;
+	// scoring through a pstate build costs a single adjacency sweep and is
+	// bit-identical to metrics.Goodness.
+	csr := g.ToCSR()
 	var best []int
 	bestScore := 0.0
 	for attempt := 0; attempt < opts.Restarts; attempt++ {
@@ -72,8 +77,12 @@ func GreedyGrow(g *graph.Graph, opts GreedyOptions, rng *rand.Rand) ([]int, erro
 			seed = graph.Node(rng.Intn(n))
 		}
 		parts := growOnce(g, opts.K, rmax, seed, rng)
-		refine.RepairBandwidth(g, parts, opts.K, opts.Constraints, 4)
-		score := metrics.Goodness(g, parts, opts.K, opts.Constraints)
+		refine.RepairBandwidthCSR(csr, parts, opts.K, opts.Constraints, 4)
+		s, err := pstate.New(csr, parts, pstate.Config{K: opts.K, Constraints: opts.Constraints})
+		if err != nil {
+			return nil, fmt.Errorf("initpart: %v", err)
+		}
+		score := s.Goodness()
 		if best == nil || score < bestScore {
 			best = parts
 			bestScore = score
@@ -103,7 +112,7 @@ func growOnce(g *graph.Graph, k int, rmax int64, seed graph.Node, rng *rand.Rand
 		assigned++
 		// Frontier: unassigned neighbors, expanded by strongest connection
 		// to the growing part first (keeps FIFO traffic internal).
-		frontier := newFrontier()
+		frontier := newFrontier(n)
 		push := func(u graph.Node) {
 			for _, h := range g.Neighbors(u) {
 				if parts[h.To] == Unassigned {
@@ -252,30 +261,49 @@ func fixEmptyParts(g *graph.Graph, parts []int, k int, rng *rand.Rand) {
 }
 
 // frontier is a max-priority frontier keyed by connection weight; repeated
-// adds accumulate weight, mirroring "most connected first" growth.
+// adds accumulate weight, mirroring "most connected first" growth. It is
+// array-backed: membership and accumulated weight are dense per-node
+// tables and popMax scans the member list. Selection follows the total
+// order (weight desc, node id asc), so the pop sequence is independent of
+// insertion or storage order — the same nodes come out as with any other
+// container, deterministically.
 type frontier struct {
-	weight map[graph.Node]int64
+	weight []int64
+	in     []bool
+	items  []graph.Node
 }
 
-func newFrontier() *frontier {
-	return &frontier{weight: make(map[graph.Node]int64)}
+func newFrontier(n int) *frontier {
+	return &frontier{weight: make([]int64, n), in: make([]bool, n)}
 }
 
-func (f *frontier) add(u graph.Node, w int64) { f.weight[u] += w }
+func (f *frontier) add(u graph.Node, w int64) {
+	if !f.in[u] {
+		f.in[u] = true
+		f.items = append(f.items, u)
+	}
+	f.weight[u] += w
+}
 
-func (f *frontier) len() int { return len(f.weight) }
+func (f *frontier) len() int { return len(f.items) }
 
 // popMax removes and returns the strongest-connected node (ties: lowest
-// id, keeping the growth deterministic).
+// id, keeping the growth deterministic). A popped node leaves no residue:
+// re-adding it later starts accumulating from zero again.
 func (f *frontier) popMax() graph.Node {
 	best := graph.Node(-1)
+	bi := -1
 	var bw int64 = -1
-	for u, w := range f.weight {
-		if w > bw || (w == bw && u < best) {
-			best, bw = u, w
+	for i, u := range f.items {
+		if w := f.weight[u]; w > bw || (w == bw && u < best) {
+			best, bw, bi = u, w, i
 		}
 	}
-	delete(f.weight, best)
+	last := len(f.items) - 1
+	f.items[bi] = f.items[last]
+	f.items = f.items[:last]
+	f.weight[best] = 0
+	f.in[best] = false
 	return best
 }
 

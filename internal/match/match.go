@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"ppnpart/internal/graph"
@@ -115,18 +116,35 @@ func Random(g *graph.Graph, rng *rand.Rand) Matching {
 // descending weight order (ties broken by endpoint ids for determinism)
 // and selected when both endpoints are free. This is the matching that
 // most reduces the exposed edge weight, per Karypis–Kumar.
+//
+// The comparator is a total order (edges are unique by endpoint pair), so
+// the sorted sequence — and hence the matching — is independent of the
+// sorting algorithm; the generic non-stable sort avoids the reflection
+// overhead that used to dominate coarsening time.
 func HeavyEdge(g *graph.Graph) Matching {
-	edges := g.Edges()
-	sort.SliceStable(edges, func(i, j int) bool {
-		if edges[i].Weight != edges[j].Weight {
-			return edges[i].Weight > edges[j].Weight
+	n := g.NumNodes()
+	edges := make([]graph.Edge, 0, g.NumEdges())
+	for u := 0; u < n; u++ {
+		for _, h := range g.Neighbors(graph.Node(u)) {
+			if graph.Node(u) < h.To {
+				edges = append(edges, graph.Edge{U: graph.Node(u), V: h.To, Weight: h.Weight})
+			}
 		}
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
+	}
+	slices.SortFunc(edges, func(a, b graph.Edge) int {
+		switch {
+		case a.Weight != b.Weight:
+			if a.Weight > b.Weight {
+				return -1
+			}
+			return 1
+		case a.U != b.U:
+			return int(a.U) - int(b.U)
+		default:
+			return int(a.V) - int(b.V)
 		}
-		return edges[i].V < edges[j].V
 	})
-	m := NewMatching(g.NumNodes())
+	m := NewMatching(n)
 	for _, e := range edges {
 		if m[e.U] == Unmatched && m[e.V] == Unmatched {
 			m[e.U], m[e.V] = e.V, e.U
@@ -287,6 +305,20 @@ func (h Heuristic) Valid() bool {
 		return true
 	}
 	return false
+}
+
+// UsesRNG reports whether the heuristic consumes random numbers. The
+// parallel best-of-three matching keeps every RNG-consuming heuristic on
+// one goroutine, in declaration order, sharing the level's stream — which
+// is what makes the parallel coarsener draw the exact sequence a serial
+// run would, bit for bit. RNG-free heuristics run concurrently.
+func (h Heuristic) UsesRNG() bool {
+	switch h {
+	case HeuristicRandom, HeuristicKMeans:
+		return true
+	default:
+		return false
+	}
 }
 
 // Compute runs the named heuristic. kClusters is only used by KMeans; a

@@ -1,0 +1,53 @@
+// Package prof wires the standard pprof profilers into the command-line
+// tools: a CPU profile spanning the run and a heap snapshot at exit, the
+// same artifacts `go test -cpuprofile/-memprofile` produces, so the CLIs
+// can be profiled on real instances with `go tool pprof`.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path and returns the function
+// that stops it. An empty path is a no-op.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("prof: %v", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("prof: %v", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap garbage-collects and writes an allocation profile to path. An
+// empty path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prof: %v", err)
+	}
+	runtime.GC() // up-to-date live-object statistics
+	err = pprof.WriteHeapProfile(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("prof: %v", err)
+	}
+	return nil
+}

@@ -1,0 +1,366 @@
+// Package pstate is the shared incremental partition-state engine behind
+// the partitioner's hot loops. The cyclic GP search evaluates thousands of
+// candidate clusterings; recomputing the edge cut and the K×K bandwidth
+// matrix from scratch for every candidate costs O(E + K²) per evaluation.
+// A State instead maintains, under single-node moves:
+//
+//   - the assignment vector,
+//   - the running global edge cut,
+//   - the K×K pairwise bandwidth matrix,
+//   - per-part scalar resource totals and node counts,
+//   - optional per-part vector (multi-kind) resource totals,
+//   - the total constraint excess (bandwidth + scalar + vector overflow),
+//
+// with Move(u, to) and Undo() updating everything in O(deg(u) + K), and
+// Goodness()/Feasible() answering from the maintained excess counters in
+// O(1). The arithmetic mirrors internal/metrics exactly (same formulas,
+// same float operation order), so a State evaluation is bit-for-bit
+// interchangeable with the from-scratch functions — the differential tests
+// and the fuzz target in this package enforce that equivalence.
+//
+// The State reads adjacency from a graph.CSR snapshot: contiguous arrays,
+// no per-node slice headers, built once per hierarchy level and shared by
+// every refinement pass at that level.
+package pstate
+
+import (
+	"fmt"
+
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+)
+
+// State is an incrementally-maintained evaluation of a k-way partition.
+type State struct {
+	// C is the CSR adjacency the state reads; it is shared, never mutated.
+	C *graph.CSR
+	// K is the number of parts.
+	K int
+
+	parts []int
+	cut   int64
+	bw    []int64 // K×K bandwidth matrix, row-major, symmetric, zero diagonal
+	res   []int64 // per-part scalar resource totals
+	cnt   []int   // per-part node counts
+
+	cons      metrics.Constraints
+	bwExcess  int64 // Σ_{i<j} max(0, bw[i][j]-Bmax), 0 when Bmax disabled
+	resExcess int64 // Σ_p max(0, res[p]-Rmax), 0 when Rmax disabled
+
+	// Vector (multi-kind) resource extension; empty when inactive.
+	vectors   [][]int64 // vectors[u][d] = node u's demand of kind d
+	vecRmax   []int64   // per-kind bound, <= 0 disables that kind
+	vecTotals []int64   // K×D totals, row-major
+	vecExcess int64     // Σ_{p,d} max(0, total[p][d]-vecRmax[d])
+	dims      int
+
+	conn []int64 // scratch: per-part connectivity of the node in hand
+	log  []moveRec
+}
+
+type moveRec struct {
+	u    graph.Node
+	from int
+}
+
+// Config selects the constraint set a State maintains excess counters for.
+type Config struct {
+	// K is the number of parts. Required.
+	K int
+	// Constraints carries Bmax/Rmax; non-positive values disable a bound,
+	// exactly as in metrics.Constraints.
+	Constraints metrics.Constraints
+	// Vectors optionally attaches multi-kind demands (rows index nodes).
+	// Only engaged when VectorConstraints has an active bound and the
+	// table length matches the node count.
+	Vectors [][]int64
+	// VectorConstraints bounds each kind per part.
+	VectorConstraints metrics.VectorConstraints
+}
+
+// New builds a State for parts over the CSR snapshot c. The assignment is
+// copied; the caller's slice is not retained. Cost: O(N + E + K²).
+func New(c *graph.CSR, parts []int, cfg Config) (*State, error) {
+	n := c.NumNodes()
+	if len(parts) != n {
+		return nil, fmt.Errorf("pstate: assignment length %d != nodes %d", len(parts), n)
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("pstate: K = %d must be positive", cfg.K)
+	}
+	for u, p := range parts {
+		if p < 0 || p >= cfg.K {
+			return nil, fmt.Errorf("pstate: node %d assigned to part %d outside [0,%d)", u, p, cfg.K)
+		}
+	}
+	k := cfg.K
+	s := &State{
+		C:     c,
+		K:     k,
+		parts: append([]int(nil), parts...),
+		bw:    make([]int64, k*k),
+		res:   make([]int64, k),
+		cnt:   make([]int, k),
+		cons:  cfg.Constraints,
+		conn:  make([]int64, k),
+	}
+	for u := 0; u < n; u++ {
+		pu := s.parts[u]
+		s.res[pu] += c.NodeW[u]
+		s.cnt[pu]++
+		adj, wts := c.Row(graph.Node(u))
+		for i, v := range adj {
+			if graph.Node(u) >= v {
+				continue
+			}
+			pv := s.parts[v]
+			if pu != pv {
+				s.cut += wts[i]
+				s.bw[pu*k+pv] += wts[i]
+				s.bw[pv*k+pu] += wts[i]
+			}
+		}
+	}
+	if cfg.VectorConstraints.Active() && len(cfg.Vectors) == n && n > 0 {
+		s.vectors = cfg.Vectors
+		s.vecRmax = cfg.VectorConstraints.Rmax
+		s.dims = len(cfg.Vectors[0])
+		s.vecTotals = make([]int64, k*s.dims)
+		for u, row := range cfg.Vectors {
+			base := s.parts[u] * s.dims
+			for d, v := range row {
+				s.vecTotals[base+d] += v
+			}
+		}
+	}
+	s.recountExcess()
+	return s, nil
+}
+
+// recountExcess rebuilds the three excess counters from the maintained
+// matrices (O(K² + K·D)); used once at construction.
+func (s *State) recountExcess() {
+	s.bwExcess, s.resExcess, s.vecExcess = 0, 0, 0
+	if s.cons.Bmax > 0 {
+		for i := 0; i < s.K; i++ {
+			for j := i + 1; j < s.K; j++ {
+				if v := s.bw[i*s.K+j]; v > s.cons.Bmax {
+					s.bwExcess += v - s.cons.Bmax
+				}
+			}
+		}
+	}
+	if s.cons.Rmax > 0 {
+		for _, r := range s.res {
+			if r > s.cons.Rmax {
+				s.resExcess += r - s.cons.Rmax
+			}
+		}
+	}
+	for p := 0; p < s.K && s.vectors != nil; p++ {
+		for d := 0; d < s.dims; d++ {
+			if d < len(s.vecRmax) && s.vecRmax[d] > 0 {
+				if v := s.vecTotals[p*s.dims+d]; v > s.vecRmax[d] {
+					s.vecExcess += v - s.vecRmax[d]
+				}
+			}
+		}
+	}
+}
+
+// Parts exposes the maintained assignment. The slice is owned by the
+// State: read it freely, mutate it only through Move/Undo/SetParts.
+func (s *State) Parts() []int { return s.parts }
+
+// Part returns the current part of node u.
+func (s *State) Part(u graph.Node) int { return s.parts[u] }
+
+// Cut returns the maintained global edge cut.
+func (s *State) Cut() int64 { return s.cut }
+
+// Bandwidth returns the maintained traffic between parts i and j.
+func (s *State) Bandwidth(i, j int) int64 { return s.bw[i*s.K+j] }
+
+// Resource returns the maintained scalar resource total of part p.
+func (s *State) Resource(p int) int64 { return s.res[p] }
+
+// Count returns the number of nodes currently in part p.
+func (s *State) Count(p int) int { return s.cnt[p] }
+
+// Excess returns the maintained total constraint excess split by origin:
+// pairwise bandwidth above Bmax, scalar resources above Rmax, and vector
+// resources above their per-kind bounds.
+func (s *State) Excess() (bandwidth, resource, vector int64) {
+	return s.bwExcess, s.resExcess, s.vecExcess
+}
+
+// Feasible reports whether every maintained constraint is met — O(1).
+func (s *State) Feasible() bool {
+	return s.bwExcess == 0 && s.resExcess == 0 && s.vecExcess == 0
+}
+
+// Goodness mirrors metrics.Goodness on the maintained state: the cut when
+// the scalar constraints hold, otherwise a dominant penalty built from the
+// scalar excess. The expression matches metrics.Goodness operation-for-
+// operation so results are bit-identical.
+func (s *State) Goodness() float64 {
+	excess := s.bwExcess + s.resExcess
+	if excess == 0 {
+		return float64(s.cut)
+	}
+	base := float64(s.C.EdgeWT + 1)
+	return base + float64(excess)*base + float64(s.cut)
+}
+
+// Score extends Goodness with the vector-overflow penalty, matching
+// core.Options.score: vector excess is weighted by the same dominant base.
+func (s *State) Score() float64 {
+	sc := s.Goodness()
+	if s.vecExcess > 0 {
+		base := float64(s.C.EdgeWT + 1)
+		sc += float64(s.vecExcess) * base
+	}
+	return sc
+}
+
+// Connectivity fills the State's scratch buffer with u's total edge weight
+// into every part and returns it. The buffer is invalidated by the next
+// call to Connectivity, Move, Undo or MoveDelta.
+func (s *State) Connectivity(u graph.Node) []int64 {
+	for i := range s.conn {
+		s.conn[i] = 0
+	}
+	adj, wts := s.C.Row(u)
+	for i, v := range adj {
+		s.conn[s.parts[v]] += wts[i]
+	}
+	return s.conn
+}
+
+// MoveDelta computes, without mutating, how the maintained quantities
+// would change if u moved to part `to`: the cut delta, the bandwidth-
+// excess delta and the scalar-resource-excess delta. O(deg(u) + K).
+func (s *State) MoveDelta(u graph.Node, to int) (cutDelta, bwExcessDelta, resExcessDelta int64) {
+	from := s.parts[u]
+	if from == to {
+		return 0, 0, 0
+	}
+	conn := s.Connectivity(u)
+	cutDelta = conn[from] - conn[to]
+	if s.cons.Bmax > 0 {
+		over := func(v int64) int64 {
+			if v > s.cons.Bmax {
+				return v - s.cons.Bmax
+			}
+			return 0
+		}
+		for p := 0; p < s.K; p++ {
+			if p == from || p == to || conn[p] == 0 {
+				continue
+			}
+			bwExcessDelta += over(s.bw[from*s.K+p]-conn[p]) - over(s.bw[from*s.K+p])
+			bwExcessDelta += over(s.bw[to*s.K+p]+conn[p]) - over(s.bw[to*s.K+p])
+		}
+		ft := s.bw[from*s.K+to]
+		bwExcessDelta += over(ft-conn[to]+conn[from]) - over(ft)
+	}
+	if s.cons.Rmax > 0 {
+		w := s.C.NodeW[u]
+		over := func(v int64) int64 {
+			if v > s.cons.Rmax {
+				return v - s.cons.Rmax
+			}
+			return 0
+		}
+		resExcessDelta = over(s.res[from]-w) - over(s.res[from]) +
+			over(s.res[to]+w) - over(s.res[to])
+	}
+	return cutDelta, bwExcessDelta, resExcessDelta
+}
+
+// Move reassigns u to part `to`, updating every maintained quantity in
+// O(deg(u) + K + D) and recording the move for Undo.
+func (s *State) Move(u graph.Node, to int) {
+	from := s.parts[u]
+	if from == to {
+		return
+	}
+	s.log = append(s.log, moveRec{u: u, from: from})
+	s.apply(u, from, to)
+}
+
+// Undo reverts the most recent Move. It reports false when the log is
+// empty.
+func (s *State) Undo() bool {
+	if len(s.log) == 0 {
+		return false
+	}
+	rec := s.log[len(s.log)-1]
+	s.log = s.log[:len(s.log)-1]
+	s.apply(rec.u, s.parts[rec.u], rec.from)
+	return true
+}
+
+// Moves returns the number of undoable moves in the log.
+func (s *State) Moves() int { return len(s.log) }
+
+// ResetLog discards the undo log (e.g. after accepting a refinement pass).
+func (s *State) ResetLog() { s.log = s.log[:0] }
+
+// apply performs the bookkeeping of moving u from part `from` to `to`.
+func (s *State) apply(u graph.Node, from, to int) {
+	conn := s.Connectivity(u)
+	k := s.K
+	over := func(v, lim int64) int64 {
+		if lim > 0 && v > lim {
+			return v - lim
+		}
+		return 0
+	}
+	for p := 0; p < k; p++ {
+		if p == from || p == to || conn[p] == 0 {
+			continue
+		}
+		fp := s.bw[from*k+p]
+		s.bwExcess += over(fp-conn[p], s.cons.Bmax) - over(fp, s.cons.Bmax)
+		s.bw[from*k+p] = fp - conn[p]
+		s.bw[p*k+from] = fp - conn[p]
+		tp := s.bw[to*k+p]
+		s.bwExcess += over(tp+conn[p], s.cons.Bmax) - over(tp, s.cons.Bmax)
+		s.bw[to*k+p] = tp + conn[p]
+		s.bw[p*k+to] = tp + conn[p]
+	}
+	ft := s.bw[from*k+to]
+	nft := ft - conn[to] + conn[from]
+	s.bwExcess += over(nft, s.cons.Bmax) - over(ft, s.cons.Bmax)
+	s.bw[from*k+to] = nft
+	s.bw[to*k+from] = nft
+	s.cut += conn[from] - conn[to]
+
+	w := s.C.NodeW[u]
+	s.resExcess += over(s.res[from]-w, s.cons.Rmax) - over(s.res[from], s.cons.Rmax) +
+		over(s.res[to]+w, s.cons.Rmax) - over(s.res[to], s.cons.Rmax)
+	s.res[from] -= w
+	s.res[to] += w
+	s.cnt[from]--
+	s.cnt[to]++
+
+	if s.vectors != nil {
+		row := s.vectors[u]
+		fb, tb := from*s.dims, to*s.dims
+		for d, v := range row {
+			if v == 0 {
+				continue
+			}
+			var lim int64
+			if d < len(s.vecRmax) {
+				lim = s.vecRmax[d]
+			}
+			s.vecExcess += over(s.vecTotals[fb+d]-v, lim) - over(s.vecTotals[fb+d], lim) +
+				over(s.vecTotals[tb+d]+v, lim) - over(s.vecTotals[tb+d], lim)
+			s.vecTotals[fb+d] -= v
+			s.vecTotals[tb+d] += v
+		}
+	}
+	s.parts[u] = to
+}

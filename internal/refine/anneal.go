@@ -6,6 +6,7 @@ import (
 
 	"ppnpart/internal/graph"
 	"ppnpart/internal/metrics"
+	"ppnpart/internal/pstate"
 )
 
 // AnnealOptions configures Anneal.
@@ -26,7 +27,12 @@ type AnnealOptions struct {
 // worsening, geometric cooling. The best state seen is restored at the
 // end. The rng makes runs reproducible.
 func Anneal(g *graph.Graph, parts []int, k int, c metrics.Constraints, opts AnnealOptions, rng *rand.Rand) (Stats, bool) {
-	n := g.NumNodes()
+	return AnnealCSR(g.ToCSR(), parts, k, c, opts, rng)
+}
+
+// AnnealCSR is Anneal on a prebuilt CSR snapshot.
+func AnnealCSR(csr *graph.CSR, parts []int, k int, c metrics.Constraints, opts AnnealOptions, rng *rand.Rand) (Stats, bool) {
+	n := csr.NumNodes()
 	if opts.Iterations <= 0 {
 		opts.Iterations = 200 * n
 	}
@@ -36,37 +42,36 @@ func Anneal(g *graph.Graph, parts []int, k int, c metrics.Constraints, opts Anne
 	if opts.Cooling <= 0 || opts.Cooling >= 1 {
 		opts.Cooling = 0.95
 	}
-	st := Stats{CutBefore: metrics.EdgeCut(g, parts)}
+	st := Stats{CutBefore: csrEdgeCut(csr, parts)}
 	if n == 0 || k < 2 {
 		st.CutAfter = st.CutBefore
-		return st, metrics.Feasible(g, parts, k, c)
+		return st, csrFeasible(csr, parts, k, c)
 	}
-	s := newBWState(g, parts, k)
-	penalty := penaltyUnit(g)
-	bmax := c.Bmax
-	if bmax <= 0 {
-		bmax = 1 << 62
+	s, err := pstate.New(csr, parts, pstate.Config{K: k, Constraints: c})
+	if err != nil {
+		return st, false
 	}
-	cur := objective(st.CutBefore, s.excess(bmax)+resourceExcess(s.res, c.Rmax), penalty)
+	penalty := penaltyUnit(csr.EdgeWT)
+	bwEx, resEx, _ := s.Excess()
+	cur := objective(st.CutBefore, bwEx+resEx, penalty)
 	best := cur
 	bestParts := append([]int(nil), parts...)
-	temp := opts.InitialTemp * float64(g.TotalEdgeWeight()+1)
+	temp := opts.InitialTemp * float64(csr.EdgeWT+1)
 
 	for iter := 0; iter < opts.Iterations; iter++ {
 		if iter > 0 && iter%n == 0 {
 			temp *= opts.Cooling
 		}
 		u := graph.Node(rng.Intn(n))
-		from := s.parts[u]
-		if s.cnt[from] == 1 {
+		from := s.Part(u)
+		if s.Count(from) == 1 {
 			continue
 		}
 		to := rng.Intn(k - 1)
 		if to >= from {
 			to++
 		}
-		ed, cd := s.moveDelta(u, to, bmax)
-		red := resourceMoveDelta(s.res, from, to, g.NodeWeight(u), c.Rmax)
+		cd, ed, red := s.MoveDelta(u, to)
 		dObj := cd + (ed+red)*penalty
 		accept := dObj <= 0
 		if !accept && temp > 0 {
@@ -75,16 +80,16 @@ func Anneal(g *graph.Graph, parts []int, k int, c metrics.Constraints, opts Anne
 		if !accept {
 			continue
 		}
-		s.apply(u, to)
+		s.Move(u, to)
 		cur += dObj
 		st.Moves++
 		if cur < best {
 			best = cur
-			copy(bestParts, s.parts)
+			copy(bestParts, s.Parts())
 		}
 	}
 	copy(parts, bestParts)
 	st.Passes = 1
-	st.CutAfter = metrics.EdgeCut(g, parts)
-	return st, metrics.Feasible(g, parts, k, c)
+	st.CutAfter = csrEdgeCut(csr, parts)
+	return st, csrFeasible(csr, parts, k, c)
 }

@@ -3,6 +3,7 @@ package refine
 import (
 	"ppnpart/internal/graph"
 	"ppnpart/internal/metrics"
+	"ppnpart/internal/pstate"
 )
 
 // BandwidthStats reports the outcome of a bandwidth-repair run.
@@ -18,110 +19,6 @@ type BandwidthStats struct {
 	Feasible bool
 }
 
-// bwState tracks the pairwise bandwidth matrix and per-part resources
-// incrementally so each candidate move is O(degree).
-type bwState struct {
-	g     *graph.Graph
-	parts []int
-	k     int
-	bw    [][]int64
-	res   []int64
-	cnt   []int
-	conn  []int64 // scratch: per-part connectivity of the node in hand
-}
-
-func newBWState(g *graph.Graph, parts []int, k int) *bwState {
-	s := &bwState{
-		g:     g,
-		parts: parts,
-		k:     k,
-		bw:    metrics.BandwidthMatrix(g, parts, k),
-		res:   metrics.PartResources(g, parts, k),
-		cnt:   metrics.PartSizes(parts, k),
-		conn:  make([]int64, k),
-	}
-	return s
-}
-
-// connectivity fills the scratch buffer with u's edge weight into each
-// part and returns it. The buffer is invalidated by the next call.
-func (s *bwState) connectivity(u graph.Node) []int64 {
-	for i := range s.conn {
-		s.conn[i] = 0
-	}
-	for _, h := range s.g.Neighbors(u) {
-		s.conn[s.parts[h.To]] += h.Weight
-	}
-	return s.conn
-}
-
-// excess returns the total pairwise bandwidth above bmax.
-func (s *bwState) excess(bmax int64) int64 {
-	var e int64
-	for i := 0; i < s.k; i++ {
-		for j := i + 1; j < s.k; j++ {
-			if s.bw[i][j] > bmax {
-				e += s.bw[i][j] - bmax
-			}
-		}
-	}
-	return e
-}
-
-// moveDelta computes, without mutating, how the total excess over bmax
-// would change if u moved from its part to `to`, along with the cut delta.
-func (s *bwState) moveDelta(u graph.Node, to int, bmax int64) (excessDelta, cutDelta int64) {
-	from := s.parts[u]
-	conn := s.connectivity(u)
-	over := func(v int64) int64 {
-		if v > bmax {
-			return v - bmax
-		}
-		return 0
-	}
-	// Pairs whose bandwidth changes: (from,p) loses conn[p] for p != from,to;
-	// (to,p) gains conn[p] for p != from,to; (from,to) becomes
-	// bw[from][to] - conn[to] + conn[from].
-	for p := 0; p < s.k; p++ {
-		if p == from || p == to {
-			continue
-		}
-		if conn[p] == 0 {
-			continue
-		}
-		excessDelta += over(s.bw[from][p]-conn[p]) - over(s.bw[from][p])
-		excessDelta += over(s.bw[to][p]+conn[p]) - over(s.bw[to][p])
-	}
-	newFT := s.bw[from][to] - conn[to] + conn[from]
-	excessDelta += over(newFT) - over(s.bw[from][to])
-	cutDelta = conn[from] - conn[to]
-	return excessDelta, cutDelta
-}
-
-// apply moves u to part `to`, updating the matrices.
-func (s *bwState) apply(u graph.Node, to int) {
-	from := s.parts[u]
-	conn := s.connectivity(u)
-	for p := 0; p < s.k; p++ {
-		if p == from || p == to {
-			continue
-		}
-		s.bw[from][p] -= conn[p]
-		s.bw[p][from] = s.bw[from][p]
-		s.bw[to][p] += conn[p]
-		s.bw[p][to] = s.bw[to][p]
-	}
-	nft := s.bw[from][to] - conn[to] + conn[from]
-	s.bw[from][to] = nft
-	s.bw[to][from] = nft
-	w := s.g.NodeWeight(u)
-	s.res[from] -= w
-	s.res[to] += w
-	s.cnt[from]--
-	s.cnt[to]++
-	s.parts[u] = to
-}
-
 // RepairBandwidth greedily moves boundary nodes between parts to drive
 // every pairwise bandwidth under c.Bmax, while respecting c.Rmax on the
 // destination part when possible (the paper's FM-based bandwidth-repair
@@ -132,28 +29,51 @@ func (s *bwState) apply(u graph.Node, to int) {
 // most once per pass. Stops when feasible, when a pass makes no progress,
 // or after maxPasses (default 16).
 func RepairBandwidth(g *graph.Graph, parts []int, k int, c metrics.Constraints, maxPasses int) BandwidthStats {
-	if maxPasses <= 0 {
-		maxPasses = 16
-	}
+	return RepairBandwidthCSR(g.ToCSR(), parts, k, c, maxPasses)
+}
+
+// RepairBandwidthCSR is RepairBandwidth on a prebuilt CSR snapshot — the
+// form the multilevel driver uses, building one CSR per hierarchy level
+// and sharing it across every refinement stage at that level.
+func RepairBandwidthCSR(csr *graph.CSR, parts []int, k int, c metrics.Constraints, maxPasses int) BandwidthStats {
 	st := BandwidthStats{}
 	if c.Bmax <= 0 {
 		st.Feasible = true
 		return st
 	}
-	s := newBWState(g, parts, k)
-	st.ExcessBefore = s.excess(c.Bmax)
+	s, err := pstate.New(csr, parts, pstate.Config{K: k, Constraints: metrics.Constraints{Bmax: c.Bmax}})
+	if err != nil {
+		return st
+	}
+	st = repairBandwidthState(s, csr, c, maxPasses)
+	copy(parts, s.Parts())
+	return st
+}
+
+// repairBandwidthState runs the repair sweeps against an existing state
+// whose maintained Bmax equals c.Bmax. The caller reads the repaired
+// assignment from s.Parts().
+func repairBandwidthState(s *pstate.State, csr *graph.CSR, c metrics.Constraints, maxPasses int) BandwidthStats {
+	if maxPasses <= 0 {
+		maxPasses = 16
+	}
+	st := BandwidthStats{}
+	bwExcess, _, _ := s.Excess()
+	st.ExcessBefore = bwExcess
 	st.ExcessAfter = st.ExcessBefore
 	if st.ExcessBefore == 0 {
 		st.Feasible = true
 		return st
 	}
-	n := g.NumNodes()
+	k := s.K
+	n := csr.NumNodes()
 	for pass := 0; pass < maxPasses; pass++ {
 		st.Passes++
 		moved := make([]bool, n)
 		progressed := false
 		for {
-			// Collect nodes incident to violating pairs.
+			// Best lexicographic (excess reduction, cut reduction) move over
+			// all nodes incident to a violating pair.
 			var bestU graph.Node = -1
 			bestTo := -1
 			var bestExcess, bestCut int64
@@ -162,15 +82,16 @@ func RepairBandwidth(g *graph.Graph, parts []int, k int, c metrics.Constraints, 
 					continue
 				}
 				un := graph.Node(u)
-				from := s.parts[u]
-				if s.cnt[from] == 1 {
+				from := s.Part(un)
+				if s.Count(from) == 1 {
 					continue
 				}
 				// Is u on a violating pair's boundary?
 				touches := false
-				for _, h := range g.Neighbors(un) {
-					p := s.parts[h.To]
-					if p != from && s.bw[from][p] > c.Bmax {
+				adj, _ := csr.Row(un)
+				for _, v := range adj {
+					p := s.Part(v)
+					if p != from && s.Bandwidth(from, p) > c.Bmax {
 						touches = true
 						break
 					}
@@ -178,15 +99,15 @@ func RepairBandwidth(g *graph.Graph, parts []int, k int, c metrics.Constraints, 
 				if !touches {
 					continue
 				}
-				w := g.NodeWeight(un)
+				w := csr.NodeW[u]
 				for to := 0; to < k; to++ {
 					if to == from {
 						continue
 					}
-					if c.Rmax > 0 && s.res[to]+w > c.Rmax {
+					if c.Rmax > 0 && s.Resource(to)+w > c.Rmax {
 						continue
 					}
-					ed, cd := s.moveDelta(un, to, c.Bmax)
+					cd, ed, _ := s.MoveDelta(un, to)
 					if ed < bestExcess || (ed == bestExcess && ed < 0 && cd < bestCut) {
 						bestU, bestTo, bestExcess, bestCut = un, to, ed, cd
 					}
@@ -195,7 +116,7 @@ func RepairBandwidth(g *graph.Graph, parts []int, k int, c metrics.Constraints, 
 			if bestU < 0 || bestExcess >= 0 {
 				break
 			}
-			s.apply(bestU, bestTo)
+			s.Move(bestU, bestTo)
 			moved[bestU] = true
 			st.Moves++
 			progressed = true
@@ -209,7 +130,7 @@ func RepairBandwidth(g *graph.Graph, parts []int, k int, c metrics.Constraints, 
 			break
 		}
 	}
-	st.ExcessAfter = s.excess(c.Bmax)
+	st.ExcessAfter, _, _ = s.Excess()
 	st.Feasible = st.ExcessAfter == 0
 	return st
 }
@@ -224,11 +145,24 @@ func RebalanceResources(g *graph.Graph, parts []int, k int, rmax int64, maxPasse
 	if rmax <= 0 {
 		return 0, true
 	}
+	return RebalanceResourcesCSR(g.ToCSR(), parts, k, rmax, maxPasses)
+}
+
+// RebalanceResourcesCSR is RebalanceResources on a prebuilt CSR snapshot.
+func RebalanceResourcesCSR(csr *graph.CSR, parts []int, k int, rmax int64, maxPasses int) (int, bool) {
+	if rmax <= 0 {
+		return 0, true
+	}
 	if maxPasses <= 0 {
 		maxPasses = 16
 	}
-	res := metrics.PartResources(g, parts, k)
-	cnt := metrics.PartSizes(parts, k)
+	res := make([]int64, k)
+	cnt := make([]int, k)
+	n := csr.NumNodes()
+	for u := 0; u < n; u++ {
+		res[parts[u]] += csr.NodeW[u]
+		cnt[parts[u]]++
+	}
 	fits := func() bool {
 		for _, r := range res {
 			if r > rmax {
@@ -238,7 +172,6 @@ func RebalanceResources(g *graph.Graph, parts []int, k int, rmax int64, maxPasse
 		return true
 	}
 	moves := 0
-	n := g.NumNodes()
 	conn := make([]int64, k)
 	for pass := 0; pass < maxPasses && !fits(); pass++ {
 		progressed := false
@@ -248,12 +181,13 @@ func RebalanceResources(g *graph.Graph, parts []int, k int, rmax int64, maxPasse
 			if res[from] <= rmax || cnt[from] == 1 {
 				continue
 			}
-			w := g.NodeWeight(un)
+			w := csr.NodeW[u]
 			for i := range conn {
 				conn[i] = 0
 			}
-			for _, h := range g.Neighbors(un) {
-				conn[parts[h.To]] += h.Weight
+			adj, wts := csr.Row(un)
+			for i, v := range adj {
+				conn[parts[v]] += wts[i]
 			}
 			// Choose the destination that fits and costs the least cut,
 			// breaking ties toward the most free space.

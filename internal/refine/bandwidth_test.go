@@ -7,38 +7,59 @@ import (
 
 	"ppnpart/internal/graph"
 	"ppnpart/internal/metrics"
+	"ppnpart/internal/pstate"
 )
 
-func TestBWStateMatchesRecompute(t *testing.T) {
+// bwExcessOf computes the summed pairwise-bandwidth excess from scratch,
+// the reference the incremental state is checked against.
+func bwExcessOf(g *graph.Graph, parts []int, k int, bmax int64) int64 {
+	bw := metrics.BandwidthMatrix(g, parts, k)
+	var ex int64
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if bw[i][j] > bmax {
+				ex += bw[i][j] - bmax
+			}
+		}
+	}
+	return ex
+}
+
+func TestRepairStateMatchesRecompute(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	g := randomConnected(rng, 40)
+	csr := g.ToCSR()
 	k := 4
 	parts := make([]int, 40)
 	for i := range parts {
 		parts[i] = rng.Intn(k)
 	}
-	s := newBWState(g, parts, k)
+	s, err := pstate.New(csr, parts, pstate.Config{K: k, Constraints: metrics.Constraints{Bmax: 25}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Apply a series of random moves and check incremental state equals a
 	// from-scratch recomputation after each.
 	for step := 0; step < 30; step++ {
 		u := graph.Node(rng.Intn(40))
 		to := rng.Intn(k)
-		if to == parts[u] || s.cnt[parts[u]] == 1 {
+		if to == s.Part(u) || s.Count(s.Part(u)) == 1 {
 			continue
 		}
-		s.apply(u, to)
+		s.Move(u, to)
+		copy(parts, s.Parts())
 		want := metrics.BandwidthMatrix(g, parts, k)
 		for i := 0; i < k; i++ {
 			for j := 0; j < k; j++ {
-				if s.bw[i][j] != want[i][j] {
-					t.Fatalf("step %d: bw[%d][%d] = %d, want %d", step, i, j, s.bw[i][j], want[i][j])
+				if s.Bandwidth(i, j) != want[i][j] {
+					t.Fatalf("step %d: bw[%d][%d] = %d, want %d", step, i, j, s.Bandwidth(i, j), want[i][j])
 				}
 			}
 		}
 		wantRes := metrics.PartResources(g, parts, k)
 		for i := 0; i < k; i++ {
-			if s.res[i] != wantRes[i] {
-				t.Fatalf("step %d: res[%d] = %d, want %d", step, i, s.res[i], wantRes[i])
+			if s.Resource(i) != wantRes[i] {
+				t.Fatalf("step %d: res[%d] = %d, want %d", step, i, s.Resource(i), wantRes[i])
 			}
 		}
 	}
@@ -47,25 +68,36 @@ func TestBWStateMatchesRecompute(t *testing.T) {
 func TestMoveDeltaMatchesApply(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	g := randomConnected(rng, 30)
+	csr := g.ToCSR()
 	k := 3
 	var bmax int64 = 25
 	parts := make([]int, 30)
 	for i := range parts {
 		parts[i] = rng.Intn(k)
 	}
-	s := newBWState(g, parts, k)
+	s, err := pstate.New(csr, parts, pstate.Config{K: k, Constraints: metrics.Constraints{Bmax: bmax}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for step := 0; step < 40; step++ {
 		u := graph.Node(rng.Intn(30))
 		to := rng.Intn(k)
-		if to == parts[u] || s.cnt[parts[u]] == 1 {
+		if to == s.Part(u) || s.Count(s.Part(u)) == 1 {
 			continue
 		}
-		exBefore := s.excess(bmax)
-		cutBefore := metrics.EdgeCut(g, parts)
-		ed, cd := s.moveDelta(u, to, bmax)
-		s.apply(u, to)
-		exAfter := s.excess(bmax)
+		exBefore, _, _ := s.Excess()
+		cutBefore := s.Cut()
+		cd, ed, _ := s.MoveDelta(u, to)
+		s.Move(u, to)
+		copy(parts, s.Parts())
+		exAfter, _, _ := s.Excess()
+		if wantEx := bwExcessOf(g, parts, k, bmax); exAfter != wantEx {
+			t.Fatalf("step %d: excess = %d, want %d", step, exAfter, wantEx)
+		}
 		cutAfter := metrics.EdgeCut(g, parts)
+		if s.Cut() != cutAfter {
+			t.Fatalf("step %d: cut = %d, want %d", step, s.Cut(), cutAfter)
+		}
 		if exAfter-exBefore != ed {
 			t.Fatalf("step %d: excess delta predicted %d, actual %d", step, ed, exAfter-exBefore)
 		}
@@ -170,13 +202,12 @@ func TestRepairBandwidthNeverIncreasesExcess(t *testing.T) {
 		}
 		bmax := int64(1 + rng.Intn(30))
 		c := metrics.Constraints{Bmax: bmax}
-		s := newBWState(g, append([]int(nil), parts...), k)
-		before := s.excess(bmax)
+		before := bwExcessOf(g, parts, k, bmax)
 		st := RepairBandwidth(g, parts, k, c, 4)
 		if st.ExcessBefore != before {
 			return false
 		}
-		after := newBWState(g, parts, k).excess(bmax)
+		after := bwExcessOf(g, parts, k, bmax)
 		return st.ExcessAfter == after && after <= before &&
 			metrics.Validate(g, parts, k) == nil
 	}

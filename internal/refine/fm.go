@@ -2,7 +2,6 @@ package refine
 
 import (
 	"ppnpart/internal/graph"
-	"ppnpart/internal/metrics"
 )
 
 // Stats summarizes what a refinement pass achieved.
@@ -26,14 +25,19 @@ func (s Stats) Improved() bool { return s.CutAfter < s.CutBefore }
 // (<= 0: the only bound is that no side may be emptied); maxPasses <= 0
 // defaults to 8. Terminates when a pass yields no improvement.
 func FMBisect(g *graph.Graph, parts []int, maxResource int64, maxPasses int) Stats {
+	return FMBisectCSR(g.ToCSR(), parts, maxResource, maxPasses)
+}
+
+// FMBisectCSR is FMBisect on a prebuilt CSR snapshot.
+func FMBisectCSR(csr *graph.CSR, parts []int, maxResource int64, maxPasses int) Stats {
 	if maxPasses <= 0 {
 		maxPasses = 8
 	}
-	st := Stats{CutBefore: metrics.EdgeCut(g, parts)}
+	st := Stats{CutBefore: csrEdgeCut(csr, parts)}
 	cur := st.CutBefore
 	for pass := 0; pass < maxPasses; pass++ {
 		st.Passes++
-		improved, newCut, kept := fmBisectPass(g, parts, maxResource, cur)
+		improved, newCut, kept := fmBisectPass(csr, parts, maxResource, cur)
 		cur = newCut
 		st.Moves += kept
 		if !improved {
@@ -46,13 +50,13 @@ func FMBisect(g *graph.Graph, parts []int, maxResource int64, maxPasses int) Sta
 
 // fmBisectPass runs one FM pass. Returns (improved, cut after rollback,
 // moves kept).
-func fmBisectPass(g *graph.Graph, parts []int, maxResource int64, startCut int64) (bool, int64, int) {
-	n := g.NumNodes()
+func fmBisectPass(csr *graph.CSR, parts []int, maxResource int64, startCut int64) (bool, int64, int) {
+	n := csr.NumNodes()
 	// Side resource totals.
 	var res [2]int64
 	var cnt [2]int
 	for u := 0; u < n; u++ {
-		res[parts[u]] += g.NodeWeight(graph.Node(u))
+		res[parts[u]] += csr.NodeW[u]
 		cnt[parts[u]]++
 	}
 	// gain(u) = external(u) - internal(u): cut reduction if u switches side.
@@ -60,11 +64,12 @@ func fmBisectPass(g *graph.Graph, parts []int, maxResource int64, startCut int64
 	gains := make([]int64, n)
 	for u := 0; u < n; u++ {
 		var ext, int_ int64
-		for _, h := range g.Neighbors(graph.Node(u)) {
-			if parts[h.To] == parts[u] {
-				int_ += h.Weight
+		adj, wts := csr.Row(graph.Node(u))
+		for i, v := range adj {
+			if parts[v] == parts[u] {
+				int_ += wts[i]
 			} else {
-				ext += h.Weight
+				ext += wts[i]
 			}
 		}
 		gains[u] = ext - int_
@@ -89,7 +94,7 @@ func fmBisectPass(g *graph.Graph, parts []int, maxResource int64, startCut int64
 			u, _ := pq.Pop()
 			from := parts[u]
 			to := 1 - from
-			w := g.NodeWeight(u)
+			w := csr.NodeW[u]
 			overflow := maxResource > 0 && res[to]+w > maxResource
 			empties := cnt[from] == 1
 			if overflow || empties {
@@ -111,26 +116,26 @@ func fmBisectPass(g *graph.Graph, parts []int, maxResource int64, startCut int64
 		to := 1 - from
 		cut -= gains[u]
 		parts[u] = to
-		res[from] -= g.NodeWeight(u)
-		res[to] += g.NodeWeight(u)
+		res[from] -= csr.NodeW[u]
+		res[to] += csr.NodeW[u]
 		cnt[from]--
 		cnt[to]++
 		locked[u] = true
 		seq = append(seq, move{u, from})
 		// Update neighbor gains: for neighbor v on side s, edge {u,v}
 		// changed from internal↔external.
-		for _, h := range g.Neighbors(u) {
-			v := h.To
+		adj, wts := csr.Row(u)
+		for i, v := range adj {
 			if locked[v] {
 				continue
 			}
 			var delta int64
 			if parts[v] == to {
 				// Edge was external to v (u was opposite), now internal.
-				delta = -2 * h.Weight
+				delta = -2 * wts[i]
 			} else {
 				// Edge was internal to v's side? v is on `from`; u left it.
-				delta = 2 * h.Weight
+				delta = 2 * wts[i]
 			}
 			gains[v] += delta
 			pq.Adjust(v, delta)
@@ -154,15 +159,23 @@ func fmBisectPass(g *graph.Graph, parts []int, maxResource int64, startCut int64
 // k-way refinement used in multilevel k-way partitioners. maxResource
 // <= 0 disables the bound; maxPasses <= 0 defaults to 8.
 func KWayFM(g *graph.Graph, parts []int, k int, maxResource int64, maxPasses int) Stats {
+	return KWayFMCSR(g.ToCSR(), parts, k, maxResource, maxPasses)
+}
+
+// KWayFMCSR is KWayFM on a prebuilt CSR snapshot. The cut is tracked
+// incrementally from the applied gains, so the only full adjacency sweep
+// is the initial cut count.
+func KWayFMCSR(csr *graph.CSR, parts []int, k int, maxResource int64, maxPasses int) Stats {
 	if maxPasses <= 0 {
 		maxPasses = 8
 	}
-	st := Stats{CutBefore: metrics.EdgeCut(g, parts)}
-	n := g.NumNodes()
+	st := Stats{CutBefore: csrEdgeCut(csr, parts)}
+	cut := st.CutBefore
+	n := csr.NumNodes()
 	res := make([]int64, k)
 	cnt := make([]int, k)
 	for u := 0; u < n; u++ {
-		res[parts[u]] += g.NodeWeight(graph.Node(u))
+		res[parts[u]] += csr.NodeW[u]
 		cnt[parts[u]]++
 	}
 	conn := make([]int64, k) // scratch: connectivity of one node to each part
@@ -179,16 +192,17 @@ func KWayFM(g *graph.Graph, parts []int, k int, maxResource int64, maxPasses int
 			for i := range conn {
 				conn[i] = 0
 			}
-			for _, h := range g.Neighbors(un) {
-				conn[parts[h.To]] += h.Weight
-				if parts[h.To] != from {
+			adj, wts := csr.Row(un)
+			for i, v := range adj {
+				conn[parts[v]] += wts[i]
+				if parts[v] != from {
 					boundary = true
 				}
 			}
 			if !boundary {
 				continue
 			}
-			w := g.NodeWeight(un)
+			w := csr.NodeW[u]
 			bestTo := -1
 			var bestGain int64
 			for to := 0; to < k; to++ {
@@ -212,6 +226,7 @@ func KWayFM(g *graph.Graph, parts []int, k int, maxResource int64, maxPasses int
 				res[bestTo] += w
 				cnt[from]--
 				cnt[bestTo]++
+				cut -= bestGain
 				moves++
 			}
 		}
@@ -220,6 +235,6 @@ func KWayFM(g *graph.Graph, parts []int, k int, maxResource int64, maxPasses int
 			break
 		}
 	}
-	st.CutAfter = metrics.EdgeCut(g, parts)
+	st.CutAfter = cut
 	return st
 }

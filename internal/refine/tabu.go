@@ -3,6 +3,7 @@ package refine
 import (
 	"ppnpart/internal/graph"
 	"ppnpart/internal/metrics"
+	"ppnpart/internal/pstate"
 )
 
 // This file implements the "more costly local search" strategies §II-A of
@@ -12,7 +13,9 @@ import (
 // non-greedy hill-climber ("will sometimes accept a solution that is
 // worse than the existing solution ... to avoid getting trapped in local
 // minima"). Both optimize the same constrained objective as GP's
-// goodness function: feasibility first, cut second.
+// goodness function: feasibility first, cut second. Both read the graph
+// through the shared incremental partition state (internal/pstate), so a
+// candidate move costs O(deg + K) rather than a fresh matrix rebuild.
 
 // TabuOptions configures TabuSearch.
 type TabuOptions struct {
@@ -28,8 +31,8 @@ type TabuOptions struct {
 
 // penaltyUnit returns the weight that makes one unit of constraint excess
 // dominate any possible cut difference.
-func penaltyUnit(g *graph.Graph) int64 {
-	return g.TotalEdgeWeight() + 1
+func penaltyUnit(totalEdgeWeight int64) int64 {
+	return totalEdgeWeight + 1
 }
 
 // objective scores a state from its cut and total constraint excess:
@@ -46,7 +49,12 @@ func objective(cut, excess, penalty int64) int64 {
 // allowed), and finally restores the best state seen. Returns Stats on
 // the cut plus whether the final state is feasible.
 func TabuSearch(g *graph.Graph, parts []int, k int, c metrics.Constraints, opts TabuOptions) (Stats, bool) {
-	n := g.NumNodes()
+	return TabuSearchCSR(g.ToCSR(), parts, k, c, opts)
+}
+
+// TabuSearchCSR is TabuSearch on a prebuilt CSR snapshot.
+func TabuSearchCSR(csr *graph.CSR, parts []int, k int, c metrics.Constraints, opts TabuOptions) (Stats, bool) {
+	n := csr.NumNodes()
 	if opts.Iterations <= 0 {
 		opts.Iterations = 100 * n
 	}
@@ -59,17 +67,14 @@ func TabuSearch(g *graph.Graph, parts []int, k int, c metrics.Constraints, opts 
 	if opts.Patience <= 0 {
 		opts.Patience = 4 * opts.Tenure
 	}
-	st := Stats{CutBefore: metrics.EdgeCut(g, parts)}
-	s := newBWState(g, parts, k)
-	penalty := penaltyUnit(g)
-	bmax := c.Bmax
-	if bmax <= 0 {
-		bmax = 1 << 62 // effectively unconstrained
+	s, err := pstate.New(csr, parts, pstate.Config{K: k, Constraints: c})
+	if err != nil {
+		return Stats{}, false
 	}
-	cut := st.CutBefore
-	excess := s.excess(bmax)
-	resExcess := resourceExcess(s.res, c.Rmax)
-	cur := objective(cut, excess+resExcess, penalty)
+	st := Stats{CutBefore: s.Cut()}
+	penalty := penaltyUnit(csr.EdgeWT)
+	bwEx, resEx, _ := s.Excess()
+	cur := objective(s.Cut(), bwEx+resEx, penalty)
 	best := cur
 	bestParts := append([]int(nil), parts...)
 	tabuUntil := make([]int, n)
@@ -82,18 +87,15 @@ func TabuSearch(g *graph.Graph, parts []int, k int, c metrics.Constraints, opts 
 		var moveDeltaObj int64
 		for u := 0; u < n; u++ {
 			un := graph.Node(u)
-			from := s.parts[u]
-			if s.cnt[from] == 1 {
+			from := s.Part(un)
+			if s.Count(from) == 1 {
 				continue
 			}
-			w := g.NodeWeight(un)
 			for to := 0; to < k; to++ {
 				if to == from {
 					continue
 				}
-				ed, cd := s.moveDelta(un, to, bmax)
-				// Resource excess delta.
-				red := resourceMoveDelta(s.res, from, to, w, c.Rmax)
+				cd, ed, red := s.MoveDelta(un, to)
 				dObj := cd + (ed+red)*penalty
 				isTabu := tabuUntil[u] > iter
 				if isTabu && cur+dObj >= best {
@@ -107,13 +109,13 @@ func TabuSearch(g *graph.Graph, parts []int, k int, c metrics.Constraints, opts 
 		if moveU < 0 {
 			break
 		}
-		s.apply(moveU, moveTo)
+		s.Move(moveU, moveTo)
 		cur += moveDeltaObj
 		tabuUntil[moveU] = iter + opts.Tenure
 		st.Moves++
 		if cur < best {
 			best = cur
-			copy(bestParts, s.parts)
+			copy(bestParts, s.Parts())
 			sinceImprove = 0
 		} else {
 			sinceImprove++
@@ -121,35 +123,33 @@ func TabuSearch(g *graph.Graph, parts []int, k int, c metrics.Constraints, opts 
 	}
 	copy(parts, bestParts)
 	st.Passes = 1
-	st.CutAfter = metrics.EdgeCut(g, parts)
-	return st, metrics.Feasible(g, parts, k, c)
+	// The best state's cut: rebuild the maintained state at bestParts by
+	// undoing past the best point is not tracked; recompute from CSR.
+	st.CutAfter = csrEdgeCut(csr, parts)
+	return st, csrFeasible(csr, parts, k, c)
 }
 
-// resourceExcess sums per-part overflow above rmax.
-func resourceExcess(res []int64, rmax int64) int64 {
-	if rmax <= 0 {
-		return 0
-	}
-	var e int64
-	for _, r := range res {
-		if r > rmax {
-			e += r - rmax
+// csrEdgeCut is metrics.EdgeCut on a CSR snapshot.
+func csrEdgeCut(csr *graph.CSR, parts []int) int64 {
+	var cut int64
+	n := csr.NumNodes()
+	for u := 0; u < n; u++ {
+		adj, wts := csr.Row(graph.Node(u))
+		for i, v := range adj {
+			if graph.Node(u) < v && parts[u] != parts[v] {
+				cut += wts[i]
+			}
 		}
 	}
-	return e
+	return cut
 }
 
-// resourceMoveDelta is the change in total resource excess if a node of
-// weight w moves from part `from` to part `to`.
-func resourceMoveDelta(res []int64, from, to int, w, rmax int64) int64 {
-	if rmax <= 0 {
-		return 0
+// csrFeasible checks both scalar constraints on a CSR snapshot in one
+// adjacency sweep.
+func csrFeasible(csr *graph.CSR, parts []int, k int, c metrics.Constraints) bool {
+	s, err := pstate.New(csr, parts, pstate.Config{K: k, Constraints: c})
+	if err != nil {
+		return false
 	}
-	over := func(v int64) int64 {
-		if v > rmax {
-			return v - rmax
-		}
-		return 0
-	}
-	return over(res[from]-w) - over(res[from]) + over(res[to]+w) - over(res[to])
+	return s.Feasible()
 }

@@ -154,25 +154,6 @@ func TestObjectiveOrdering(t *testing.T) {
 	}
 }
 
-func TestResourceExcessHelpers(t *testing.T) {
-	res := []int64{50, 120, 80}
-	if resourceExcess(res, 100) != 20 {
-		t.Fatalf("excess = %d, want 20", resourceExcess(res, 100))
-	}
-	if resourceExcess(res, 0) != 0 {
-		t.Fatal("rmax<=0 should disable")
-	}
-	// Moving weight 30 from part 1 (120) to part 0 (50) under rmax 100:
-	// part1 overflow 20 -> 0, part0 50 -> 80 no overflow: delta -20.
-	if d := resourceMoveDelta(res, 1, 0, 30, 100); d != -20 {
-		t.Fatalf("move delta = %d, want -20", d)
-	}
-	// Moving 30 from part 0 to part 2 (80 -> 110): delta +10.
-	if d := resourceMoveDelta(res, 0, 2, 30, 100); d != 10 {
-		t.Fatalf("move delta = %d, want +10", d)
-	}
-}
-
 func TestPropertyTabuAndAnnealPreserveValidity(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))

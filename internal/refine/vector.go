@@ -15,6 +15,15 @@ func RebalanceVector(g *graph.Graph, vectors [][]int64, parts []int, k int,
 	if !vc.Active() {
 		return 0, true
 	}
+	return RebalanceVectorCSR(g.ToCSR(), vectors, parts, k, vc, maxPasses)
+}
+
+// RebalanceVectorCSR is RebalanceVector on a prebuilt CSR snapshot.
+func RebalanceVectorCSR(csr *graph.CSR, vectors [][]int64, parts []int, k int,
+	vc metrics.VectorConstraints, maxPasses int) (int, bool) {
+	if !vc.Active() {
+		return 0, true
+	}
 	if maxPasses <= 0 {
 		maxPasses = 16
 	}
@@ -63,7 +72,7 @@ func RebalanceVector(g *graph.Graph, vectors [][]int64, parts []int, k int,
 	}
 
 	moves := 0
-	n := g.NumNodes()
+	n := csr.NumNodes()
 	conn := make([]int64, k)
 	maxMoves := maxPasses * n
 	for moves < maxMoves && !allFit() {
@@ -78,8 +87,9 @@ func RebalanceVector(g *graph.Graph, vectors [][]int64, parts []int, k int,
 			for i := range conn {
 				conn[i] = 0
 			}
-			for _, h := range g.Neighbors(graph.Node(u)) {
-				conn[parts[h.To]] += h.Weight
+			adj, wts := csr.Row(graph.Node(u))
+			for i, v := range adj {
+				conn[parts[v]] += wts[i]
 			}
 			for to := 0; to < k; to++ {
 				if to == from || !fitsAfterAdd(to, u) {
