@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build test vet race cover bench bench-json figures report \
-	examples clean check fuzz-smoke
+	examples clean check fuzz-smoke serve
 
 all: build vet test
 
@@ -24,6 +24,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadJSON -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzReadTopologyJSON -fuzztime=$(FUZZTIME) ./internal/fpga
 	$(GO) test -run='^$$' -fuzz=FuzzStateDifferential -fuzztime=$(FUZZTIME) ./internal/pstate
+	$(GO) test -run='^$$' -fuzz=FuzzJobRequest -fuzztime=$(FUZZTIME) ./internal/server
 
 build:
 	$(GO) build ./...
@@ -51,11 +52,19 @@ bench:
 # BENCHPAT/BENCHTIME narrow the run (CI smoke uses the small instance).
 BENCHPAT ?= BenchmarkScaleGP|BenchmarkPState
 BENCHTIME ?= 3x
+# BENCHJSONFLAGS=-allow-missing lets a deliberately narrowed run (the CI
+# smoke) skip baseline benchmarks its pattern excludes; the full run keeps
+# the strict default, which errors when a baseline benchmark vanishes.
+BENCHJSONFLAGS ?=
 bench-json:
 	$(GO) test -run='^$$' -bench='$(BENCHPAT)' -benchtime=$(BENCHTIME) \
 		-benchmem . ./internal/pstate | \
-		$(GO) run ./cmd/benchjson -baseline bench_baseline.json -o BENCH_partition.json
+		$(GO) run ./cmd/benchjson $(BENCHJSONFLAGS) -baseline bench_baseline.json -o BENCH_partition.json
 	@echo wrote BENCH_partition.json
+
+# The partitioning service daemon on :8080 (see README for the API).
+serve:
+	$(GO) run ./cmd/ppnd -addr :8080
 
 # Figures 2-13 (DOT + SVG) plus the printed tables.
 figures:

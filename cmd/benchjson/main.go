@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -113,13 +114,34 @@ func Parse(r io.Reader) ([]Entry, map[string]string, error) {
 }
 
 // Merge attaches a baseline to the current results and computes speedups.
-func Merge(cur []Entry, curCtx map[string]string, base *File) *File {
+// Every benchmark in the baseline must also appear in the current run:
+// a silent disappearance would make the trajectory file look complete
+// while a regression (a renamed or deleted hot-path benchmark) goes
+// untracked. Runs that deliberately narrow the benchmark pattern set
+// allowMissing to skip absent baseline entries instead.
+func Merge(cur []Entry, curCtx map[string]string, base *File, allowMissing bool) (*File, error) {
 	out := &File{Context: curCtx, Benchmarks: cur}
 	if base == nil {
-		return out
+		return out, nil
 	}
 	out.Baseline = base.Benchmarks
 	out.BaselineContext = base.Context
+	curByName := map[string]bool{}
+	for _, e := range cur {
+		curByName[e.Name] = true
+	}
+	var missing []string
+	for _, b := range base.Benchmarks {
+		if !curByName[b.Name] {
+			missing = append(missing, b.Name)
+		}
+	}
+	if len(missing) > 0 && !allowMissing {
+		sort.Strings(missing)
+		return nil, fmt.Errorf("baseline benchmarks missing from the current run: %s "+
+			"(re-run with a pattern covering them, or pass -allow-missing for a deliberately narrowed run)",
+			strings.Join(missing, ", "))
+	}
 	byName := map[string]Entry{}
 	for _, e := range base.Benchmarks {
 		byName[e.Name] = e
@@ -138,7 +160,7 @@ func Merge(cur []Entry, curCtx map[string]string, base *File) *File {
 	if len(speedup) > 0 {
 		out.Speedup = speedup
 	}
-	return out
+	return out, nil
 }
 
 func main() {
@@ -146,15 +168,17 @@ func main() {
 		baselinePath = flag.String("baseline", "", "baseline JSON to merge (computes speedups)")
 		outPath      = flag.String("o", "", "output file (default stdout)")
 		inPath       = flag.String("i", "", "bench output to parse (default stdin)")
+		allowMissing = flag.Bool("allow-missing", false,
+			"tolerate baseline benchmarks absent from the current run (narrowed smoke runs)")
 	)
 	flag.Parse()
-	if err := run(*inPath, *baselinePath, *outPath); err != nil {
+	if err := run(*inPath, *baselinePath, *outPath, *allowMissing); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(inPath, baselinePath, outPath string) error {
+func run(inPath, baselinePath, outPath string, allowMissing bool) error {
 	in := io.Reader(os.Stdin)
 	if inPath != "" {
 		f, err := os.Open(inPath)
@@ -182,7 +206,10 @@ func run(inPath, baselinePath, outPath string) error {
 			return fmt.Errorf("baseline %s: %v", baselinePath, err)
 		}
 	}
-	out := Merge(entries, ctx, base)
+	out, err := Merge(entries, ctx, base, allowMissing)
+	if err != nil {
+		return err
+	}
 	enc, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err

@@ -61,7 +61,10 @@ func TestMergeComputesSpeedup(t *testing.T) {
 		Name:    "ScaleGP/n10000",
 		Metrics: map[string]float64{"ns/op": 220000000, "cut": 101254},
 	}}}
-	out := Merge(cur, nil, base)
+	out, err := Merge(cur, nil, base, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	got, ok := out.Speedup["ScaleGP/n10000"]
 	if !ok {
 		t.Fatal("no speedup computed for the shared benchmark")
@@ -71,6 +74,42 @@ func TestMergeComputesSpeedup(t *testing.T) {
 	}
 	if _, ok := out.Speedup["ScaleGP/n100"]; ok {
 		t.Fatal("speedup computed for a benchmark absent from the baseline")
+	}
+}
+
+// A benchmark present in the baseline but absent from the new run must be
+// a hard error: a renamed or deleted hot-path benchmark would otherwise
+// silently drop out of the regression trail.
+func TestMergeErrorsOnMissingBaselineBenchmark(t *testing.T) {
+	cur, _, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &File{Benchmarks: []Entry{
+		{Name: "ScaleGP/n10000", Metrics: map[string]float64{"ns/op": 220000000}},
+		{Name: "Vanished/x", Metrics: map[string]float64{"ns/op": 1}},
+		{Name: "AlsoGone", Metrics: map[string]float64{"ns/op": 2}},
+	}}
+	_, err = Merge(cur, nil, base, false)
+	if err == nil {
+		t.Fatal("missing baseline benchmarks must fail the merge")
+	}
+	for _, name := range []string{"Vanished/x", "AlsoGone"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not name the missing benchmark %s", err, name)
+		}
+	}
+	if strings.Contains(err.Error(), "ScaleGP/n10000") {
+		t.Errorf("error %q names a benchmark that is present", err)
+	}
+
+	// The deliberate opt-out keeps the old skip behavior.
+	out, err := Merge(cur, nil, base, true)
+	if err != nil {
+		t.Fatalf("allow-missing merge failed: %v", err)
+	}
+	if _, ok := out.Speedup["ScaleGP/n10000"]; !ok {
+		t.Fatal("allow-missing merge lost the shared benchmark's speedup")
 	}
 }
 

@@ -1,0 +1,148 @@
+// Command ppnd is the partitioning service daemon: a long-running HTTP
+// JSON server over the GP partitioner. It runs jobs on a bounded worker
+// pool with per-job deadlines and cancellation, coalesces identical
+// in-flight requests, serves repeats from a bounded LRU result cache,
+// and drains gracefully on SIGTERM/SIGINT (stop accepting, let in-flight
+// solves finish up to -drain-timeout, then cancel them and exit).
+//
+// Endpoints:
+//
+//	POST   /partition   submit a job (sync; "async":true → 202 + job id)
+//	GET    /jobs/{id}   poll a job
+//	DELETE /jobs/{id}   cancel a job
+//	GET    /healthz     liveness (503 while draining)
+//	GET    /metrics     Prometheus text metrics
+//
+// Example:
+//
+//	ppnd -addr :8080 -workers 4 &
+//	curl -s localhost:8080/partition -d '{"graph":{...},"k":4,"bmax":9600,"rmax":500}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"ppnpart/internal/prof"
+	"ppnpart/internal/server"
+)
+
+type config struct {
+	addr        string
+	workers     int
+	queueDepth  int
+	cacheSize   int
+	maxFinished int
+	defaultTO   time.Duration
+	drainTO     time.Duration
+	verify      bool
+	cpuProfile  string
+	heapProfile string
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppnd: %v\n", err)
+		os.Exit(2)
+	}
+	logger := log.New(os.Stderr, "ppnd: ", log.LstdFlags)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := run(ctx, cfg, logger); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("ppnd", flag.ContinueOnError)
+	cfg := config{}
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.workers, "workers", 0, "solver worker pool size (default GOMAXPROCS/2, min 1)")
+	fs.IntVar(&cfg.queueDepth, "queue", 64, "bounded job queue depth (beyond it submissions get 503)")
+	fs.IntVar(&cfg.cacheSize, "cache", 256, "LRU result cache capacity (-1 disables)")
+	fs.IntVar(&cfg.maxFinished, "max-finished", 1024, "terminal jobs retained for polling")
+	fs.DurationVar(&cfg.defaultTO, "default-timeout", 60*time.Second, "per-job solve deadline when the request sets none")
+	fs.DurationVar(&cfg.drainTO, "drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+	fs.BoolVar(&cfg.verify, "verify-results", true, "recompute served metrics from scratch and fail on divergence")
+	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile spanning the daemon's lifetime")
+	fs.StringVar(&cfg.heapProfile, "memprofile", "", "write a heap profile at exit")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// run serves until ctx is cancelled (SIGTERM/SIGINT), then drains.
+func run(ctx context.Context, cfg config, logger *log.Logger) error {
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	return serve(ctx, cfg, logger, ln)
+}
+
+// serve runs the daemon on an existing listener (tests inject one bound
+// to an ephemeral port).
+func serve(ctx context.Context, cfg config, logger *log.Logger, ln net.Listener) error {
+	stopCPU, err := prof.StartCPU(cfg.cpuProfile)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
+
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0) / 2
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	sched := server.NewScheduler(server.Config{
+		Workers:         workers,
+		QueueDepth:      cfg.queueDepth,
+		CacheSize:       cfg.cacheSize,
+		MaxFinishedJobs: cfg.maxFinished,
+		DefaultTimeout:  cfg.defaultTO,
+	}, nil)
+	srv := server.New(sched, logger)
+	srv.VerifyResults = cfg.verify
+
+	httpSrv := &http.Server{Handler: srv}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (workers=%d queue=%d cache=%d)",
+			ln.Addr(), workers, cfg.queueDepth, cfg.cacheSize)
+		errCh <- httpSrv.Serve(ln)
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: flip healthz to draining and refuse new jobs, let
+	// in-flight solves finish inside the grace period, then cancel the
+	// stragglers; finally close the listener once no job is live.
+	logger.Printf("shutdown signal received; draining (grace %v)", cfg.drainTO)
+	srv.Drain(cfg.drainTO)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	<-errCh // ListenAndServe has returned ErrServerClosed
+	logger.Printf("drained; exiting")
+	return prof.WriteHeap(cfg.heapProfile)
+}

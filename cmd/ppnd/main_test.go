@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-addr", "127.0.0.1:0", "-workers", "3", "-queue", "7",
+		"-cache", "11", "-default-timeout", "2s", "-drain-timeout", "1s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != "127.0.0.1:0" || cfg.workers != 3 || cfg.queueDepth != 7 ||
+		cfg.cacheSize != 11 || cfg.defaultTO != 2*time.Second || cfg.drainTO != time.Second {
+		t.Fatalf("flags not applied: %+v", cfg)
+	}
+	if !cfg.verify {
+		t.Fatal("verify-results must default to on")
+	}
+	if _, err := parseFlags([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestDaemonEndToEnd boots the real daemon on an ephemeral port, solves a
+// job over HTTP, then delivers the shutdown signal (context cancellation,
+// the same path SIGTERM takes) and requires a clean drained exit.
+func TestDaemonEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := parseFlags([]string{"-workers", "2", "-drain-timeout", "5s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	logger := log.New(io.Discard, "", 0)
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, cfg, logger, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// The daemon must come up healthy.
+	waitHealthy(t, base)
+
+	// Solve a real job through the full stack.
+	var nodes, edges []string
+	for i := 0; i < 12; i++ {
+		nodes = append(nodes, fmt.Sprintf(`{"id":%d,"weight":1}`, i))
+		edges = append(edges, fmt.Sprintf(`{"u":%d,"v":%d,"weight":1}`, i, (i+1)%12))
+	}
+	body := fmt.Sprintf(`{"graph":{"nodes":[%s],"edges":[%s]},"k":2,"options":{"max_cycles":2}}`,
+		strings.Join(nodes, ","), strings.Join(edges, ","))
+	resp, err := http.Post(base+"/partition", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		State  string `json:"state"`
+		Result *struct {
+			Outcome string `json:"outcome"`
+			Parts   []int  `json:"parts"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || env.Result == nil || len(env.Result.Parts) != 12 {
+		t.Fatalf("solve failed: status %d env %+v", resp.StatusCode, env)
+	}
+
+	// Shutdown signal → graceful drain → clean exit.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain and exit")
+	}
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("daemon never became healthy")
+}

@@ -1,0 +1,216 @@
+// Property-based invariant harness: after ANY random sequence of Move and
+// Undo operations — and after any completed solve — every quantity a
+// State maintains incrementally must equal the from-scratch recomputation
+// by internal/metrics, bit for bit. This is the contract the rest of the
+// system (refinement passes, the core candidate evaluator, the ppnd
+// serving layer) builds on; the tests here are the external-package
+// counterpart of the in-package differential tests, and they additionally
+// pin the solver's feasibility verdicts to the constraints it claims to
+// enforce.
+package pstate_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ppnpart/internal/core"
+	"ppnpart/internal/gen"
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+	"ppnpart/internal/pstate"
+)
+
+// checkStateMatchesMetrics recomputes everything from scratch on the
+// state's current assignment and demands exact (bitwise, for floats)
+// agreement with the maintained counters.
+func checkStateMatchesMetrics(t *testing.T, g *graph.Graph, st *pstate.State, k int, cons metrics.Constraints) {
+	t.Helper()
+	parts := st.Parts()
+
+	if got, want := st.Cut(), metrics.EdgeCut(g, parts); got != want {
+		t.Fatalf("cut: maintained %d, recomputed %d", got, want)
+	}
+	bw := metrics.BandwidthMatrix(g, parts, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if got := st.Bandwidth(i, j); got != bw[i][j] {
+				t.Fatalf("bandwidth[%d][%d]: maintained %d, recomputed %d", i, j, got, bw[i][j])
+			}
+		}
+	}
+	res := metrics.PartResources(g, parts, k)
+	sizes := metrics.PartSizes(parts, k)
+	for p := 0; p < k; p++ {
+		if got := st.Resource(p); got != res[p] {
+			t.Fatalf("resource[%d]: maintained %d, recomputed %d", p, got, res[p])
+		}
+		if got := st.Count(p); got != sizes[p] {
+			t.Fatalf("count[%d]: maintained %d, recomputed %d", p, got, sizes[p])
+		}
+	}
+
+	// Excess counters against the violation list.
+	var wantBW, wantRes int64
+	for _, v := range metrics.CheckConstraints(g, parts, k, cons) {
+		if v.Kind == "bandwidth" {
+			wantBW += v.Value - v.Limit
+		} else {
+			wantRes += v.Value - v.Limit
+		}
+	}
+	gotBW, gotRes, gotVec := st.Excess()
+	if gotBW != wantBW || gotRes != wantRes || gotVec != 0 {
+		t.Fatalf("excess: maintained (%d,%d,%d), recomputed (%d,%d,0)", gotBW, gotRes, gotVec, wantBW, wantRes)
+	}
+
+	if got, want := st.Feasible(), metrics.Feasible(g, parts, k, cons); got != want {
+		t.Fatalf("feasible: maintained %v, recomputed %v", got, want)
+	}
+	got, want := st.Goodness(), metrics.Goodness(g, parts, k, cons)
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("goodness: maintained %v (bits %x), recomputed %v (bits %x)",
+			got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+// randomInstance draws a small connected weighted graph, a part count and
+// constraint bounds. Bounds are sampled around the instance's own scale
+// so feasible, violated, and disabled constraints all occur.
+func randomInstance(t *testing.T, rng *rand.Rand) (*graph.Graph, int, metrics.Constraints) {
+	t.Helper()
+	n := 8 + rng.Intn(56)
+	maxM := n * (n - 1) / 2
+	m := n - 1 + rng.Intn(2*n)
+	if m > maxM {
+		m = maxM
+	}
+	g, err := gen.RandomConnected(n, m,
+		gen.WeightRange{Lo: 1, Hi: 12}, gen.WeightRange{Lo: 1, Hi: 30}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 2 + rng.Intn(5)
+	var cons metrics.Constraints
+	switch rng.Intn(3) {
+	case 0: // both bounds active, often violated
+		cons = metrics.Constraints{Bmax: 1 + int64(rng.Intn(120)), Rmax: 1 + int64(rng.Intn(100))}
+	case 1: // only one bound
+		if rng.Intn(2) == 0 {
+			cons.Bmax = 1 + int64(rng.Intn(120))
+		} else {
+			cons.Rmax = 1 + int64(rng.Intn(100))
+		}
+	case 2: // unconstrained
+	}
+	return g, k, cons
+}
+
+// TestInvariantsUnderRandomMoveUndo drives a State through long random
+// interleavings of Move and Undo, cross-checking against internal/metrics
+// at random checkpoints and at the end — including after unwinding the
+// whole log, which must restore the initial assignment exactly.
+func TestInvariantsUnderRandomMoveUndo(t *testing.T) {
+	trials, steps := 60, 300
+	if testing.Short() {
+		trials, steps = 12, 120
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		g, k, cons := randomInstance(t, rng)
+		n := g.NumNodes()
+
+		initial := make([]int, n)
+		for i := range initial {
+			initial[i] = rng.Intn(k)
+		}
+		st, err := pstate.New(g.ToCSR(), initial, pstate.Config{K: k, Constraints: cons})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for step := 0; step < steps; step++ {
+			if rng.Intn(4) == 0 {
+				st.Undo()
+			} else {
+				st.Move(graph.Node(rng.Intn(n)), rng.Intn(k))
+			}
+			if rng.Intn(32) == 0 {
+				checkStateMatchesMetrics(t, g, st, k, cons)
+			}
+		}
+		checkStateMatchesMetrics(t, g, st, k, cons)
+
+		// Unwind everything: the state must land exactly on the initial
+		// assignment with exactly matching counters.
+		for st.Undo() {
+		}
+		for u, p := range st.Parts() {
+			if p != initial[u] {
+				t.Fatalf("trial %d: full undo left node %d in part %d, want %d", trial, u, p, initial[u])
+			}
+		}
+		checkStateMatchesMetrics(t, g, st, k, cons)
+	}
+}
+
+// TestInvariantsAfterCompletedSolve runs the real GP solver over random
+// instances and asserts that every returned partition (a) reports metrics
+// bit-identical to a from-scratch recomputation, and (b) either respects
+// Bmax/Rmax or is explicitly flagged infeasible with its violations
+// listed — the same contract the ppnd serving layer enforces per response.
+func TestInvariantsAfterCompletedSolve(t *testing.T) {
+	trials := 20
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(9000 + trial)))
+		g, k, cons := randomInstance(t, rng)
+
+		res, err := core.Partition(g, core.Options{
+			K:           k,
+			Constraints: cons,
+			MaxCycles:   3,
+			Seed:        int64(trial + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Parts) != g.NumNodes() {
+			t.Fatalf("trial %d: parts length %d != %d nodes", trial, len(res.Parts), g.NumNodes())
+		}
+		for u, p := range res.Parts {
+			if p < 0 || p >= k {
+				t.Fatalf("trial %d: node %d in part %d outside [0,%d)", trial, u, p, k)
+			}
+		}
+
+		// The solver's report must equal the from-scratch evaluation.
+		rep := metrics.Evaluate(g, res.Parts, k, cons)
+		if rep.EdgeCut != res.Report.EdgeCut ||
+			rep.MaxLocalBandwidth != res.Report.MaxLocalBandwidth ||
+			rep.MaxResource != res.Report.MaxResource ||
+			rep.Feasible != res.Report.Feasible {
+			t.Fatalf("trial %d: report diverges from recomputation:\nsolver %+v\nscratch %+v",
+				trial, res.Report, rep)
+		}
+		// And its feasibility verdict must match the constraints.
+		if res.Feasible != metrics.Feasible(g, res.Parts, k, cons) {
+			t.Fatalf("trial %d: Feasible=%v but recomputation says %v",
+				trial, res.Feasible, !res.Feasible)
+		}
+		if !res.Feasible && len(res.Report.Violations) == 0 {
+			t.Fatalf("trial %d: infeasible result carries no violations", trial)
+		}
+		if !res.Feasible && res.Message == "" {
+			t.Fatalf("trial %d: infeasible result carries no explanation", trial)
+		}
+		// A State built on the returned partition must agree everywhere.
+		st, err := pstate.New(g.ToCSR(), res.Parts, pstate.Config{K: k, Constraints: cons})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkStateMatchesMetrics(t, g, st, k, cons)
+	}
+}

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded LRU over completed solve results, keyed by the
+// canonical request hash. Only complete results are cached (a solve cut
+// short by a deadline or cancellation is not the answer to the request,
+// so caching it would serve truncated partitions to future callers).
+type Cache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List               // front = most recently used
+	idx map[string]*list.Element // key -> element whose Value is *cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	res *JobResult
+}
+
+// NewCache returns an LRU holding at most capacity results; capacity <= 0
+// disables caching (every Get misses, every Put is dropped).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		cap: capacity,
+		ll:  list.New(),
+		idx: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for key, refreshing its recency.
+func (c *Cache) Get(key string) (*JobResult, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores a result under key, evicting the least recently used entry
+// beyond capacity.
+func (c *Cache) Put(key string, res *JobResult) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.idx[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.idx, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

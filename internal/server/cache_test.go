@@ -1,0 +1,51 @@
+package server
+
+import "testing"
+
+func res(cut int64) *JobResult { return &JobResult{Outcome: OutcomeFeasible, EdgeCut: cut} }
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", res(1))
+	c.Put("b", res(2))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	// a is now most recent; inserting c must evict b.
+	c.Put("c", res(3))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s missing", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", res(1))
+	c.Put("a", res(9))
+	got, ok := c.Get("a")
+	if !ok || got.EdgeCut != 9 {
+		t.Fatalf("Get(a) = %v %v, want cut 9", got, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	c.Put("a", res(1))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache must always miss")
+	}
+	if c.Len() != 0 {
+		t.Fatal("disabled cache must stay empty")
+	}
+}

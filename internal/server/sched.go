@@ -1,0 +1,529 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ppnpart/internal/core"
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+)
+
+// Submission errors; handlers map them to HTTP 503.
+var (
+	// ErrQueueFull rejects a submission when the bounded queue is at
+	// capacity — shed load instead of buffering unboundedly.
+	ErrQueueFull = errors.New("job queue full")
+	// ErrDraining rejects submissions during graceful shutdown.
+	ErrDraining = errors.New("server draining")
+)
+
+// ErrJobNotFound is returned for unknown job ids; handlers map it to 404.
+var ErrJobNotFound = errors.New("job not found")
+
+// JobState is the lifecycle of a job.
+type JobState string
+
+const (
+	// StateQueued: accepted, waiting for a worker.
+	StateQueued JobState = "queued"
+	// StateRunning: a worker is solving it.
+	StateRunning JobState = "running"
+	// StateDone: finished (result may still be infeasible or truncated —
+	// see the result's Outcome).
+	StateDone JobState = "done"
+	// StateFailed: the solver returned an error (invalid options escape
+	// earlier validation only through internal bugs, so this is rare).
+	StateFailed JobState = "failed"
+)
+
+// Job outcomes, recorded on completed results.
+const (
+	// OutcomeFeasible: the partition satisfies Bmax and Rmax.
+	OutcomeFeasible = "feasible"
+	// OutcomeInfeasible: the solver exhausted its budget without meeting
+	// the constraints; the best (violating) partition is returned,
+	// explicitly flagged infeasible.
+	OutcomeInfeasible = "infeasible"
+	// OutcomeDeadline: the per-job deadline expired; the best partition
+	// found so far is returned.
+	OutcomeDeadline = "deadline_exceeded"
+	// OutcomeCancelled: the job was cancelled by the client or by drain.
+	OutcomeCancelled = "cancelled"
+	// OutcomeError: the solver failed.
+	OutcomeError = "error"
+)
+
+// JobResult is the terminal payload of a job, shaped for JSON delivery.
+type JobResult struct {
+	// Outcome is one of the Outcome* constants.
+	Outcome string `json:"outcome"`
+	// Feasible reports whether the partition meets both constraints.
+	Feasible bool `json:"feasible"`
+	// Parts is the node -> partition assignment.
+	Parts []int `json:"parts,omitempty"`
+	// K echoes the requested part count.
+	K int `json:"k"`
+	// EdgeCut, MaxLocalBandwidth, MaxResource summarize the partition.
+	EdgeCut           int64 `json:"edge_cut"`
+	MaxLocalBandwidth int64 `json:"max_local_bandwidth"`
+	MaxResource       int64 `json:"max_resource"`
+	// Violations lists every violated constraint instance (infeasible or
+	// truncated results).
+	Violations []string `json:"violations,omitempty"`
+	// Cycles is the number of GP cycles executed.
+	Cycles int `json:"cycles"`
+	// Goodness is the solver's score (cut when feasible).
+	Goodness float64 `json:"goodness"`
+	// SolveMS is the solver wall-clock in milliseconds.
+	SolveMS int64 `json:"solve_ms"`
+	// Message carries the solver's infeasibility explanation or error.
+	Message string `json:"message,omitempty"`
+	// Cached is set on delivery when the result came from the LRU cache.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// Job is one tracked partition request.
+type Job struct {
+	// ID addresses the job under /jobs/{id}.
+	ID string
+	// Key is the canonical request hash (cache / coalescing key).
+	Key string
+	// Created is the submission time.
+	Created time.Time
+
+	sched  *Scheduler
+	req    *JobRequest
+	g      *graph.Graph
+	runCtx context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu            sync.Mutex
+	state         JobState
+	result        *JobResult
+	userCancelled bool
+	drained       bool
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the terminal payload, nil until the job is done.
+func (j *Job) Result() *JobResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Cancel requests cancellation. Queued jobs settle immediately as
+// cancelled; running jobs stop at the solver's next cycle boundary and
+// settle with their best-so-far partition.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	j.userCancelled = true
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// Solver computes a partition; the scheduler's default is
+// core.PartitionCtx. Tests substitute gated solvers to pin down
+// coalescing, cancellation and drain order deterministically.
+type Solver func(ctx context.Context, g *graph.Graph, opts core.Options) (*core.Result, error)
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Workers is the solve concurrency (default 2).
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker (default 64).
+	QueueDepth int
+	// CacheSize bounds the LRU result cache (default 256; 0 keeps the
+	// default, negative disables caching).
+	CacheSize int
+	// DefaultTimeout caps solves that do not set timeout_ms (default 60s).
+	DefaultTimeout time.Duration
+	// MaxFinishedJobs bounds retained terminal jobs (default 1024).
+	MaxFinishedJobs int
+	// Solver overrides the partitioner (tests only).
+	Solver Solver
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxFinishedJobs <= 0 {
+		c.MaxFinishedJobs = 1024
+	}
+	if c.Solver == nil {
+		c.Solver = func(ctx context.Context, g *graph.Graph, opts core.Options) (*core.Result, error) {
+			return core.PartitionCtx(ctx, g, opts)
+		}
+	}
+	return c
+}
+
+// Scheduler runs partition jobs on a bounded worker pool with per-job
+// deadlines, coalesces identical in-flight requests, and fills the result
+// cache. It owns the job store.
+type Scheduler struct {
+	cfg     Config
+	cache   *Cache
+	metrics *Metrics
+
+	queue chan *Job
+
+	mu       sync.Mutex
+	jobs     map[string]*Job // id -> job
+	inflight map[string]*Job // key -> queued/running job
+	finished []string        // terminal job ids, oldest first (retention ring)
+	nextID   int64
+	draining bool
+	running  int
+
+	wg       sync.WaitGroup
+	shutdown context.CancelFunc
+	baseCtx  context.Context
+}
+
+// NewScheduler starts the worker pool.
+func NewScheduler(cfg Config, m *Metrics) *Scheduler {
+	cfg = cfg.withDefaults()
+	if m == nil {
+		m = NewMetrics()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheSize),
+		metrics:  m,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		baseCtx:  ctx,
+		shutdown: cancel,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics returns the scheduler's registry.
+func (s *Scheduler) Metrics() *Metrics { return s.metrics }
+
+// Cache returns the result cache.
+func (s *Scheduler) Cache() *Cache { return s.cache }
+
+// QueueDepth returns the number of jobs waiting for a worker.
+func (s *Scheduler) QueueDepth() int { return len(s.queue) }
+
+// InFlight returns the number of jobs currently solving.
+func (s *Scheduler) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// Draining reports whether graceful shutdown has begun.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Lookup returns a job by id.
+func (s *Scheduler) Lookup(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrJobNotFound
+	}
+	return j, nil
+}
+
+// Submit accepts a validated request. It returns either a cached terminal
+// result (hit=true), or the job tracking the work — which may be an
+// existing identical in-flight job (coalesced=true) rather than a new one.
+func (s *Scheduler) Submit(req *JobRequest, g *graph.Graph) (job *Job, cached *JobResult, coalesced bool, err error) {
+	key := req.CacheKey(g)
+	if res, ok := s.cache.Get(key); ok {
+		s.metrics.CacheHit()
+		hit := *res // shallow copy; Parts is shared but never mutated
+		hit.Cached = true
+		return nil, &hit, false, nil
+	}
+	s.metrics.CacheMiss()
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.metrics.Rejected("draining")
+		return nil, nil, false, ErrDraining
+	}
+	if j, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.metrics.Coalesced()
+		return j, nil, true, nil
+	}
+	s.nextID++
+	id := fmt.Sprintf("job-%d", s.nextID)
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &Job{
+		ID:      id,
+		Key:     key,
+		Created: time.Now(),
+		sched:   s,
+		req:     req,
+		g:       g,
+		runCtx:  ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   StateQueued,
+	}
+	s.jobs[id] = j
+	s.inflight[key] = j
+
+	select {
+	case s.queue <- j:
+	default:
+		// Queue full: roll back the registration and shed the request.
+		delete(s.jobs, id)
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		cancel()
+		s.metrics.Rejected("queue_full")
+		return nil, nil, false, ErrQueueFull
+	}
+	s.mu.Unlock()
+	return j, nil, false, nil
+}
+
+// worker drains the queue until shutdown.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			// Drain deadline passed or scheduler closed: settle whatever
+			// is still queued as cancelled so waiters unblock.
+			for {
+				select {
+				case j := <-s.queue:
+					s.settleCancelled(j)
+				default:
+					return
+				}
+			}
+		case j := <-s.queue:
+			s.run(j)
+		}
+	}
+}
+
+// run executes one job under its deadline.
+func (s *Scheduler) run(j *Job) {
+	j.mu.Lock()
+	if j.userCancelled {
+		j.mu.Unlock()
+		s.settleCancelled(j)
+		return
+	}
+	j.state = StateRunning
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(j.runCtx, j.req.Timeout(s.cfg.DefaultTimeout))
+	start := time.Now()
+	res, err := s.cfg.Solver(ctx, j.g, j.req.CoreOptions())
+	elapsed := time.Since(start)
+	deadlineHit := ctx.Err() == context.DeadlineExceeded
+	cancel()
+
+	s.mu.Lock()
+	s.running--
+	s.mu.Unlock()
+
+	if err != nil {
+		s.settle(j, StateFailed, &JobResult{
+			Outcome: OutcomeError,
+			K:       j.req.K,
+			Message: err.Error(),
+			SolveMS: elapsed.Milliseconds(),
+		}, elapsed)
+		return
+	}
+
+	jr := resultToJSON(j.req, res)
+	jr.SolveMS = elapsed.Milliseconds()
+	if res.Stopped {
+		j.mu.Lock()
+		user := j.userCancelled || j.drained
+		j.mu.Unlock()
+		if user || !deadlineHit {
+			jr.Outcome = OutcomeCancelled
+		} else {
+			jr.Outcome = OutcomeDeadline
+		}
+		s.settle(j, StateDone, jr, elapsed)
+		return
+	}
+	// Complete results — and only complete results — feed the cache.
+	s.cache.Put(j.Key, jr)
+	s.settle(j, StateDone, jr, elapsed)
+}
+
+// settleCancelled finalizes a job that never ran.
+func (s *Scheduler) settleCancelled(j *Job) {
+	s.settle(j, StateDone, &JobResult{
+		Outcome: OutcomeCancelled,
+		K:       j.req.K,
+		Message: "cancelled before solving started",
+	}, 0)
+}
+
+// settle records the terminal state, closes Done, releases the coalescing
+// slot and trims the retention ring.
+func (s *Scheduler) settle(j *Job, st JobState, res *JobResult, elapsed time.Duration) {
+	j.mu.Lock()
+	j.state = st
+	j.result = res
+	j.mu.Unlock()
+	close(j.done)
+
+	s.metrics.JobDone(res.Outcome, elapsed)
+
+	s.mu.Lock()
+	if s.inflight[j.Key] == j {
+		delete(s.inflight, j.Key)
+	}
+	s.finished = append(s.finished, j.ID)
+	for len(s.finished) > s.cfg.MaxFinishedJobs {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+	s.mu.Unlock()
+}
+
+// resultToJSON shapes a solver result for delivery. The report inside a
+// core.Result is already the from-scratch metrics evaluation of the
+// returned parts under the request's constraints.
+func resultToJSON(req *JobRequest, res *core.Result) *JobResult {
+	jr := &JobResult{
+		Feasible:          res.Feasible,
+		Parts:             res.Parts,
+		K:                 res.K,
+		EdgeCut:           res.Report.EdgeCut,
+		MaxLocalBandwidth: res.Report.MaxLocalBandwidth,
+		MaxResource:       res.Report.MaxResource,
+		Cycles:            res.Cycles,
+		Goodness:          res.Goodness,
+		Message:           res.Message,
+	}
+	if res.Feasible {
+		jr.Outcome = OutcomeFeasible
+	} else {
+		jr.Outcome = OutcomeInfeasible
+	}
+	for _, v := range res.Report.Violations {
+		jr.Violations = append(jr.Violations, v.String())
+	}
+	return jr
+}
+
+// Drain begins graceful shutdown: new submissions are rejected, queued
+// and running jobs are given until ctx expires to finish, then cancelled.
+// It returns once every job has settled and the workers have exited.
+func (s *Scheduler) Drain(ctx context.Context) {
+	s.mu.Lock()
+	s.draining = true
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+
+	// Wait for in-flight and queued jobs to settle, up to the drain
+	// deadline.
+	settled := make(chan struct{})
+	go func() {
+		for _, j := range jobs {
+			select {
+			case <-j.Done():
+			case <-ctx.Done():
+				return
+			}
+		}
+		close(settled)
+	}()
+	select {
+	case <-settled:
+	case <-ctx.Done():
+		// Deadline: cancel everything still live. Running solves stop at
+		// the next cycle boundary and settle as cancelled.
+		for _, j := range jobs {
+			select {
+			case <-j.Done():
+			default:
+				j.mu.Lock()
+				j.drained = true
+				j.mu.Unlock()
+				j.cancel()
+			}
+		}
+		for _, j := range jobs {
+			<-j.Done()
+		}
+	}
+	// Stop the workers.
+	s.shutdown()
+	s.wg.Wait()
+}
+
+// Close is Drain with an already-expired deadline: cancel everything now.
+func (s *Scheduler) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Drain(ctx)
+}
+
+// Feasibility cross-check used by the HTTP layer's invariant mode: a
+// served result must satisfy the constraints it claims to satisfy.
+func verifyResult(g *graph.Graph, req *JobRequest, jr *JobResult) error {
+	if len(jr.Parts) == 0 {
+		return nil
+	}
+	rep := metrics.Evaluate(g, jr.Parts, req.K, metrics.Constraints{Bmax: req.Bmax, Rmax: req.Rmax})
+	if rep.EdgeCut != jr.EdgeCut || rep.MaxLocalBandwidth != jr.MaxLocalBandwidth ||
+		rep.MaxResource != jr.MaxResource || rep.Feasible != jr.Feasible {
+		return fmt.Errorf("server: served metrics diverge from recomputation: "+
+			"cut %d/%d bw %d/%d res %d/%d feasible %v/%v",
+			jr.EdgeCut, rep.EdgeCut, jr.MaxLocalBandwidth, rep.MaxLocalBandwidth,
+			jr.MaxResource, rep.MaxResource, jr.Feasible, rep.Feasible)
+	}
+	return nil
+}

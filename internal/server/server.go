@@ -1,0 +1,197 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log"
+	"net/http"
+	"time"
+
+	"ppnpart/internal/graph"
+)
+
+// Server is the HTTP front of the partitioning service.
+//
+//	POST   /partition   submit a job (sync by default; "async":true → 202 + id)
+//	GET    /jobs/{id}   poll a job
+//	DELETE /jobs/{id}   cancel a job
+//	GET    /healthz     liveness + drain state
+//	GET    /metrics     Prometheus text metrics
+type Server struct {
+	sched *Scheduler
+	mux   *http.ServeMux
+	log   *log.Logger
+
+	// VerifyResults recomputes every served partition's metrics from
+	// scratch via internal/metrics and 500s the response on divergence —
+	// the serving-layer arm of the invariant harness. On by default; the
+	// daemon can disable it to shave the O(E) recheck per response.
+	VerifyResults bool
+}
+
+// New wires a Server over a Scheduler.
+func New(sched *Scheduler, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.Default()
+	}
+	s := &Server{sched: sched, mux: http.NewServeMux(), log: logger, VerifyResults: true}
+	s.mux.HandleFunc("POST /partition", s.handlePartition)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Scheduler exposes the underlying scheduler (the daemon drains it).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// jobEnvelope is the JSON shape of every job-bearing response.
+type jobEnvelope struct {
+	JobID  string     `json:"job_id,omitempty"`
+	State  JobState   `json:"state"`
+	Result *JobResult `json:"result,omitempty"`
+}
+
+type errEnvelope struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+		s.sched.Metrics().Rejected("bad_request")
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrJobNotFound):
+		status = http.StatusNotFound
+	}
+	writeJSON(w, status, errEnvelope{Error: err.Error()})
+}
+
+// handlePartition accepts a job. Sync submissions block until the solve
+// settles (or the client disconnects); async submissions return 202 with
+// a job id to poll. Identical in-flight requests coalesce onto one job,
+// so a sync duplicate blocks on the original solve and both callers get
+// the same answer from one worker slot.
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	req, g, err := DecodeJobRequest(r.Body)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	job, cached, coalesced, err := s.sched.Submit(req, g)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if cached != nil {
+		s.respondResult(w, req, g, "", cached)
+		return
+	}
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, jobEnvelope{JobID: job.ID, State: job.State()})
+		return
+	}
+	select {
+	case <-job.Done():
+		s.respondResult(w, req, g, job.ID, job.Result())
+	case <-r.Context().Done():
+		// Client went away and no response can be delivered. Cancel the
+		// solve only if this request created it: a coalesced sibling is
+		// the original submitter's job, and that waiter (or an async
+		// poller) still wants the answer.
+		if !coalesced {
+			job.Cancel()
+		}
+	}
+}
+
+// respondResult serves a terminal result, running the invariant
+// cross-check when enabled.
+func (s *Server) respondResult(w http.ResponseWriter, req *JobRequest, g *graph.Graph, jobID string, res *JobResult) {
+	if s.VerifyResults && res != nil {
+		if err := verifyResult(g, req, res); err != nil {
+			s.log.Printf("ppnd: INVARIANT VIOLATION: %v", err)
+			writeJSON(w, http.StatusInternalServerError, errEnvelope{Error: err.Error()})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, jobEnvelope{JobID: jobID, State: StateDone, Result: res})
+}
+
+// handleJobGet polls a job.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	job, err := s.sched.Lookup(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobEnvelope{JobID: job.ID, State: job.State(), Result: job.Result()})
+}
+
+// handleJobCancel cancels a job; the job settles asynchronously with
+// outcome "cancelled" (or keeps its result if it already finished).
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.sched.Lookup(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusAccepted, jobEnvelope{JobID: job.ID, State: job.State(), Result: job.Result()})
+}
+
+// handleHealthz reports liveness; a draining server answers 503 so load
+// balancers stop routing to it while in-flight work finishes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status     string `json:"status"`
+		QueueDepth int    `json:"queue_depth"`
+		InFlight   int    `json:"in_flight"`
+		Cached     int    `json:"cached_results"`
+	}
+	h := health{
+		Status:     "ok",
+		QueueDepth: s.sched.QueueDepth(),
+		InFlight:   s.sched.InFlight(),
+		Cached:     s.sched.Cache().Len(),
+	}
+	status := http.StatusOK
+	if s.sched.Draining() {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.sched.Metrics().WriteTo(w, s.sched.QueueDepth(), s.sched.InFlight(), s.sched.Cache().Len())
+}
+
+// Drain gracefully shuts the service down: healthz flips to draining,
+// new submissions are refused, and in-flight jobs get until timeout to
+// finish before being cancelled. It returns once every job has settled.
+func (s *Server) Drain(timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	s.sched.Drain(ctx)
+}

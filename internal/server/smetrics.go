@@ -1,0 +1,158 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics is the daemon's instrumentation: per-outcome job counters,
+// cache hit/miss counters, coalescing counters, and a solve-latency
+// histogram, rendered in the Prometheus text exposition format by
+// WriteTo. Queue depth and in-flight counts are sampled live from the
+// scheduler at scrape time rather than double-booked here.
+type Metrics struct {
+	mu        sync.Mutex
+	outcomes  map[string]int64 // jobs_total{outcome=...}
+	cacheHit  int64
+	cacheMiss int64
+	coalesced int64
+	rejected  map[string]int64 // rejections{reason=bad_request|queue_full|draining}
+	latency   histogram
+}
+
+// latencyBuckets are the solve-latency histogram bounds in seconds
+// (1ms .. 100s, decade steps with a 3x midpoint).
+var latencyBuckets = []float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100}
+
+// numLatencyBuckets must equal len(latencyBuckets); an init check
+// below enforces it (array sizes need a constant).
+const numLatencyBuckets = 11
+
+func init() {
+	if len(latencyBuckets) != numLatencyBuckets {
+		panic("server: numLatencyBuckets out of sync with latencyBuckets")
+	}
+}
+
+type histogram struct {
+	counts [numLatencyBuckets + 1]int64 // one per bucket plus +Inf
+	sum    float64
+	total  int64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		outcomes: make(map[string]int64),
+		rejected: make(map[string]int64),
+	}
+}
+
+// JobDone records a finished job's outcome ("feasible", "infeasible",
+// "deadline_exceeded", "cancelled", "error") and its solve latency.
+func (m *Metrics) JobDone(outcome string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.outcomes[outcome]++
+	s := d.Seconds()
+	m.latency.sum += s
+	m.latency.total++
+	for i, b := range latencyBuckets {
+		if s <= b {
+			m.latency.counts[i]++
+			return
+		}
+	}
+	m.latency.counts[numLatencyBuckets]++
+}
+
+// CacheHit / CacheMiss record result-cache lookups.
+func (m *Metrics) CacheHit()  { m.mu.Lock(); m.cacheHit++; m.mu.Unlock() }
+func (m *Metrics) CacheMiss() { m.mu.Lock(); m.cacheMiss++; m.mu.Unlock() }
+
+// Coalesced records a request attached to an identical in-flight job.
+func (m *Metrics) Coalesced() { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
+
+// Rejected records a rejected submission by reason.
+func (m *Metrics) Rejected(reason string) {
+	m.mu.Lock()
+	m.rejected[reason]++
+	m.mu.Unlock()
+}
+
+// Snapshot values used by tests.
+func (m *Metrics) Counts() (hits, misses, coalesced int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cacheHit, m.cacheMiss, m.coalesced
+}
+
+// Outcome returns the count recorded for one job outcome.
+func (m *Metrics) Outcome(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.outcomes[name]
+}
+
+// WriteTo renders the registry in the Prometheus text format, together
+// with the live gauges the caller samples from the scheduler.
+func (m *Metrics) WriteTo(w io.Writer, queueDepth, inFlight, cacheLen int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP ppnd_jobs_total Finished partition jobs by outcome.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_jobs_total counter\n")
+	for _, k := range sortedKeys(m.outcomes) {
+		fmt.Fprintf(w, "ppnd_jobs_total{outcome=%q} %d\n", k, m.outcomes[k])
+	}
+	fmt.Fprintf(w, "# HELP ppnd_cache_hits_total Result-cache hits.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "ppnd_cache_hits_total %d\n", m.cacheHit)
+	fmt.Fprintf(w, "# HELP ppnd_cache_misses_total Result-cache misses.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_cache_misses_total counter\n")
+	fmt.Fprintf(w, "ppnd_cache_misses_total %d\n", m.cacheMiss)
+	fmt.Fprintf(w, "# HELP ppnd_coalesced_total Requests attached to an identical in-flight job.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_coalesced_total counter\n")
+	fmt.Fprintf(w, "ppnd_coalesced_total %d\n", m.coalesced)
+	fmt.Fprintf(w, "# HELP ppnd_rejected_total Rejected submissions by reason.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_rejected_total counter\n")
+	for _, k := range sortedKeys(m.rejected) {
+		fmt.Fprintf(w, "ppnd_rejected_total{reason=%q} %d\n", k, m.rejected[k])
+	}
+
+	fmt.Fprintf(w, "# HELP ppnd_queue_depth Jobs waiting for a worker.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_queue_depth gauge\n")
+	fmt.Fprintf(w, "ppnd_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "# HELP ppnd_in_flight Jobs currently solving.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_in_flight gauge\n")
+	fmt.Fprintf(w, "ppnd_in_flight %d\n", inFlight)
+	fmt.Fprintf(w, "# HELP ppnd_cache_entries Results held in the LRU cache.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_cache_entries gauge\n")
+	fmt.Fprintf(w, "ppnd_cache_entries %d\n", cacheLen)
+
+	fmt.Fprintf(w, "# HELP ppnd_solve_seconds Solve wall-clock latency.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_solve_seconds histogram\n")
+	var cum int64
+	for i, b := range latencyBuckets {
+		cum += m.latency.counts[i]
+		fmt.Fprintf(w, "ppnd_solve_seconds_bucket{le=%q} %d\n", trimFloat(b), cum)
+	}
+	cum += m.latency.counts[numLatencyBuckets]
+	fmt.Fprintf(w, "ppnd_solve_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "ppnd_solve_seconds_sum %g\n", m.latency.sum)
+	fmt.Fprintf(w, "ppnd_solve_seconds_count %d\n", m.latency.total)
+}
+
+func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+func sortedKeys(m map[string]int64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
