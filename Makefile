@@ -4,15 +4,23 @@
 GO ?= go
 
 .PHONY: all build test vet race cover bench bench-json figures report \
-	examples clean check fuzz-smoke serve
+	examples clean check fmt-check fuzz-smoke serve
 
 all: build vet test
 
-# The CI gate: vet, race-enabled tests, and a short fuzz smoke pass over
-# every fuzz target.
-check: vet
+# The CI gate: formatting, vet, race-enabled tests, and a short fuzz
+# smoke pass over every fuzz target.
+check: fmt-check vet
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
+
+# gofmt produces no output when everything is formatted; any listed file
+# fails the target.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 # Go refuses -fuzz patterns matching more than one target per package,
 # so each target runs on its own.
@@ -55,6 +63,9 @@ BENCHTIME ?= 3x
 # BENCHJSONFLAGS=-allow-missing lets a deliberately narrowed run (the CI
 # smoke) skip baseline benchmarks its pattern excludes; the full run keeps
 # the strict default, which errors when a baseline benchmark vanishes.
+# Add -gate-allocs/-gate-ns percentages to fail the run on regressions
+# beyond the threshold (allocs/op is roughly machine-independent; ns/op
+# gating only makes sense on a quiet, comparable machine).
 BENCHJSONFLAGS ?=
 bench-json:
 	$(GO) test -run='^$$' -bench='$(BENCHPAT)' -benchtime=$(BENCHTIME) \

@@ -10,6 +10,13 @@
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH.json
 //	go test -bench ScaleGP . | benchjson -baseline old.json -o BENCH.json
+//
+// With -gate-ns / -gate-allocs it doubles as a CI regression gate: after
+// writing the JSON it compares every benchmark present in both runs
+// against the baseline and exits non-zero when ns/op or allocs/op
+// regressed beyond the given percentage.
+//
+//	go test -bench ScaleGP -benchmem . | benchjson -baseline old.json -gate-allocs 20 -o BENCH.json
 package main
 
 import (
@@ -163,6 +170,55 @@ func Merge(cur []Entry, curCtx map[string]string, base *File, allowMissing bool)
 	return out, nil
 }
 
+// GateLimits are the per-metric regression thresholds of -gate-ns and
+// -gate-allocs, in percent over the baseline value; 0 disables a metric.
+type GateLimits struct {
+	NsPct     float64
+	AllocsPct float64
+}
+
+func (g GateLimits) active() bool { return g.NsPct > 0 || g.AllocsPct > 0 }
+
+// Gate compares every benchmark present in both runs against the
+// baseline and returns one violation string per metric that regressed
+// beyond its threshold. Benchmarks missing on either side are not
+// gate-relevant (Merge already polices baseline coverage).
+func Gate(out *File, limits GateLimits) []string {
+	byName := map[string]Entry{}
+	for _, b := range out.Baseline {
+		byName[b.Name] = b
+	}
+	check := func(e Entry, metric string, pct float64) (string, bool) {
+		if pct <= 0 {
+			return "", false
+		}
+		b, ok := byName[e.Name]
+		if !ok {
+			return "", false
+		}
+		base, cur := b.Metrics[metric], e.Metrics[metric]
+		if base <= 0 || cur <= 0 {
+			return "", false
+		}
+		limit := base * (1 + pct/100)
+		if cur <= limit {
+			return "", false
+		}
+		return fmt.Sprintf("%s %s regressed %.1f%% over baseline (%.0f -> %.0f, limit +%g%%)",
+			e.Name, metric, (cur/base-1)*100, base, cur, pct), true
+	}
+	var violations []string
+	for _, e := range out.Benchmarks {
+		if v, bad := check(e, "ns/op", limits.NsPct); bad {
+			violations = append(violations, v)
+		}
+		if v, bad := check(e, "allocs/op", limits.AllocsPct); bad {
+			violations = append(violations, v)
+		}
+	}
+	return violations
+}
+
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "", "baseline JSON to merge (computes speedups)")
@@ -170,15 +226,20 @@ func main() {
 		inPath       = flag.String("i", "", "bench output to parse (default stdin)")
 		allowMissing = flag.Bool("allow-missing", false,
 			"tolerate baseline benchmarks absent from the current run (narrowed smoke runs)")
+		gateNs = flag.Float64("gate-ns", 0,
+			"fail (exit 1) when any benchmark's ns/op exceeds its baseline by more than this percentage; 0 disables")
+		gateAllocs = flag.Float64("gate-allocs", 0,
+			"fail (exit 1) when any benchmark's allocs/op exceeds its baseline by more than this percentage; 0 disables")
 	)
 	flag.Parse()
-	if err := run(*inPath, *baselinePath, *outPath, *allowMissing); err != nil {
+	limits := GateLimits{NsPct: *gateNs, AllocsPct: *gateAllocs}
+	if err := run(*inPath, *baselinePath, *outPath, *allowMissing, limits); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(inPath, baselinePath, outPath string, allowMissing bool) error {
+func run(inPath, baselinePath, outPath string, allowMissing bool, limits GateLimits) error {
 	in := io.Reader(os.Stdin)
 	if inPath != "" {
 		f, err := os.Open(inPath)
@@ -210,14 +271,25 @@ func run(inPath, baselinePath, outPath string, allowMissing bool) error {
 	if err != nil {
 		return err
 	}
+	if limits.active() && base == nil {
+		return fmt.Errorf("-gate-ns/-gate-allocs need a -baseline to compare against")
+	}
 	enc, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}
 	enc = append(enc, '\n')
+	// Write the trajectory file before gating: a failed gate should still
+	// leave the evidence on disk.
 	if outPath == "" {
-		_, err = os.Stdout.Write(enc)
+		if _, err := os.Stdout.Write(enc); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(outPath, enc, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(outPath, enc, 0o644)
+	if violations := Gate(out, limits); len(violations) > 0 {
+		return fmt.Errorf("performance gate failed:\n  %s", strings.Join(violations, "\n  "))
+	}
+	return nil
 }

@@ -119,3 +119,67 @@ func TestParseRejectsGarbageValue(t *testing.T) {
 		t.Fatal("expected error for non-numeric value")
 	}
 }
+
+func gateFixture() *File {
+	return &File{
+		Benchmarks: []Entry{
+			{Name: "ScaleGP/n10000", Metrics: map[string]float64{"ns/op": 110, "allocs/op": 130}},
+			{Name: "OnlyCurrent", Metrics: map[string]float64{"ns/op": 999, "allocs/op": 999}},
+		},
+		Baseline: []Entry{
+			{Name: "ScaleGP/n10000", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 100}},
+			{Name: "OnlyBaseline", Metrics: map[string]float64{"ns/op": 1, "allocs/op": 1}},
+		},
+	}
+}
+
+func TestGateFlagsRegressionsPerMetric(t *testing.T) {
+	out := gateFixture()
+	// ns/op is 10% over, allocs/op 30% over.
+	cases := []struct {
+		limits GateLimits
+		want   int
+		names  []string
+	}{
+		{GateLimits{}, 0, nil},                                // both gates disabled
+		{GateLimits{NsPct: 15}, 0, nil},                       // within the ns budget
+		{GateLimits{NsPct: 5}, 1, []string{"ns/op"}},          // ns regression caught
+		{GateLimits{AllocsPct: 20}, 1, []string{"allocs/op"}}, // alloc regression caught
+		{GateLimits{NsPct: 5, AllocsPct: 20}, 2, []string{"ns/op", "allocs/op"}},
+		{GateLimits{NsPct: 50, AllocsPct: 50}, 0, nil}, // generous budgets pass
+	}
+	for _, c := range cases {
+		got := Gate(out, c.limits)
+		if len(got) != c.want {
+			t.Fatalf("Gate(%+v) = %v, want %d violations", c.limits, got, c.want)
+		}
+		joined := strings.Join(got, "\n")
+		for _, name := range c.names {
+			if !strings.Contains(joined, name) {
+				t.Errorf("Gate(%+v) violations %q do not name %s", c.limits, joined, name)
+			}
+		}
+		if strings.Contains(joined, "Only") {
+			t.Errorf("Gate(%+v) flagged a benchmark missing from one side: %q", c.limits, joined)
+		}
+	}
+}
+
+func TestGateImprovementsPass(t *testing.T) {
+	out := gateFixture()
+	out.Benchmarks[0].Metrics = map[string]float64{"ns/op": 50, "allocs/op": 40}
+	if got := Gate(out, GateLimits{NsPct: 1, AllocsPct: 1}); len(got) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", got)
+	}
+}
+
+func TestGateIgnoresMissingMetrics(t *testing.T) {
+	out := &File{
+		Benchmarks: []Entry{{Name: "NoMem", Metrics: map[string]float64{"ns/op": 100}}},
+		Baseline:   []Entry{{Name: "NoMem", Metrics: map[string]float64{"ns/op": 100}}},
+	}
+	// allocs/op absent on both sides: the alloc gate has nothing to say.
+	if got := Gate(out, GateLimits{AllocsPct: 1}); len(got) != 0 {
+		t.Fatalf("missing metric flagged: %v", got)
+	}
+}

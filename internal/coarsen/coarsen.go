@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"ppnpart/internal/arena"
 	"ppnpart/internal/graph"
 	"ppnpart/internal/match"
 )
@@ -32,6 +33,17 @@ type Level struct {
 // coarse nodes fold duplicates by summing weights; intra-pair edges
 // disappear (their weight is "hidden" inside the coarse node).
 func Contract(g *graph.Graph, m match.Matching) (*Level, error) {
+	ws := arena.Get()
+	defer arena.Put(ws)
+	return ContractWS(ws, g, m)
+}
+
+// ContractWS is Contract drawing its degree-bound scratch from ws and
+// building the coarse graph through graph.NewBuilderCap, so adjacency
+// rows are carved from one bulk allocation instead of grown per edge.
+// The Level itself (coarse graph, fine→coarse map) outlives the call
+// and stays heap-allocated.
+func ContractWS(ws *arena.Workspace, g *graph.Graph, m match.Matching) (*Level, error) {
 	n := g.NumNodes()
 	if len(m) != n {
 		return nil, fmt.Errorf("coarsen: matching length %d != nodes %d", len(m), n)
@@ -59,13 +71,19 @@ func Contract(g *graph.Graph, m match.Matching) (*Level, error) {
 	}
 	nc := int(next)
 	w := make([]int64, nc)
+	// A coarse node's degree is bounded by the sum of its fine nodes'
+	// degrees (duplicates fold, intra-pair edges vanish — both only
+	// shrink the row).
+	degCap := ws.Int32s.Get(nc)
 	for u := 0; u < n; u++ {
-		w[fineToCoarse[u]] += g.NodeWeight(graph.Node(u))
+		c := fineToCoarse[u]
+		w[c] += g.NodeWeight(graph.Node(u))
+		degCap[c] += int32(g.Degree(graph.Node(u)))
 	}
 	// The Builder folds duplicate coarse edges in O(1) amortized (AddEdge's
 	// linear dup-scan is quadratic on dense coarse nodes) while keeping the
 	// exact first-encounter adjacency order sequential AddEdge produces.
-	b := graph.NewBuilder(w)
+	b := graph.NewBuilderCap(w, degCap)
 	for u := 0; u < n; u++ {
 		cu := fineToCoarse[u]
 		for _, h := range g.Neighbors(graph.Node(u)) {
@@ -81,6 +99,7 @@ func Contract(g *graph.Graph, m match.Matching) (*Level, error) {
 			}
 		}
 	}
+	ws.Int32s.Put(degCap)
 	return &Level{Coarse: b.Graph(), FineToCoarse: fineToCoarse}, nil
 }
 
@@ -97,6 +116,24 @@ func (l *Level) ProjectUp(coarseParts []int) ([]int, error) {
 		fine[u] = coarseParts[c]
 	}
 	return fine, nil
+}
+
+// ProjectUpInto is ProjectUp writing into a caller-provided slice of
+// length len(FineToCoarse), so the uncoarsening loop can recycle its
+// per-level assignment buffers instead of allocating one per level.
+func (l *Level) ProjectUpInto(coarseParts, fine []int) error {
+	if len(coarseParts) != l.Coarse.NumNodes() {
+		return fmt.Errorf("coarsen: projection input length %d != coarse nodes %d",
+			len(coarseParts), l.Coarse.NumNodes())
+	}
+	if len(fine) != len(l.FineToCoarse) {
+		return fmt.Errorf("coarsen: projection output length %d != fine nodes %d",
+			len(fine), len(l.FineToCoarse))
+	}
+	for u, c := range l.FineToCoarse {
+		fine[u] = coarseParts[c]
+	}
+	return nil
 }
 
 // Options configures hierarchy construction.
@@ -198,6 +235,16 @@ func (h *Hierarchy) ProjectTo(parts []int, fromLevel, toLevel int) ([]int, error
 // winner — and therefore the whole hierarchy — bit-identical to a serial
 // execution for a fixed seed.
 func BestMatching(g *graph.Graph, opts Options, rng *rand.Rand) (match.Matching, match.Heuristic) {
+	ws := arena.Get()
+	defer arena.Put(ws)
+	return BestMatchingWS(ws, g, opts, rng)
+}
+
+// BestMatchingWS is BestMatching with heuristic scratch drawn from ws:
+// the RNG-consuming chain (which runs on one goroutine while the caller
+// waits) uses ws itself, and each RNG-free heuristic uses a persistent
+// child workspace so repeated levels and cycles reuse the same buffers.
+func BestMatchingWS(ws *arena.Workspace, g *graph.Graph, opts Options, rng *rand.Rand) (match.Matching, match.Heuristic) {
 	opts = opts.withDefaults()
 	results := make([]match.Matching, len(opts.Heuristics))
 	var wg sync.WaitGroup
@@ -207,19 +254,22 @@ func BestMatching(g *graph.Graph, opts Options, rng *rand.Rand) (match.Matching,
 			rngChain = append(rngChain, i)
 			continue
 		}
+		// Child must be materialized before the goroutine forks: it
+		// appends to the parent's child list on first use.
+		cws := ws.Child(i)
 		wg.Add(1)
-		go func(i int, h match.Heuristic) {
+		go func(i int, h match.Heuristic, cws *arena.Workspace) {
 			defer wg.Done()
 			// Unknown heuristics yield a nil matching and are skipped in
 			// the reduction; callers validate up front.
-			results[i], _ = match.Compute(h, g, opts.KMeansClusters, rng)
-		}(i, h)
+			results[i], _ = match.ComputeWS(cws, h, g, opts.KMeansClusters, rng)
+		}(i, h, cws)
 	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		for _, i := range rngChain {
-			results[i], _ = match.Compute(opts.Heuristics[i], g, opts.KMeansClusters, rng)
+			results[i], _ = match.ComputeWS(ws, opts.Heuristics[i], g, opts.KMeansClusters, rng)
 		}
 	}()
 	wg.Wait()
@@ -244,15 +294,23 @@ func BestMatching(g *graph.Graph, opts Options, rng *rand.Rand) (match.Matching,
 // Build constructs a hierarchy by repeated best-of-three contraction until
 // the coarse graph reaches opts.TargetSize nodes or contraction stalls.
 func Build(g *graph.Graph, opts Options, rng *rand.Rand) (*Hierarchy, error) {
+	ws := arena.Get()
+	defer arena.Put(ws)
+	return BuildWS(ws, g, opts, rng)
+}
+
+// BuildWS is Build with all matching and contraction scratch drawn from
+// ws; the Hierarchy itself outlives the call and is heap-allocated.
+func BuildWS(ws *arena.Workspace, g *graph.Graph, opts Options, rng *rand.Rand) (*Hierarchy, error) {
 	opts = opts.withDefaults()
 	h := &Hierarchy{Original: g}
 	cur := g
 	for cur.NumNodes() > opts.TargetSize {
-		m, heur := BestMatching(cur, opts, rng)
+		m, heur := BestMatchingWS(ws, cur, opts, rng)
 		if m.Pairs() == 0 {
 			break // nothing contractible (no edges)
 		}
-		lvl, err := Contract(cur, m)
+		lvl, err := ContractWS(ws, cur, m)
 		if err != nil {
 			return nil, err
 		}

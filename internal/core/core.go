@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"ppnpart/internal/arena"
 	"ppnpart/internal/coarsen"
 	"ppnpart/internal/graph"
 	"ppnpart/internal/initpart"
@@ -69,6 +70,13 @@ type Options struct {
 	Parallelism int
 	// Seed makes the run reproducible (default 1).
 	Seed int64
+	// Prune controls shared-incumbent pruning across parallel cycles.
+	// The zero value, PruneDeterministic, abandons cycles whose result
+	// is provably discarded by the deterministic reduction — results
+	// stay bit-identical to a serial run. PruneOff disables pruning;
+	// PruneAggressive trades determinism under MinimizeAfterFeasible
+	// for earlier abandonment.
+	Prune PruneMode
 	// Polish optionally runs a final local-search pass over the winning
 	// partition — an extension beyond the paper (§II-A discusses these
 	// strategies as related work). PolishNone (default) is the faithful
@@ -97,6 +105,26 @@ func (o Options) vectorActive() bool {
 // metrics.VectorExcess — but one adjacency sweep replaces the four that
 // separate score and feasibility checks used to cost.
 func (o Options) evaluate(csr *graph.CSR, parts []int) (float64, bool) {
+	cfg := o.stateConfig(parts)
+	s, err := pstate.New(csr, parts, cfg)
+	if err != nil {
+		return math.Inf(1), false
+	}
+	return s.Score(), s.Feasible()
+}
+
+// evaluateWS is evaluate with the scoring state pooled on ws.
+func (o Options) evaluateWS(ws *arena.Workspace, csr *graph.CSR, parts []int) (float64, bool) {
+	s, err := pstate.NewWS(ws, csr, parts, o.stateConfig(parts))
+	if err != nil {
+		return math.Inf(1), false
+	}
+	score, feasible := s.Score(), s.Feasible()
+	s.Release(ws)
+	return score, feasible
+}
+
+func (o Options) stateConfig(parts []int) pstate.Config {
 	cfg := pstate.Config{K: o.K, Constraints: o.Constraints}
 	// The vector table indexes original (finest-level) nodes; on coarse
 	// graphs the assignment is shorter and the table does not apply.
@@ -104,11 +132,7 @@ func (o Options) evaluate(csr *graph.CSR, parts []int) (float64, bool) {
 		cfg.Vectors = o.VectorResources
 		cfg.VectorConstraints = o.VectorConstraints
 	}
-	s, err := pstate.New(csr, parts, cfg)
-	if err != nil {
-		return math.Inf(1), false
-	}
-	return s.Score(), s.Feasible()
+	return cfg
 }
 
 // PolishStrategy selects the optional final local-search pass.
@@ -212,17 +236,26 @@ func PartitionCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, e
 		parts    []int
 		goodness float64
 		feasible bool
+		pruned   bool
 	}
 
+	inc := newIncumbent()
 	runCycle := func(cycle int) candidate {
-		// Each cycle gets an independent deterministic stream.
+		// Each cycle gets an independent deterministic stream and a
+		// pooled workspace for all its scratch.
 		rng := rand.New(rand.NewSource(opts.Seed + int64(cycle)*0x9E3779B9))
-		parts := gpCycle(ctx, g, opts, cycle, rng)
+		ws := arena.Get()
+		defer arena.Put(ws)
+		parts, pruned := gpCycle(ctx, g, opts, cycle, rng, ws, inc)
 		if parts == nil {
-			// Cancelled before the cycle produced a full assignment.
-			return candidate{cycle: cycle, goodness: math.Inf(1)}
+			// Cancelled or pruned before the cycle produced a full
+			// assignment.
+			return candidate{cycle: cycle, goodness: math.Inf(1), pruned: pruned}
 		}
-		goodness, feasible := opts.evaluate(fcsr, parts)
+		goodness, feasible := opts.evaluateWS(ws, fcsr, parts)
+		if feasible {
+			inc.publish(cycle, goodness)
+		}
 		return candidate{
 			cycle:    cycle,
 			parts:    parts,
@@ -268,11 +301,17 @@ func PartitionCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, e
 			}
 		}
 		for _, c := range results {
-			if c.parts == nil {
-				continue // cancelled mid-cycle, no assignment produced
-			}
 			if stopAt >= 0 && c.cycle > stopAt {
 				continue // serial run would never have executed this cycle
+			}
+			if c.parts == nil {
+				// Cancelled mid-cycle produced nothing; a pruned cycle
+				// would have completed (with a result the reduction
+				// discards), so it still counts as executed.
+				if c.pruned {
+					cyclesRun++
+				}
+				continue
 			}
 			cyclesRun++
 			if best.cycle < 0 || better(c, best) {
@@ -351,17 +390,24 @@ func PartitionCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, e
 // honored at phase and level boundaries: a cancelled cycle projects its
 // current clustering straight to the finest graph (skipping refinement)
 // so the caller still receives a usable assignment, or nil when not even
-// the seeding finished.
-func gpCycle(ctx context.Context, g *graph.Graph, opts Options, cycle int, rng *rand.Rand) []int {
+// the seeding finished. All scratch — level CSR snapshots, per-level
+// assignments, refinement pipelines' buffers — is drawn from ws. A
+// (nil, true) return means the cycle abandoned itself against the
+// shared incumbent (its result was provably going to be discarded).
+func gpCycle(ctx context.Context, g *graph.Graph, opts Options, cycle int, rng *rand.Rand, ws *arena.Workspace, inc *incumbent) (result []int, pruned bool) {
 	if ctx.Err() != nil {
-		return nil
+		return nil, false
+	}
+	levelScore := math.Inf(1)
+	abandon := func() bool {
+		return inc.shouldAbandon(opts, cycle, levelScore)
 	}
 	var hier *coarsen.Hierarchy
 	var err error
 	if opts.NLevelCoarsening {
 		hier, err = coarsen.BuildNLevel(g, opts.CoarsenTarget)
 	} else {
-		hier, err = coarsen.Build(g, coarsen.Options{
+		hier, err = coarsen.BuildWS(ws, g, coarsen.Options{
 			TargetSize: opts.CoarsenTarget,
 			Heuristics: opts.MatchHeuristics,
 		}, rng)
@@ -373,6 +419,14 @@ func gpCycle(ctx context.Context, g *graph.Graph, opts Options, cycle int, rng *
 		hier = &coarsen.Hierarchy{Original: g}
 	}
 	coarsest := hier.Coarsest()
+	if abandon() {
+		return nil, true
+	}
+
+	// One CSR snapshot per hierarchy level, rebuilt into the workspace's
+	// level slots each cycle; the coarsest one serves both seeding and
+	// the first refinement round.
+	ccsr := coarsest.ToCSRInto(ws.LevelCSR(hier.Depth()))
 
 	// Initial partitioning. Cycle 0 uses the paper's greedy scheme; later
 	// cycles alternate greedy (fresh random seeds) and purely random
@@ -380,7 +434,7 @@ func gpCycle(ctx context.Context, g *graph.Graph, opts Options, cycle int, rng *
 	// partitioning phase (randomly), cyclically".
 	var parts []int
 	if cycle%2 == 0 {
-		parts, err = initpart.GreedyGrow(coarsest, initpart.GreedyOptions{
+		parts, err = initpart.GreedyGrowWS(ws, coarsest, ccsr, initpart.GreedyOptions{
 			K:           opts.K,
 			Rmax:        opts.Constraints.Rmax,
 			Restarts:    opts.Restarts,
@@ -395,7 +449,8 @@ func gpCycle(ctx context.Context, g *graph.Graph, opts Options, cycle int, rng *
 		// graph directly.
 		coarsest = g
 		hier = &coarsen.Hierarchy{Original: g}
-		parts, _ = initpart.GreedyGrow(g, initpart.GreedyOptions{
+		ccsr = coarsest.ToCSRInto(ws.LevelCSR(0))
+		parts, _ = initpart.GreedyGrowWS(ws, g, ccsr, initpart.GreedyOptions{
 			K:           opts.K,
 			Rmax:        opts.Constraints.Rmax,
 			Restarts:    opts.Restarts,
@@ -405,11 +460,11 @@ func gpCycle(ctx context.Context, g *graph.Graph, opts Options, cycle int, rng *
 	if ctx.Err() != nil {
 		full, perr := hier.ProjectTo(parts, hier.Depth(), 0)
 		if perr != nil {
-			return nil
+			return nil, false
 		}
-		return full
+		return full, false
 	}
-	parts = refineLevel(coarsest, parts, opts)
+	parts, levelScore = bestRefinement(ccsr, parts, opts, ws, abandon)
 
 	// Uncoarsen with goodness-ranked intermediate clusterings: at each
 	// level, competing refinement pipelines produce different candidate
@@ -417,44 +472,53 @@ func gpCycle(ctx context.Context, g *graph.Graph, opts Options, cycle int, rng *
 	// generate different intermediate clusterings, that are compared a
 	// posteriori using a goodness function; the best is chosen").
 	for lvl := hier.Depth(); lvl > 0; lvl-- {
-		projected, err := hier.ProjectTo(parts, lvl, lvl-1)
-		if err != nil {
+		if abandon() {
+			return nil, true
+		}
+		fine := hier.GraphAt(lvl - 1)
+		projected := ws.Ints.Cap(fine.NumNodes())[:fine.NumNodes()]
+		if err := hier.Levels[lvl-1].ProjectUpInto(parts, projected); err != nil {
+			ws.Ints.Put(projected)
 			break
 		}
+		ws.Ints.Put(parts)
+		parts = projected
 		if ctx.Err() != nil {
 			// Deadline hit mid-uncoarsening: project the current level's
 			// assignment to the finest graph without further refinement.
-			full, perr := hier.ProjectTo(projected, lvl-1, 0)
+			full, perr := hier.ProjectTo(parts, lvl-1, 0)
 			if perr != nil {
-				return nil
+				return nil, false
 			}
-			return full
+			return full, false
 		}
-		parts = bestRefinement(hier.GraphAt(lvl-1).ToCSR(), projected, opts)
+		csr := fine.ToCSRInto(ws.LevelCSR(lvl - 1))
+		parts, levelScore = bestRefinement(csr, parts, opts, ws, abandon)
 	}
-	return parts
+	return parts, false
 }
 
 // refinePipeline is one ordering of the three local-search stages. Stages
 // read adjacency through a CSR snapshot built once per hierarchy level and
-// shared by all pipelines at that level.
-type refinePipeline []func(*graph.CSR, []int, Options)
+// shared by all pipelines at that level, and draw scratch from the
+// pipeline's workspace.
+type refinePipeline []func(*graph.CSR, []int, Options, *arena.Workspace)
 
-func stageCut(csr *graph.CSR, parts []int, opts Options) {
-	refine.KWayFMCSR(csr, parts, opts.K, opts.Constraints.Rmax, opts.RefinePasses)
+func stageCut(csr *graph.CSR, parts []int, opts Options, ws *arena.Workspace) {
+	refine.KWayFMWS(ws, csr, parts, opts.K, opts.Constraints.Rmax, opts.RefinePasses)
 }
 
-func stageBandwidth(csr *graph.CSR, parts []int, opts Options) {
-	refine.RepairBandwidthCSR(csr, parts, opts.K, opts.Constraints, opts.RefinePasses)
+func stageBandwidth(csr *graph.CSR, parts []int, opts Options, ws *arena.Workspace) {
+	refine.RepairBandwidthWS(ws, csr, parts, opts.K, opts.Constraints, opts.RefinePasses)
 }
 
-func stageResources(csr *graph.CSR, parts []int, opts Options) {
-	refine.RebalanceResourcesCSR(csr, parts, opts.K, opts.Constraints.Rmax, opts.RefinePasses)
+func stageResources(csr *graph.CSR, parts []int, opts Options, ws *arena.Workspace) {
+	refine.RebalanceResourcesWS(ws, csr, parts, opts.K, opts.Constraints.Rmax, opts.RefinePasses)
 }
 
 // stageVector repairs multi-resource overflow; it only applies at the
 // finest level, where the assignment indexes the original nodes.
-func stageVector(csr *graph.CSR, parts []int, opts Options) {
+func stageVector(csr *graph.CSR, parts []int, opts Options, ws *arena.Workspace) {
 	if opts.vectorActive() && len(parts) == len(opts.VectorResources) {
 		refine.RebalanceVectorCSR(csr, opts.VectorResources, parts, opts.K,
 			opts.VectorConstraints, opts.RefinePasses)
@@ -469,38 +533,56 @@ var pipelines = []refinePipeline{
 }
 
 // bestRefinement runs every pipeline concurrently, each on its own copy of
-// the projected partition, and returns the goodness-best outcome. Every
-// stage is RNG-free and deterministic, and the reduction scans candidates
-// in pipeline order with strict-improvement selection (ties keep the
-// earlier pipeline), so the result is bit-identical to the serial loop.
-func bestRefinement(csr *graph.CSR, parts []int, opts Options) []int {
-	cands := make([][]int, len(pipelines))
+// the projected partition, writes the goodness-best outcome back into
+// parts, and returns parts together with the winning score. Every stage
+// is RNG-free and deterministic, each candidate is scored on its own
+// goroutine (a pure function of the candidate, so concurrency cannot
+// change the values), and the reduction scans candidates in pipeline
+// order with strict-improvement selection (ties keep the earlier
+// pipeline) — bit-identical to the serial loop.
+//
+// Pipeline i draws its scratch from ws.Child(i), so repeated levels and
+// cycles on the same workspace reuse the same per-pipeline buffers.
+// abandon, when non-nil, is polled between stages: once it fires the
+// pipeline skips its remaining stages (the caller is about to discard
+// the whole cycle).
+func bestRefinement(csr *graph.CSR, parts []int, opts Options, ws *arena.Workspace, abandon func() bool) ([]int, float64) {
+	type scored struct {
+		parts    []int
+		score    float64
+		feasible bool
+	}
+	cands := make([]scored, len(pipelines))
 	var wg sync.WaitGroup
 	for i, pl := range pipelines {
+		// Child must be materialized before the goroutines fork: it
+		// appends to the parent's child list on first use.
+		pws := ws.Child(i)
 		wg.Add(1)
-		go func(i int, pl refinePipeline) {
+		go func(i int, pl refinePipeline, pws *arena.Workspace) {
 			defer wg.Done()
-			cand := append([]int(nil), parts...)
-			for _, stage := range pl {
-				stage(csr, cand, opts)
+			cand := append(pws.Ints.Cap(len(parts)), parts...)
+			for si, stage := range pl {
+				if si > 0 && abandon != nil && abandon() {
+					break
+				}
+				stage(csr, cand, opts, pws)
 			}
-			cands[i] = cand
-		}(i, pl)
+			score, feasible := opts.evaluateWS(pws, csr, cand)
+			cands[i] = scored{parts: cand, score: score, feasible: feasible}
+		}(i, pl, pws)
 	}
 	wg.Wait()
-	var best []int
-	bestScore := 0.0
-	for _, cand := range cands {
-		score, _ := opts.evaluate(csr, cand)
-		if best == nil || score < bestScore {
-			best, bestScore = cand, score
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if cands[i].score < cands[best].score {
+			best = i
 		}
 	}
-	return best
-}
-
-// refineLevel applies the competing pipelines once (used on the coarsest
-// graph right after seeding).
-func refineLevel(g *graph.Graph, parts []int, opts Options) []int {
-	return bestRefinement(g.ToCSR(), parts, opts)
+	copy(parts, cands[best].parts)
+	bestScore := cands[best].score
+	for i := range cands {
+		ws.Child(i).Ints.Put(cands[i].parts)
+	}
+	return parts, bestScore
 }

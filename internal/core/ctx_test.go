@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"ppnpart/internal/arena"
 	"ppnpart/internal/graph"
 	"ppnpart/internal/match"
 	"ppnpart/internal/metrics"
@@ -115,8 +116,13 @@ func TestGPCycleNilOnCancelledContext(t *testing.T) {
 	g := randomConnected(rand.New(rand.NewSource(17)), 40)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if parts := gpCycle(ctx, g, Options{K: 2}.withDefaults(), 0, rand.New(rand.NewSource(1))); parts != nil {
+	parts, pruned := gpCycle(ctx, g, Options{K: 2}.withDefaults(), 0,
+		rand.New(rand.NewSource(1)), arena.Get(), newIncumbent())
+	if parts != nil {
 		t.Fatalf("gpCycle on cancelled context = %v, want nil", parts)
+	}
+	if pruned {
+		t.Fatal("cancellation misreported as incumbent pruning")
 	}
 }
 

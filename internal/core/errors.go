@@ -28,6 +28,8 @@ var (
 	// ErrUnknownHeuristic rejects a MatchHeuristics entry outside the
 	// known set; it also wraps match.ErrUnknownHeuristic.
 	ErrUnknownHeuristic = fmt.Errorf("%w: %w", ErrInvalidOptions, match.ErrUnknownHeuristic)
+	// ErrUnknownPruneMode rejects a Prune value outside the known modes.
+	ErrUnknownPruneMode = fmt.Errorf("%w: unknown prune mode", ErrInvalidOptions)
 )
 
 // Validate checks opts against g up front, returning a typed, wrapped
@@ -54,6 +56,9 @@ func (o Options) Validate(g *graph.Graph) error {
 		if !h.Valid() {
 			return fmt.Errorf("%w (heuristic %d)", ErrUnknownHeuristic, int(h))
 		}
+	}
+	if !o.Prune.Valid() {
+		return fmt.Errorf("%w (prune mode %d)", ErrUnknownPruneMode, int(o.Prune))
 	}
 	if len(o.VectorResources) > 0 {
 		if err := metrics.ValidateVectors(o.VectorResources, g.NumNodes()); err != nil {

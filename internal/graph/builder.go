@@ -28,6 +28,35 @@ func NewBuilder(weights []int64) *Builder {
 	}
 }
 
+// NewBuilderCap starts a builder whose adjacency rows are pre-carved
+// from a single backing array: degCap[u] is an upper bound on the final
+// degree of node u. Incremental row growth is the dominant allocator in
+// graph contraction; carving every row up front replaces O(n) grow
+// reallocations with one bulk allocation. Rows use three-index slices,
+// so a row that outgrows its bound reallocates privately instead of
+// clobbering its neighbor's storage. The builder takes ownership of
+// weights (it is not copied).
+func NewBuilderCap(weights []int64, degCap []int32) *Builder {
+	g := &Graph{
+		nodeWeights: weights,
+		adj:         make([][]Half, len(weights)),
+	}
+	for _, x := range weights {
+		g.totalNodeW += x
+	}
+	var total int
+	for _, d := range degCap {
+		total += int(d)
+	}
+	backing := make([]Half, 0, total)
+	off := 0
+	for u, d := range degCap {
+		g.adj[u] = backing[off : off : off+int(d)]
+		off += int(d)
+	}
+	return &Builder{g: g, idx: make([]map[Node]int32, len(weights))}
+}
+
 // find returns the position of v in u's adjacency row, or -1.
 func (b *Builder) find(u, v Node) int32 {
 	if m := b.idx[u]; m != nil {

@@ -17,15 +17,39 @@ type CSR struct {
 // matches the Graph's insertion order, which keeps randomized algorithms
 // deterministic for a fixed build sequence.
 func (g *Graph) ToCSR() *CSR {
+	return g.ToCSRInto(&CSR{})
+}
+
+// ToCSRInto snapshots the graph into c, reusing c's backing arrays when
+// they have sufficient capacity. The solve path keeps one CSR slot per
+// hierarchy level in its workspace and re-snapshots into it each GP
+// cycle instead of allocating fresh arrays.
+func (g *Graph) ToCSRInto(c *CSR) *CSR {
 	n := g.NumNodes()
-	c := &CSR{
-		XAdj:   make([]int32, n+1),
-		Adj:    make([]Node, 0, 2*g.NumEdges()),
-		AdjW:   make([]int64, 0, 2*g.NumEdges()),
-		NodeW:  append([]int64(nil), g.nodeWeights...),
-		EdgeWT: g.totalEdgeW,
-		NodeWT: g.totalNodeW,
+	m2 := 2 * g.NumEdges()
+	if cap(c.XAdj) >= n+1 {
+		c.XAdj = c.XAdj[:n+1]
+	} else {
+		c.XAdj = make([]int32, n+1)
 	}
+	if cap(c.Adj) >= m2 {
+		c.Adj = c.Adj[:0]
+	} else {
+		c.Adj = make([]Node, 0, m2)
+	}
+	if cap(c.AdjW) >= m2 {
+		c.AdjW = c.AdjW[:0]
+	} else {
+		c.AdjW = make([]int64, 0, m2)
+	}
+	if cap(c.NodeW) >= n {
+		c.NodeW = c.NodeW[:0]
+	} else {
+		c.NodeW = make([]int64, 0, n)
+	}
+	c.NodeW = append(c.NodeW, g.nodeWeights...)
+	c.EdgeWT = g.totalEdgeW
+	c.NodeWT = g.totalNodeW
 	for u := 0; u < n; u++ {
 		c.XAdj[u] = int32(len(c.Adj))
 		for _, h := range g.adj[u] {

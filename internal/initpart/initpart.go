@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"ppnpart/internal/arena"
 	"ppnpart/internal/graph"
 	"ppnpart/internal/metrics"
 	"ppnpart/internal/pstate"
@@ -49,6 +50,21 @@ func (o GreedyOptions) withDefaults() GreedyOptions {
 // an FM-based bandwidth repair. The whole procedure is repeated Restarts
 // times with random seeds and the goodness-best assignment wins.
 func GreedyGrow(g *graph.Graph, opts GreedyOptions, rng *rand.Rand) ([]int, error) {
+	ws := arena.Get()
+	defer arena.Put(ws)
+	return GreedyGrowWS(ws, g, nil, opts, rng)
+}
+
+// GreedyGrowWS is GreedyGrow with every restart's assignment, resource
+// totals, frontier tables, repair state, and scoring state drawn from
+// ws; one frontier serves all grows of all restarts (it drains to empty
+// after every grow, so reuse needs no clearing). csr, when non-nil,
+// must be a snapshot of g and saves the call its own ToCSR — the
+// multilevel driver passes the coarsest-level snapshot it already
+// built. The winning assignment is returned still backed by ws memory:
+// callers that outlive the workspace must copy it, callers that share
+// the workspace (the GP cycle) may keep it and Put it back when done.
+func GreedyGrowWS(ws *arena.Workspace, g *graph.Graph, csr *graph.CSR, opts GreedyOptions, rng *rand.Rand) ([]int, error) {
 	opts = opts.withDefaults()
 	n := g.NumNodes()
 	if opts.K <= 0 {
@@ -66,7 +82,14 @@ func GreedyGrow(g *graph.Graph, opts GreedyOptions, rng *rand.Rand) ([]int, erro
 	// One CSR snapshot serves the repair and scoring of every restart;
 	// scoring through a pstate build costs a single adjacency sweep and is
 	// bit-identical to metrics.Goodness.
-	csr := g.ToCSR()
+	if csr == nil {
+		csr = g.ToCSR()
+	}
+	f := frontier{
+		weight: ws.Int64s.Get(n),
+		in:     ws.Bools.Get(n),
+		items:  ws.Nodes.Cap(8),
+	}
 	var best []int
 	bestScore := 0.0
 	for attempt := 0; attempt < opts.Restarts; attempt++ {
@@ -76,29 +99,40 @@ func GreedyGrow(g *graph.Graph, opts GreedyOptions, rng *rand.Rand) ([]int, erro
 		} else {
 			seed = graph.Node(rng.Intn(n))
 		}
-		parts := growOnce(g, opts.K, rmax, seed, rng)
-		refine.RepairBandwidthCSR(csr, parts, opts.K, opts.Constraints, 4)
-		s, err := pstate.New(csr, parts, pstate.Config{K: opts.K, Constraints: opts.Constraints})
+		parts := growOnce(ws, g, opts.K, rmax, seed, rng, &f)
+		refine.RepairBandwidthWS(ws, csr, parts, opts.K, opts.Constraints, 4)
+		s, err := pstate.NewWS(ws, csr, parts, pstate.Config{K: opts.K, Constraints: opts.Constraints})
 		if err != nil {
 			return nil, fmt.Errorf("initpart: %v", err)
 		}
 		score := s.Goodness()
+		s.Release(ws)
 		if best == nil || score < bestScore {
+			if best != nil {
+				ws.Ints.Put(best)
+			}
 			best = parts
 			bestScore = score
+		} else {
+			ws.Ints.Put(parts)
 		}
 	}
+	ws.Int64s.Put(f.weight)
+	ws.Bools.Put(f.in)
+	ws.Nodes.Put(f.items)
 	return best, nil
 }
 
-// growOnce performs a single greedy growth from the given seed.
-func growOnce(g *graph.Graph, k int, rmax int64, seed graph.Node, rng *rand.Rand) []int {
+// growOnce performs a single greedy growth from the given seed. f is a
+// drained frontier over n nodes; it is returned drained.
+func growOnce(ws *arena.Workspace, g *graph.Graph, k int, rmax int64, seed graph.Node, rng *rand.Rand, f *frontier) []int {
 	n := g.NumNodes()
-	parts := make([]int, n)
+	parts := ws.Ints.Get(n)
 	for i := range parts {
 		parts[i] = Unassigned
 	}
-	res := make([]int64, k)
+	res := ws.Int64s.Get(k)
+	defer ws.Int64s.Put(res)
 	assigned := 0
 
 	// grow fills part p starting from node s via weighted-degree-greedy
@@ -112,17 +146,16 @@ func growOnce(g *graph.Graph, k int, rmax int64, seed graph.Node, rng *rand.Rand
 		assigned++
 		// Frontier: unassigned neighbors, expanded by strongest connection
 		// to the growing part first (keeps FIFO traffic internal).
-		frontier := newFrontier(n)
 		push := func(u graph.Node) {
 			for _, h := range g.Neighbors(u) {
 				if parts[h.To] == Unassigned {
-					frontier.add(h.To, h.Weight)
+					f.add(h.To, h.Weight)
 				}
 			}
 		}
 		push(s)
-		for frontier.len() > 0 {
-			u := frontier.popMax()
+		for f.len() > 0 {
+			u := f.popMax()
 			if parts[u] != Unassigned {
 				continue
 			}

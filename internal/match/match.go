@@ -11,6 +11,7 @@ import (
 	"slices"
 	"sort"
 
+	"ppnpart/internal/arena"
 	"ppnpart/internal/graph"
 )
 
@@ -325,19 +326,226 @@ func (h Heuristic) UsesRNG() bool {
 // value <= 0 defaults to 4 weight clusters. An unknown heuristic yields
 // an error wrapping ErrUnknownHeuristic.
 func Compute(h Heuristic, g *graph.Graph, kClusters int, rng *rand.Rand) (Matching, error) {
+	ws := arena.Get()
+	defer arena.Put(ws)
+	return ComputeWS(ws, h, g, kClusters, rng)
+}
+
+// ComputeWS is Compute with every internal buffer (visit permutations,
+// candidate lists, the edge sort array, k-means scratch) drawn from ws.
+// The returned Matching itself is freshly allocated — it outlives the
+// call — but everything transient is pooled.
+func ComputeWS(ws *arena.Workspace, h Heuristic, g *graph.Graph, kClusters int, rng *rand.Rand) (Matching, error) {
 	switch h {
 	case HeuristicRandom:
-		return Random(g, rng), nil
+		return randomWS(ws, g, rng), nil
 	case HeuristicHeavyEdge:
-		return HeavyEdge(g), nil
+		return heavyEdgeWS(ws, g), nil
 	case HeuristicKMeans:
 		if kClusters <= 0 {
 			kClusters = 4
 		}
-		return KMeans(g, kClusters, rng), nil
+		return kMeansWS(ws, g, kClusters, rng), nil
 	default:
 		return nil, fmt.Errorf("%w %d", ErrUnknownHeuristic, int(h))
 	}
+}
+
+// permInto fills out with a random permutation of [0, len(out)), drawing
+// from rng the exact sequence rand.Perm draws — same loop, same Intn
+// calls — so pooled and allocating runs consume identical RNG streams.
+// The i = 0 iteration is a no-op swap but still burns one Intn(1) draw,
+// exactly as rand.Perm does (its loop keeps that draw for Go 1 stream
+// compatibility); starting at i = 1 would desynchronize every RNG
+// consumer downstream of a matching pass.
+func permInto(rng *rand.Rand, out []int) {
+	for i := 0; i < len(out); i++ {
+		j := rng.Intn(i + 1)
+		out[i] = out[j]
+		out[j] = i
+	}
+}
+
+// randomWS is Random with the visit order and candidate list pooled.
+func randomWS(ws *arena.Workspace, g *graph.Graph, rng *rand.Rand) Matching {
+	n := g.NumNodes()
+	m := NewMatching(n)
+	order := ws.Ints.Cap(n)[:n]
+	permInto(rng, order)
+	cand := ws.Nodes.Cap(8)
+	for _, ui := range order {
+		u := graph.Node(ui)
+		if m[u] != Unmatched {
+			continue
+		}
+		cand = cand[:0]
+		for _, h := range g.Neighbors(u) {
+			if m[h.To] == Unmatched {
+				cand = append(cand, h.To)
+			}
+		}
+		if len(cand) == 0 {
+			continue
+		}
+		v := cand[rng.Intn(len(cand))]
+		m[u], m[v] = v, u
+	}
+	ws.Ints.Put(order)
+	ws.Nodes.Put(cand)
+	return m
+}
+
+// heavyEdgeWS is HeavyEdge with the edge sort array pooled.
+func heavyEdgeWS(ws *arena.Workspace, g *graph.Graph) Matching {
+	n := g.NumNodes()
+	edges := ws.Edges.Cap(g.NumEdges())
+	for u := 0; u < n; u++ {
+		for _, h := range g.Neighbors(graph.Node(u)) {
+			if graph.Node(u) < h.To {
+				edges = append(edges, graph.Edge{U: graph.Node(u), V: h.To, Weight: h.Weight})
+			}
+		}
+	}
+	slices.SortFunc(edges, func(a, b graph.Edge) int {
+		switch {
+		case a.Weight != b.Weight:
+			if a.Weight > b.Weight {
+				return -1
+			}
+			return 1
+		case a.U != b.U:
+			return int(a.U) - int(b.U)
+		default:
+			return int(a.V) - int(b.V)
+		}
+	})
+	m := NewMatching(n)
+	for _, e := range edges {
+		if m[e.U] == Unmatched && m[e.V] == Unmatched {
+			m[e.U], m[e.V] = e.V, e.U
+		}
+	}
+	ws.Edges.Put(edges)
+	return m
+}
+
+// kMeansWS is KMeans with the cluster table, visit order, candidate
+// lists, and Lloyd-iteration scratch pooled.
+func kMeansWS(ws *arena.Workspace, g *graph.Graph, nClusters int, rng *rand.Rand) Matching {
+	n := g.NumNodes()
+	m := NewMatching(n)
+	if n == 0 {
+		return m
+	}
+	if nClusters < 1 {
+		nClusters = 1
+	}
+	if nClusters > n {
+		nClusters = n
+	}
+	cluster := kmeans1DWS(ws, g, nClusters)
+
+	order := ws.Ints.Cap(n)[:n]
+	permInto(rng, order)
+	sameCluster := ws.Nodes.Cap(8)
+	other := ws.Nodes.Cap(8)
+	for _, ui := range order {
+		u := graph.Node(ui)
+		if m[u] != Unmatched {
+			continue
+		}
+		sameCluster = sameCluster[:0]
+		other = other[:0]
+		for _, h := range g.Neighbors(u) {
+			if m[h.To] != Unmatched {
+				continue
+			}
+			if cluster[h.To] == cluster[u] {
+				sameCluster = append(sameCluster, h.To)
+			} else {
+				other = append(other, h.To)
+			}
+		}
+		var v graph.Node
+		switch {
+		case len(sameCluster) > 0:
+			v = sameCluster[rng.Intn(len(sameCluster))]
+		case len(other) > 0:
+			v = other[rng.Intn(len(other))]
+		default:
+			continue
+		}
+		m[u], m[v] = v, u
+	}
+	ws.Ints.Put(order)
+	ws.Ints.Put(cluster)
+	ws.Nodes.Put(sameCluster)
+	ws.Nodes.Put(other)
+	return m
+}
+
+// kmeans1DWS is kmeans1D with every buffer drawn from ws. The returned
+// cluster table comes from ws.Ints; the caller puts it back.
+func kmeans1DWS(ws *arena.Workspace, g *graph.Graph, k int) []int {
+	n := g.NumNodes()
+	cluster := ws.Ints.Get(n)
+	if k == 1 || n <= k {
+		for i := range cluster {
+			if n <= k {
+				cluster[i] = i % k
+			}
+		}
+		return cluster
+	}
+	wts := ws.Floats.Cap(n)[:n]
+	for u := 0; u < n; u++ {
+		wts[u] = float64(g.NodeWeight(graph.Node(u)))
+	}
+	sorted := append(ws.Floats.Cap(n), wts...)
+	sort.Float64s(sorted)
+	centroids := ws.Floats.Cap(k)[:k]
+	for i := range centroids {
+		centroids[i] = sorted[(i*(n-1))/(k-1)]
+	}
+	sum := ws.Floats.Cap(k)[:k]
+	cnt := ws.Ints.Cap(k)[:k]
+	for iter := 0; iter < 30; iter++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			best, bestD := 0, absF(wts[u]-centroids[0])
+			for c := 1; c < k; c++ {
+				d := absF(wts[u] - centroids[c])
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if cluster[u] != best {
+				cluster[u] = best
+				changed = true
+			}
+		}
+		for c := 0; c < k; c++ {
+			sum[c], cnt[c] = 0, 0
+		}
+		for u := 0; u < n; u++ {
+			sum[cluster[u]] += wts[u]
+			cnt[cluster[u]]++
+		}
+		for c := 0; c < k; c++ {
+			if cnt[c] > 0 {
+				centroids[c] = sum[c] / float64(cnt[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	ws.Floats.Put(wts)
+	ws.Floats.Put(sorted)
+	ws.Floats.Put(centroids)
+	ws.Floats.Put(sum)
+	ws.Ints.Put(cnt)
+	return cluster
 }
 
 // All lists every heuristic, in the order the paper names them.

@@ -26,6 +26,7 @@ package pstate
 import (
 	"fmt"
 
+	"ppnpart/internal/arena"
 	"ppnpart/internal/graph"
 	"ppnpart/internal/metrics"
 )
@@ -81,29 +82,100 @@ type Config struct {
 // New builds a State for parts over the CSR snapshot c. The assignment is
 // copied; the caller's slice is not retained. Cost: O(N + E + K²).
 func New(c *graph.CSR, parts []int, cfg Config) (*State, error) {
+	if err := validate(c, parts, cfg); err != nil {
+		return nil, err
+	}
+	s := &State{}
+	s.init(c, parts, cfg)
+	return s, nil
+}
+
+// wsCacheKey keys the per-workspace State free list in arena extensions.
+type wsCacheKey struct{}
+
+// NewWS is New drawing the State — and therefore its internal matrices,
+// assignment copy, and move log — from a free list cached on ws. The GP
+// solve path evaluates a State per candidate per level; pooling them
+// removes that allocation entirely in steady state. Release returns the
+// State to the same workspace when the evaluation is done.
+func NewWS(ws *arena.Workspace, c *graph.CSR, parts []int, cfg Config) (*State, error) {
+	if err := validate(c, parts, cfg); err != nil {
+		return nil, err
+	}
+	var s *State
+	if lst, _ := ws.Ext(wsCacheKey{}).(*[]*State); lst != nil && len(*lst) > 0 {
+		s = (*lst)[len(*lst)-1]
+		*lst = (*lst)[:len(*lst)-1]
+	} else {
+		s = &State{}
+	}
+	s.init(c, parts, cfg)
+	return s, nil
+}
+
+// Release parks s on ws's free list for reuse by a later NewWS. The
+// caller must drop every reference into s (Parts, Connectivity) first.
+func (s *State) Release(ws *arena.Workspace) {
+	lst, _ := ws.Ext(wsCacheKey{}).(*[]*State)
+	if lst == nil {
+		lst = new([]*State)
+		ws.SetExt(wsCacheKey{}, lst)
+	}
+	s.C = nil
+	s.vectors = nil
+	s.vecRmax = nil
+	*lst = append(*lst, s)
+}
+
+// validate checks the New/NewWS preconditions.
+func validate(c *graph.CSR, parts []int, cfg Config) error {
 	n := c.NumNodes()
 	if len(parts) != n {
-		return nil, fmt.Errorf("pstate: assignment length %d != nodes %d", len(parts), n)
+		return fmt.Errorf("pstate: assignment length %d != nodes %d", len(parts), n)
 	}
 	if cfg.K <= 0 {
-		return nil, fmt.Errorf("pstate: K = %d must be positive", cfg.K)
+		return fmt.Errorf("pstate: K = %d must be positive", cfg.K)
 	}
 	for u, p := range parts {
 		if p < 0 || p >= cfg.K {
-			return nil, fmt.Errorf("pstate: node %d assigned to part %d outside [0,%d)", u, p, cfg.K)
+			return fmt.Errorf("pstate: node %d assigned to part %d outside [0,%d)", u, p, cfg.K)
 		}
 	}
-	k := cfg.K
-	s := &State{
-		C:     c,
-		K:     k,
-		parts: append([]int(nil), parts...),
-		bw:    make([]int64, k*k),
-		res:   make([]int64, k),
-		cnt:   make([]int, k),
-		cons:  cfg.Constraints,
-		conn:  make([]int64, k),
+	return nil
+}
+
+// grow64 returns a zeroed int64 slice of length n, reusing s's backing
+// array when it is large enough.
+func grow64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
 	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// init (re)builds the full state in place, reusing any backing arrays a
+// recycled State carries. Inputs must already be validated.
+func (s *State) init(c *graph.CSR, parts []int, cfg Config) {
+	n := c.NumNodes()
+	k := cfg.K
+	s.C = c
+	s.K = k
+	s.parts = append(s.parts[:0], parts...)
+	s.cut = 0
+	s.bw = grow64(s.bw, k*k)
+	s.res = grow64(s.res, k)
+	if cap(s.cnt) < k {
+		s.cnt = make([]int, k)
+	} else {
+		s.cnt = s.cnt[:k]
+		clear(s.cnt)
+	}
+	s.cons = cfg.Constraints
+	s.conn = grow64(s.conn, k)
+	s.vectors, s.vecRmax, s.dims = nil, nil, 0
+	s.log = s.log[:0]
 	for u := 0; u < n; u++ {
 		pu := s.parts[u]
 		s.res[pu] += c.NodeW[u]
@@ -125,7 +197,7 @@ func New(c *graph.CSR, parts []int, cfg Config) (*State, error) {
 		s.vectors = cfg.Vectors
 		s.vecRmax = cfg.VectorConstraints.Rmax
 		s.dims = len(cfg.Vectors[0])
-		s.vecTotals = make([]int64, k*s.dims)
+		s.vecTotals = grow64(s.vecTotals, k*s.dims)
 		for u, row := range cfg.Vectors {
 			base := s.parts[u] * s.dims
 			for d, v := range row {
@@ -134,7 +206,6 @@ func New(c *graph.CSR, parts []int, cfg Config) (*State, error) {
 		}
 	}
 	s.recountExcess()
-	return s, nil
 }
 
 // recountExcess rebuilds the three excess counters from the maintained

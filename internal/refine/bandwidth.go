@@ -1,6 +1,7 @@
 package refine
 
 import (
+	"ppnpart/internal/arena"
 	"ppnpart/internal/graph"
 	"ppnpart/internal/metrics"
 	"ppnpart/internal/pstate"
@@ -36,24 +37,35 @@ func RepairBandwidth(g *graph.Graph, parts []int, k int, c metrics.Constraints, 
 // form the multilevel driver uses, building one CSR per hierarchy level
 // and sharing it across every refinement stage at that level.
 func RepairBandwidthCSR(csr *graph.CSR, parts []int, k int, c metrics.Constraints, maxPasses int) BandwidthStats {
+	ws := arena.Get()
+	defer arena.Put(ws)
+	return RepairBandwidthWS(ws, csr, parts, k, c, maxPasses)
+}
+
+// RepairBandwidthWS is RepairBandwidthCSR drawing the partition state
+// and the per-pass moved set from ws.
+func RepairBandwidthWS(ws *arena.Workspace, csr *graph.CSR, parts []int, k int, c metrics.Constraints, maxPasses int) BandwidthStats {
 	st := BandwidthStats{}
 	if c.Bmax <= 0 {
 		st.Feasible = true
 		return st
 	}
-	s, err := pstate.New(csr, parts, pstate.Config{K: k, Constraints: metrics.Constraints{Bmax: c.Bmax}})
+	s, err := pstate.NewWS(ws, csr, parts, pstate.Config{K: k, Constraints: metrics.Constraints{Bmax: c.Bmax}})
 	if err != nil {
 		return st
 	}
-	st = repairBandwidthState(s, csr, c, maxPasses)
+	moved := ws.Bools.Get(csr.NumNodes())
+	st = repairBandwidthState(s, csr, c, maxPasses, moved)
 	copy(parts, s.Parts())
+	ws.Bools.Put(moved)
+	s.Release(ws)
 	return st
 }
 
 // repairBandwidthState runs the repair sweeps against an existing state
 // whose maintained Bmax equals c.Bmax. The caller reads the repaired
-// assignment from s.Parts().
-func repairBandwidthState(s *pstate.State, csr *graph.CSR, c metrics.Constraints, maxPasses int) BandwidthStats {
+// assignment from s.Parts(). moved is zeroed node-length scratch.
+func repairBandwidthState(s *pstate.State, csr *graph.CSR, c metrics.Constraints, maxPasses int, moved []bool) BandwidthStats {
 	if maxPasses <= 0 {
 		maxPasses = 16
 	}
@@ -69,7 +81,9 @@ func repairBandwidthState(s *pstate.State, csr *graph.CSR, c metrics.Constraints
 	n := csr.NumNodes()
 	for pass := 0; pass < maxPasses; pass++ {
 		st.Passes++
-		moved := make([]bool, n)
+		if pass > 0 {
+			clear(moved)
+		}
 		progressed := false
 		for {
 			// Best lexicographic (excess reduction, cut reduction) move over
@@ -150,14 +164,26 @@ func RebalanceResources(g *graph.Graph, parts []int, k int, rmax int64, maxPasse
 
 // RebalanceResourcesCSR is RebalanceResources on a prebuilt CSR snapshot.
 func RebalanceResourcesCSR(csr *graph.CSR, parts []int, k int, rmax int64, maxPasses int) (int, bool) {
+	ws := arena.Get()
+	defer arena.Put(ws)
+	return RebalanceResourcesWS(ws, csr, parts, k, rmax, maxPasses)
+}
+
+// RebalanceResourcesWS is RebalanceResourcesCSR with the per-part
+// totals and connectivity scratch drawn from ws.
+func RebalanceResourcesWS(ws *arena.Workspace, csr *graph.CSR, parts []int, k int, rmax int64, maxPasses int) (int, bool) {
 	if rmax <= 0 {
 		return 0, true
 	}
 	if maxPasses <= 0 {
 		maxPasses = 16
 	}
-	res := make([]int64, k)
-	cnt := make([]int, k)
+	res := ws.Int64s.Get(k)
+	cnt := ws.Ints.Get(k)
+	defer func() {
+		ws.Int64s.Put(res)
+		ws.Ints.Put(cnt)
+	}()
 	n := csr.NumNodes()
 	for u := 0; u < n; u++ {
 		res[parts[u]] += csr.NodeW[u]
@@ -172,7 +198,8 @@ func RebalanceResourcesCSR(csr *graph.CSR, parts []int, k int, rmax int64, maxPa
 		return true
 	}
 	moves := 0
-	conn := make([]int64, k)
+	conn := ws.Int64s.Get(k)
+	defer ws.Int64s.Put(conn)
 	for pass := 0; pass < maxPasses && !fits(); pass++ {
 		progressed := false
 		for u := 0; u < n && !fits(); u++ {

@@ -1,6 +1,7 @@
 package refine
 
 import (
+	"ppnpart/internal/arena"
 	"ppnpart/internal/graph"
 )
 
@@ -166,19 +167,32 @@ func KWayFM(g *graph.Graph, parts []int, k int, maxResource int64, maxPasses int
 // incrementally from the applied gains, so the only full adjacency sweep
 // is the initial cut count.
 func KWayFMCSR(csr *graph.CSR, parts []int, k int, maxResource int64, maxPasses int) Stats {
+	ws := arena.Get()
+	defer arena.Put(ws)
+	return KWayFMWS(ws, csr, parts, k, maxResource, maxPasses)
+}
+
+// KWayFMWS is KWayFMCSR with the per-part totals and connectivity
+// scratch drawn from ws.
+func KWayFMWS(ws *arena.Workspace, csr *graph.CSR, parts []int, k int, maxResource int64, maxPasses int) Stats {
 	if maxPasses <= 0 {
 		maxPasses = 8
 	}
 	st := Stats{CutBefore: csrEdgeCut(csr, parts)}
 	cut := st.CutBefore
 	n := csr.NumNodes()
-	res := make([]int64, k)
-	cnt := make([]int, k)
+	res := ws.Int64s.Get(k)
+	cnt := ws.Ints.Get(k)
+	defer func() {
+		ws.Int64s.Put(res)
+		ws.Ints.Put(cnt)
+	}()
 	for u := 0; u < n; u++ {
 		res[parts[u]] += csr.NodeW[u]
 		cnt[parts[u]]++
 	}
-	conn := make([]int64, k) // scratch: connectivity of one node to each part
+	conn := ws.Int64s.Get(k) // scratch: connectivity of one node to each part
+	defer ws.Int64s.Put(conn)
 	for pass := 0; pass < maxPasses; pass++ {
 		st.Passes++
 		moves := 0

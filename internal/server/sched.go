@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"ppnpart/internal/arena"
 	"ppnpart/internal/core"
 	"ppnpart/internal/graph"
 	"ppnpart/internal/metrics"
@@ -222,6 +223,10 @@ func NewScheduler(cfg Config, m *Metrics) *Scheduler {
 		baseCtx:  ctx,
 		shutdown: cancel,
 	}
+	// Each worker checks one solver workspace out of the arena per job;
+	// warming the pool up front means steady-state solves never hit a
+	// cold (allocating) checkout.
+	arena.Prewarm(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"ppnpart/internal/arena"
 )
 
 // Metrics is the daemon's instrumentation: per-outcome job counters,
@@ -132,6 +134,17 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth, inFlight, cacheLen int) {
 	fmt.Fprintf(w, "# HELP ppnd_cache_entries Results held in the LRU cache.\n")
 	fmt.Fprintf(w, "# TYPE ppnd_cache_entries gauge\n")
 	fmt.Fprintf(w, "ppnd_cache_entries %d\n", cacheLen)
+
+	gets, news, puts := arena.Stats()
+	fmt.Fprintf(w, "# HELP ppnd_arena_checkouts_total Solver workspace checkouts from the arena.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_arena_checkouts_total counter\n")
+	fmt.Fprintf(w, "ppnd_arena_checkouts_total %d\n", gets)
+	fmt.Fprintf(w, "# HELP ppnd_arena_allocs_total Checkouts that had to allocate a fresh workspace (pool miss).\n")
+	fmt.Fprintf(w, "# TYPE ppnd_arena_allocs_total counter\n")
+	fmt.Fprintf(w, "ppnd_arena_allocs_total %d\n", news)
+	fmt.Fprintf(w, "# HELP ppnd_arena_returns_total Workspaces returned to the arena.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_arena_returns_total counter\n")
+	fmt.Fprintf(w, "ppnd_arena_returns_total %d\n", puts)
 
 	fmt.Fprintf(w, "# HELP ppnd_solve_seconds Solve wall-clock latency.\n")
 	fmt.Fprintf(w, "# TYPE ppnd_solve_seconds histogram\n")
