@@ -3,16 +3,25 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench bench-json figures report \
-	examples clean check fmt-check fuzz-smoke serve
+.PHONY: all build test vet staticcheck race cover bench bench-json \
+	figures report examples clean check fmt-check fuzz-smoke serve
 
 all: build vet test
 
-# The CI gate: formatting, vet, race-enabled tests, and a short fuzz
-# smoke pass over every fuzz target.
-check: fmt-check vet
+# The CI gate: formatting, vet, staticcheck (when installed),
+# race-enabled tests, and a short fuzz smoke pass over every fuzz target.
+check: fmt-check vet staticcheck
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
+
+# staticcheck is optional locally (CI installs it): skip with a notice
+# when the binary is absent rather than failing the gate.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 # gofmt produces no output when everything is formatted; any listed file
 # fails the target.
@@ -33,6 +42,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadTopologyJSON -fuzztime=$(FUZZTIME) ./internal/fpga
 	$(GO) test -run='^$$' -fuzz=FuzzStateDifferential -fuzztime=$(FUZZTIME) ./internal/pstate
 	$(GO) test -run='^$$' -fuzz=FuzzJobRequest -fuzztime=$(FUZZTIME) ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzTraceDecode -fuzztime=$(FUZZTIME) ./internal/engine
 
 build:
 	$(GO) build ./...

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"ppnpart/internal/core"
+	"ppnpart/internal/engine"
 	"ppnpart/internal/graph"
 	"ppnpart/internal/metrics"
 	"ppnpart/internal/mlkp"
@@ -42,6 +43,7 @@ type config struct {
 	timeout           time.Duration
 	dotPath, svgPath  string
 	outPath, evalPath string
+	tracePath         string
 	stats, quiet      bool
 	cpuProf, memProf  string
 }
@@ -62,6 +64,7 @@ func main() {
 	flag.StringVar(&cfg.svgPath, "svg", "", "write the partitioned graph as SVG")
 	flag.StringVar(&cfg.outPath, "out", "", "write the partition to this file (node part per line)")
 	flag.StringVar(&cfg.evalPath, "eval", "", "evaluate an existing partition file instead of partitioning")
+	flag.StringVar(&cfg.tracePath, "trace", "", "write the structured solve trace (per-level heuristics, refinement outcomes, prune/retry decisions) as JSON to this file (gp only)")
 	flag.BoolVar(&cfg.stats, "stats", false, "print graph statistics and exit (no partitioning)")
 	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress the per-node assignment listing")
 	flag.StringVar(&cfg.cpuProf, "cpuprofile", "", "write a CPU profile to this file")
@@ -135,13 +138,17 @@ func run(cfg config) error {
 			ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 			defer cancel()
 		}
-		res, err := core.PartitionCtx(ctx, g, core.Options{
+		var tr *engine.Trace
+		if cfg.tracePath != "" {
+			tr = &engine.Trace{}
+		}
+		res, err := core.PartitionTraceCtx(ctx, g, core.Options{
 			K:                     cfg.k,
 			Constraints:           c,
 			Seed:                  cfg.seed,
 			MaxCycles:             cfg.cycles,
 			MinimizeAfterFeasible: cfg.minimize,
-		})
+		}, tr)
 		if err != nil {
 			return err
 		}
@@ -150,6 +157,11 @@ func run(cfg config) error {
 			fmt.Fprintf(os.Stderr, "gpart: WARNING: %s\n", res.Message)
 		}
 		fmt.Printf("algorithm: GP (cycles=%d, feasible=%v, stopped=%v, %s)\n", res.Cycles, res.Feasible, res.Stopped, res.Runtime)
+		if tr != nil {
+			if err := writeTrace(cfg.tracePath, tr); err != nil {
+				return err
+			}
+		}
 	case "baseline":
 		res, err := mlkp.Partition(g, mlkp.Options{K: cfg.k, Seed: cfg.seed})
 		if err != nil {
@@ -218,6 +230,22 @@ func report(g *graph.Graph, parts []int, k int, c metrics.Constraints,
 			return err
 		}
 	}
+	return nil
+}
+
+// writeTrace encodes the solve trace to path and prints a one-line
+// summary so the user knows what landed in the file.
+func writeTrace(path string, tr *engine.Trace) error {
+	b, err := tr.JSON()
+	if err != nil {
+		return fmt.Errorf("encoding trace: %w", err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	s := tr.Summary()
+	fmt.Printf("trace: %d cycles (%d counted, %d retries, %d pruned), %d levels, %d FM passes -> %s\n",
+		s.Cycles, s.Counted, s.Retries, s.Pruned, s.Levels, s.FMPasses, path)
 	return nil
 }
 

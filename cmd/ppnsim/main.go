@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"ppnpart/internal/core"
+	"ppnpart/internal/engine"
 	"ppnpart/internal/fpga"
 	"ppnpart/internal/metrics"
 	"ppnpart/internal/ppn"
@@ -52,6 +53,7 @@ type config struct {
 	seed      int64
 	cycles    int
 	fifoDepth bool
+	trace     bool
 	// Fault tolerance.
 	timeout      time.Duration
 	failFPGAs    string
@@ -75,6 +77,7 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 1, "GP random seed")
 	flag.IntVar(&cfg.cycles, "cycles", 16, "GP cyclic iteration budget")
 	flag.BoolVar(&cfg.fifoDepth, "fifos", false, "print per-channel FIFO depth requirements")
+	flag.BoolVar(&cfg.trace, "trace", false, "print the GP solve-trace summary (cycles, retries, prunes, per-stage wall time)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "GP latency budget; on expiry the best-effort partition is used (0 = none)")
 	flag.StringVar(&cfg.failFPGAs, "fail-fpga", "", "comma-separated FPGA ids to take offline at -fail-at")
 	flag.Int64Var(&cfg.failAt, "fail-at", 0, "cycle at which the FPGAs named by -fail-fpga go offline")
@@ -191,9 +194,13 @@ func run(cfg config) error {
 			ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 			defer cancel()
 		}
-		res, err := core.PartitionCtx(ctx, g, core.Options{
+		var tr *engine.Trace
+		if cfg.trace {
+			tr = &engine.Trace{}
+		}
+		res, err := core.PartitionTraceCtx(ctx, g, core.Options{
 			K: k, Constraints: c, Seed: cfg.seed, MaxCycles: cfg.cycles,
-		})
+		}, tr)
 		if err != nil {
 			return err
 		}
@@ -202,6 +209,9 @@ func run(cfg config) error {
 			res.Report.EdgeCut, res.Feasible, c.Bmax, c.Rmax, res.Runtime)
 		if res.Stopped {
 			fmt.Printf("partition: %s\n", res.Message)
+		}
+		if tr != nil {
+			printTrace(tr.Summary())
 		}
 	}
 
@@ -302,6 +312,29 @@ func run(cfg config) error {
 		return fmt.Errorf("repaired mapping still does not complete under the fault plan")
 	}
 	return nil
+}
+
+// printTrace reports the GP solve-trace summary the way the rest of the
+// tool reports simulation runs: one headline plus indented detail.
+func printTrace(s engine.TraceSummary) {
+	fmt.Printf("trace: %d cycles (%d counted, %d retries, %d pruned, %d discarded), best cycle %d, goodness %.1f\n",
+		s.Cycles, s.Counted, s.Retries, s.Pruned, s.Discarded, s.BestCycle, s.Goodness)
+	fmt.Printf("  hierarchy: %d levels built, %d FM passes, %d FM moves\n",
+		s.Levels, s.FMPasses, s.FMMoves)
+	if len(s.HeuristicWins) > 0 {
+		keys := make([]string, 0, len(s.HeuristicWins))
+		for h := range s.HeuristicWins {
+			keys = append(keys, h)
+		}
+		sort.Strings(keys)
+		for _, h := range keys {
+			fmt.Printf("  matching %-10s %d levels\n", h+":", s.HeuristicWins[h])
+		}
+	}
+	if total := s.CoarsenNS + s.SeedNS + s.RefineNS; total > 0 {
+		fmt.Printf("  stage wall: coarsen %s, seed %s, refine %s\n",
+			time.Duration(s.CoarsenNS), time.Duration(s.SeedNS), time.Duration(s.RefineNS))
+	}
 }
 
 // printSim reports one simulation run.

@@ -8,12 +8,15 @@
 package ppnpart_test
 
 import (
+	"bytes"
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"math/rand"
 	"testing"
 
 	"ppnpart/internal/core"
+	"ppnpart/internal/engine"
 	"ppnpart/internal/gen"
 	"ppnpart/internal/metrics"
 )
@@ -105,6 +108,83 @@ func TestDeterminismLargeInstance(t *testing.T) {
 	}
 	if res.Goodness != wantGoodness {
 		t.Fatalf("goodness = %v, want golden %v", res.Goodness, wantGoodness)
+	}
+}
+
+// TestDeterminismGoldenTrace extends the determinism contract to the
+// engine's structured trace: with timing omitted, pruning off, and a
+// pinned parallelism, two identically-seeded runs must serialize to
+// byte-identical JSON — every per-level heuristic choice, refinement
+// outcome, and retry decision is part of the reproducible trajectory.
+func TestDeterminismGoldenTrace(t *testing.T) {
+	g, err := gen.RandomConnected(500, 1500,
+		gen.WeightRange{Lo: 10, Hi: 100}, gen.WeightRange{Lo: 1, Hi: 20},
+		rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{
+		K:           4,
+		Constraints: metrics.Constraints{Bmax: 4000, Rmax: 8000},
+		Seed:        3,
+		MaxCycles:   8,
+		Parallelism: 2,
+		Prune:       core.PruneOff,
+	}
+	run := func() []byte {
+		// Wall times vary run to run; OmitTiming zeroes them so the JSON
+		// carries only the deterministic trajectory.
+		tr := &engine.Trace{OmitTiming: true}
+		if _, err := core.PartitionTraceCtx(context.Background(), g, opts, tr); err != nil {
+			t.Fatal(err)
+		}
+		b, err := tr.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	first, second := run(), run()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("trace JSON diverged between identically-seeded runs:\n--- first ---\n%s\n--- second ---\n%s",
+			first, second)
+	}
+
+	// The golden bytes must also be a complete trace: decodable, covering
+	// all three matching heuristics across the per-level records, with FM
+	// work and a retry decision on every counted cycle.
+	td, err := engine.DecodeTrace(first)
+	if err != nil {
+		t.Fatalf("golden trace does not decode: %v", err)
+	}
+	heuristics := map[string]bool{}
+	fmPasses := 0
+	for _, cyc := range td.Cycles {
+		if !cyc.Discarded && !cyc.Pruned && !cyc.Cancelled && cyc.Retry == nil {
+			t.Fatalf("counted cycle %d has no retry decision", cyc.Cycle)
+		}
+		for _, lvl := range cyc.Levels {
+			if len(lvl.Candidates) == 0 {
+				t.Fatalf("cycle %d level %d has no matching candidates", cyc.Cycle, lvl.Level)
+			}
+			for _, c := range lvl.Candidates {
+				heuristics[c.Heuristic] = true
+			}
+		}
+		for _, r := range cyc.Refines {
+			fmPasses += r.FMPasses
+		}
+	}
+	for _, h := range []string{"random", "heavy-edge", "k-means"} {
+		if !heuristics[h] {
+			t.Errorf("heuristic %q missing from the per-level candidates; trace saw %v", h, heuristics)
+		}
+	}
+	if fmPasses == 0 {
+		t.Error("trace records no FM passes")
+	}
+	if td.Outcome == nil || !td.Outcome.Feasible {
+		t.Fatalf("trace outcome = %+v, want feasible", td.Outcome)
 	}
 }
 

@@ -26,6 +26,19 @@ type Level struct {
 	FineToCoarse []graph.Node
 	// Heuristic records which matching produced this level.
 	Heuristic match.Heuristic
+	// Candidates records every competing heuristic's matching quality at
+	// this level, in heuristic order. Only populated under
+	// Options.RecordCandidates (trace support); nil otherwise.
+	Candidates []MatchCandidate
+}
+
+// MatchCandidate is one heuristic's entry in a level's best-of-three
+// comparison: the edge weight its matching hides and the pair count the
+// tie-break uses.
+type MatchCandidate struct {
+	Heuristic     match.Heuristic
+	MatchedWeight int64
+	Pairs         int
 }
 
 // Contract applies a matching to g: every matched pair becomes one coarse
@@ -151,6 +164,11 @@ type Options struct {
 	// less than this factor (guards against matching starvation on star
 	// graphs). Defaults to 0.02 (2%).
 	MinShrink float64
+	// RecordCandidates stores every heuristic's matching quality on each
+	// Level (trace support). Off by default: the per-level slice is the
+	// only allocation it adds, and the solve path stays allocation-free
+	// with tracing disabled.
+	RecordCandidates bool
 }
 
 func (o Options) withDefaults() Options {
@@ -245,6 +263,15 @@ func BestMatching(g *graph.Graph, opts Options, rng *rand.Rand) (match.Matching,
 // waits) uses ws itself, and each RNG-free heuristic uses a persistent
 // child workspace so repeated levels and cycles reuse the same buffers.
 func BestMatchingWS(ws *arena.Workspace, g *graph.Graph, opts Options, rng *rand.Rand) (match.Matching, match.Heuristic) {
+	m, h, _ := bestMatchingScoredWS(ws, g, opts, rng, false)
+	return m, h
+}
+
+// bestMatchingScoredWS is BestMatchingWS plus, when record is set, the
+// per-heuristic quality table the trace surfaces. Recording reuses the
+// weights/pairs the reduction computes anyway, so it cannot change the
+// winner or any RNG draw.
+func bestMatchingScoredWS(ws *arena.Workspace, g *graph.Graph, opts Options, rng *rand.Rand, record bool) (match.Matching, match.Heuristic, []MatchCandidate) {
 	opts = opts.withDefaults()
 	results := make([]match.Matching, len(opts.Heuristics))
 	var wg sync.WaitGroup
@@ -278,17 +305,24 @@ func BestMatchingWS(ws *arena.Workspace, g *graph.Graph, opts Options, rng *rand
 	var bestH match.Heuristic
 	var bestW int64 = -1
 	bestPairs := -1
+	var cands []MatchCandidate
+	if record {
+		cands = make([]MatchCandidate, 0, len(opts.Heuristics))
+	}
 	for i, m := range results {
 		if m == nil {
 			continue
 		}
 		w := m.MatchedWeight(g)
 		p := m.Pairs()
+		if record {
+			cands = append(cands, MatchCandidate{Heuristic: opts.Heuristics[i], MatchedWeight: w, Pairs: p})
+		}
 		if w > bestW || (w == bestW && p > bestPairs) {
 			bestM, bestH, bestW, bestPairs = m, opts.Heuristics[i], w, p
 		}
 	}
-	return bestM, bestH
+	return bestM, bestH, cands
 }
 
 // Build constructs a hierarchy by repeated best-of-three contraction until
@@ -306,7 +340,7 @@ func BuildWS(ws *arena.Workspace, g *graph.Graph, opts Options, rng *rand.Rand) 
 	h := &Hierarchy{Original: g}
 	cur := g
 	for cur.NumNodes() > opts.TargetSize {
-		m, heur := BestMatchingWS(ws, cur, opts, rng)
+		m, heur, cands := bestMatchingScoredWS(ws, cur, opts, rng, opts.RecordCandidates)
 		if m.Pairs() == 0 {
 			break // nothing contractible (no edges)
 		}
@@ -315,6 +349,7 @@ func BuildWS(ws *arena.Workspace, g *graph.Graph, opts Options, rng *rand.Rand) 
 			return nil, err
 		}
 		lvl.Heuristic = heur
+		lvl.Candidates = cands
 		shrink := 1 - float64(lvl.Coarse.NumNodes())/float64(cur.NumNodes())
 		h.Levels = append(h.Levels, lvl)
 		cur = lvl.Coarse

@@ -1,6 +1,7 @@
 package coarsen
 
 import (
+	"ppnpart/internal/arena"
 	"ppnpart/internal/graph"
 	"ppnpart/internal/match"
 )
@@ -28,6 +29,14 @@ type edgeItem struct {
 // implementation exact, which is ample for the ablation-scale workloads
 // this variant serves.
 func BuildNLevel(g *graph.Graph, targetSize int) (*Hierarchy, error) {
+	ws := arena.Get()
+	defer arena.Put(ws)
+	return BuildNLevelWS(ws, g, targetSize)
+}
+
+// BuildNLevelWS is BuildNLevel with per-level contraction scratch drawn
+// from ws.
+func BuildNLevelWS(ws *arena.Workspace, g *graph.Graph, targetSize int) (*Hierarchy, error) {
 	if targetSize <= 1 {
 		targetSize = 100
 	}
@@ -54,7 +63,7 @@ func BuildNLevel(g *graph.Graph, targetSize int) (*Hierarchy, error) {
 		}
 		m := match.NewMatching(cur.NumNodes())
 		m[best.u], m[best.v] = best.v, best.u
-		lvl, err := Contract(cur, m)
+		lvl, err := ContractWS(ws, cur, m)
 		if err != nil {
 			return nil, err
 		}

@@ -15,24 +15,23 @@
 // cyclic re-coarsen/re-partition loop that keeps retrying (with fresh
 // randomness) until the constraints are met or the iteration budget is
 // exhausted, in which case infeasibility is signalled (§IV-C).
+//
+// The search itself lives in internal/engine as an explicit staged
+// pipeline; core is the stable public adapter: it validates and defaults
+// Options, runs the engine, layers the optional polishing extension on
+// top, and assembles the Result with its violation report and messages.
 package core
 
 import (
 	"context"
 	"fmt"
-	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 	"time"
 
-	"ppnpart/internal/arena"
-	"ppnpart/internal/coarsen"
+	"ppnpart/internal/engine"
 	"ppnpart/internal/graph"
-	"ppnpart/internal/initpart"
 	"ppnpart/internal/match"
 	"ppnpart/internal/metrics"
-	"ppnpart/internal/pstate"
 	"ppnpart/internal/refine"
 )
 
@@ -59,6 +58,8 @@ type Options struct {
 	RefinePasses int
 	// MatchHeuristics restricts the competing matchings; nil means all
 	// three (random, heavy-edge, k-means), the paper's configuration.
+	// Incompatible with NLevelCoarsening (which always contracts a single
+	// heaviest edge); combining them is rejected by Validate.
 	MatchHeuristics []match.Heuristic
 	// NLevelCoarsening switches the coarsening phase to the one-edge-per-
 	// level scheme of Osipov & Sanders (§III of the paper discusses it);
@@ -97,42 +98,39 @@ func (o Options) vectorActive() bool {
 	return len(o.VectorResources) > 0 && o.VectorConstraints.Active()
 }
 
-// evaluate scores an assignment and checks every constraint from a single
-// incremental state build. The score is the paper's goodness plus a
-// dominant penalty for multi-resource overflow when the extension is
-// active; pstate mirrors the metrics arithmetic operation-for-operation,
-// so the value is bit-identical to composing metrics.Goodness with
-// metrics.VectorExcess — but one adjacency sweep replaces the four that
-// separate score and feasibility checks used to cost.
-func (o Options) evaluate(csr *graph.CSR, parts []int) (float64, bool) {
-	cfg := o.stateConfig(parts)
-	s, err := pstate.New(csr, parts, cfg)
-	if err != nil {
-		return math.Inf(1), false
+// engineConfig adapts the search-relevant subset of Options to the
+// engine's configuration (polishing is a core-level extension applied to
+// the engine's outcome).
+func (o Options) engineConfig() engine.Config {
+	return engine.Config{
+		K:                     o.K,
+		Constraints:           o.Constraints,
+		CoarsenTarget:         o.CoarsenTarget,
+		Restarts:              o.Restarts,
+		MaxCycles:             o.MaxCycles,
+		MinimizeAfterFeasible: o.MinimizeAfterFeasible,
+		RefinePasses:          o.RefinePasses,
+		MatchHeuristics:       o.MatchHeuristics,
+		NLevelCoarsening:      o.NLevelCoarsening,
+		Parallelism:           o.Parallelism,
+		Seed:                  o.Seed,
+		Prune:                 o.Prune,
+		VectorResources:       o.VectorResources,
+		VectorConstraints:     o.VectorConstraints,
 	}
-	return s.Score(), s.Feasible()
 }
 
-// evaluateWS is evaluate with the scoring state pooled on ws.
-func (o Options) evaluateWS(ws *arena.Workspace, csr *graph.CSR, parts []int) (float64, bool) {
-	s, err := pstate.NewWS(ws, csr, parts, o.stateConfig(parts))
-	if err != nil {
-		return math.Inf(1), false
-	}
-	score, feasible := s.Score(), s.Feasible()
-	s.Release(ws)
-	return score, feasible
-}
-
-func (o Options) stateConfig(parts []int) pstate.Config {
-	cfg := pstate.Config{K: o.K, Constraints: o.Constraints}
-	// The vector table indexes original (finest-level) nodes; on coarse
-	// graphs the assignment is shorter and the table does not apply.
-	if o.vectorActive() && len(parts) == len(o.VectorResources) {
-		cfg.Vectors = o.VectorResources
-		cfg.VectorConstraints = o.VectorConstraints
-	}
-	return cfg
+// withDefaults fills unset fields via the engine's defaulting so both
+// layers always agree on the effective configuration.
+func (o Options) withDefaults() Options {
+	c := o.engineConfig().WithDefaults()
+	o.CoarsenTarget = c.CoarsenTarget
+	o.Restarts = c.Restarts
+	o.MaxCycles = c.MaxCycles
+	o.RefinePasses = c.RefinePasses
+	o.Parallelism = c.Parallelism
+	o.Seed = c.Seed
+	return o
 }
 
 // PolishStrategy selects the optional final local-search pass.
@@ -159,28 +157,6 @@ func (p PolishStrategy) String() string {
 	default:
 		return "polish(?)"
 	}
-}
-
-func (o Options) withDefaults() Options {
-	if o.CoarsenTarget <= 0 {
-		o.CoarsenTarget = 100
-	}
-	if o.Restarts <= 0 {
-		o.Restarts = 10
-	}
-	if o.MaxCycles <= 0 {
-		o.MaxCycles = 16
-	}
-	if o.RefinePasses <= 0 {
-		o.RefinePasses = 8
-	}
-	if o.Parallelism <= 0 {
-		o.Parallelism = runtime.GOMAXPROCS(0)
-	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
-	return o
 }
 
 // Result carries the partition and run metadata.
@@ -222,130 +198,35 @@ func Partition(g *graph.Graph, opts Options) (*Result, error) {
 // for cancellation alone. Invalid options are rejected up front with
 // typed errors wrapping ErrInvalidOptions.
 func PartitionCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
+	return PartitionTraceCtx(ctx, g, opts, nil)
+}
+
+// PartitionTraceCtx is PartitionCtx with an optional structured solve
+// trace: when tr is non-nil every engine stage records into it (per-level
+// heuristic choices, contraction ratios, refinement outcomes, prune and
+// retry decisions). A nil tr is free — every trace hook in the engine is
+// a skipped nil check — and the chosen partition is bit-identical either
+// way.
+func PartitionTraceCtx(ctx context.Context, g *graph.Graph, opts Options, tr *engine.Trace) (*Result, error) {
 	if err := opts.Validate(g); err != nil {
 		return nil, err
 	}
 	opts = opts.withDefaults()
 	start := time.Now()
-	// One finest-level CSR snapshot serves every candidate evaluation;
-	// cycles only read it, so sharing across goroutines is safe.
-	fcsr := g.ToCSR()
 
-	type candidate struct {
-		cycle    int
-		parts    []int
-		goodness float64
-		feasible bool
-		pruned   bool
-	}
+	out := engine.New(opts.engineConfig()).Solve(ctx, g, tr)
+	parts, goodness, feasible := out.Parts, out.Goodness, out.Feasible
 
-	inc := newIncumbent()
-	runCycle := func(cycle int) candidate {
-		// Each cycle gets an independent deterministic stream and a
-		// pooled workspace for all its scratch.
-		rng := rand.New(rand.NewSource(opts.Seed + int64(cycle)*0x9E3779B9))
-		ws := arena.Get()
-		defer arena.Put(ws)
-		parts, pruned := gpCycle(ctx, g, opts, cycle, rng, ws, inc)
-		if parts == nil {
-			// Cancelled or pruned before the cycle produced a full
-			// assignment.
-			return candidate{cycle: cycle, goodness: math.Inf(1), pruned: pruned}
-		}
-		goodness, feasible := opts.evaluateWS(ws, fcsr, parts)
-		if feasible {
-			inc.publish(cycle, goodness)
-		}
-		return candidate{
-			cycle:    cycle,
-			parts:    parts,
-			goodness: goodness,
-			feasible: feasible,
-		}
-	}
-
-	better := func(a, b candidate) bool {
-		if a.goodness != b.goodness {
-			return a.goodness < b.goodness
-		}
-		return a.cycle < b.cycle
-	}
-
-	var best candidate
-	best.cycle = -1
-	cyclesRun := 0
-	// Explore cycles in deterministic parallel batches. Serial semantics:
-	// stop at the first feasible cycle (lowest cycle index) unless
-	// MinimizeAfterFeasible. A batch may overshoot the stopping cycle;
-	// overshoot results are discarded to keep parallel == serial.
-	for base := 0; base < opts.MaxCycles && ctx.Err() == nil; base += opts.Parallelism {
-		batch := opts.Parallelism
-		if base+batch > opts.MaxCycles {
-			batch = opts.MaxCycles - base
-		}
-		results := make([]candidate, batch)
-		var wg sync.WaitGroup
-		for i := 0; i < batch; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				results[i] = runCycle(base + i)
-			}(i)
-		}
-		wg.Wait()
-		stopAt := -1
-		for _, c := range results {
-			if !opts.MinimizeAfterFeasible && c.feasible {
-				stopAt = c.cycle
-				break
-			}
-		}
-		for _, c := range results {
-			if stopAt >= 0 && c.cycle > stopAt {
-				continue // serial run would never have executed this cycle
-			}
-			if c.parts == nil {
-				// Cancelled mid-cycle produced nothing; a pruned cycle
-				// would have completed (with a result the reduction
-				// discards), so it still counts as executed.
-				if c.pruned {
-					cyclesRun++
-				}
-				continue
-			}
-			cyclesRun++
-			if best.cycle < 0 || better(c, best) {
-				best = c
-			}
-		}
-		if stopAt >= 0 {
-			break
-		}
-	}
-	stopped := ctx.Err() != nil
-
-	if best.parts == nil {
-		// Nothing completed before cancellation: fall back to a trivial
-		// round-robin assignment so callers always get a full-length
-		// partition and an honest violation report.
-		parts := make([]int, g.NumNodes())
-		for i := range parts {
-			parts[i] = i % opts.K
-		}
-		best.parts = parts
-		best.goodness, best.feasible = opts.evaluate(fcsr, parts)
-	}
-
-	if stopped {
+	if out.Stopped {
 		// Best-effort return: skip polishing, which could take arbitrary
 		// extra time after the caller's deadline already fired.
 		opts.Polish = PolishNone
 	}
 	switch opts.Polish {
 	case PolishTabu:
-		refine.TabuSearch(g, best.parts, opts.K, opts.Constraints, refine.TabuOptions{})
+		refine.TabuSearch(g, parts, opts.K, opts.Constraints, refine.TabuOptions{})
 	case PolishAnneal:
-		refine.Anneal(g, best.parts, opts.K, opts.Constraints, refine.AnnealOptions{},
+		refine.Anneal(g, parts, opts.K, opts.Constraints, refine.AnnealOptions{},
 			rand.New(rand.NewSource(opts.Seed^0x5DEECE66D)))
 	}
 	if opts.Polish != PolishNone {
@@ -354,235 +235,33 @@ func PartitionCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, e
 		// a vector bound would be reflected (the vector rebalance below
 		// then repairs it).
 		if opts.vectorActive() {
-			refine.RebalanceVector(g, opts.VectorResources, best.parts, opts.K,
+			refine.RebalanceVector(g, opts.VectorResources, parts, opts.K,
 				opts.VectorConstraints, opts.RefinePasses)
 		}
-		best.goodness, best.feasible = opts.evaluate(fcsr, best.parts)
+		goodness, feasible = opts.engineConfig().Evaluate(g.ToCSR(), parts)
 	}
 
 	res := &Result{
-		Parts:    best.parts,
+		Parts:    parts,
 		K:        opts.K,
-		Feasible: best.feasible,
-		Cycles:   cyclesRun,
-		Goodness: best.goodness,
+		Feasible: feasible,
+		Cycles:   out.CyclesRun,
+		Goodness: goodness,
 		Runtime:  time.Since(start),
-		Report:   metrics.Evaluate(g, best.parts, opts.K, opts.Constraints),
-		Stopped:  stopped,
+		Report:   metrics.Evaluate(g, parts, opts.K, opts.Constraints),
+		Stopped:  out.Stopped,
 	}
 	switch {
-	case stopped && !res.Feasible:
+	case out.Stopped && !res.Feasible:
 		res.Message = fmt.Sprintf(
 			"search stopped early (%v) after %d cycles: returning best-effort infeasible partition (Bmax=%d, Rmax=%d)",
-			ctx.Err(), cyclesRun, opts.Constraints.Bmax, opts.Constraints.Rmax)
-	case stopped:
-		res.Message = fmt.Sprintf("search stopped early (%v) after %d cycles: returning best feasible partition found", ctx.Err(), cyclesRun)
+			ctx.Err(), out.CyclesRun, opts.Constraints.Bmax, opts.Constraints.Rmax)
+	case out.Stopped:
+		res.Message = fmt.Sprintf("search stopped early (%v) after %d cycles: returning best feasible partition found", ctx.Err(), out.CyclesRun)
 	case !res.Feasible:
 		res.Message = fmt.Sprintf(
 			"no feasible %d-way partition found within %d cycles: constraints (Bmax=%d, Rmax=%d) are either impossible or need more iterations (raise MaxCycles)",
-			opts.K, cyclesRun, opts.Constraints.Bmax, opts.Constraints.Rmax)
+			opts.K, out.CyclesRun, opts.Constraints.Bmax, opts.Constraints.Rmax)
 	}
 	return res, nil
-}
-
-// gpCycle executes one full coarsen → seed → uncoarsen+refine cycle and
-// returns the finest-level assignment it produced. Cancellation is
-// honored at phase and level boundaries: a cancelled cycle projects its
-// current clustering straight to the finest graph (skipping refinement)
-// so the caller still receives a usable assignment, or nil when not even
-// the seeding finished. All scratch — level CSR snapshots, per-level
-// assignments, refinement pipelines' buffers — is drawn from ws. A
-// (nil, true) return means the cycle abandoned itself against the
-// shared incumbent (its result was provably going to be discarded).
-func gpCycle(ctx context.Context, g *graph.Graph, opts Options, cycle int, rng *rand.Rand, ws *arena.Workspace, inc *incumbent) (result []int, pruned bool) {
-	if ctx.Err() != nil {
-		return nil, false
-	}
-	levelScore := math.Inf(1)
-	abandon := func() bool {
-		return inc.shouldAbandon(opts, cycle, levelScore)
-	}
-	var hier *coarsen.Hierarchy
-	var err error
-	if opts.NLevelCoarsening {
-		hier, err = coarsen.BuildNLevel(g, opts.CoarsenTarget)
-	} else {
-		hier, err = coarsen.BuildWS(ws, g, coarsen.Options{
-			TargetSize: opts.CoarsenTarget,
-			Heuristics: opts.MatchHeuristics,
-		}, rng)
-	}
-	if err != nil {
-		// Hierarchy construction only fails on internal invariant
-		// breakage; degrade to a flat (no-hierarchy) run rather than
-		// abort the cycle.
-		hier = &coarsen.Hierarchy{Original: g}
-	}
-	coarsest := hier.Coarsest()
-	if abandon() {
-		return nil, true
-	}
-
-	// One CSR snapshot per hierarchy level, rebuilt into the workspace's
-	// level slots each cycle; the coarsest one serves both seeding and
-	// the first refinement round.
-	ccsr := coarsest.ToCSRInto(ws.LevelCSR(hier.Depth()))
-
-	// Initial partitioning. Cycle 0 uses the paper's greedy scheme; later
-	// cycles alternate greedy (fresh random seeds) and purely random
-	// seeding — §IV-C: "we go back to coarsening phase and then
-	// partitioning phase (randomly), cyclically".
-	var parts []int
-	if cycle%2 == 0 {
-		parts, err = initpart.GreedyGrowWS(ws, coarsest, ccsr, initpart.GreedyOptions{
-			K:           opts.K,
-			Rmax:        opts.Constraints.Rmax,
-			Restarts:    opts.Restarts,
-			Constraints: opts.Constraints,
-		}, rng)
-	} else {
-		parts, err = initpart.RandomPartition(coarsest, opts.K, rng)
-	}
-	if err != nil {
-		// The coarsest graph can, in principle, have fewer nodes than K if
-		// the caller picked a tiny CoarsenTarget; fall back to the finest
-		// graph directly.
-		coarsest = g
-		hier = &coarsen.Hierarchy{Original: g}
-		ccsr = coarsest.ToCSRInto(ws.LevelCSR(0))
-		parts, _ = initpart.GreedyGrowWS(ws, g, ccsr, initpart.GreedyOptions{
-			K:           opts.K,
-			Rmax:        opts.Constraints.Rmax,
-			Restarts:    opts.Restarts,
-			Constraints: opts.Constraints,
-		}, rng)
-	}
-	if ctx.Err() != nil {
-		full, perr := hier.ProjectTo(parts, hier.Depth(), 0)
-		if perr != nil {
-			return nil, false
-		}
-		return full, false
-	}
-	parts, levelScore = bestRefinement(ccsr, parts, opts, ws, abandon)
-
-	// Uncoarsen with goodness-ranked intermediate clusterings: at each
-	// level, competing refinement pipelines produce different candidate
-	// clusterings; the goodness-best is chosen to continue (§IV: "we
-	// generate different intermediate clusterings, that are compared a
-	// posteriori using a goodness function; the best is chosen").
-	for lvl := hier.Depth(); lvl > 0; lvl-- {
-		if abandon() {
-			return nil, true
-		}
-		fine := hier.GraphAt(lvl - 1)
-		projected := ws.Ints.Cap(fine.NumNodes())[:fine.NumNodes()]
-		if err := hier.Levels[lvl-1].ProjectUpInto(parts, projected); err != nil {
-			ws.Ints.Put(projected)
-			break
-		}
-		ws.Ints.Put(parts)
-		parts = projected
-		if ctx.Err() != nil {
-			// Deadline hit mid-uncoarsening: project the current level's
-			// assignment to the finest graph without further refinement.
-			full, perr := hier.ProjectTo(parts, lvl-1, 0)
-			if perr != nil {
-				return nil, false
-			}
-			return full, false
-		}
-		csr := fine.ToCSRInto(ws.LevelCSR(lvl - 1))
-		parts, levelScore = bestRefinement(csr, parts, opts, ws, abandon)
-	}
-	return parts, false
-}
-
-// refinePipeline is one ordering of the three local-search stages. Stages
-// read adjacency through a CSR snapshot built once per hierarchy level and
-// shared by all pipelines at that level, and draw scratch from the
-// pipeline's workspace.
-type refinePipeline []func(*graph.CSR, []int, Options, *arena.Workspace)
-
-func stageCut(csr *graph.CSR, parts []int, opts Options, ws *arena.Workspace) {
-	refine.KWayFMWS(ws, csr, parts, opts.K, opts.Constraints.Rmax, opts.RefinePasses)
-}
-
-func stageBandwidth(csr *graph.CSR, parts []int, opts Options, ws *arena.Workspace) {
-	refine.RepairBandwidthWS(ws, csr, parts, opts.K, opts.Constraints, opts.RefinePasses)
-}
-
-func stageResources(csr *graph.CSR, parts []int, opts Options, ws *arena.Workspace) {
-	refine.RebalanceResourcesWS(ws, csr, parts, opts.K, opts.Constraints.Rmax, opts.RefinePasses)
-}
-
-// stageVector repairs multi-resource overflow; it only applies at the
-// finest level, where the assignment indexes the original nodes.
-func stageVector(csr *graph.CSR, parts []int, opts Options, ws *arena.Workspace) {
-	if opts.vectorActive() && len(parts) == len(opts.VectorResources) {
-		refine.RebalanceVectorCSR(csr, opts.VectorResources, parts, opts.K,
-			opts.VectorConstraints, opts.RefinePasses)
-	}
-}
-
-// pipelines are the candidate stage orderings compared at each level.
-var pipelines = []refinePipeline{
-	{stageCut, stageResources, stageBandwidth, stageVector},
-	{stageResources, stageVector, stageBandwidth, stageCut},
-	{stageBandwidth, stageCut, stageResources, stageVector},
-}
-
-// bestRefinement runs every pipeline concurrently, each on its own copy of
-// the projected partition, writes the goodness-best outcome back into
-// parts, and returns parts together with the winning score. Every stage
-// is RNG-free and deterministic, each candidate is scored on its own
-// goroutine (a pure function of the candidate, so concurrency cannot
-// change the values), and the reduction scans candidates in pipeline
-// order with strict-improvement selection (ties keep the earlier
-// pipeline) — bit-identical to the serial loop.
-//
-// Pipeline i draws its scratch from ws.Child(i), so repeated levels and
-// cycles on the same workspace reuse the same per-pipeline buffers.
-// abandon, when non-nil, is polled between stages: once it fires the
-// pipeline skips its remaining stages (the caller is about to discard
-// the whole cycle).
-func bestRefinement(csr *graph.CSR, parts []int, opts Options, ws *arena.Workspace, abandon func() bool) ([]int, float64) {
-	type scored struct {
-		parts    []int
-		score    float64
-		feasible bool
-	}
-	cands := make([]scored, len(pipelines))
-	var wg sync.WaitGroup
-	for i, pl := range pipelines {
-		// Child must be materialized before the goroutines fork: it
-		// appends to the parent's child list on first use.
-		pws := ws.Child(i)
-		wg.Add(1)
-		go func(i int, pl refinePipeline, pws *arena.Workspace) {
-			defer wg.Done()
-			cand := append(pws.Ints.Cap(len(parts)), parts...)
-			for si, stage := range pl {
-				if si > 0 && abandon != nil && abandon() {
-					break
-				}
-				stage(csr, cand, opts, pws)
-			}
-			score, feasible := opts.evaluateWS(pws, csr, cand)
-			cands[i] = scored{parts: cand, score: score, feasible: feasible}
-		}(i, pl, pws)
-	}
-	wg.Wait()
-	best := 0
-	for i := 1; i < len(cands); i++ {
-		if cands[i].score < cands[best].score {
-			best = i
-		}
-	}
-	copy(parts, cands[best].parts)
-	bestScore := cands[best].score
-	for i := range cands {
-		ws.Child(i).Ints.Put(cands[i].parts)
-	}
-	return parts, bestScore
 }

@@ -7,7 +7,6 @@ import (
 	"testing"
 	"time"
 
-	"ppnpart/internal/arena"
 	"ppnpart/internal/graph"
 	"ppnpart/internal/match"
 	"ppnpart/internal/metrics"
@@ -109,20 +108,6 @@ func TestPartitionCtxMidRunCancellation(t *testing.T) {
 	}
 	if err := metrics.Validate(g, res.Parts, res.K); err != nil {
 		t.Fatalf("assignment invalid after cancellation: %v", err)
-	}
-}
-
-func TestGPCycleNilOnCancelledContext(t *testing.T) {
-	g := randomConnected(rand.New(rand.NewSource(17)), 40)
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	parts, pruned := gpCycle(ctx, g, Options{K: 2}.withDefaults(), 0,
-		rand.New(rand.NewSource(1)), arena.Get(), newIncumbent())
-	if parts != nil {
-		t.Fatalf("gpCycle on cancelled context = %v, want nil", parts)
-	}
-	if pruned {
-		t.Fatal("cancellation misreported as incumbent pruning")
 	}
 }
 

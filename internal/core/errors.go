@@ -30,6 +30,10 @@ var (
 	ErrUnknownHeuristic = fmt.Errorf("%w: %w", ErrInvalidOptions, match.ErrUnknownHeuristic)
 	// ErrUnknownPruneMode rejects a Prune value outside the known modes.
 	ErrUnknownPruneMode = fmt.Errorf("%w: unknown prune mode", ErrInvalidOptions)
+	// ErrHeuristicsWithNLevel rejects combining MatchHeuristics with
+	// NLevelCoarsening: n-level coarsening always contracts a single
+	// heaviest edge, so a heuristic restriction would be silently ignored.
+	ErrHeuristicsWithNLevel = fmt.Errorf("%w: MatchHeuristics has no effect with NLevelCoarsening", ErrInvalidOptions)
 )
 
 // Validate checks opts against g up front, returning a typed, wrapped
@@ -56,6 +60,9 @@ func (o Options) Validate(g *graph.Graph) error {
 		if !h.Valid() {
 			return fmt.Errorf("%w (heuristic %d)", ErrUnknownHeuristic, int(h))
 		}
+	}
+	if o.NLevelCoarsening && len(o.MatchHeuristics) > 0 {
+		return ErrHeuristicsWithNLevel
 	}
 	if !o.Prune.Valid() {
 		return fmt.Errorf("%w (prune mode %d)", ErrUnknownPruneMode, int(o.Prune))

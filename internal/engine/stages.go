@@ -1,0 +1,323 @@
+package engine
+
+import (
+	"sync"
+
+	"ppnpart/internal/arena"
+	"ppnpart/internal/coarsen"
+	"ppnpart/internal/graph"
+	"ppnpart/internal/initpart"
+	"ppnpart/internal/refine"
+)
+
+// coarsenStage builds the multilevel hierarchy. Construction failures
+// degrade to a flat (no-hierarchy) run rather than aborting the cycle —
+// hierarchy construction only fails on internal invariant breakage.
+type coarsenStage struct{}
+
+func (coarsenStage) Phase() Phase { return PhaseCoarsen }
+
+func (coarsenStage) Run(cy *Cycle) error {
+	var hier *coarsen.Hierarchy
+	var err error
+	if cy.Cfg.NLevelCoarsening {
+		hier, err = coarsen.BuildNLevelWS(cy.WS, cy.Graph, cy.Cfg.CoarsenTarget)
+	} else {
+		hier, err = coarsen.BuildWS(cy.WS, cy.Graph, coarsen.Options{
+			TargetSize: cy.Cfg.CoarsenTarget,
+			Heuristics: cy.Cfg.MatchHeuristics,
+			// Candidate recording is the trace's per-level view of the
+			// best-of-three competition; off-trace it costs nothing.
+			RecordCandidates: cy.trace != nil,
+		}, cy.RNG)
+	}
+	if err != nil {
+		hier = &coarsen.Hierarchy{Original: cy.Graph}
+	}
+	cy.Hier = hier
+	if ct := cy.trace; ct != nil {
+		fine := cy.Graph.NumNodes()
+		for i, lvl := range hier.Levels {
+			coarse := lvl.Coarse.NumNodes()
+			lt := LevelTrace{
+				Level:       i,
+				Heuristic:   lvl.Heuristic.String(),
+				FineNodes:   fine,
+				CoarseNodes: coarse,
+				Ratio:       float64(coarse) / float64(fine),
+			}
+			for _, c := range lvl.Candidates {
+				lt.Candidates = append(lt.Candidates, MatchTrace{
+					Heuristic:     c.Heuristic.String(),
+					MatchedWeight: c.MatchedWeight,
+					Pairs:         c.Pairs,
+				})
+			}
+			ct.Levels = append(ct.Levels, lt)
+			fine = coarse
+		}
+	}
+	return nil
+}
+
+// initialStage seeds the coarsest graph. Cycle 0 uses the paper's greedy
+// scheme; later cycles alternate greedy (fresh random seeds) and purely
+// random seeding — §IV-C: "we go back to coarsening phase and then
+// partitioning phase (randomly), cyclically". It also snapshots the
+// coarsest CSR into the workspace's level slot and positions the cycle at
+// the deepest level.
+type initialStage struct{}
+
+func (initialStage) Phase() Phase { return PhaseInitialPartition }
+
+func (initialStage) Run(cy *Cycle) error {
+	cfg := cy.Cfg
+	coarsest := cy.Hier.Coarsest()
+	cy.Level = cy.Hier.Depth()
+	// One CSR snapshot per hierarchy level, rebuilt into the workspace's
+	// level slots each cycle; the coarsest one serves both seeding and
+	// the first refinement round.
+	cy.CSR = coarsest.ToCSRInto(cy.WS.LevelCSR(cy.Level))
+
+	method := "greedy"
+	var parts []int
+	var err error
+	if cy.Index%2 == 0 {
+		parts, err = initpart.GreedyGrowWS(cy.WS, coarsest, cy.CSR, initpart.GreedyOptions{
+			K:           cfg.K,
+			Rmax:        cfg.Constraints.Rmax,
+			Restarts:    cfg.Restarts,
+			Constraints: cfg.Constraints,
+		}, cy.RNG)
+	} else {
+		method = "random"
+		parts, err = initpart.RandomPartitionWS(cy.WS, coarsest, cfg.K, cy.RNG)
+	}
+	if err != nil {
+		// The coarsest graph can, in principle, have fewer nodes than K
+		// if the caller picked a tiny CoarsenTarget; fall back to the
+		// finest graph directly.
+		method = "greedy-fallback"
+		coarsest = cy.Graph
+		cy.Hier = &coarsen.Hierarchy{Original: cy.Graph}
+		cy.Level = 0
+		cy.CSR = coarsest.ToCSRInto(cy.WS.LevelCSR(0))
+		parts, _ = initpart.GreedyGrowWS(cy.WS, cy.Graph, cy.CSR, initpart.GreedyOptions{
+			K:           cfg.K,
+			Rmax:        cfg.Constraints.Rmax,
+			Restarts:    cfg.Restarts,
+			Constraints: cfg.Constraints,
+		}, cy.RNG)
+	}
+	cy.Parts = parts
+	if ct := cy.trace; ct != nil {
+		st := &SeedTrace{Method: method, Nodes: coarsest.NumNodes()}
+		if method != "random" {
+			st.Restarts = cfg.Restarts
+		}
+		ct.Seeding = st
+	}
+	return nil
+}
+
+// uncoarsenStage projects the assignment one level finer, recycling the
+// coarser level's buffer, and snapshots the finer graph's CSR.
+type uncoarsenStage struct{}
+
+func (uncoarsenStage) Phase() Phase { return PhaseUncoarsen }
+
+func (uncoarsenStage) Run(cy *Cycle) error {
+	lvl := cy.Level
+	fine := cy.Hier.GraphAt(lvl - 1)
+	projected := cy.WS.Ints.Cap(fine.NumNodes())[:fine.NumNodes()]
+	if err := cy.Hier.Levels[lvl-1].ProjectUpInto(cy.Parts, projected); err != nil {
+		cy.WS.Ints.Put(projected)
+		return errStopUncoarsen
+	}
+	cy.WS.Ints.Put(cy.Parts)
+	cy.Parts = projected
+	cy.Level = lvl - 1
+	cy.CSR = fine.ToCSRInto(cy.WS.LevelCSR(lvl - 1))
+	return nil
+}
+
+// refineStage refines the current level: every pipeline runs concurrently
+// on its own copy of the projected partition, the goodness-best outcome
+// wins, and the winning score becomes the cycle's LevelScore.
+type refineStage struct{}
+
+func (refineStage) Phase() Phase { return PhaseRefine }
+
+func (refineStage) Run(cy *Cycle) error {
+	t := cy.now()
+	win := bestRefinement(cy.CSR, cy.Parts, cy.Cfg, cy.WS, cy.abandon, cy.trace != nil)
+	cy.LevelScore = win.score
+	if ct := cy.trace; ct != nil {
+		ct.Refines = append(ct.Refines, RefineTrace{
+			Level:           cy.Level,
+			Nodes:           cy.CSR.NumNodes(),
+			Pipeline:        win.pipeline,
+			FMPasses:        win.fmPasses,
+			FMMoves:         win.fmMoves,
+			Cut:             win.extra.cut,
+			BandwidthExcess: win.extra.bwExcess,
+			ResourceExcess:  win.extra.resExcess,
+			Goodness:        win.score,
+			WallNS:          cy.since(t),
+		})
+		ct.RefineNS += cy.since(t)
+	}
+	return nil
+}
+
+// retryStage implements the paper's cyclic re-coarsen policy: stop at the
+// first feasible cycle unless MinimizeAfterFeasible, and stop when the
+// iteration budget is exhausted. The solver invokes it per completed
+// cycle in index order; StopSearch marks where a serial run would have
+// stopped (later batch results are overshoot and get discarded).
+type retryStage struct{}
+
+func (retryStage) Phase() Phase { return PhaseRetry }
+
+func (retryStage) Run(cy *Cycle) error {
+	reason := "retry"
+	cont := true
+	switch {
+	case cy.Feasible && !cy.Cfg.MinimizeAfterFeasible:
+		reason, cont = "feasible-stop", false
+	case cy.Index >= cy.Cfg.MaxCycles-1:
+		reason, cont = "budget-exhausted", false
+	case cy.Feasible:
+		reason = "minimize"
+	}
+	cy.StopSearch = !cont
+	if ct := cy.trace; ct != nil {
+		ct.Retry = &RetryTrace{Feasible: cy.Feasible, Continue: cont, Reason: reason}
+	}
+	return nil
+}
+
+// refinePipeline is one ordering of the local-search stages. Stages read
+// adjacency through a CSR snapshot built once per hierarchy level and
+// shared by all pipelines at that level, and draw scratch from the
+// pipeline's workspace. fm, when non-nil, accumulates k-way FM work for
+// the trace.
+type refinePipeline []func(csr *graph.CSR, parts []int, cfg *Config, ws *arena.Workspace, fm *refine.Stats)
+
+func stageCut(csr *graph.CSR, parts []int, cfg *Config, ws *arena.Workspace, fm *refine.Stats) {
+	st := refine.KWayFMWS(ws, csr, parts, cfg.K, cfg.Constraints.Rmax, cfg.RefinePasses)
+	if fm != nil {
+		fm.Passes += st.Passes
+		fm.Moves += st.Moves
+	}
+}
+
+func stageBandwidth(csr *graph.CSR, parts []int, cfg *Config, ws *arena.Workspace, _ *refine.Stats) {
+	refine.RepairBandwidthWS(ws, csr, parts, cfg.K, cfg.Constraints, cfg.RefinePasses)
+}
+
+func stageResources(csr *graph.CSR, parts []int, cfg *Config, ws *arena.Workspace, _ *refine.Stats) {
+	refine.RebalanceResourcesWS(ws, csr, parts, cfg.K, cfg.Constraints.Rmax, cfg.RefinePasses)
+}
+
+// stageVector repairs multi-resource overflow; it only applies at the
+// finest level, where the assignment indexes the original nodes.
+func stageVector(csr *graph.CSR, parts []int, cfg *Config, ws *arena.Workspace, _ *refine.Stats) {
+	if cfg.vectorActive() && len(parts) == len(cfg.VectorResources) {
+		refine.RebalanceVectorWS(ws, csr, cfg.VectorResources, parts, cfg.K,
+			cfg.VectorConstraints, cfg.RefinePasses)
+	}
+}
+
+// pipelines are the candidate stage orderings compared at each level.
+var pipelines = []refinePipeline{
+	{stageCut, stageResources, stageBandwidth, stageVector},
+	{stageResources, stageVector, stageBandwidth, stageCut},
+	{stageBandwidth, stageCut, stageResources, stageVector},
+}
+
+// refineWin is the winning candidate of one bestRefinement round.
+type refineWin struct {
+	pipeline int
+	score    float64
+	feasible bool
+	fmPasses int
+	fmMoves  int
+	extra    evalExtra
+}
+
+// bestRefinement runs every pipeline concurrently, each on its own copy
+// of the projected partition, writes the goodness-best outcome back into
+// parts, and returns the winning candidate's description. Every stage is
+// RNG-free and deterministic, each candidate is scored on its own
+// goroutine (a pure function of the candidate, so concurrency cannot
+// change the values), and the reduction scans candidates in pipeline
+// order with strict-improvement selection (ties keep the earlier
+// pipeline) — bit-identical to the serial loop.
+//
+// Pipeline i draws its scratch from ws.Child(i), so repeated levels and
+// cycles on the same workspace reuse the same per-pipeline buffers.
+// abandon, when non-nil, is polled between stages: once it fires the
+// pipeline skips its remaining stages (the caller is about to discard
+// the whole cycle). tracing adds cut/excess capture and FM stats to the
+// per-candidate evaluation; with tracing off the scoring is exactly the
+// legacy single-state build.
+func bestRefinement(csr *graph.CSR, parts []int, cfg *Config, ws *arena.Workspace, abandon func() bool, tracing bool) refineWin {
+	type scored struct {
+		parts    []int
+		score    float64
+		feasible bool
+		fm       refine.Stats
+		extra    evalExtra
+	}
+	cands := make([]scored, len(pipelines))
+	var wg sync.WaitGroup
+	for i, pl := range pipelines {
+		// Child must be materialized before the goroutines fork: it
+		// appends to the parent's child list on first use.
+		pws := ws.Child(i)
+		wg.Add(1)
+		go func(i int, pl refinePipeline, pws *arena.Workspace) {
+			defer wg.Done()
+			cand := append(pws.Ints.Cap(len(parts)), parts...)
+			var fm *refine.Stats
+			if tracing {
+				fm = &cands[i].fm
+			}
+			for si, stage := range pl {
+				if si > 0 && abandon != nil && abandon() {
+					break
+				}
+				stage(csr, cand, cfg, pws, fm)
+			}
+			var extra *evalExtra
+			if tracing {
+				extra = &cands[i].extra
+			}
+			score, feasible := cfg.evaluateWS(pws, csr, cand, extra)
+			cands[i].parts = cand
+			cands[i].score = score
+			cands[i].feasible = feasible
+		}(i, pl, pws)
+	}
+	wg.Wait()
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if cands[i].score < cands[best].score {
+			best = i
+		}
+	}
+	copy(parts, cands[best].parts)
+	win := refineWin{
+		pipeline: best,
+		score:    cands[best].score,
+		feasible: cands[best].feasible,
+		fmPasses: cands[best].fm.Passes,
+		fmMoves:  cands[best].fm.Moves,
+		extra:    cands[best].extra,
+	}
+	for i := range cands {
+		ws.Child(i).Ints.Put(cands[i].parts)
+	}
+	return win
+}

@@ -12,8 +12,14 @@ import (
 // selection order, empty-part repair, and the recursive-bisect
 // rebalancer's edge cases.
 
+// testFrontier builds a frontier over n nodes the way growOnce does from
+// its workspace-pooled tables.
+func testFrontier(n int) *frontier {
+	return &frontier{weight: make([]int64, n), in: make([]bool, n)}
+}
+
 func TestFrontierPopMaxOrdersByWeightThenID(t *testing.T) {
-	f := newFrontier(8)
+	f := testFrontier(8)
 	f.add(3, 5)
 	f.add(1, 9)
 	f.add(6, 2)
@@ -34,7 +40,7 @@ func TestFrontierPopMaxOrdersByWeightThenID(t *testing.T) {
 }
 
 func TestFrontierAddAccumulatesWeight(t *testing.T) {
-	f := newFrontier(4)
+	f := testFrontier(4)
 	f.add(0, 3)
 	f.add(2, 5)
 	f.add(0, 4) // 0 now totals 7, overtaking 2
@@ -47,7 +53,7 @@ func TestFrontierAddAccumulatesWeight(t *testing.T) {
 }
 
 func TestFrontierPopLeavesNoResidue(t *testing.T) {
-	f := newFrontier(4)
+	f := testFrontier(4)
 	f.add(1, 10)
 	f.add(2, 6)
 	if got := f.popMax(); got != 1 {

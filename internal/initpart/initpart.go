@@ -306,10 +306,6 @@ type frontier struct {
 	items  []graph.Node
 }
 
-func newFrontier(n int) *frontier {
-	return &frontier{weight: make([]int64, n), in: make([]bool, n)}
-}
-
 func (f *frontier) add(u graph.Node, w int64) {
 	if !f.in[u] {
 		f.in[u] = true
@@ -345,6 +341,16 @@ func (f *frontier) popMax() graph.Node {
 // step of the paper's un-coarsening phase ("we go back to coarsening
 // phase and then partitioning phase (randomly), cyclically").
 func RandomPartition(g *graph.Graph, k int, rng *rand.Rand) ([]int, error) {
+	ws := arena.Get()
+	defer arena.Put(ws)
+	return RandomPartitionWS(ws, g, k, rng)
+}
+
+// RandomPartitionWS is RandomPartition with the assignment drawn from
+// ws.Ints. The returned buffer is never released back to ws, so it safely
+// outlives the workspace's return to the pool (the same escape pattern as
+// GreedyGrowWS).
+func RandomPartitionWS(ws *arena.Workspace, g *graph.Graph, k int, rng *rand.Rand) ([]int, error) {
 	n := g.NumNodes()
 	if k <= 0 {
 		return nil, fmt.Errorf("initpart: K = %d must be positive", k)
@@ -352,7 +358,7 @@ func RandomPartition(g *graph.Graph, k int, rng *rand.Rand) ([]int, error) {
 	if n < k {
 		return nil, fmt.Errorf("initpart: cannot split %d nodes into %d parts", n, k)
 	}
-	parts := make([]int, n)
+	parts := ws.Ints.Get(n)
 	for i := range parts {
 		parts[i] = rng.Intn(k)
 	}

@@ -89,28 +89,9 @@ func (m Matching) MatchedWeight(g *graph.Graph) int64 {
 // order; each unmatched node grabs a random unmatched neighbor. The result
 // is maximal: no edge has both endpoints unmatched.
 func Random(g *graph.Graph, rng *rand.Rand) Matching {
-	n := g.NumNodes()
-	m := NewMatching(n)
-	order := rng.Perm(n)
-	var cand []graph.Node
-	for _, ui := range order {
-		u := graph.Node(ui)
-		if m[u] != Unmatched {
-			continue
-		}
-		cand = cand[:0]
-		for _, h := range g.Neighbors(u) {
-			if m[h.To] == Unmatched {
-				cand = append(cand, h.To)
-			}
-		}
-		if len(cand) == 0 {
-			continue
-		}
-		v := cand[rng.Intn(len(cand))]
-		m[u], m[v] = v, u
-	}
-	return m
+	ws := arena.Get()
+	defer arena.Put(ws)
+	return randomWS(ws, g, rng)
 }
 
 // HeavyEdge computes a Heavy-Edge Matching: edges are visited in
@@ -123,35 +104,9 @@ func Random(g *graph.Graph, rng *rand.Rand) Matching {
 // sorting algorithm; the generic non-stable sort avoids the reflection
 // overhead that used to dominate coarsening time.
 func HeavyEdge(g *graph.Graph) Matching {
-	n := g.NumNodes()
-	edges := make([]graph.Edge, 0, g.NumEdges())
-	for u := 0; u < n; u++ {
-		for _, h := range g.Neighbors(graph.Node(u)) {
-			if graph.Node(u) < h.To {
-				edges = append(edges, graph.Edge{U: graph.Node(u), V: h.To, Weight: h.Weight})
-			}
-		}
-	}
-	slices.SortFunc(edges, func(a, b graph.Edge) int {
-		switch {
-		case a.Weight != b.Weight:
-			if a.Weight > b.Weight {
-				return -1
-			}
-			return 1
-		case a.U != b.U:
-			return int(a.U) - int(b.U)
-		default:
-			return int(a.V) - int(b.V)
-		}
-	})
-	m := NewMatching(n)
-	for _, e := range edges {
-		if m[e.U] == Unmatched && m[e.V] == Unmatched {
-			m[e.U], m[e.V] = e.V, e.U
-		}
-	}
-	return m
+	ws := arena.Get()
+	defer arena.Put(ws)
+	return heavyEdgeWS(ws, g)
 }
 
 // KMeans computes the paper's K-Means Matching: nodes are clustered by
@@ -162,108 +117,9 @@ func HeavyEdge(g *graph.Graph) Matching {
 // cluster offers no free adjacent partner fall back to any free neighbor
 // so the matching stays maximal.
 func KMeans(g *graph.Graph, nClusters int, rng *rand.Rand) Matching {
-	n := g.NumNodes()
-	m := NewMatching(n)
-	if n == 0 {
-		return m
-	}
-	if nClusters < 1 {
-		nClusters = 1
-	}
-	if nClusters > n {
-		nClusters = n
-	}
-	cluster := kmeans1D(g, nClusters)
-
-	order := rng.Perm(n)
-	var sameCluster, other []graph.Node
-	for _, ui := range order {
-		u := graph.Node(ui)
-		if m[u] != Unmatched {
-			continue
-		}
-		sameCluster = sameCluster[:0]
-		other = other[:0]
-		for _, h := range g.Neighbors(u) {
-			if m[h.To] != Unmatched {
-				continue
-			}
-			if cluster[h.To] == cluster[u] {
-				sameCluster = append(sameCluster, h.To)
-			} else {
-				other = append(other, h.To)
-			}
-		}
-		var v graph.Node
-		switch {
-		case len(sameCluster) > 0:
-			v = sameCluster[rng.Intn(len(sameCluster))]
-		case len(other) > 0:
-			v = other[rng.Intn(len(other))]
-		default:
-			continue
-		}
-		m[u], m[v] = v, u
-	}
-	return m
-}
-
-// kmeans1D clusters node weights with Lloyd's algorithm on one dimension.
-// Deterministic; always returns cluster ids in [0, k).
-func kmeans1D(g *graph.Graph, k int) []int {
-	n := g.NumNodes()
-	cluster := make([]int, n)
-	if k == 1 || n <= k {
-		for i := range cluster {
-			if n <= k {
-				cluster[i] = i % k
-			}
-		}
-		return cluster
-	}
-	// Initialize centroids at evenly spaced quantiles of the sorted
-	// weights — deterministic and robust; rng only breaks exact ties.
-	ws := make([]float64, n)
-	for u := 0; u < n; u++ {
-		ws[u] = float64(g.NodeWeight(graph.Node(u)))
-	}
-	sorted := append([]float64(nil), ws...)
-	sort.Float64s(sorted)
-	centroids := make([]float64, k)
-	for i := range centroids {
-		centroids[i] = sorted[(i*(n-1))/(k-1)]
-	}
-	for iter := 0; iter < 30; iter++ {
-		changed := false
-		for u := 0; u < n; u++ {
-			best, bestD := 0, absF(ws[u]-centroids[0])
-			for c := 1; c < k; c++ {
-				d := absF(ws[u] - centroids[c])
-				if d < bestD {
-					best, bestD = c, d
-				}
-			}
-			if cluster[u] != best {
-				cluster[u] = best
-				changed = true
-			}
-		}
-		sum := make([]float64, k)
-		cnt := make([]int, k)
-		for u := 0; u < n; u++ {
-			sum[cluster[u]] += ws[u]
-			cnt[cluster[u]]++
-		}
-		for c := 0; c < k; c++ {
-			if cnt[c] > 0 {
-				centroids[c] = sum[c] / float64(cnt[c])
-			}
-		}
-		if !changed {
-			break
-		}
-	}
-	return cluster
+	ws := arena.Get()
+	defer arena.Put(ws)
+	return kMeansWS(ws, g, nClusters, rng)
 }
 
 func absF(x float64) float64 {

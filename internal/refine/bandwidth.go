@@ -30,20 +30,15 @@ type BandwidthStats struct {
 // most once per pass. Stops when feasible, when a pass makes no progress,
 // or after maxPasses (default 16).
 func RepairBandwidth(g *graph.Graph, parts []int, k int, c metrics.Constraints, maxPasses int) BandwidthStats {
-	return RepairBandwidthCSR(g.ToCSR(), parts, k, c, maxPasses)
-}
-
-// RepairBandwidthCSR is RepairBandwidth on a prebuilt CSR snapshot — the
-// form the multilevel driver uses, building one CSR per hierarchy level
-// and sharing it across every refinement stage at that level.
-func RepairBandwidthCSR(csr *graph.CSR, parts []int, k int, c metrics.Constraints, maxPasses int) BandwidthStats {
 	ws := arena.Get()
 	defer arena.Put(ws)
-	return RepairBandwidthWS(ws, csr, parts, k, c, maxPasses)
+	return RepairBandwidthWS(ws, g.ToCSR(), parts, k, c, maxPasses)
 }
 
-// RepairBandwidthWS is RepairBandwidthCSR drawing the partition state
-// and the per-pass moved set from ws.
+// RepairBandwidthWS is RepairBandwidth on a prebuilt CSR snapshot — the
+// form the multilevel driver uses, building one CSR per hierarchy level
+// and sharing it across every refinement stage at that level — drawing
+// the partition state and the per-pass moved set from ws.
 func RepairBandwidthWS(ws *arena.Workspace, csr *graph.CSR, parts []int, k int, c metrics.Constraints, maxPasses int) BandwidthStats {
 	st := BandwidthStats{}
 	if c.Bmax <= 0 {
@@ -159,18 +154,13 @@ func RebalanceResources(g *graph.Graph, parts []int, k int, rmax int64, maxPasse
 	if rmax <= 0 {
 		return 0, true
 	}
-	return RebalanceResourcesCSR(g.ToCSR(), parts, k, rmax, maxPasses)
-}
-
-// RebalanceResourcesCSR is RebalanceResources on a prebuilt CSR snapshot.
-func RebalanceResourcesCSR(csr *graph.CSR, parts []int, k int, rmax int64, maxPasses int) (int, bool) {
 	ws := arena.Get()
 	defer arena.Put(ws)
-	return RebalanceResourcesWS(ws, csr, parts, k, rmax, maxPasses)
+	return RebalanceResourcesWS(ws, g.ToCSR(), parts, k, rmax, maxPasses)
 }
 
-// RebalanceResourcesWS is RebalanceResourcesCSR with the per-part
-// totals and connectivity scratch drawn from ws.
+// RebalanceResourcesWS is RebalanceResources on a prebuilt CSR snapshot
+// with the per-part totals and connectivity scratch drawn from ws.
 func RebalanceResourcesWS(ws *arena.Workspace, csr *graph.CSR, parts []int, k int, rmax int64, maxPasses int) (int, bool) {
 	if rmax <= 0 {
 		return 0, true

@@ -26,11 +26,14 @@ func (s Stats) Improved() bool { return s.CutAfter < s.CutBefore }
 // (<= 0: the only bound is that no side may be emptied); maxPasses <= 0
 // defaults to 8. Terminates when a pass yields no improvement.
 func FMBisect(g *graph.Graph, parts []int, maxResource int64, maxPasses int) Stats {
-	return FMBisectCSR(g.ToCSR(), parts, maxResource, maxPasses)
+	ws := arena.Get()
+	defer arena.Put(ws)
+	return FMBisectWS(ws, g.ToCSR(), parts, maxResource, maxPasses)
 }
 
-// FMBisectCSR is FMBisect on a prebuilt CSR snapshot.
-func FMBisectCSR(csr *graph.CSR, parts []int, maxResource int64, maxPasses int) Stats {
+// FMBisectWS is FMBisect on a prebuilt CSR snapshot with the per-pass
+// gain and lock tables drawn from ws.
+func FMBisectWS(ws *arena.Workspace, csr *graph.CSR, parts []int, maxResource int64, maxPasses int) Stats {
 	if maxPasses <= 0 {
 		maxPasses = 8
 	}
@@ -38,7 +41,7 @@ func FMBisectCSR(csr *graph.CSR, parts []int, maxResource int64, maxPasses int) 
 	cur := st.CutBefore
 	for pass := 0; pass < maxPasses; pass++ {
 		st.Passes++
-		improved, newCut, kept := fmBisectPass(csr, parts, maxResource, cur)
+		improved, newCut, kept := fmBisectPass(ws, csr, parts, maxResource, cur)
 		cur = newCut
 		st.Moves += kept
 		if !improved {
@@ -51,7 +54,7 @@ func FMBisectCSR(csr *graph.CSR, parts []int, maxResource int64, maxPasses int) 
 
 // fmBisectPass runs one FM pass. Returns (improved, cut after rollback,
 // moves kept).
-func fmBisectPass(csr *graph.CSR, parts []int, maxResource int64, startCut int64) (bool, int64, int) {
+func fmBisectPass(ws *arena.Workspace, csr *graph.CSR, parts []int, maxResource int64, startCut int64) (bool, int64, int) {
 	n := csr.NumNodes()
 	// Side resource totals.
 	var res [2]int64
@@ -62,7 +65,8 @@ func fmBisectPass(csr *graph.CSR, parts []int, maxResource int64, startCut int64
 	}
 	// gain(u) = external(u) - internal(u): cut reduction if u switches side.
 	pq := newGainPQ(n)
-	gains := make([]int64, n)
+	gains := ws.Int64s.Get(n)
+	defer ws.Int64s.Put(gains)
 	for u := 0; u < n; u++ {
 		var ext, int_ int64
 		adj, wts := csr.Row(graph.Node(u))
@@ -76,7 +80,8 @@ func fmBisectPass(csr *graph.CSR, parts []int, maxResource int64, startCut int64
 		gains[u] = ext - int_
 		pq.Push(graph.Node(u), gains[u])
 	}
-	locked := make([]bool, n)
+	locked := ws.Bools.Get(n)
+	defer ws.Bools.Put(locked)
 	type move struct {
 		node graph.Node
 		from int
@@ -160,20 +165,15 @@ func fmBisectPass(csr *graph.CSR, parts []int, maxResource int64, startCut int64
 // k-way refinement used in multilevel k-way partitioners. maxResource
 // <= 0 disables the bound; maxPasses <= 0 defaults to 8.
 func KWayFM(g *graph.Graph, parts []int, k int, maxResource int64, maxPasses int) Stats {
-	return KWayFMCSR(g.ToCSR(), parts, k, maxResource, maxPasses)
-}
-
-// KWayFMCSR is KWayFM on a prebuilt CSR snapshot. The cut is tracked
-// incrementally from the applied gains, so the only full adjacency sweep
-// is the initial cut count.
-func KWayFMCSR(csr *graph.CSR, parts []int, k int, maxResource int64, maxPasses int) Stats {
 	ws := arena.Get()
 	defer arena.Put(ws)
-	return KWayFMWS(ws, csr, parts, k, maxResource, maxPasses)
+	return KWayFMWS(ws, g.ToCSR(), parts, k, maxResource, maxPasses)
 }
 
-// KWayFMWS is KWayFMCSR with the per-part totals and connectivity
-// scratch drawn from ws.
+// KWayFMWS is KWayFM on a prebuilt CSR snapshot with the per-part totals
+// and connectivity scratch drawn from ws. The cut is tracked
+// incrementally from the applied gains, so the only full adjacency sweep
+// is the initial cut count.
 func KWayFMWS(ws *arena.Workspace, csr *graph.CSR, parts []int, k int, maxResource int64, maxPasses int) Stats {
 	if maxPasses <= 0 {
 		maxPasses = 8

@@ -1,6 +1,7 @@
 package refine
 
 import (
+	"ppnpart/internal/arena"
 	"ppnpart/internal/graph"
 	"ppnpart/internal/metrics"
 )
@@ -15,11 +16,14 @@ func RebalanceVector(g *graph.Graph, vectors [][]int64, parts []int, k int,
 	if !vc.Active() {
 		return 0, true
 	}
-	return RebalanceVectorCSR(g.ToCSR(), vectors, parts, k, vc, maxPasses)
+	ws := arena.Get()
+	defer arena.Put(ws)
+	return RebalanceVectorWS(ws, g.ToCSR(), vectors, parts, k, vc, maxPasses)
 }
 
-// RebalanceVectorCSR is RebalanceVector on a prebuilt CSR snapshot.
-func RebalanceVectorCSR(csr *graph.CSR, vectors [][]int64, parts []int, k int,
+// RebalanceVectorWS is RebalanceVector on a prebuilt CSR snapshot with all
+// scratch drawn from ws.
+func RebalanceVectorWS(ws *arena.Workspace, csr *graph.CSR, vectors [][]int64, parts []int, k int,
 	vc metrics.VectorConstraints, maxPasses int) (int, bool) {
 	if !vc.Active() {
 		return 0, true
@@ -73,7 +77,8 @@ func RebalanceVectorCSR(csr *graph.CSR, vectors [][]int64, parts []int, k int,
 
 	moves := 0
 	n := csr.NumNodes()
-	conn := make([]int64, k)
+	conn := ws.Int64s.Get(k)
+	defer ws.Int64s.Put(conn)
 	maxMoves := maxPasses * n
 	for moves < maxMoves && !allFit() {
 		// Globally cheapest relieving move across all overflowing parts.

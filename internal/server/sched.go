@@ -9,6 +9,7 @@ import (
 
 	"ppnpart/internal/arena"
 	"ppnpart/internal/core"
+	"ppnpart/internal/engine"
 	"ppnpart/internal/graph"
 	"ppnpart/internal/metrics"
 )
@@ -83,6 +84,11 @@ type JobResult struct {
 	SolveMS int64 `json:"solve_ms"`
 	// Message carries the solver's infeasibility explanation or error.
 	Message string `json:"message,omitempty"`
+	// Trace summarizes the staged engine's solve trace: cycles counted vs
+	// pruned/discarded, hierarchy levels by matching heuristic, FM effort
+	// and per-stage wall time. Absent on cancelled-before-start and error
+	// results.
+	Trace *engine.TraceSummary `json:"trace,omitempty"`
 	// Cached is set on delivery when the result came from the LRU cache.
 	Cached bool `json:"cached,omitempty"`
 }
@@ -137,10 +143,11 @@ func (j *Job) Cancel() {
 	j.cancel()
 }
 
-// Solver computes a partition; the scheduler's default is
-// core.PartitionCtx. Tests substitute gated solvers to pin down
-// coalescing, cancellation and drain order deterministically.
-type Solver func(ctx context.Context, g *graph.Graph, opts core.Options) (*core.Result, error)
+// Solver computes a partition, recording its staged progress into tr when
+// non-nil; the scheduler's default is core.PartitionTraceCtx. Tests
+// substitute gated solvers to pin down coalescing, cancellation and drain
+// order deterministically.
+type Solver func(ctx context.Context, g *graph.Graph, opts core.Options, tr *engine.Trace) (*core.Result, error)
 
 // Config parameterizes a Scheduler.
 type Config struct {
@@ -176,8 +183,8 @@ func (c Config) withDefaults() Config {
 		c.MaxFinishedJobs = 1024
 	}
 	if c.Solver == nil {
-		c.Solver = func(ctx context.Context, g *graph.Graph, opts core.Options) (*core.Result, error) {
-			return core.PartitionCtx(ctx, g, opts)
+		c.Solver = func(ctx context.Context, g *graph.Graph, opts core.Options, tr *engine.Trace) (*core.Result, error) {
+			return core.PartitionTraceCtx(ctx, g, opts, tr)
 		}
 	}
 	return c
@@ -363,8 +370,9 @@ func (s *Scheduler) run(j *Job) {
 	s.mu.Unlock()
 
 	ctx, cancel := context.WithTimeout(j.runCtx, j.req.Timeout(s.cfg.DefaultTimeout))
+	tr := &engine.Trace{}
 	start := time.Now()
-	res, err := s.cfg.Solver(ctx, j.g, j.req.CoreOptions())
+	res, err := s.cfg.Solver(ctx, j.g, j.req.CoreOptions(), tr)
 	elapsed := time.Since(start)
 	deadlineHit := ctx.Err() == context.DeadlineExceeded
 	cancel()
@@ -385,6 +393,12 @@ func (s *Scheduler) run(j *Job) {
 
 	jr := resultToJSON(j.req, res)
 	jr.SolveMS = elapsed.Milliseconds()
+	// Stub solvers (tests) never record into tr; only attach and export a
+	// summary when the staged engine actually ran cycles.
+	if sum := tr.Summary(); sum.Cycles > 0 {
+		jr.Trace = &sum
+		s.metrics.SolveTrace(sum)
+	}
 	if res.Stopped {
 		j.mu.Lock()
 		user := j.userCancelled || j.drained

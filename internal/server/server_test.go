@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ppnpart/internal/core"
+	"ppnpart/internal/engine"
 	"ppnpart/internal/gen"
 	"ppnpart/internal/graph"
 	"ppnpart/internal/metrics"
@@ -103,7 +104,7 @@ func fakeResult(g *graph.Graph, opts core.Options, stopped bool) *core.Result {
 // gatedSolver blocks until released; on context cancellation it returns a
 // best-effort Stopped result, mirroring core.PartitionCtx semantics.
 func gatedSolver(gt *gate) Solver {
-	return func(ctx context.Context, g *graph.Graph, opts core.Options) (*core.Result, error) {
+	return func(ctx context.Context, g *graph.Graph, opts core.Options, _ *engine.Trace) (*core.Result, error) {
 		gt.started <- fmt.Sprintf("k=%d seed=%d", opts.K, opts.Seed)
 		select {
 		case <-gt.release:
@@ -227,7 +228,7 @@ func TestCacheHitVsMiss(t *testing.T) {
 	var calls atomic.Int64
 	srv, ts := newTestServer(t, Config{
 		Workers: 1,
-		Solver: func(ctx context.Context, g *graph.Graph, opts core.Options) (*core.Result, error) {
+		Solver: func(ctx context.Context, g *graph.Graph, opts core.Options, _ *engine.Trace) (*core.Result, error) {
 			calls.Add(1)
 			return fakeResult(g, opts, false), nil
 		},

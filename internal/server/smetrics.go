@@ -8,13 +8,16 @@ import (
 	"time"
 
 	"ppnpart/internal/arena"
+	"ppnpart/internal/engine"
 )
 
 // Metrics is the daemon's instrumentation: per-outcome job counters,
-// cache hit/miss counters, coalescing counters, and a solve-latency
-// histogram, rendered in the Prometheus text exposition format by
-// WriteTo. Queue depth and in-flight counts are sampled live from the
-// scheduler at scrape time rather than double-booked here.
+// cache hit/miss counters, coalescing counters, a solve-latency
+// histogram, and — fed from the staged engine's trace summaries —
+// per-stage wall-time histograms plus an FM pass-count histogram, all
+// rendered in the Prometheus text exposition format by WriteTo. Queue
+// depth and in-flight counts are sampled live from the scheduler at
+// scrape time rather than double-booked here.
 type Metrics struct {
 	mu        sync.Mutex
 	outcomes  map[string]int64 // jobs_total{outcome=...}
@@ -23,34 +26,89 @@ type Metrics struct {
 	coalesced int64
 	rejected  map[string]int64 // rejections{reason=bad_request|queue_full|draining}
 	latency   histogram
+	// Per-stage solve wall time, keyed by the engine's stage names; only
+	// the stages the trace times (coarsen, seed, refine) appear.
+	stages map[string]*histogram
+	// FM refinement passes per solve.
+	fmPasses histogram
 }
 
 // latencyBuckets are the solve-latency histogram bounds in seconds
 // (1ms .. 100s, decade steps with a 3x midpoint).
 var latencyBuckets = []float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100}
 
-// numLatencyBuckets must equal len(latencyBuckets); an init check
-// below enforces it (array sizes need a constant).
-const numLatencyBuckets = 11
+// stageBuckets bound the per-stage wall-time histograms; stages are much
+// shorter than whole solves, so the range starts at 10µs.
+var stageBuckets = []float64{0.00001, 0.0001, 0.001, 0.01, 0.1, 1, 10}
 
-func init() {
-	if len(latencyBuckets) != numLatencyBuckets {
-		panic("server: numLatencyBuckets out of sync with latencyBuckets")
-	}
-}
+// passBuckets bound the FM pass-count histogram (power-of-two steps).
+var passBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 
+// stageNames fixes the exported stage label set (and its order).
+var stageNames = []string{"coarsen", "seed", "refine"}
+
+// histogram is a fixed-bounds Prometheus-style histogram; counts has one
+// slot per bound plus the +Inf overflow.
 type histogram struct {
-	counts [numLatencyBuckets + 1]int64 // one per bucket plus +Inf
+	bounds []float64
+	counts []int64
 	sum    float64
 	total  int64
 }
 
+func newHistogram(bounds []float64) histogram {
+	return histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.sum += v
+	h.total++
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// write renders the histogram under name; labels is either empty or a
+// `key="value"` fragment merged into each bucket's label set.
+func (h *histogram) write(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, trimFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.total)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.total)
+	}
+}
+
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
-	return &Metrics{
+	m := &Metrics{
 		outcomes: make(map[string]int64),
 		rejected: make(map[string]int64),
+		latency:  newHistogram(latencyBuckets),
+		stages:   make(map[string]*histogram, len(stageNames)),
+		fmPasses: newHistogram(passBuckets),
 	}
+	for _, s := range stageNames {
+		h := newHistogram(stageBuckets)
+		m.stages[s] = &h
+	}
+	return m
 }
 
 // JobDone records a finished job's outcome ("feasible", "infeasible",
@@ -59,16 +117,18 @@ func (m *Metrics) JobDone(outcome string, d time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.outcomes[outcome]++
-	s := d.Seconds()
-	m.latency.sum += s
-	m.latency.total++
-	for i, b := range latencyBuckets {
-		if s <= b {
-			m.latency.counts[i]++
-			return
-		}
-	}
-	m.latency.counts[numLatencyBuckets]++
+	m.latency.observe(d.Seconds())
+}
+
+// SolveTrace folds one solve's trace summary into the per-stage wall-time
+// histograms and the FM pass-count histogram.
+func (m *Metrics) SolveTrace(s engine.TraceSummary) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stages["coarsen"].observe(float64(s.CoarsenNS) / 1e9)
+	m.stages["seed"].observe(float64(s.SeedNS) / 1e9)
+	m.stages["refine"].observe(float64(s.RefineNS) / 1e9)
+	m.fmPasses.observe(float64(s.FMPasses))
 }
 
 // CacheHit / CacheMiss record result-cache lookups.
@@ -148,15 +208,17 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth, inFlight, cacheLen int) {
 
 	fmt.Fprintf(w, "# HELP ppnd_solve_seconds Solve wall-clock latency.\n")
 	fmt.Fprintf(w, "# TYPE ppnd_solve_seconds histogram\n")
-	var cum int64
-	for i, b := range latencyBuckets {
-		cum += m.latency.counts[i]
-		fmt.Fprintf(w, "ppnd_solve_seconds_bucket{le=%q} %d\n", trimFloat(b), cum)
+	m.latency.write(w, "ppnd_solve_seconds", "")
+
+	fmt.Fprintf(w, "# HELP ppnd_stage_seconds Per-stage solve wall time from the engine trace.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_stage_seconds histogram\n")
+	for _, s := range stageNames {
+		m.stages[s].write(w, "ppnd_stage_seconds", fmt.Sprintf("stage=%q", s))
 	}
-	cum += m.latency.counts[numLatencyBuckets]
-	fmt.Fprintf(w, "ppnd_solve_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "ppnd_solve_seconds_sum %g\n", m.latency.sum)
-	fmt.Fprintf(w, "ppnd_solve_seconds_count %d\n", m.latency.total)
+
+	fmt.Fprintf(w, "# HELP ppnd_fm_passes FM refinement passes per solve.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_fm_passes histogram\n")
+	m.fmPasses.write(w, "ppnd_fm_passes", "")
 }
 
 func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }
