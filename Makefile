@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build test vet staticcheck race cover bench bench-json \
-	figures report examples clean check fmt-check fuzz-smoke serve
+	figures report examples clean check fmt-check fuzz-smoke chaos-smoke serve
 
 all: build vet test
 
@@ -13,6 +13,7 @@ all: build vet test
 check: fmt-check vet staticcheck
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
+	$(MAKE) chaos-smoke
 
 # staticcheck is optional locally (CI installs it): skip with a notice
 # when the binary is absent rather than failing the gate.
@@ -43,6 +44,14 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzStateDifferential -fuzztime=$(FUZZTIME) ./internal/pstate
 	$(GO) test -run='^$$' -fuzz=FuzzJobRequest -fuzztime=$(FUZZTIME) ./internal/server
 	$(GO) test -run='^$$' -fuzz=FuzzTraceDecode -fuzztime=$(FUZZTIME) ./internal/engine
+	$(GO) test -run='^$$' -fuzz=FuzzJournalDecode -fuzztime=$(FUZZTIME) ./internal/journal
+
+# Resilience gate: every chaos/failpoint test (panic isolation, quarantine,
+# journal fsync/torn-append injection, SIGKILL crash recovery) under the
+# race detector, with a deterministic failpoint schedule.
+chaos-smoke:
+	$(GO) test -race -count=1 ./internal/chaos ./internal/journal
+	$(GO) test -race -count=1 -run 'Chaos' ./internal/server ./cmd/ppnd
 
 build:
 	$(GO) build ./...

@@ -16,6 +16,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -83,6 +84,12 @@ func main() {
 	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "gpart: %v\n", runErr)
+		// A -timeout expiry is not an ordinary failure: the best-effort
+		// partition was still reported. Scripts that care get a distinct
+		// exit code to tell "truncated but usable" from "broken".
+		if errors.Is(runErr, context.DeadlineExceeded) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
@@ -130,6 +137,7 @@ func run(cfg config) error {
 		fmt.Printf("evaluating partition from %s\n", cfg.evalPath)
 		return report(g, parts, cfg.k, c, cfg.dotPath, cfg.svgPath, cfg.outPath, cfg.quiet)
 	}
+	var timedOut bool
 	switch cfg.algo {
 	case "gp":
 		ctx := context.Background()
@@ -156,6 +164,7 @@ func run(cfg config) error {
 		if res.Stopped || !res.Feasible {
 			fmt.Fprintf(os.Stderr, "gpart: WARNING: %s\n", res.Message)
 		}
+		timedOut = res.Stopped && errors.Is(ctx.Err(), context.DeadlineExceeded)
 		fmt.Printf("algorithm: GP (cycles=%d, feasible=%v, stopped=%v, %s)\n", res.Cycles, res.Feasible, res.Stopped, res.Runtime)
 		if tr != nil {
 			if err := writeTrace(cfg.tracePath, tr); err != nil {
@@ -173,7 +182,14 @@ func run(cfg config) error {
 		return fmt.Errorf("unknown algorithm %q", cfg.algo)
 	}
 
-	return report(g, parts, cfg.k, c, cfg.dotPath, cfg.svgPath, cfg.outPath, cfg.quiet)
+	if err := report(g, parts, cfg.k, c, cfg.dotPath, cfg.svgPath, cfg.outPath, cfg.quiet); err != nil {
+		return err
+	}
+	if timedOut {
+		return fmt.Errorf("wall-clock budget %v exhausted, best-effort partition reported above: %w",
+			cfg.timeout, context.DeadlineExceeded)
+	}
+	return nil
 }
 
 // report prints the metrics and writes the requested artifacts.

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -66,8 +68,11 @@ func TestRunGPWithTimeoutBestEffort(t *testing.T) {
 	dir := t.TempDir()
 	cfg := gpConfig(writeInstance(t, dir))
 	cfg.timeout = time.Nanosecond // expired before GP starts: best-effort partition
-	if err := run(cfg); err != nil {
-		t.Fatal(err)
+	// The partition is still reported, but the expiry surfaces as a typed
+	// error so main can exit with the distinct timeout code.
+	err := run(cfg)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("run with expired timeout = %v, want context.DeadlineExceeded", err)
 	}
 }
 

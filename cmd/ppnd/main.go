@@ -5,12 +5,19 @@
 // and drains gracefully on SIGTERM/SIGINT (stop accepting, let in-flight
 // solves finish up to -drain-timeout, then cancel them and exit).
 //
+// With -journal the daemon is crash-safe: every accepted async job is
+// fsync'd to a write-ahead journal before the client is acknowledged, and
+// on restart the journal replays — jobs lost to a kill -9 resubmit under
+// their original ids and (the solver being deterministic) produce
+// bit-identical results. /readyz stays 503 until the replay finishes.
+//
 // Endpoints:
 //
 //	POST   /partition   submit a job (sync; "async":true → 202 + job id)
 //	GET    /jobs/{id}   poll a job
 //	DELETE /jobs/{id}   cancel a job
 //	GET    /healthz     liveness (503 while draining)
+//	GET    /readyz      readiness (503 during journal replay and drain)
 //	GET    /metrics     Prometheus text metrics
 //
 // Example:
@@ -33,6 +40,8 @@ import (
 	"syscall"
 	"time"
 
+	"ppnpart/internal/chaos"
+	"ppnpart/internal/journal"
 	"ppnpart/internal/prof"
 	"ppnpart/internal/server"
 )
@@ -46,6 +55,9 @@ type config struct {
 	defaultTO   time.Duration
 	drainTO     time.Duration
 	verify      bool
+	journalPath string
+	quarantine  int
+	chaosSpec   string
 	cpuProfile  string
 	heapProfile string
 }
@@ -75,6 +87,9 @@ func parseFlags(args []string) (config, error) {
 	fs.DurationVar(&cfg.defaultTO, "default-timeout", 60*time.Second, "per-job solve deadline when the request sets none")
 	fs.DurationVar(&cfg.drainTO, "drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
 	fs.BoolVar(&cfg.verify, "verify-results", true, "recompute served metrics from scratch and fail on divergence")
+	fs.StringVar(&cfg.journalPath, "journal", "", "durable job journal path (empty disables crash recovery)")
+	fs.IntVar(&cfg.quarantine, "quarantine-threshold", 2, "solver panics per graph before it is refused (negative disables)")
+	fs.StringVar(&cfg.chaosSpec, "chaos", "", "failpoint schedule for resilience testing, e.g. 'engine.refine:panic@1' (never set in production)")
 	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile spanning the daemon's lifetime")
 	fs.StringVar(&cfg.heapProfile, "memprofile", "", "write a heap profile at exit")
 	if err := fs.Parse(args); err != nil {
@@ -101,6 +116,13 @@ func serve(ctx context.Context, cfg config, logger *log.Logger, ln net.Listener)
 	}
 	defer stopCPU()
 
+	if cfg.chaosSpec != "" {
+		if err := chaos.ArmSpec(cfg.chaosSpec); err != nil {
+			return err
+		}
+		logger.Printf("CHAOS ARMED: %s (this instance injects failures on purpose)", cfg.chaosSpec)
+	}
+
 	workers := cfg.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0) / 2
@@ -108,23 +130,63 @@ func serve(ctx context.Context, cfg config, logger *log.Logger, ln net.Listener)
 			workers = 1
 		}
 	}
+
+	// Open the journal (when configured) before the scheduler exists so
+	// the replayed record set is complete, and compact settled history out
+	// of it while we are the only writer.
+	var jnl *journal.Journal
+	var pending []journal.Record
+	if cfg.journalPath != "" {
+		var recs []journal.Record
+		var dropped int64
+		var err error
+		jnl, recs, dropped, err = journal.Open(cfg.journalPath)
+		if err != nil {
+			return fmt.Errorf("open journal: %w", err)
+		}
+		defer jnl.Close()
+		pending = journal.Pending(recs)
+		if dropped > 0 {
+			logger.Printf("journal: dropped %d torn/corrupt tail bytes", dropped)
+		}
+		if err := jnl.Compact(pending); err != nil {
+			return fmt.Errorf("compact journal: %w", err)
+		}
+	}
+
 	sched := server.NewScheduler(server.Config{
-		Workers:         workers,
-		QueueDepth:      cfg.queueDepth,
-		CacheSize:       cfg.cacheSize,
-		MaxFinishedJobs: cfg.maxFinished,
-		DefaultTimeout:  cfg.defaultTO,
+		Workers:             workers,
+		QueueDepth:          cfg.queueDepth,
+		CacheSize:           cfg.cacheSize,
+		MaxFinishedJobs:     cfg.maxFinished,
+		DefaultTimeout:      cfg.defaultTO,
+		Journal:             jnl,
+		QuarantineThreshold: cfg.quarantine,
 	}, nil)
 	srv := server.New(sched, logger)
 	srv.VerifyResults = cfg.verify
 
+	// Serve while not ready: /healthz answers (the process is alive) but
+	// /readyz stays 503 until the journal replay below has resubmitted
+	// every recovered job, so load balancers hold traffic.
+	srv.SetReady(false)
+
 	httpSrv := &http.Server{Handler: srv}
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (workers=%d queue=%d cache=%d)",
-			ln.Addr(), workers, cfg.queueDepth, cfg.cacheSize)
+		logger.Printf("listening on %s (workers=%d queue=%d cache=%d journal=%q)",
+			ln.Addr(), workers, cfg.queueDepth, cfg.cacheSize, cfg.journalPath)
 		errCh <- httpSrv.Serve(ln)
 	}()
+
+	if len(pending) > 0 {
+		n, err := sched.Recover(pending)
+		if err != nil {
+			logger.Printf("journal recovery: %v", err)
+		}
+		logger.Printf("journal: recovered %d pending job(s)", n)
+	}
+	srv.SetReady(true)
 
 	select {
 	case err := <-errCh:

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -8,15 +9,23 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"ppnpart/internal/core"
+	"ppnpart/internal/server"
 )
 
 func TestParseFlags(t *testing.T) {
 	cfg, err := parseFlags([]string{
 		"-addr", "127.0.0.1:0", "-workers", "3", "-queue", "7",
 		"-cache", "11", "-default-timeout", "2s", "-drain-timeout", "1s",
+		"-journal", "/tmp/wal", "-quarantine-threshold", "5",
+		"-chaos", "engine.refine:panic@1",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -25,11 +34,20 @@ func TestParseFlags(t *testing.T) {
 		cfg.cacheSize != 11 || cfg.defaultTO != 2*time.Second || cfg.drainTO != time.Second {
 		t.Fatalf("flags not applied: %+v", cfg)
 	}
+	if cfg.journalPath != "/tmp/wal" || cfg.quarantine != 5 || cfg.chaosSpec != "engine.refine:panic@1" {
+		t.Fatalf("resilience flags not applied: %+v", cfg)
+	}
 	if !cfg.verify {
 		t.Fatal("verify-results must default to on")
 	}
+	if cfg.quarantine != 5 {
+		t.Fatalf("quarantine threshold = %d", cfg.quarantine)
+	}
 	if _, err := parseFlags([]string{"-bogus"}); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+	if cfgDef, err := parseFlags(nil); err != nil || cfgDef.quarantine != 2 || cfgDef.journalPath != "" {
+		t.Fatalf("defaults: %+v (%v)", cfgDef, err)
 	}
 }
 
@@ -91,6 +109,230 @@ func TestDaemonEndToEnd(t *testing.T) {
 	case <-time.After(15 * time.Second):
 		t.Fatal("daemon did not drain and exit")
 	}
+}
+
+// TestHelperDaemon is not a test: it is the daemon process body for the
+// crash-recovery e2e below. The parent re-executes the test binary with
+// PPND_HELPER_DAEMON=1 and real daemon flags after "--"; everything else
+// skips it instantly.
+func TestHelperDaemon(t *testing.T) {
+	if os.Getenv("PPND_HELPER_DAEMON") != "1" {
+		t.Skip("helper process body, launched only by TestChaosKillRecoveryEndToEnd")
+	}
+	var args []string
+	for i, a := range os.Args {
+		if a == "--" {
+			args = os.Args[i+1:]
+			break
+		}
+	}
+	cfg, err := parseFlags(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "helper: %v\n", err)
+		os.Exit(2)
+	}
+	logger := log.New(os.Stderr, "ppnd: ", 0)
+	if err := run(context.Background(), cfg, logger); err != nil {
+		logger.Print(err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// startHelperDaemon spawns the daemon as a real OS process (so it can be
+// SIGKILLed) and returns its base URL, parsed from the listen log line.
+func startHelperDaemon(t *testing.T, daemonArgs ...string) (*exec.Cmd, string) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{"-test.run=^TestHelperDaemon$", "-test.v", "--"}, daemonArgs...)
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "PPND_HELPER_DAEMON=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := line[i+len("listening on "):]
+				if j := strings.IndexByte(rest, ' '); j > 0 {
+					rest = rest[:j]
+				}
+				select {
+				case addrCh <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never reported its listen address")
+		return nil, ""
+	}
+}
+
+// TestChaosKillRecoveryEndToEnd is the crash-safety acceptance test: a
+// journaled daemon is SIGKILLed mid-async-job (a chaos delay pins the
+// solve), a fresh daemon on the same journal replays the record, and the
+// original job id serves a result bit-identical to a direct solve.
+func TestChaosKillRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemon processes")
+	}
+	jpath := filepath.Join(t.TempDir(), "ppnd.journal")
+
+	var nodes, edges []string
+	for i := 0; i < 12; i++ {
+		nodes = append(nodes, fmt.Sprintf(`{"id":%d,"weight":1}`, i))
+		edges = append(edges, fmt.Sprintf(`{"u":%d,"v":%d,"weight":1}`, i, (i+1)%12))
+	}
+	body := fmt.Sprintf(`{"graph":{"nodes":[%s],"edges":[%s]},"k":2,"async":true,"options":{"max_cycles":2}}`,
+		strings.Join(nodes, ","), strings.Join(edges, ","))
+
+	// Daemon #1: journaled, with every coarsening pass delayed far past the
+	// kill so the accepted job cannot settle before the crash.
+	first, base := startHelperDaemon(t,
+		"-addr", "127.0.0.1:0", "-workers", "1",
+		"-journal", jpath, "-chaos", "engine.coarsen:delay=30s")
+	waitReady(t, base)
+
+	resp, err := http.Post(base+"/partition", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc struct {
+		JobID string `json:"job_id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || acc.JobID == "" {
+		t.Fatalf("async submit: status %d, envelope %+v", resp.StatusCode, acc)
+	}
+
+	// kill -9: no drain, no journal settle record. The fsync'd submit
+	// record is the only survivor.
+	if err := first.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	first.Wait()
+
+	// Daemon #2: same journal, no chaos. It must replay the job under its
+	// original id and come ready only after the resubmission.
+	_, base2 := startHelperDaemon(t,
+		"-addr", "127.0.0.1:0", "-workers", "1", "-journal", jpath)
+	waitReady(t, base2)
+
+	deadline := time.Now().Add(30 * time.Second)
+	var env struct {
+		JobID  string `json:"job_id"`
+		State  string `json:"state"`
+		Result *struct {
+			Outcome  string `json:"outcome"`
+			Feasible bool   `json:"feasible"`
+			Parts    []int  `json:"parts"`
+		} `json:"result"`
+	}
+	for {
+		r, err := http.Get(base2 + "/jobs/" + acc.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+			t.Fatalf("recovered job %s not found: status %d", acc.JobID, r.StatusCode)
+		}
+		env = struct {
+			JobID  string `json:"job_id"`
+			State  string `json:"state"`
+			Result *struct {
+				Outcome  string `json:"outcome"`
+				Feasible bool   `json:"feasible"`
+				Parts    []int  `json:"parts"`
+			} `json:"result"`
+		}{}
+		if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if env.State == "done" || env.State == "failed" || env.State == "cancelled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered job never settled: %+v", env)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if env.State != "done" || env.Result == nil || !env.Result.Feasible {
+		t.Fatalf("recovered job did not finish feasibly: %+v", env)
+	}
+
+	// Determinism contract: the replayed result must be bit-identical to a
+	// direct in-process solve of the same request.
+	req, g, err := server.DecodeJobRequest(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.PartitionCtx(context.Background(), g, req.CoreOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Result.Parts) != len(want.Parts) {
+		t.Fatalf("parts length %d, want %d", len(env.Result.Parts), len(want.Parts))
+	}
+	for i := range want.Parts {
+		if env.Result.Parts[i] != want.Parts[i] {
+			t.Fatalf("replayed partition diverges at node %d: got %d, want %d", i, env.Result.Parts[i], want.Parts[i])
+		}
+	}
+
+	// The recovery must be visible on /metrics.
+	mr, err := http.Get(base2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if !strings.Contains(string(mb), "ppnd_recovered_jobs_total 1") {
+		t.Fatalf("metrics missing recovery counter:\n%s", mb)
+	}
+}
+
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("daemon never became ready")
 }
 
 func waitHealthy(t *testing.T, base string) {

@@ -1,0 +1,321 @@
+// Package chaos is a deterministic failpoint registry for resilience
+// testing. Production code plants named failpoints at the places failures
+// happen in real deployments (engine stage boundaries, journal writes,
+// fsync); a test or the daemon's -chaos flag arms a schedule that makes
+// specific hits of specific points panic, stall, error, or truncate a
+// write. Disarmed (the default), every failpoint is a single atomic
+// pointer load and a nil check — the production hot path pays nothing.
+//
+// Schedules are deterministic by construction: a point fires on exact hit
+// indices (the N-th time execution reaches it), never on timers or
+// randomness, so a chaos test reproduces bit-for-bit under -race and in
+// CI.
+//
+// Spec grammar (the -chaos flag and ArmSpec):
+//
+//	spec   := point (';' point)*
+//	point  := name ':' kind ['=' param] ['@' after] ['x' count]
+//	kind   := 'panic' | 'delay' | 'error' | 'truncate'
+//
+// 'after' is the 0-based hit index at which the point starts firing
+// (default 0); 'count' is how many consecutive hits fire (default 1,
+// 'x*' = every hit from 'after' on). 'delay' takes a Go duration param,
+// 'error' an optional message, 'truncate' the number of bytes of the
+// write to keep.
+//
+// Examples:
+//
+//	engine.refine:panic@1        panic on the 2nd refine stage entry
+//	journal.fsync:error          fail the first fsync
+//	journal.append:truncate=7    tear the first record after 7 bytes
+//	engine.coarsen:delay=50msx*  stall every coarsen entry 50ms
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is the injected failure mode of a failpoint.
+type Kind int
+
+const (
+	// None: the failpoint does not fire on this hit.
+	None Kind = iota
+	// PanicKind: panic with an *Injected value.
+	PanicKind
+	// DelayKind: sleep for the configured duration.
+	DelayKind
+	// ErrorKind: return an *Injected error.
+	ErrorKind
+	// TruncateKind: the caller should tear its write after Keep bytes
+	// (only meaningful at write-shaped failpoints, e.g. the journal).
+	TruncateKind
+)
+
+// String names the kind as it appears in specs.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case PanicKind:
+		return "panic"
+	case DelayKind:
+		return "delay"
+	case ErrorKind:
+		return "error"
+	case TruncateKind:
+		return "truncate"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Outcome is what one hit of a failpoint resolved to.
+type Outcome struct {
+	// Kind is None when the point did not fire.
+	Kind Kind
+	// Delay is the stall for DelayKind.
+	Delay time.Duration
+	// Err is the injected error for ErrorKind.
+	Err error
+	// Keep is the byte count to retain for TruncateKind.
+	Keep int
+}
+
+// Injected is both the panic value and the error type of every fired
+// failpoint, so recovery layers can tell injected failures from organic
+// ones in test assertions.
+type Injected struct {
+	// Point is the failpoint name that fired.
+	Point string
+	// Msg is the optional configured message.
+	Msg string
+}
+
+// Error implements error.
+func (e *Injected) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("chaos: injected at %s: %s", e.Point, e.Msg)
+	}
+	return fmt.Sprintf("chaos: injected at %s", e.Point)
+}
+
+// ErrInjected is the sentinel every injected error wraps.
+var ErrInjected = errors.New("chaos injected failure")
+
+// Unwrap makes errors.Is(err, ErrInjected) hold.
+func (e *Injected) Unwrap() error { return ErrInjected }
+
+// rule is one armed firing window of a point.
+type rule struct {
+	kind  Kind
+	delay time.Duration
+	msg   string
+	keep  int
+	after int64
+	count int64 // -1 = unlimited
+}
+
+// fires reports whether hit index h falls in the rule's window.
+func (r *rule) fires(h int64) bool {
+	if h < r.after {
+		return false
+	}
+	return r.count < 0 || h < r.after+r.count
+}
+
+// point is the armed state of one failpoint name.
+type point struct {
+	rules []rule
+	hits  atomic.Int64
+	fired atomic.Int64
+}
+
+// Plan is a parsed, armable failpoint schedule.
+type Plan struct {
+	points map[string]*point
+}
+
+// active is the armed plan; nil means chaos is off and every failpoint
+// short-circuits on one atomic load.
+var active atomic.Pointer[Plan]
+
+// Parse compiles a spec string (see the package comment for the grammar).
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{points: make(map[string]*point)}
+	for _, frag := range strings.Split(spec, ";") {
+		frag = strings.TrimSpace(frag)
+		if frag == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(frag, ":")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("chaos: %q: want name:kind[=param][@after][xcount]", frag)
+		}
+		r := rule{count: 1}
+		// Strip the xcount suffix, then the @after suffix, leaving
+		// kind[=param].
+		if i := strings.LastIndex(rest, "x"); i >= 0 && !strings.Contains(rest[i:], "=") {
+			cnt := rest[i+1:]
+			if cnt == "*" {
+				r.count = -1
+				rest = rest[:i]
+			} else if v, err := strconv.ParseInt(cnt, 10, 64); err == nil {
+				if v <= 0 {
+					return nil, fmt.Errorf("chaos: %q: count must be positive", frag)
+				}
+				r.count = v
+				rest = rest[:i]
+			}
+			// A non-numeric suffix after a literal 'x' that is not a
+			// count (e.g. part of a message) is left in place.
+		}
+		if i := strings.LastIndex(rest, "@"); i >= 0 {
+			v, err := strconv.ParseInt(rest[i+1:], 10, 64)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("chaos: %q: bad @after index", frag)
+			}
+			r.after = v
+			rest = rest[:i]
+		}
+		kind, param, _ := strings.Cut(rest, "=")
+		switch strings.TrimSpace(kind) {
+		case "panic":
+			r.kind = PanicKind
+			r.msg = param
+		case "delay":
+			d, err := time.ParseDuration(param)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("chaos: %q: delay needs a duration param", frag)
+			}
+			r.kind = DelayKind
+			r.delay = d
+		case "error":
+			r.kind = ErrorKind
+			r.msg = param
+		case "truncate":
+			n, err := strconv.Atoi(param)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("chaos: %q: truncate needs a byte count", frag)
+			}
+			r.kind = TruncateKind
+			r.keep = n
+		default:
+			return nil, fmt.Errorf("chaos: %q: unknown kind %q", frag, kind)
+		}
+		pt := p.points[name]
+		if pt == nil {
+			pt = &point{}
+			p.points[name] = pt
+		}
+		pt.rules = append(pt.rules, r)
+	}
+	if len(p.points) == 0 {
+		return nil, fmt.Errorf("chaos: empty spec")
+	}
+	return p, nil
+}
+
+// Arm installs the plan globally; it replaces any previous plan.
+func Arm(p *Plan) { active.Store(p) }
+
+// ArmSpec parses and arms in one step.
+func ArmSpec(spec string) error {
+	p, err := Parse(spec)
+	if err != nil {
+		return err
+	}
+	Arm(p)
+	return nil
+}
+
+// Disarm removes the armed plan; every failpoint goes back to zero cost.
+func Disarm() { active.Store(nil) }
+
+// Enabled reports whether a plan is armed.
+func Enabled() bool { return active.Load() != nil }
+
+// Hit registers one execution of the named failpoint and resolves what
+// (if anything) it injects. Disarmed or unknown points resolve to None.
+// Hit itself never panics or sleeps — callers that want the standard
+// behaviors use Inject.
+func Hit(name string) Outcome {
+	p := active.Load()
+	if p == nil {
+		return Outcome{}
+	}
+	pt := p.points[name]
+	if pt == nil {
+		return Outcome{}
+	}
+	h := pt.hits.Add(1) - 1
+	for i := range pt.rules {
+		r := &pt.rules[i]
+		if !r.fires(h) {
+			continue
+		}
+		pt.fired.Add(1)
+		switch r.kind {
+		case DelayKind:
+			return Outcome{Kind: DelayKind, Delay: r.delay}
+		case ErrorKind:
+			return Outcome{Kind: ErrorKind, Err: &Injected{Point: name, Msg: r.msg}}
+		case TruncateKind:
+			return Outcome{Kind: TruncateKind, Keep: r.keep, Err: &Injected{Point: name, Msg: "torn write"}}
+		default:
+			return Outcome{Kind: PanicKind, Err: &Injected{Point: name, Msg: r.msg}}
+		}
+	}
+	return Outcome{}
+}
+
+// Inject hits the failpoint and performs its standard behavior: panic for
+// PanicKind, sleep for DelayKind, error return for ErrorKind and
+// TruncateKind (callers that implement torn writes use Hit directly).
+func Inject(name string) error {
+	o := Hit(name)
+	switch o.Kind {
+	case PanicKind:
+		panic(o.Err)
+	case DelayKind:
+		time.Sleep(o.Delay)
+		return nil
+	case ErrorKind, TruncateKind:
+		return o.Err
+	default:
+		return nil
+	}
+}
+
+// Fired returns how many times the named point has fired under the armed
+// plan (0 when disarmed or unknown); tests assert schedules ran.
+func Fired(name string) int64 {
+	p := active.Load()
+	if p == nil {
+		return 0
+	}
+	pt := p.points[name]
+	if pt == nil {
+		return 0
+	}
+	return pt.fired.Load()
+}
+
+// Hits returns how many times the named point has been reached.
+func Hits(name string) int64 {
+	p := active.Load()
+	if p == nil {
+		return 0
+	}
+	pt := p.points[name]
+	if pt == nil {
+		return 0
+	}
+	return pt.hits.Load()
+}

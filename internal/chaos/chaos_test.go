@@ -1,0 +1,195 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// disarm restores the disarmed state after a test regardless of outcome.
+func disarm(t *testing.T) {
+	t.Helper()
+	t.Cleanup(Disarm)
+}
+
+func TestParseRejectsMalformedSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		";;",
+		"noColon",
+		":panic",
+		"p:unknownkind",
+		"p:delay",         // delay without a duration
+		"p:delay=notadur", // unparsable duration
+		"p:truncate",      // truncate without a byte count
+		"p:truncate=-1",   // negative byte count
+		"p:panic@-1",      // negative after index
+		"p:panic@notanum", // unparsable after index
+		"p:panicx0",       // zero count
+		"p:panicx-2",      // negative count
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestParseGrammar(t *testing.T) {
+	p, err := Parse("a:panic; b:delay=50ms@2x3; c:error=boom; d:truncate=7x*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		kind  Kind
+		after int64
+		count int64
+	}{
+		{"a", PanicKind, 0, 1},
+		{"b", DelayKind, 2, 3},
+		{"c", ErrorKind, 0, 1},
+		{"d", TruncateKind, 0, -1},
+	}
+	for _, c := range cases {
+		pt := p.points[c.name]
+		if pt == nil {
+			t.Fatalf("point %q missing", c.name)
+		}
+		r := pt.rules[0]
+		if r.kind != c.kind || r.after != c.after || r.count != c.count {
+			t.Errorf("point %q = kind %v after %d count %d, want %v/%d/%d",
+				c.name, r.kind, r.after, r.count, c.kind, c.after, c.count)
+		}
+	}
+	if p.points["b"].rules[0].delay != 50*time.Millisecond {
+		t.Errorf("delay param = %v", p.points["b"].rules[0].delay)
+	}
+	if p.points["c"].rules[0].msg != "boom" {
+		t.Errorf("error msg = %q", p.points["c"].rules[0].msg)
+	}
+	if p.points["d"].rules[0].keep != 7 {
+		t.Errorf("truncate keep = %d", p.points["d"].rules[0].keep)
+	}
+}
+
+func TestDisarmedIsFree(t *testing.T) {
+	Disarm()
+	if Enabled() {
+		t.Fatal("Enabled() after Disarm")
+	}
+	if o := Hit("anything"); o.Kind != None {
+		t.Fatalf("disarmed Hit fired: %+v", o)
+	}
+	if err := Inject("anything"); err != nil {
+		t.Fatalf("disarmed Inject: %v", err)
+	}
+}
+
+func TestScheduleWindow(t *testing.T) {
+	disarm(t)
+	// Fire on hits 1 and 2 (0-based), nothing else.
+	if err := ArmSpec("p:error=win@1x2"); err != nil {
+		t.Fatal(err)
+	}
+	var fired []bool
+	for i := 0; i < 5; i++ {
+		fired = append(fired, Hit("p").Kind == ErrorKind)
+	}
+	want := []bool{false, true, true, false, false}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("hit %d fired=%v, want %v (all: %v)", i, fired[i], want[i], fired)
+		}
+	}
+	if Fired("p") != 2 || Hits("p") != 5 {
+		t.Fatalf("Fired=%d Hits=%d, want 2/5", Fired("p"), Hits("p"))
+	}
+}
+
+func TestUnlimitedCount(t *testing.T) {
+	disarm(t)
+	if err := ArmSpec("p:error@1x*"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		got := Hit("p").Kind == ErrorKind
+		if want := i >= 1; got != want {
+			t.Fatalf("hit %d fired=%v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestInjectedErrorIdentity(t *testing.T) {
+	disarm(t)
+	if err := ArmSpec("p:error=broken"); err != nil {
+		t.Fatal(err)
+	}
+	err := Inject("p")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error %v does not wrap ErrInjected", err)
+	}
+	var inj *Injected
+	if !errors.As(err, &inj) || inj.Point != "p" || inj.Msg != "broken" {
+		t.Fatalf("injected error detail = %#v", inj)
+	}
+}
+
+func TestInjectPanics(t *testing.T) {
+	disarm(t)
+	if err := ArmSpec("p:panic=kaboom"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Inject did not panic")
+		}
+		inj, ok := r.(*Injected)
+		if !ok || inj.Point != "p" {
+			t.Fatalf("panic value = %#v", r)
+		}
+	}()
+	_ = Inject("p")
+}
+
+func TestInjectDelays(t *testing.T) {
+	disarm(t)
+	if err := ArmSpec("p:delay=30ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Inject("p"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delay injection returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestTruncateOutcome(t *testing.T) {
+	disarm(t)
+	if err := ArmSpec("p:truncate=5"); err != nil {
+		t.Fatal(err)
+	}
+	o := Hit("p")
+	if o.Kind != TruncateKind || o.Keep != 5 || o.Err == nil {
+		t.Fatalf("truncate outcome = %+v", o)
+	}
+}
+
+func TestMultipleRulesSamePoint(t *testing.T) {
+	disarm(t)
+	// Delay on hit 0, error on hit 2.
+	if err := ArmSpec("p:delay=1ms@0; p:error@2"); err != nil {
+		t.Fatal(err)
+	}
+	if o := Hit("p"); o.Kind != DelayKind {
+		t.Fatalf("hit 0 = %+v, want delay", o)
+	}
+	if o := Hit("p"); o.Kind != None {
+		t.Fatalf("hit 1 = %+v, want none", o)
+	}
+	if o := Hit("p"); o.Kind != ErrorKind {
+		t.Fatalf("hit 2 = %+v, want error", o)
+	}
+}

@@ -19,13 +19,16 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"ppnpart/internal/arena"
+	"ppnpart/internal/chaos"
 	"ppnpart/internal/coarsen"
 	"ppnpart/internal/graph"
 	"ppnpart/internal/match"
@@ -188,6 +191,31 @@ type Stage interface {
 	Run(cy *Cycle) error
 }
 
+// chaosNames are the engine's failpoint names, precomputed so a disarmed
+// hit costs one atomic load and no string concatenation. The chaos
+// harness injects panics, delays or errors at the entry of each stage
+// ("engine.coarsen", "engine.initial-partition", "engine.uncoarsen",
+// "engine.refine", "engine.retry").
+var chaosNames = func() [numPhases]string {
+	var names [numPhases]string
+	for p := Phase(0); p < numPhases; p++ {
+		names[p] = "engine." + p.String()
+	}
+	return names
+}()
+
+// runStage executes one stage behind its chaos failpoint. An injected
+// panic unwinds through Solve to the serving layer's panic isolation;
+// an injected error is surfaced like the stage's own error.
+func (s *Solver) runStage(cy *Cycle, p Phase) error {
+	if chaos.Enabled() {
+		if err := chaos.Inject(chaosNames[p]); err != nil {
+			return err
+		}
+	}
+	return s.stages[p].Run(cy)
+}
+
 // errStopUncoarsen is returned by the uncoarsen stage when a projection
 // fails; the solver stops uncoarsening and scores whatever level the
 // cycle reached (matching the legacy closure's break).
@@ -317,6 +345,19 @@ func (s *Solver) Stage(p Phase) Stage {
 	return s.stages[p]
 }
 
+// cyclePanic re-raises a batch goroutine's panic on the Solve caller's
+// goroutine, preserving the originating cycle and stack.
+type cyclePanic struct {
+	cycle int
+	value any
+	stack []byte
+}
+
+// String renders the panic for recover()-side diagnostics.
+func (p *cyclePanic) String() string {
+	return fmt.Sprintf("engine: cycle %d panicked: %v\n%s", p.cycle, p.value, p.stack)
+}
+
 // candidate is one cycle's contribution to the reduction.
 type candidate struct {
 	cycle    int
@@ -360,15 +401,30 @@ func (s *Solver) Solve(ctx context.Context, g *graph.Graph, tr *Trace) *Outcome 
 			batch = cfg.MaxCycles - base
 		}
 		results := make([]candidate, batch)
+		panics := make([]*cyclePanic, batch)
 		var wg sync.WaitGroup
 		for i := 0; i < batch; i++ {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
+				// A panic on a batch goroutine would kill the whole
+				// process before any caller could recover it; capture it
+				// and re-raise on the Solve goroutine so the serving
+				// layer's panic isolation gets its chance.
+				defer func() {
+					if r := recover(); r != nil {
+						panics[i] = &cyclePanic{cycle: base + i, value: r, stack: debug.Stack()}
+					}
+				}()
 				results[i] = s.runCycle(ctx, g, fcsr, base+i, inc, tr)
 			}(i)
 		}
 		wg.Wait()
+		for _, cp := range panics {
+			if cp != nil {
+				panic(cp)
+			}
+		}
 		// The retry phase decides, in cycle order, where a serial run
 		// would have stopped; every result past that point is overshoot.
 		stopAt := -1
@@ -378,7 +434,7 @@ func (s *Solver) Solve(ctx context.Context, g *graph.Graph, tr *Trace) *Outcome 
 			}
 			rc := &Cycle{Ctx: ctx, Cfg: cfg, Graph: g, Index: c.cycle,
 				Feasible: c.feasible, Goodness: c.goodness, trace: c.trace}
-			s.stages[PhaseRetry].Run(rc)
+			s.runStage(rc, PhaseRetry)
 			if rc.StopSearch {
 				stopAt = c.cycle
 				break
@@ -445,7 +501,14 @@ func (s *Solver) runCycle(ctx context.Context, g *graph.Graph, fcsr *graph.CSR, 
 	// workspace for all its scratch.
 	rng := rand.New(rand.NewSource(s.cfg.Seed + int64(cycle)*0x9E3779B9))
 	ws := arena.Get()
-	defer arena.Put(ws)
+	// A panicking cycle abandons its workspace instead of returning it:
+	// the arena must never pool scratch left in an unknown state.
+	completed := false
+	defer func() {
+		if completed {
+			arena.Put(ws)
+		}
+	}()
 	cy := &Cycle{
 		Ctx:        ctx,
 		Cfg:        &s.cfg,
@@ -462,6 +525,7 @@ func (s *Solver) runCycle(ctx context.Context, g *graph.Graph, fcsr *graph.CSR, 
 	}
 	wallStart := cy.now()
 	parts, pruned := s.gpCycle(cy)
+	completed = true
 	if cy.trace != nil {
 		cy.trace.WallNS = cy.since(wallStart)
 	}
@@ -501,7 +565,7 @@ func (s *Solver) gpCycle(cy *Cycle) (result []int, pruned bool) {
 		return nil, false
 	}
 	t := cy.now()
-	s.stages[PhaseCoarsen].Run(cy)
+	s.runStage(cy, PhaseCoarsen)
 	if cy.trace != nil {
 		cy.trace.CoarsenNS = cy.since(t)
 	}
@@ -511,7 +575,7 @@ func (s *Solver) gpCycle(cy *Cycle) (result []int, pruned bool) {
 	}
 
 	t = cy.now()
-	s.stages[PhaseInitialPartition].Run(cy)
+	s.runStage(cy, PhaseInitialPartition)
 	if cy.trace != nil {
 		cy.trace.SeedNS = cy.since(t)
 	}
@@ -523,7 +587,7 @@ func (s *Solver) gpCycle(cy *Cycle) (result []int, pruned bool) {
 		}
 		return full, false
 	}
-	s.stages[PhaseRefine].Run(cy)
+	s.runStage(cy, PhaseRefine)
 
 	// Uncoarsen with goodness-ranked intermediate clusterings: at each
 	// level, competing refinement pipelines produce different candidate
@@ -535,7 +599,7 @@ func (s *Solver) gpCycle(cy *Cycle) (result []int, pruned bool) {
 			cy.markPruned(PhaseUncoarsen)
 			return nil, true
 		}
-		if err := s.stages[PhaseUncoarsen].Run(cy); err != nil {
+		if err := s.runStage(cy, PhaseUncoarsen); err != nil {
 			break
 		}
 		if cy.Ctx.Err() != nil {
@@ -548,7 +612,7 @@ func (s *Solver) gpCycle(cy *Cycle) (result []int, pruned bool) {
 			}
 			return full, false
 		}
-		s.stages[PhaseRefine].Run(cy)
+		s.runStage(cy, PhaseRefine)
 	}
 	return cy.Parts, false
 }

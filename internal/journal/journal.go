@@ -1,0 +1,338 @@
+// Package journal is the daemon's durable write-ahead job journal. Every
+// accepted async partition job appends a submission record (carrying the
+// full request body) before the client is acknowledged, and a terminal
+// record when the job settles; on startup the daemon replays the journal
+// and resubmits every job that was accepted but never settled, so a
+// kill -9 loses no acknowledged work. Records are keyed by the job id and
+// the canonical graph+options hash — the same key the result cache and
+// request coalescing use, and the substrate a future versioned graph
+// store addresses graphs by.
+//
+// On-disk format: a flat sequence of length-prefixed records,
+//
+//	[4B little-endian payload length][4B CRC32-C of payload][payload JSON]
+//
+// each Append fsync'd before it returns. Recovery reads records until the
+// first torn or corrupt one (a crash mid-write leaves at most one torn
+// record at the tail), truncates the file back to the last good boundary,
+// and returns the intact prefix — standard WAL semantics.
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ppnpart/internal/chaos"
+)
+
+// RecordType discriminates journal records.
+type RecordType string
+
+const (
+	// TypeSubmit: a job was accepted; Request carries the original body.
+	TypeSubmit RecordType = "submit"
+	// TypeDone: the job settled (any outcome, including failure).
+	TypeDone RecordType = "done"
+	// TypeCancel: the job was cancelled before settling (kept distinct
+	// from done so post-mortems can tell an operator cancel from a
+	// completed solve; recovery treats both as terminal).
+	TypeCancel RecordType = "cancel"
+)
+
+// Record is one journal entry.
+type Record struct {
+	// Type is the record discriminator.
+	Type RecordType `json:"type"`
+	// JobID is the daemon job id the record belongs to.
+	JobID string `json:"job_id"`
+	// Key is the canonical graph+options hash of the job.
+	Key string `json:"key,omitempty"`
+	// Outcome is the terminal outcome (done/cancel records).
+	Outcome string `json:"outcome,omitempty"`
+	// Request is the original submission body (submit records), replayed
+	// through the normal request decoder on recovery.
+	Request json.RawMessage `json:"request,omitempty"`
+}
+
+// MaxRecordBytes bounds a single record's payload; anything larger is
+// corrupt by definition (submission bodies are already capped well below
+// this by the server's request limits).
+const MaxRecordBytes = 64 << 20
+
+const headerBytes = 8
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt marks a record that is structurally invalid (bad length,
+// CRC mismatch, malformed or non-canonical payload).
+var ErrCorrupt = errors.New("journal: corrupt record")
+
+// EncodeRecord renders one record in the on-disk framing.
+func EncodeRecord(r Record) ([]byte, error) {
+	if err := validate(r); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, headerBytes+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[headerBytes:], payload)
+	return buf, nil
+}
+
+// validate enforces the record invariants shared by the encoder and the
+// strict decoder.
+func validate(r Record) error {
+	switch r.Type {
+	case TypeSubmit:
+		if len(r.Request) == 0 {
+			return fmt.Errorf("%w: submit record without request", ErrCorrupt)
+		}
+	case TypeDone, TypeCancel:
+		if len(r.Request) != 0 {
+			return fmt.Errorf("%w: terminal record carries a request", ErrCorrupt)
+		}
+	default:
+		return fmt.Errorf("%w: unknown type %q", ErrCorrupt, r.Type)
+	}
+	if r.JobID == "" {
+		return fmt.Errorf("%w: empty job id", ErrCorrupt)
+	}
+	return nil
+}
+
+// DecodeRecord strictly decodes one framed record from the front of b,
+// returning the record and the bytes consumed. io.ErrUnexpectedEOF means
+// b holds a torn prefix of a record (the crash-mid-write shape recovery
+// truncates); every other failure wraps ErrCorrupt.
+func DecodeRecord(b []byte) (Record, int, error) {
+	var rec Record
+	if len(b) < headerBytes {
+		return rec, 0, io.ErrUnexpectedEOF
+	}
+	n := binary.LittleEndian.Uint32(b[0:4])
+	if n == 0 || n > MaxRecordBytes {
+		return rec, 0, fmt.Errorf("%w: payload length %d", ErrCorrupt, n)
+	}
+	if len(b) < headerBytes+int(n) {
+		return rec, 0, io.ErrUnexpectedEOF
+	}
+	payload := b[headerBytes : headerBytes+int(n)]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(b[4:8]); got != want {
+		return rec, 0, fmt.Errorf("%w: CRC mismatch (%08x != %08x)", ErrCorrupt, got, want)
+	}
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return rec, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if dec.More() {
+		return rec, 0, fmt.Errorf("%w: trailing data in payload", ErrCorrupt)
+	}
+	if err := validate(rec); err != nil {
+		return Record{}, 0, err
+	}
+	return rec, headerBytes + int(n), nil
+}
+
+// Journal is an open write-ahead journal. The zero value is not usable;
+// open with Open. A nil *Journal is a valid "journaling disabled" handle:
+// Append and Close on nil are no-ops, so callers need no branches.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// Open opens (creating if absent) the journal at path, replays the intact
+// record prefix, truncates any torn or corrupt tail back to the last good
+// record boundary, and returns the journal positioned for appending plus
+// the replayed records. dropped reports how many tail bytes were
+// discarded (0 on a clean open).
+func Open(path string) (j *Journal, recs []Record, dropped int64, err error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	off := 0
+	for off < len(data) {
+		rec, n, derr := DecodeRecord(data[off:])
+		if derr != nil {
+			// Torn tail (crash mid-append) or corruption: keep the intact
+			// prefix, drop the rest. A corrupt record invalidates
+			// everything after it — record boundaries downstream of it
+			// cannot be trusted.
+			break
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+	dropped = int64(len(data) - off)
+	if dropped > 0 {
+		if err := f.Truncate(int64(off)); err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+	}
+	if _, err := f.Seek(int64(off), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	return &Journal{f: f, path: path}, recs, dropped, nil
+}
+
+// Append durably writes one record: encode, write, fsync. It returns only
+// after the record is on stable storage (or with the error that prevented
+// it). Failpoints: "journal.append" (TruncateKind tears the write after
+// Keep bytes, simulating a crash mid-append) and "journal.fsync"
+// (ErrorKind fails the sync). Append on a nil Journal is a no-op.
+func (j *Journal) Append(r Record) error {
+	if j == nil {
+		return nil
+	}
+	buf, err := EncodeRecord(r)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if o := chaos.Hit("journal.append"); o.Kind == chaos.TruncateKind {
+		keep := o.Keep
+		if keep > len(buf) {
+			keep = len(buf)
+		}
+		if _, werr := j.f.Write(buf[:keep]); werr != nil {
+			return werr
+		}
+		_ = j.f.Sync()
+		return fmt.Errorf("journal: torn append: %w", o.Err)
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if err := chaos.Inject("journal.fsync"); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Compact atomically rewrites the journal to hold exactly recs (typically
+// the pending submissions surviving recovery), dropping settled history.
+// The rewrite goes through a temp file + rename so a crash during
+// compaction leaves either the old or the new journal, never a hybrid.
+func (j *Journal) Compact(recs []Record) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	tmp := j.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		buf, err := EncodeRecord(r)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if _, err := f.Write(buf); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	old := j.f
+	nf, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		return err
+	}
+	j.f = nf
+	old.Close()
+	// Durably record the rename itself.
+	if dir, err := os.Open(filepath.Dir(j.path)); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// Close releases the file handle. Close on a nil Journal is a no-op.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// Path returns the journal's file path ("" for a nil Journal).
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Pending reduces a replayed record sequence to the submit records that
+// never reached a terminal record — the jobs recovery must resubmit, in
+// original submission order.
+func Pending(recs []Record) []Record {
+	settled := make(map[string]bool)
+	for _, r := range recs {
+		if r.Type == TypeDone || r.Type == TypeCancel {
+			settled[r.JobID] = true
+		}
+	}
+	var pend []Record
+	for _, r := range recs {
+		if r.Type == TypeSubmit && !settled[r.JobID] {
+			pend = append(pend, r)
+		}
+	}
+	return pend
+}

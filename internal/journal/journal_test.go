@@ -1,0 +1,359 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ppnpart/internal/chaos"
+)
+
+func submitRec(id string) Record {
+	return Record{Type: TypeSubmit, JobID: id, Key: "k-" + id, Request: []byte(`{"k":2}`)}
+}
+
+func openT(t *testing.T, path string) (*Journal, []Record, int64) {
+	t.Helper()
+	j, recs, dropped, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, recs, dropped
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	for _, r := range []Record{
+		submitRec("job-1"),
+		{Type: TypeDone, JobID: "job-1", Key: "k", Outcome: "feasible"},
+		{Type: TypeCancel, JobID: "job-2", Outcome: "cancelled"},
+	} {
+		buf, err := EncodeRecord(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, n, err := DecodeRecord(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(buf) {
+			t.Fatalf("consumed %d of %d bytes", n, len(buf))
+		}
+		if got.Type != r.Type || got.JobID != r.JobID || got.Key != r.Key ||
+			got.Outcome != r.Outcome || string(got.Request) != string(r.Request) {
+			t.Fatalf("roundtrip mismatch: %+v != %+v", got, r)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalidRecords(t *testing.T) {
+	for _, r := range []Record{
+		{Type: TypeSubmit, JobID: "j"},                       // submit without request
+		{Type: TypeDone, JobID: "j", Request: []byte(`{}`)},  // terminal with request
+		{Type: "weird", JobID: "j"},                          // unknown type
+		{Type: TypeSubmit, JobID: "", Request: []byte(`{}`)}, // empty id
+	} {
+		if _, err := EncodeRecord(r); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("EncodeRecord(%+v) = %v, want ErrCorrupt", r, err)
+		}
+	}
+}
+
+func TestDecodeTornPrefix(t *testing.T) {
+	buf, err := EncodeRecord(submitRec("job-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(buf); cut++ {
+		if _, _, err := DecodeRecord(buf[:cut]); err != io.ErrUnexpectedEOF {
+			// A cut inside the payload can also surface as corruption if
+			// the length prefix happens to be satisfied; only cuts that
+			// shorten the frame must be ErrUnexpectedEOF.
+			t.Fatalf("cut %d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestDecodeCorruption(t *testing.T) {
+	buf, err := EncodeRecord(submitRec("job-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte: CRC must catch it.
+	bad := append([]byte(nil), buf...)
+	bad[len(bad)-1] ^= 0xff
+	if _, _, err := DecodeRecord(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("payload flip: %v, want ErrCorrupt", err)
+	}
+	// Zero length prefix.
+	zero := append([]byte(nil), buf...)
+	binary.LittleEndian.PutUint32(zero[0:4], 0)
+	if _, _, err := DecodeRecord(zero); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("zero length: %v, want ErrCorrupt", err)
+	}
+	// Oversized length prefix.
+	huge := append([]byte(nil), buf...)
+	binary.LittleEndian.PutUint32(huge[0:4], MaxRecordBytes+1)
+	if _, _, err := DecodeRecord(huge); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge length: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestAppendAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, recs, dropped := openT(t, path)
+	if len(recs) != 0 || dropped != 0 {
+		t.Fatalf("fresh journal: %d recs, %d dropped", len(recs), dropped)
+	}
+	if err := j.Append(submitRec("job-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: TypeDone, JobID: "job-1", Outcome: "feasible"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(submitRec("job-2")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, recs, dropped := openT(t, path)
+	defer j2.Close()
+	if dropped != 0 {
+		t.Fatalf("clean reopen dropped %d bytes", dropped)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("reopen replayed %d records, want 3", len(recs))
+	}
+	pend := Pending(recs)
+	if len(pend) != 1 || pend[0].JobID != "job-2" {
+		t.Fatalf("Pending = %+v, want [job-2]", pend)
+	}
+}
+
+func TestOpenTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _, _ := openT(t, path)
+	if err := j.Append(submitRec("job-1")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Simulate a crash mid-append: a partial second record at the tail.
+	half, err := EncodeRecord(submitRec("job-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(half[:len(half)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, recs, dropped := openT(t, path)
+	if len(recs) != 1 || recs[0].JobID != "job-1" {
+		t.Fatalf("replay after torn tail = %+v", recs)
+	}
+	if dropped != int64(len(half)/2) {
+		t.Fatalf("dropped %d bytes, want %d", dropped, len(half)/2)
+	}
+	// The tail is gone for good: appending and reopening is clean.
+	if err := j2.Append(submitRec("job-3")); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, recs, dropped := openT(t, path)
+	defer j3.Close()
+	if dropped != 0 || len(recs) != 2 || recs[1].JobID != "job-3" {
+		t.Fatalf("after truncation repair: recs=%+v dropped=%d", recs, dropped)
+	}
+}
+
+func TestOpenStopsAtCorruptRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _, _ := openT(t, path)
+	for _, id := range []string{"job-1", "job-2", "job-3"} {
+		if err := j.Append(submitRec(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	// Flip a byte inside the second record's payload.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, _ := EncodeRecord(submitRec("job-1"))
+	data[len(one)+headerBytes+2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, recs, dropped := openT(t, path)
+	defer j2.Close()
+	if len(recs) != 1 || recs[0].JobID != "job-1" {
+		t.Fatalf("replay past corruption = %+v", recs)
+	}
+	if dropped == 0 {
+		t.Fatal("corrupt tail not dropped")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _, _ := openT(t, path)
+	for _, id := range []string{"job-1", "job-2"} {
+		if err := j.Append(submitRec(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Append(Record{Type: TypeDone, JobID: "job-1", Outcome: "feasible"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Compact(Pending([]Record{submitRec("job-1"), submitRec("job-2"),
+		{Type: TypeDone, JobID: "job-1", Outcome: "feasible"}})); err != nil {
+		t.Fatal(err)
+	}
+	// Appends after compaction land in the new file.
+	if err := j.Append(submitRec("job-3")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, recs, dropped := openT(t, path)
+	defer j2.Close()
+	if dropped != 0 {
+		t.Fatalf("dropped %d after compaction", dropped)
+	}
+	var ids []string
+	for _, r := range recs {
+		ids = append(ids, r.JobID)
+	}
+	if len(ids) != 2 || ids[0] != "job-2" || ids[1] != "job-3" {
+		t.Fatalf("post-compaction records = %v, want [job-2 job-3]", ids)
+	}
+}
+
+func TestNilJournalIsNoOp(t *testing.T) {
+	var j *Journal
+	if err := j.Append(submitRec("job-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Compact(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Path() != "" {
+		t.Fatal("nil journal has a path")
+	}
+}
+
+// TestChaosFsyncError drives the journal.fsync failpoint: the append
+// reports failure and the caller can treat the record as unacknowledged.
+func TestChaosFsyncError(t *testing.T) {
+	t.Cleanup(chaos.Disarm)
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _, _ := openT(t, path)
+	if err := chaos.ArmSpec("journal.fsync:error=disk gone"); err != nil {
+		t.Fatal(err)
+	}
+	err := j.Append(submitRec("job-1"))
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("append under fsync chaos = %v, want injected error", err)
+	}
+	chaos.Disarm()
+	// The journal stays usable for the next append.
+	if err := j.Append(submitRec("job-2")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+}
+
+// TestChaosTornAppend drives the journal.append truncate failpoint: the
+// torn record is invisible after reopen, exactly like a real crash.
+func TestChaosTornAppend(t *testing.T) {
+	t.Cleanup(chaos.Disarm)
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _, _ := openT(t, path)
+	if err := j.Append(submitRec("job-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := chaos.ArmSpec("journal.append:truncate=6"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(submitRec("job-2")); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("torn append = %v, want injected error", err)
+	}
+	if chaos.Fired("journal.append") != 1 {
+		t.Fatal("failpoint did not fire")
+	}
+	chaos.Disarm()
+	j.Close()
+
+	j2, recs, dropped := openT(t, path)
+	defer j2.Close()
+	if len(recs) != 1 || recs[0].JobID != "job-1" {
+		t.Fatalf("replay after torn append = %+v", recs)
+	}
+	if dropped != 6 {
+		t.Fatalf("dropped %d bytes, want 6", dropped)
+	}
+}
+
+func TestPendingOrderAndFiltering(t *testing.T) {
+	recs := []Record{
+		submitRec("job-1"),
+		submitRec("job-2"),
+		{Type: TypeCancel, JobID: "job-2", Outcome: "cancelled"},
+		submitRec("job-3"),
+		{Type: TypeDone, JobID: "job-1", Outcome: "feasible"},
+		submitRec("job-4"),
+	}
+	pend := Pending(recs)
+	var ids []string
+	for _, r := range pend {
+		ids = append(ids, r.JobID)
+	}
+	if len(ids) != 2 || ids[0] != "job-3" || ids[1] != "job-4" {
+		t.Fatalf("Pending = %v, want [job-3 job-4]", ids)
+	}
+}
+
+// FuzzJournalDecode throws arbitrary bytes at the strict decoder: it must
+// never panic, never over-consume, and only return validated records.
+func FuzzJournalDecode(f *testing.F) {
+	seed, _ := EncodeRecord(submitRec("job-1"))
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	torn := append([]byte(nil), seed[:len(seed)-3]...)
+	f.Add(torn)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, n, err := DecodeRecord(data)
+		if err != nil {
+			if err != io.ErrUnexpectedEOF && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// A decoded record must satisfy the same invariants the encoder
+		// enforces — re-encoding it must succeed and re-decode equal.
+		buf, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatalf("decoded record fails re-encode: %v (%+v)", err, rec)
+		}
+		rec2, _, err := DecodeRecord(buf)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if rec2.Type != rec.Type || rec2.JobID != rec.JobID {
+			t.Fatalf("re-decode mismatch: %+v != %+v", rec2, rec)
+		}
+	})
+}

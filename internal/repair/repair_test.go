@@ -187,6 +187,86 @@ func TestRepairValidation(t *testing.T) {
 	}
 }
 
+// TestRepairFallbackForced engineers an instance where the incremental
+// path (evacuate + best-fit + local refiners) provably cannot reach
+// feasibility — escaping requires swapping two processes, and every
+// single-process move violates the resource bound, so single-move local
+// search is stuck — while the full re-partition trivially can. The
+// NoFallback run pins down that the incremental path really is infeasible
+// here; the fallback run must then engage, flag Repartitioned, and return
+// a feasible assignment satisfying all the repair invariants.
+func TestRepairFallbackForced(t *testing.T) {
+	// Nodes: u(5) a(5) v(5) b(5). The heavy pair u-v must be colocated
+	// (cut bound 2 < 100), but u and v start on different FPGAs, both
+	// full (10/10 against rmax 10): no single move fits.
+	g := graph.NewWithWeights([]int64{5, 5, 5, 5})
+	g.MustAddEdge(0, 2, 100) // u-v
+	g.MustAddEdge(1, 3, 1)   // a-b
+	topo := fpga.Uniform(2, 10, 2)
+	parts := []int{0, 0, 1, 1} // {u,a} | {v,b}: cut 101 > bmax 2
+
+	stuck, err := Repair(g, parts, topo, nil, Options{NoFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stuck.Feasible {
+		t.Fatalf("incremental path escaped the local optimum (cut %d); the instance no longer forces the fallback", stuck.CutAfter)
+	}
+	if stuck.Repartitioned {
+		t.Fatal("NoFallback run claims it repartitioned")
+	}
+	if stuck.Check == nil || len(stuck.Check.BandwidthViolations) == 0 {
+		t.Fatalf("stuck result must report the bandwidth violation: %+v", stuck.Check)
+	}
+
+	rep, err := Repair(g, parts, topo, nil, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Repartitioned {
+		t.Fatal("fallback did not engage despite incremental infeasibility")
+	}
+	if !rep.Feasible {
+		t.Fatalf("fallback result infeasible: %+v", rep.Check)
+	}
+	// Invariants on the fallback output: a complete assignment onto live
+	// FPGAs, honest bookkeeping, and metrics consistent with a from-scratch
+	// evaluation.
+	if len(rep.Assignment) != g.NumNodes() {
+		t.Fatalf("assignment covers %d of %d processes", len(rep.Assignment), g.NumNodes())
+	}
+	for u, f := range rep.Assignment {
+		if f < 0 || f >= topo.NumFPGAs() {
+			t.Fatalf("process %d on FPGA %d outside the platform", u, f)
+		}
+	}
+	if rep.Assignment[0] != rep.Assignment[2] {
+		t.Fatal("feasible fallback must colocate the heavy pair u,v")
+	}
+	if got := metrics.EdgeCut(g, rep.Assignment); got != rep.CutAfter {
+		t.Fatalf("CutAfter = %d, recomputed %d", rep.CutAfter, got)
+	}
+	if rep.DeltaCut != rep.CutAfter-rep.CutBefore {
+		t.Fatal("DeltaCut inconsistent")
+	}
+	moved := map[int]bool{}
+	for _, u := range rep.Moved {
+		moved[u] = true
+	}
+	for u := range parts {
+		if (rep.Assignment[u] != parts[u]) != moved[u] {
+			t.Fatalf("Moved list wrong about process %d", u)
+		}
+	}
+	check, err := topo.CheckMapping(g, rep.Assignment, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !check.Feasible {
+		t.Fatalf("claimed-feasible fallback fails an independent topology check: %+v", check)
+	}
+}
+
 func TestRepairFallbackRepartitions(t *testing.T) {
 	// A ring of eight unit processes on 4 FPGAs, two of which die. The
 	// survivors' capacity forces an even 4|4 split; whatever the

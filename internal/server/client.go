@@ -1,0 +1,122 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// RetryPolicy shapes client-side backoff against an overloaded or
+// draining daemon. The zero value is unusable; start from
+// DefaultRetryPolicy.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries (first attempt included).
+	MaxAttempts int
+	// Base is the first retry's backoff; later retries double it.
+	Base time.Duration
+	// Max caps any single backoff, including server-provided hints.
+	Max time.Duration
+}
+
+// DefaultRetryPolicy retries up to 4 attempts with 500ms exponential
+// backoff capped at 30s — enough to ride out a watermark shed without
+// hammering a daemon that asked for space.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 4, Base: 500 * time.Millisecond, Max: 30 * time.Second}
+
+// Delay returns the backoff before retry attempt (0-based retry index),
+// honoring the server's Retry-After hint when one was provided: the
+// server's estimate is grounded in its solve-time EWMA and backlog, so it
+// beats blind exponential guessing, but it is still clamped to Max.
+func (p RetryPolicy) Delay(retry int, serverHint time.Duration) time.Duration {
+	d := serverHint
+	if d <= 0 {
+		d = p.Base
+		for i := 0; i < retry; i++ {
+			d *= 2
+			if d >= p.Max {
+				break
+			}
+		}
+	}
+	if p.Max > 0 && d > p.Max {
+		d = p.Max
+	}
+	return d
+}
+
+// RetryAfterHint parses an HTTP Retry-After header (the delta-seconds
+// form the daemon emits) into a duration; 0 when absent or malformed.
+func RetryAfterHint(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// retryableStatus reports whether a submission should be retried: 429
+// (load shed — the daemon told us when to come back) and 503
+// (draining/journal trouble — another attempt may land on a healthy
+// window or replica).
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// Client submits partition jobs over HTTP with retry/backoff. It exists
+// for operators and tests driving a live ppnd; the daemon itself never
+// uses it.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the transport (http.DefaultClient when nil).
+	HTTP *http.Client
+	// Retry is the backoff policy (DefaultRetryPolicy when zero).
+	Retry RetryPolicy
+}
+
+// Submit POSTs body (a JSON job request) to /partition, retrying shed
+// and unavailable responses per the policy. It returns the final
+// response (any status) once a non-retryable status arrives or attempts
+// run out; the caller owns resp.Body.
+func (c *Client) Submit(ctx context.Context, body []byte) (*http.Response, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	pol := c.Retry
+	if pol.MaxAttempts <= 0 {
+		pol = DefaultRetryPolicy
+	}
+	var resp *http.Response
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/partition", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err = httpc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if !retryableStatus(resp.StatusCode) || attempt == pol.MaxAttempts-1 {
+			return resp, nil
+		}
+		hint := RetryAfterHint(resp)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		select {
+		case <-time.After(pol.Delay(attempt, hint)):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return resp, fmt.Errorf("server: submit retries exhausted")
+}

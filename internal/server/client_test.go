@@ -1,0 +1,144 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRetryPolicyDelay(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, Base: 100 * time.Millisecond, Max: 1 * time.Second}
+	// Exponential when the server gave no hint.
+	for i, want := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond} {
+		if got := p.Delay(i, 0); got != want {
+			t.Errorf("Delay(%d, 0) = %v, want %v", i, got, want)
+		}
+	}
+	// Capped at Max.
+	if got := p.Delay(10, 0); got != time.Second {
+		t.Errorf("Delay(10, 0) = %v, want cap %v", got, time.Second)
+	}
+	// The server hint wins over the exponential schedule, clamped to Max.
+	if got := p.Delay(0, 700*time.Millisecond); got != 700*time.Millisecond {
+		t.Errorf("Delay with hint = %v, want 700ms", got)
+	}
+	if got := p.Delay(0, time.Hour); got != time.Second {
+		t.Errorf("Delay with huge hint = %v, want cap", got)
+	}
+}
+
+func TestRetryAfterHint(t *testing.T) {
+	resp := &http.Response{Header: http.Header{}}
+	if got := RetryAfterHint(resp); got != 0 {
+		t.Errorf("missing header hint = %v", got)
+	}
+	resp.Header.Set("Retry-After", "7")
+	if got := RetryAfterHint(resp); got != 7*time.Second {
+		t.Errorf("hint = %v, want 7s", got)
+	}
+	resp.Header.Set("Retry-After", "garbage")
+	if got := RetryAfterHint(resp); got != 0 {
+		t.Errorf("malformed hint = %v, want 0", got)
+	}
+}
+
+// TestClientRetriesUntilAccepted: a client keeps a 429-then-OK server
+// honest — it honors Retry-After and delivers the eventual success.
+func TestClientRetriesUntilAccepted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, Retry: RetryPolicy{MaxAttempts: 4, Base: time.Millisecond, Max: 5 * time.Millisecond}}
+	resp, err := c.Submit(context.Background(), []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("final status = %d, want 200", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+// TestClientGivesUpAfterMaxAttempts: a permanently overloaded server
+// yields the last 429 response rather than retrying forever.
+func TestClientGivesUpAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, Retry: RetryPolicy{MaxAttempts: 3, Base: time.Millisecond, Max: 2 * time.Millisecond}}
+	resp, err := c.Submit(context.Background(), []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("final status = %d, want the last 429", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want exactly MaxAttempts=3", got)
+	}
+}
+
+// TestClientDoesNotRetryTerminalStatuses: 400s are the caller's bug, not
+// load — no retry.
+func TestClientDoesNotRetryTerminalStatuses(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL}
+	resp, err := c.Submit(context.Background(), []byte(`{"bad"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || calls.Load() != 1 {
+		t.Fatalf("status=%d calls=%d, want one 400", resp.StatusCode, calls.Load())
+	}
+}
+
+// TestClientRespectsContext: cancellation during backoff aborts the wait.
+func TestClientRespectsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	c := &Client{BaseURL: ts.URL, Retry: RetryPolicy{MaxAttempts: 3, Base: time.Minute, Max: time.Minute}}
+	start := time.Now()
+	_, err := c.Submit(ctx, []byte(`{}`))
+	if err == nil {
+		t.Fatal("submit succeeded despite cancelled context")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("cancellation took %v, backoff not interrupted", time.Since(start))
+	}
+}

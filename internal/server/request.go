@@ -94,6 +94,28 @@ type JobRequest struct {
 	// Async makes POST /partition return 202 with a job id to poll
 	// instead of blocking until the solve completes.
 	Async bool `json:"async,omitempty"`
+	// Priority classifies the job for admission control: "low", "normal"
+	// (the default) or "high". Under load the daemon sheds low-priority
+	// jobs first (at half queue capacity), then normal (near capacity);
+	// high-priority jobs are refused only at the hard queue bound. Like
+	// Async, priority shapes delivery, not the result, so it does not
+	// enter the cache key.
+	Priority string `json:"priority,omitempty"`
+}
+
+// Priority classes accepted on the wire.
+const (
+	PriorityLow    = "low"
+	PriorityNormal = "normal"
+	PriorityHigh   = "high"
+)
+
+// PriorityClass normalizes the request's priority ("" means normal).
+func (req *JobRequest) PriorityClass() string {
+	if req.Priority == "" {
+		return PriorityNormal
+	}
+	return req.Priority
 }
 
 // DecodeJobRequest parses and validates a job submission, returning the
@@ -184,6 +206,11 @@ func (req *JobRequest) Validate(g *graph.Graph) error {
 	}
 	if req.TimeoutMS < 0 {
 		return fmt.Errorf("%w: timeout_ms = %d is negative", ErrBadRequest, req.TimeoutMS)
+	}
+	switch req.Priority {
+	case "", PriorityLow, PriorityNormal, PriorityHigh:
+	default:
+		return fmt.Errorf("%w: priority %q (want low, normal or high)", ErrBadRequest, req.Priority)
 	}
 	return nil
 }

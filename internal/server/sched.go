@@ -1,9 +1,13 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -11,17 +15,55 @@ import (
 	"ppnpart/internal/core"
 	"ppnpart/internal/engine"
 	"ppnpart/internal/graph"
+	"ppnpart/internal/journal"
 	"ppnpart/internal/metrics"
 )
 
-// Submission errors; handlers map them to HTTP 503.
+// Submission errors.
 var (
-	// ErrQueueFull rejects a submission when the bounded queue is at
-	// capacity — shed load instead of buffering unboundedly.
+	// ErrQueueFull rejects a submission when the bounded queue is at its
+	// hard capacity — shed load instead of buffering unboundedly.
 	ErrQueueFull = errors.New("job queue full")
-	// ErrDraining rejects submissions during graceful shutdown.
+	// ErrOverloaded is the base of every load-shedding rejection
+	// (watermark or hard cap); handlers map it to HTTP 429 with a
+	// Retry-After hint.
+	ErrOverloaded = errors.New("server overloaded")
+	// ErrDraining rejects submissions during graceful shutdown (503: the
+	// instance is going away, the client should try another replica).
 	ErrDraining = errors.New("server draining")
+	// ErrQuarantined rejects graphs whose hash accumulated too many
+	// solver panics; handlers map it to HTTP 422.
+	ErrQuarantined = errors.New("graph quarantined after repeated solver panics")
+	// ErrJournalAppend rejects an async submission whose durable journal
+	// record could not be written: accepting it would promise crash
+	// recovery the daemon cannot deliver.
+	ErrJournalAppend = errors.New("journal append failed")
 )
+
+// OverloadError is a load-shedding rejection with the admission-control
+// detail the HTTP layer needs: the shed reason and the backoff hint
+// derived from the observed solve-time EWMA and the queue backlog.
+type OverloadError struct {
+	// Reason is "watermark" (priority shed short of capacity) or
+	// "queue_full" (hard bound).
+	Reason string
+	// Priority is the shed request's priority class.
+	Priority string
+	// RetryAfter is the suggested client backoff.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("server overloaded (%s, priority %s): retry after %s",
+		e.Reason, e.Priority, e.RetryAfter)
+}
+
+// Is makes errors.Is see both ErrOverloaded and (for the hard bound)
+// ErrQueueFull.
+func (e *OverloadError) Is(target error) bool {
+	return target == ErrOverloaded || (e.Reason == "queue_full" && target == ErrQueueFull)
+}
 
 // ErrJobNotFound is returned for unknown job ids; handlers map it to 404.
 var ErrJobNotFound = errors.New("job not found")
@@ -57,6 +99,10 @@ const (
 	OutcomeCancelled = "cancelled"
 	// OutcomeError: the solver failed.
 	OutcomeError = "error"
+	// OutcomePanic: the solver panicked (and the degraded retry, when
+	// attempted, did not produce a result either). The panic was
+	// contained to this job; the worker pool keeps serving.
+	OutcomePanic = "panic"
 )
 
 // JobResult is the terminal payload of a job, shaped for JSON delivery.
@@ -108,6 +154,10 @@ type Job struct {
 	runCtx context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
+
+	// journaled marks jobs whose lifecycle is recorded in the durable
+	// journal (async jobs when journaling is on, and every recovered job).
+	journaled bool
 
 	mu            sync.Mutex
 	state         JobState
@@ -162,6 +212,15 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxFinishedJobs bounds retained terminal jobs (default 1024).
 	MaxFinishedJobs int
+	// Journal, when non-nil, makes async job lifecycles durable: a
+	// submission record is fsync'd before the job is acknowledged and a
+	// terminal record when it settles, so Recover can replay jobs lost
+	// to a crash. Nil disables journaling at zero cost.
+	Journal *journal.Journal
+	// QuarantineThreshold is the number of solver panics a graph hash
+	// accumulates before new submissions of it are refused (default 2;
+	// negative disables quarantining).
+	QuarantineThreshold int
 	// Solver overrides the partitioner (tests only).
 	Solver Solver
 }
@@ -181,6 +240,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxFinishedJobs <= 0 {
 		c.MaxFinishedJobs = 1024
+	}
+	if c.QuarantineThreshold == 0 {
+		c.QuarantineThreshold = 2
 	}
 	if c.Solver == nil {
 		c.Solver = func(ctx context.Context, g *graph.Graph, opts core.Options, tr *engine.Trace) (*core.Result, error) {
@@ -207,6 +269,14 @@ type Scheduler struct {
 	nextID   int64
 	draining bool
 	running  int
+	// ewmaSec is the exponentially weighted moving average of solve
+	// wall-clock seconds (0 = no sample yet); Retry-After hints derive
+	// from it.
+	ewmaSec float64
+	// panicCounts tallies solver panics per graph+options hash;
+	// quarantined holds the hashes past the threshold.
+	panicCounts map[string]int
+	quarantined map[string]bool
 
 	wg       sync.WaitGroup
 	shutdown context.CancelFunc
@@ -221,14 +291,16 @@ func NewScheduler(cfg Config, m *Metrics) *Scheduler {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Scheduler{
-		cfg:      cfg,
-		cache:    NewCache(cfg.CacheSize),
-		metrics:  m,
-		queue:    make(chan *Job, cfg.QueueDepth),
-		jobs:     make(map[string]*Job),
-		inflight: make(map[string]*Job),
-		baseCtx:  ctx,
-		shutdown: cancel,
+		cfg:         cfg,
+		cache:       NewCache(cfg.CacheSize),
+		metrics:     m,
+		queue:       make(chan *Job, cfg.QueueDepth),
+		jobs:        make(map[string]*Job),
+		inflight:    make(map[string]*Job),
+		panicCounts: make(map[string]int),
+		quarantined: make(map[string]bool),
+		baseCtx:     ctx,
+		shutdown:    cancel,
 	}
 	// Each worker checks one solver workspace out of the arena per job;
 	// warming the pool up front means steady-state solves never hit a
@@ -275,9 +347,73 @@ func (s *Scheduler) Lookup(id string) (*Job, error) {
 	return j, nil
 }
 
+// admissionLimit is the queue-depth watermark at which a priority class
+// is shed. Low-priority jobs yield half the queue to better traffic,
+// normal-priority jobs keep a headroom slice (1/8th of the queue) free
+// for high-priority work, and high-priority jobs are refused only at the
+// hard bound.
+func (s *Scheduler) admissionLimit(priority string) int {
+	c := s.cfg.QueueDepth
+	var limit int
+	switch priority {
+	case PriorityLow:
+		limit = c / 2
+	case PriorityHigh:
+		limit = c
+	default:
+		limit = c - c/8
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	return limit
+}
+
+// retryAfterLocked derives the client backoff hint from the observed
+// solve-time EWMA and the current backlog: roughly the wall-clock until a
+// worker frees up for the queue tail, clamped to [1s, 60s]. Callers hold
+// s.mu.
+func (s *Scheduler) retryAfterLocked() time.Duration {
+	est := s.ewmaSec
+	if est <= 0 {
+		est = 1
+	}
+	eta := est * float64(len(s.queue)/s.cfg.Workers+1)
+	d := time.Duration(eta * float64(time.Second))
+	// Round up to whole seconds (the Retry-After header's granularity).
+	d = d.Truncate(time.Second) + time.Second
+	if d > 60*time.Second {
+		d = 60 * time.Second
+	}
+	return d
+}
+
+// observeSolveTime folds one solve's wall-clock into the EWMA.
+func (s *Scheduler) observeSolveTime(elapsed time.Duration) {
+	s.mu.Lock()
+	sec := elapsed.Seconds()
+	if s.ewmaSec == 0 {
+		s.ewmaSec = sec
+	} else {
+		s.ewmaSec = 0.3*sec + 0.7*s.ewmaSec
+	}
+	s.mu.Unlock()
+}
+
+// SolveEWMA returns the current solve-time estimate (0 until a solve
+// completes).
+func (s *Scheduler) SolveEWMA() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return time.Duration(s.ewmaSec * float64(time.Second))
+}
+
 // Submit accepts a validated request. It returns either a cached terminal
 // result (hit=true), or the job tracking the work — which may be an
 // existing identical in-flight job (coalesced=true) rather than a new one.
+// Admission control runs before any job is created: quarantined graphs
+// are refused outright, and per-priority queue watermarks shed load with
+// a Retry-After hint instead of buffering unboundedly.
 func (s *Scheduler) Submit(req *JobRequest, g *graph.Graph) (job *Job, cached *JobResult, coalesced bool, err error) {
 	key := req.CacheKey(g)
 	if res, ok := s.cache.Get(key); ok {
@@ -288,31 +424,45 @@ func (s *Scheduler) Submit(req *JobRequest, g *graph.Graph) (job *Job, cached *J
 	}
 	s.metrics.CacheMiss()
 
+	prio := req.PriorityClass()
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		s.metrics.Rejected("draining")
 		return nil, nil, false, ErrDraining
 	}
+	if s.quarantined[key] {
+		s.mu.Unlock()
+		s.metrics.Rejected("quarantined")
+		return nil, nil, false, fmt.Errorf("%w (key %s)", ErrQuarantined, key[:16])
+	}
 	if j, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
 		s.metrics.Coalesced()
 		return j, nil, true, nil
 	}
+	if limit := s.admissionLimit(prio); len(s.queue) >= limit {
+		oe := &OverloadError{Reason: "watermark", Priority: prio, RetryAfter: s.retryAfterLocked()}
+		s.mu.Unlock()
+		s.metrics.Shed(prio)
+		s.metrics.Rejected("overload")
+		return nil, nil, false, oe
+	}
 	s.nextID++
 	id := fmt.Sprintf("job-%d", s.nextID)
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j := &Job{
-		ID:      id,
-		Key:     key,
-		Created: time.Now(),
-		sched:   s,
-		req:     req,
-		g:       g,
-		runCtx:  ctx,
-		cancel:  cancel,
-		done:    make(chan struct{}),
-		state:   StateQueued,
+		ID:        id,
+		Key:       key,
+		Created:   time.Now(),
+		sched:     s,
+		req:       req,
+		g:         g,
+		runCtx:    ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		journaled: req.Async && s.cfg.Journal != nil,
 	}
 	s.jobs[id] = j
 	s.inflight[key] = j
@@ -323,13 +473,139 @@ func (s *Scheduler) Submit(req *JobRequest, g *graph.Graph) (job *Job, cached *J
 		// Queue full: roll back the registration and shed the request.
 		delete(s.jobs, id)
 		delete(s.inflight, key)
+		oe := &OverloadError{Reason: "queue_full", Priority: prio, RetryAfter: s.retryAfterLocked()}
 		s.mu.Unlock()
 		cancel()
+		s.metrics.Shed(prio)
 		s.metrics.Rejected("queue_full")
-		return nil, nil, false, ErrQueueFull
+		return nil, nil, false, oe
 	}
 	s.mu.Unlock()
+
+	// Durability barrier: the submission record must be on stable storage
+	// before the caller acknowledges the job. A failed append withdraws
+	// the acceptance (the job is cancelled and the client told to retry)
+	// rather than promising crash recovery the journal cannot back.
+	if j.journaled {
+		body, merr := json.Marshal(req)
+		if merr == nil {
+			merr = s.cfg.Journal.Append(journal.Record{
+				Type: journal.TypeSubmit, JobID: id, Key: key, Request: body,
+			})
+		}
+		if merr != nil {
+			s.metrics.JournalError()
+			s.metrics.Rejected("journal_error")
+			j.Cancel()
+			return nil, nil, false, fmt.Errorf("%w: %v", ErrJournalAppend, merr)
+		}
+	}
 	return j, nil, false, nil
+}
+
+// Recover replays pending submission records (journal.Pending of the
+// replayed journal) as live jobs, reusing their original job ids so
+// clients polling GET /jobs/{id} across the restart see their job finish.
+// The solver's determinism contract makes the replayed result bit-identical
+// to what the lost process would have produced. Records whose request no
+// longer decodes (e.g. a journal from an older, incompatible build) are
+// skipped and counted in the returned error; the rest still recover.
+func (s *Scheduler) Recover(pending []journal.Record) (int, error) {
+	var skipped []string
+	n := 0
+	for _, rec := range pending {
+		req, g, err := DecodeJobRequest(bytes.NewReader(rec.Request))
+		if err != nil {
+			skipped = append(skipped, fmt.Sprintf("%s: %v", rec.JobID, err))
+			continue
+		}
+		// Replayed jobs are asynchronous by construction (only async jobs
+		// are journaled) and stay journaled so their settle writes the
+		// terminal record the original acceptance promised.
+		req.Async = true
+		key := req.CacheKey(g)
+
+		s.mu.Lock()
+		// Keep the id counter ahead of every replayed id so new jobs never
+		// collide with recovered ones.
+		if tail, ok := strings.CutPrefix(rec.JobID, "job-"); ok {
+			if v, err := strconv.ParseInt(tail, 10, 64); err == nil && v > s.nextID {
+				s.nextID = v
+			}
+		}
+		if _, exists := s.jobs[rec.JobID]; exists {
+			s.mu.Unlock()
+			skipped = append(skipped, fmt.Sprintf("%s: duplicate job id in journal", rec.JobID))
+			continue
+		}
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		j := &Job{
+			ID:        rec.JobID,
+			Key:       key,
+			Created:   time.Now(),
+			sched:     s,
+			req:       req,
+			g:         g,
+			runCtx:    ctx,
+			cancel:    cancel,
+			done:      make(chan struct{}),
+			state:     StateQueued,
+			journaled: s.cfg.Journal != nil,
+		}
+		s.jobs[rec.JobID] = j
+		coalesced := false
+		if _, ok := s.inflight[key]; ok {
+			// An identical job is already replaying; this one settles when
+			// that one does. Settle it immediately from the cache once the
+			// twin completes — simplest is to just run it too; the cache
+			// check below keeps the cost to one solve.
+			coalesced = true
+		} else {
+			s.inflight[key] = j
+		}
+		s.mu.Unlock()
+
+		s.metrics.RecoveredJob()
+		n++
+		if res, ok := s.cache.Get(key); ok {
+			// The result is already known (an identical request completed
+			// after this one was journaled): settle without solving.
+			hit := *res
+			hit.Cached = true
+			s.settle(j, StateDone, &hit, 0)
+			continue
+		}
+		if coalesced {
+			go func(j *Job) {
+				twin, err := func() (*Job, error) {
+					s.mu.Lock()
+					defer s.mu.Unlock()
+					t := s.inflight[j.Key]
+					if t == nil || t == j {
+						return nil, fmt.Errorf("no twin")
+					}
+					return t, nil
+				}()
+				if err == nil {
+					<-twin.Done()
+					s.settle(j, twin.State(), twin.Result(), 0)
+					return
+				}
+				s.run(j)
+			}(j)
+			continue
+		}
+		// Recovery happens before the HTTP listener accepts traffic, so a
+		// blocking send is safe: the queue holds at most QueueDepth accepted
+		// jobs (admission control bounded it before the crash) plus what
+		// recovery adds, and workers are already draining it.
+		s.queue <- j
+	}
+	if len(skipped) > 0 {
+		return n, fmt.Errorf("journal recovery skipped %d record(s): %s",
+			len(skipped), strings.Join(skipped, "; "))
+	}
+	return n, nil
 }
 
 // worker drains the queue until shutdown.
@@ -354,7 +630,52 @@ func (s *Scheduler) worker() {
 	}
 }
 
-// run executes one job under its deadline.
+// solveOnce runs one solve attempt under the job's deadline with panic
+// containment: a panicking solver is converted into a non-nil panicVal
+// instead of unwinding the worker goroutine.
+func (s *Scheduler) solveOnce(j *Job, opts core.Options) (res *core.Result, tr *engine.Trace, deadlineHit bool, err error, panicVal any) {
+	ctx, cancel := context.WithTimeout(j.runCtx, j.req.Timeout(s.cfg.DefaultTimeout))
+	defer cancel()
+	tr = &engine.Trace{}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicVal = r
+			}
+		}()
+		res, err = s.cfg.Solver(ctx, j.g, opts, tr)
+	}()
+	deadlineHit = ctx.Err() == context.DeadlineExceeded
+	return res, tr, deadlineHit, err, panicVal
+}
+
+// panicMessage renders a recovered panic value for a job result, bounded
+// so a stack-bearing panic does not bloat the JSON payload.
+func panicMessage(v any) string {
+	msg := fmt.Sprintf("%v", v)
+	if i := strings.IndexByte(msg, '\n'); i > 0 {
+		msg = msg[:i]
+	}
+	if len(msg) > 300 {
+		msg = msg[:300] + "..."
+	}
+	return msg
+}
+
+// degradedOptions is the retry configuration after a panic: serial
+// refinement (one cycle at a time) with shared-incumbent pruning off —
+// the most conservative search the engine offers, cutting out the
+// concurrent machinery a panicking solve may have tripped over.
+func degradedOptions(opts core.Options) core.Options {
+	opts.Parallelism = 1
+	opts.Prune = core.PruneOff
+	return opts
+}
+
+// run executes one job under its deadline. Panics are isolated to the
+// job: the first panic triggers one degraded-configuration retry, a
+// second (or a quarantined graph) fails the job with a typed panic
+// outcome — the worker itself never dies.
 func (s *Scheduler) run(j *Job) {
 	j.mu.Lock()
 	if j.userCancelled {
@@ -368,18 +689,44 @@ func (s *Scheduler) run(j *Job) {
 	s.mu.Lock()
 	s.running++
 	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+	}()
 
-	ctx, cancel := context.WithTimeout(j.runCtx, j.req.Timeout(s.cfg.DefaultTimeout))
-	tr := &engine.Trace{}
 	start := time.Now()
-	res, err := s.cfg.Solver(ctx, j.g, j.req.CoreOptions(), tr)
+	res, tr, deadlineHit, err, panicVal := s.solveOnce(j, j.req.CoreOptions())
+	if panicVal != nil {
+		s.metrics.WorkerPanic()
+		firstPanic := panicMessage(panicVal)
+		if s.recordPanic(j.Key) {
+			s.settle(j, StateFailed, &JobResult{
+				Outcome: OutcomePanic,
+				K:       j.req.K,
+				Message: fmt.Sprintf("solver panicked: %s; graph quarantined", firstPanic),
+				SolveMS: time.Since(start).Milliseconds(),
+			}, time.Since(start))
+			return
+		}
+		// One retry with the degraded solver before giving up.
+		s.metrics.DegradedRetry()
+		res, tr, deadlineHit, err, panicVal = s.solveOnce(j, degradedOptions(j.req.CoreOptions()))
+		if panicVal != nil {
+			s.metrics.WorkerPanic()
+			s.recordPanic(j.Key)
+			s.settle(j, StateFailed, &JobResult{
+				Outcome: OutcomePanic,
+				K:       j.req.K,
+				Message: fmt.Sprintf("solver panicked: %s; degraded retry panicked too: %s", firstPanic, panicMessage(panicVal)),
+				SolveMS: time.Since(start).Milliseconds(),
+			}, time.Since(start))
+			return
+		}
+	} else {
+		s.clearPanics(j.Key)
+	}
 	elapsed := time.Since(start)
-	deadlineHit := ctx.Err() == context.DeadlineExceeded
-	cancel()
-
-	s.mu.Lock()
-	s.running--
-	s.mu.Unlock()
 
 	if err != nil {
 		s.settle(j, StateFailed, &JobResult{
@@ -390,6 +737,7 @@ func (s *Scheduler) run(j *Job) {
 		}, elapsed)
 		return
 	}
+	s.observeSolveTime(elapsed)
 
 	jr := resultToJSON(j.req, res)
 	jr.SolveMS = elapsed.Milliseconds()
@@ -425,6 +773,39 @@ func (s *Scheduler) settleCancelled(j *Job) {
 	}, 0)
 }
 
+// recordPanic tallies a solver panic against a graph hash and reports
+// whether the hash is (now) quarantined.
+func (s *Scheduler) recordPanic(key string) bool {
+	if s.cfg.QuarantineThreshold < 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.panicCounts[key]++
+	if s.panicCounts[key] >= s.cfg.QuarantineThreshold {
+		s.quarantined[key] = true
+	}
+	return s.quarantined[key]
+}
+
+// clearPanics forgets panic history after a clean full-configuration
+// solve of the key.
+func (s *Scheduler) clearPanics(key string) {
+	s.mu.Lock()
+	if s.panicCounts[key] > 0 && !s.quarantined[key] {
+		delete(s.panicCounts, key)
+	}
+	s.mu.Unlock()
+}
+
+// QuarantinedGraphs returns the number of quarantined graph hashes (the
+// /metrics gauge).
+func (s *Scheduler) QuarantinedGraphs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.quarantined)
+}
+
 // settle records the terminal state, closes Done, releases the coalescing
 // slot and trims the retention ring.
 func (s *Scheduler) settle(j *Job, st JobState, res *JobResult, elapsed time.Duration) {
@@ -433,6 +814,22 @@ func (s *Scheduler) settle(j *Job, st JobState, res *JobResult, elapsed time.Dur
 	j.result = res
 	j.mu.Unlock()
 	close(j.done)
+
+	// Journaled jobs get a terminal record so recovery does not replay
+	// them. A failed append is survivable (worst case the job replays
+	// and the determinism contract re-derives the same result), so it is
+	// counted, not fatal.
+	if j.journaled {
+		typ := journal.TypeDone
+		if res.Outcome == OutcomeCancelled {
+			typ = journal.TypeCancel
+		}
+		if err := s.cfg.Journal.Append(journal.Record{
+			Type: typ, JobID: j.ID, Key: j.Key, Outcome: res.Outcome,
+		}); err != nil {
+			s.metrics.JournalError()
+		}
+	}
 
 	s.metrics.JobDone(res.Outcome, elapsed)
 

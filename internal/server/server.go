@@ -6,6 +6,8 @@ import (
 	"errors"
 	"log"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"ppnpart/internal/graph"
@@ -17,11 +19,18 @@ import (
 //	GET    /jobs/{id}   poll a job
 //	DELETE /jobs/{id}   cancel a job
 //	GET    /healthz     liveness + drain state
+//	GET    /readyz      readiness (false during journal replay and drain)
 //	GET    /metrics     Prometheus text metrics
 type Server struct {
 	sched *Scheduler
 	mux   *http.ServeMux
 	log   *log.Logger
+
+	// ready gates /readyz: the daemon flips it on after journal recovery
+	// finishes, and load balancers use it (not /healthz) to decide when to
+	// route traffic. Liveness and readiness are deliberately distinct: a
+	// replaying daemon is alive but not yet ready.
+	ready atomic.Bool
 
 	// VerifyResults recomputes every served partition's metrics from
 	// scratch via internal/metrics and 500s the response on divergence —
@@ -36,13 +45,20 @@ func New(sched *Scheduler, logger *log.Logger) *Server {
 		logger = log.Default()
 	}
 	s := &Server{sched: sched, mux: http.NewServeMux(), log: logger, VerifyResults: true}
+	s.ready.Store(true)
 	s.mux.HandleFunc("POST /partition", s.handlePartition)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
+
+// SetReady flips the /readyz gate. The daemon holds it false while the
+// journal replays so load balancers do not route to an instance still
+// resubmitting recovered work.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
 // Scheduler exposes the underlying scheduler (the daemon drains it).
 func (s *Server) Scheduler() *Scheduler { return s.sched }
@@ -61,6 +77,9 @@ type jobEnvelope struct {
 
 type errEnvelope struct {
 	Error string `json:"error"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429 responses so
+	// JSON-only clients get the backoff hint without header plumbing.
+	RetryAfterSeconds int64 `json:"retry_after_seconds,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -73,16 +92,32 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	env := errEnvelope{Error: err.Error()}
+	var oe *OverloadError
 	switch {
 	case errors.Is(err, ErrBadRequest):
 		status = http.StatusBadRequest
 		s.sched.Metrics().Rejected("bad_request")
+	case errors.As(err, &oe):
+		// Load shed: tell the client when to come back. The hint derives
+		// from the solve-time EWMA and the backlog, so it tracks reality.
+		status = http.StatusTooManyRequests
+		secs := int64(oe.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		env.RetryAfterSeconds = secs
+	case errors.Is(err, ErrQuarantined):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, ErrJournalAppend):
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrJobNotFound):
 		status = http.StatusNotFound
 	}
-	writeJSON(w, status, errEnvelope{Error: err.Error()})
+	writeJSON(w, status, env)
 }
 
 // handlePartition accepts a job. Sync submissions block until the solve
@@ -102,7 +137,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if cached != nil {
-		s.respondResult(w, req, g, "", cached)
+		s.respondResult(w, req, g, "", StateDone, cached)
 		return
 	}
 	if req.Async {
@@ -111,7 +146,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case <-job.Done():
-		s.respondResult(w, req, g, job.ID, job.Result())
+		s.respondResult(w, req, g, job.ID, job.State(), job.Result())
 	case <-r.Context().Done():
 		// Client went away and no response can be delivered. Cancel the
 		// solve only if this request created it: a coalesced sibling is
@@ -125,7 +160,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 
 // respondResult serves a terminal result, running the invariant
 // cross-check when enabled.
-func (s *Server) respondResult(w http.ResponseWriter, req *JobRequest, g *graph.Graph, jobID string, res *JobResult) {
+func (s *Server) respondResult(w http.ResponseWriter, req *JobRequest, g *graph.Graph, jobID string, st JobState, res *JobResult) {
 	if s.VerifyResults && res != nil {
 		if err := verifyResult(g, req, res); err != nil {
 			s.log.Printf("ppnd: INVARIANT VIOLATION: %v", err)
@@ -133,7 +168,7 @@ func (s *Server) respondResult(w http.ResponseWriter, req *JobRequest, g *graph.
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, jobEnvelope{JobID: jobID, State: StateDone, Result: res})
+	writeJSON(w, http.StatusOK, jobEnvelope{JobID: jobID, State: st, Result: res})
 }
 
 // handleJobGet polls a job.
@@ -181,10 +216,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, h)
 }
 
+// handleReadyz reports readiness. Unlike /healthz (liveness), readiness
+// is false while the daemon replays its journal at startup and once drain
+// begins — the two windows a live daemon should not receive traffic.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	type readiness struct {
+		Ready  bool   `json:"ready"`
+		Reason string `json:"reason,omitempty"`
+	}
+	rd := readiness{Ready: true}
+	switch {
+	case !s.ready.Load():
+		rd = readiness{Ready: false, Reason: "recovering"}
+	case s.sched.Draining():
+		rd = readiness{Ready: false, Reason: "draining"}
+	}
+	status := http.StatusOK
+	if !rd.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rd)
+}
+
 // handleMetrics renders the Prometheus text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.sched.Metrics().WriteTo(w, s.sched.QueueDepth(), s.sched.InFlight(), s.sched.Cache().Len())
+	s.sched.Metrics().WriteTo(w, GaugeSample{
+		QueueDepth:        s.sched.QueueDepth(),
+		InFlight:          s.sched.InFlight(),
+		CacheEntries:      s.sched.Cache().Len(),
+		QuarantinedGraphs: s.sched.QuarantinedGraphs(),
+		SolveEWMASeconds:  s.sched.SolveEWMA().Seconds(),
+	})
 }
 
 // Drain gracefully shuts the service down: healthz flips to draining,

@@ -372,8 +372,8 @@ func TestQueueFullShedsLoad(t *testing.T) {
 	waitStarted(t, gt)
 	postJob(t, ts, ringBody(16, 2, 0, 0, `"async":true,"options":{"seed":2}`)) // fills the queue
 	status, _ := postJob(t, ts, ringBody(16, 2, 0, 0, `"async":true,"options":{"seed":3}`))
-	if status != http.StatusServiceUnavailable {
-		t.Fatalf("over-capacity submission status = %d, want 503", status)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submission status = %d, want 429", status)
 	}
 	close(gt.release)
 }

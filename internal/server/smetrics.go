@@ -19,13 +19,18 @@ import (
 // depth and in-flight counts are sampled live from the scheduler at
 // scrape time rather than double-booked here.
 type Metrics struct {
-	mu        sync.Mutex
-	outcomes  map[string]int64 // jobs_total{outcome=...}
-	cacheHit  int64
-	cacheMiss int64
-	coalesced int64
-	rejected  map[string]int64 // rejections{reason=bad_request|queue_full|draining}
-	latency   histogram
+	mu          sync.Mutex
+	outcomes    map[string]int64 // jobs_total{outcome=...}
+	cacheHit    int64
+	cacheMiss   int64
+	coalesced   int64
+	rejected    map[string]int64 // rejections{reason=bad_request|queue_full|draining|...}
+	shed        map[string]int64 // load-shed submissions by priority class
+	recovered   int64            // jobs replayed from the journal on startup
+	panics      int64            // solver panics contained by a worker
+	degraded    int64            // degraded-configuration retries after a panic
+	journalErrs int64            // journal append/fsync failures
+	latency     histogram
 	// Per-stage solve wall time, keyed by the engine's stage names; only
 	// the stages the trace times (coarsen, seed, refine) appear.
 	stages map[string]*histogram
@@ -100,6 +105,7 @@ func NewMetrics() *Metrics {
 	m := &Metrics{
 		outcomes: make(map[string]int64),
 		rejected: make(map[string]int64),
+		shed:     make(map[string]int64),
 		latency:  newHistogram(latencyBuckets),
 		stages:   make(map[string]*histogram, len(stageNames)),
 		fmPasses: newHistogram(passBuckets),
@@ -145,6 +151,39 @@ func (m *Metrics) Rejected(reason string) {
 	m.mu.Unlock()
 }
 
+// Shed records a load-shed submission by priority class.
+func (m *Metrics) Shed(priority string) {
+	m.mu.Lock()
+	m.shed[priority]++
+	m.mu.Unlock()
+}
+
+// RecoveredJob records one job replayed from the journal at startup.
+func (m *Metrics) RecoveredJob() { m.mu.Lock(); m.recovered++; m.mu.Unlock() }
+
+// WorkerPanic records a solver panic contained by a worker.
+func (m *Metrics) WorkerPanic() { m.mu.Lock(); m.panics++; m.mu.Unlock() }
+
+// DegradedRetry records a degraded-configuration retry after a panic.
+func (m *Metrics) DegradedRetry() { m.mu.Lock(); m.degraded++; m.mu.Unlock() }
+
+// JournalError records a failed journal append or fsync.
+func (m *Metrics) JournalError() { m.mu.Lock(); m.journalErrs++; m.mu.Unlock() }
+
+// Resilience returns the crash-safety counters (tests).
+func (m *Metrics) Resilience() (recovered, panics, degraded, journalErrs int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recovered, m.panics, m.degraded, m.journalErrs
+}
+
+// ShedCount returns the load-shed count for one priority class (tests).
+func (m *Metrics) ShedCount(priority string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.shed[priority]
+}
+
 // Snapshot values used by tests.
 func (m *Metrics) Counts() (hits, misses, coalesced int64) {
 	m.mu.Lock()
@@ -159,9 +198,26 @@ func (m *Metrics) Outcome(name string) int64 {
 	return m.outcomes[name]
 }
 
+// GaugeSample carries the live gauges the /metrics handler samples from
+// the scheduler at scrape time.
+type GaugeSample struct {
+	// QueueDepth is the number of jobs waiting for a worker.
+	QueueDepth int
+	// InFlight is the number of jobs currently solving.
+	InFlight int
+	// CacheEntries is the LRU result-cache population.
+	CacheEntries int
+	// QuarantinedGraphs is the number of graph hashes refused after
+	// repeated solver panics.
+	QuarantinedGraphs int
+	// SolveEWMASeconds is the solve-time moving average feeding
+	// Retry-After hints (0 until the first solve completes).
+	SolveEWMASeconds float64
+}
+
 // WriteTo renders the registry in the Prometheus text format, together
 // with the live gauges the caller samples from the scheduler.
-func (m *Metrics) WriteTo(w io.Writer, queueDepth, inFlight, cacheLen int) {
+func (m *Metrics) WriteTo(w io.Writer, g GaugeSample) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -184,16 +240,39 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth, inFlight, cacheLen int) {
 	for _, k := range sortedKeys(m.rejected) {
 		fmt.Fprintf(w, "ppnd_rejected_total{reason=%q} %d\n", k, m.rejected[k])
 	}
+	fmt.Fprintf(w, "# HELP ppnd_shed_total Load-shed submissions by priority class.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_shed_total counter\n")
+	for _, k := range sortedKeys(m.shed) {
+		fmt.Fprintf(w, "ppnd_shed_total{priority=%q} %d\n", k, m.shed[k])
+	}
+	fmt.Fprintf(w, "# HELP ppnd_recovered_jobs_total Jobs replayed from the journal at startup.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_recovered_jobs_total counter\n")
+	fmt.Fprintf(w, "ppnd_recovered_jobs_total %d\n", m.recovered)
+	fmt.Fprintf(w, "# HELP ppnd_worker_panics_total Solver panics contained by the worker pool.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_worker_panics_total counter\n")
+	fmt.Fprintf(w, "ppnd_worker_panics_total %d\n", m.panics)
+	fmt.Fprintf(w, "# HELP ppnd_degraded_retries_total Degraded-configuration retries after a solver panic.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_degraded_retries_total counter\n")
+	fmt.Fprintf(w, "ppnd_degraded_retries_total %d\n", m.degraded)
+	fmt.Fprintf(w, "# HELP ppnd_journal_errors_total Failed journal appends or fsyncs.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_journal_errors_total counter\n")
+	fmt.Fprintf(w, "ppnd_journal_errors_total %d\n", m.journalErrs)
 
 	fmt.Fprintf(w, "# HELP ppnd_queue_depth Jobs waiting for a worker.\n")
 	fmt.Fprintf(w, "# TYPE ppnd_queue_depth gauge\n")
-	fmt.Fprintf(w, "ppnd_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "ppnd_queue_depth %d\n", g.QueueDepth)
 	fmt.Fprintf(w, "# HELP ppnd_in_flight Jobs currently solving.\n")
 	fmt.Fprintf(w, "# TYPE ppnd_in_flight gauge\n")
-	fmt.Fprintf(w, "ppnd_in_flight %d\n", inFlight)
+	fmt.Fprintf(w, "ppnd_in_flight %d\n", g.InFlight)
 	fmt.Fprintf(w, "# HELP ppnd_cache_entries Results held in the LRU cache.\n")
 	fmt.Fprintf(w, "# TYPE ppnd_cache_entries gauge\n")
-	fmt.Fprintf(w, "ppnd_cache_entries %d\n", cacheLen)
+	fmt.Fprintf(w, "ppnd_cache_entries %d\n", g.CacheEntries)
+	fmt.Fprintf(w, "# HELP ppnd_quarantined_graphs Graph hashes refused after repeated solver panics.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_quarantined_graphs gauge\n")
+	fmt.Fprintf(w, "ppnd_quarantined_graphs %d\n", g.QuarantinedGraphs)
+	fmt.Fprintf(w, "# HELP ppnd_solve_ewma_seconds Moving average of solve wall-clock feeding Retry-After hints.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_solve_ewma_seconds gauge\n")
+	fmt.Fprintf(w, "ppnd_solve_ewma_seconds %g\n", g.SolveEWMASeconds)
 
 	gets, news, puts := arena.Stats()
 	fmt.Fprintf(w, "# HELP ppnd_arena_checkouts_total Solver workspace checkouts from the arena.\n")
