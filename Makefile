@@ -45,13 +45,14 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzJobRequest -fuzztime=$(FUZZTIME) ./internal/server
 	$(GO) test -run='^$$' -fuzz=FuzzTraceDecode -fuzztime=$(FUZZTIME) ./internal/engine
 	$(GO) test -run='^$$' -fuzz=FuzzJournalDecode -fuzztime=$(FUZZTIME) ./internal/journal
+	$(GO) test -run='^$$' -fuzz=FuzzBatchSelect -fuzztime=$(FUZZTIME) ./internal/refine
 
 # Resilience gate: every chaos/failpoint test (panic isolation, quarantine,
 # journal fsync/torn-append injection, SIGKILL crash recovery) under the
 # race detector, with a deterministic failpoint schedule.
 chaos-smoke:
 	$(GO) test -race -count=1 ./internal/chaos ./internal/journal
-	$(GO) test -race -count=1 -run 'Chaos' ./internal/server ./cmd/ppnd
+	$(GO) test -race -count=1 -run 'Chaos' ./internal/server ./cmd/ppnd ./internal/engine
 
 build:
 	$(GO) build ./...

@@ -151,6 +151,49 @@ func BenchmarkScaleGP(b *testing.B) {
 			b.ReportMetric(float64(cut), "cut")
 		})
 	}
+
+	// Large-instance refinement pair: the same n=100000 graph solved with
+	// the serial pipeline race and with batch refinement, reported as
+	// sibling sub-benchmarks so the trajectory file records the
+	// serial-vs-batch wall-clock delta and both cuts. k=16 is where the
+	// refinement share of the solve is largest (FM move evaluation is
+	// O(k), coarsening is k-independent), i.e. where batch refinement's
+	// single-sweep-plus-polish structure pays off most.
+	b.Run("n100000", func(b *testing.B) {
+		const n, k = 100000, 16
+		g, err := gen.RandomConnected(n, 3*n,
+			gen.WeightRange{Lo: 10, Hi: 100}, gen.WeightRange{Lo: 1, Hi: 20},
+			seededRand(int64(1000+n)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := metrics.Constraints{
+			Rmax: g.TotalNodeWeight()*115/int64(100*k) + g.MaxNodeWeight(),
+			Bmax: 2 * g.TotalEdgeWeight() / int64(k),
+		}
+		for _, m := range []struct {
+			name string
+			mode core.RefineMode
+		}{
+			{"serial", core.RefineSerial},
+			{"batch", core.RefineBatch},
+		} {
+			b.Run(m.name, func(b *testing.B) {
+				b.ResetTimer()
+				var cut int64
+				for i := 0; i < b.N; i++ {
+					res, err := core.Partition(g, core.Options{
+						K: k, Constraints: c, Seed: 1, MaxCycles: 8, Refine: m.mode,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cut = res.Report.EdgeCut
+				}
+				b.ReportMetric(float64(cut), "cut")
+			})
+		}
+	})
 }
 
 func BenchmarkScaleBaseline(b *testing.B) {

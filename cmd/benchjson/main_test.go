@@ -120,33 +120,68 @@ func TestParseRejectsGarbageValue(t *testing.T) {
 	}
 }
 
+// noGates is the all-disabled limit set; the cut gate's inactive value is
+// negative because 0 is a meaningful (exact) threshold for it.
+func noGates() GateLimits { return GateLimits{CutPct: -1} }
+
 func gateFixture() *File {
 	return &File{
 		Benchmarks: []Entry{
-			{Name: "ScaleGP/n10000", Metrics: map[string]float64{"ns/op": 110, "allocs/op": 130}},
-			{Name: "OnlyCurrent", Metrics: map[string]float64{"ns/op": 999, "allocs/op": 999}},
+			{Name: "ScaleGP/n10000", Metrics: map[string]float64{"ns/op": 1_100_000, "allocs/op": 130, "cut": 105}},
+			{Name: "OnlyCurrent", Metrics: map[string]float64{"ns/op": 9_990_000, "allocs/op": 999, "cut": 999}},
 		},
 		Baseline: []Entry{
-			{Name: "ScaleGP/n10000", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 100}},
-			{Name: "OnlyBaseline", Metrics: map[string]float64{"ns/op": 1, "allocs/op": 1}},
+			{Name: "ScaleGP/n10000", Metrics: map[string]float64{"ns/op": 1_000_000, "allocs/op": 100, "cut": 100}},
+			{Name: "OnlyBaseline", Metrics: map[string]float64{"ns/op": 1_000_000, "allocs/op": 1, "cut": 1}},
 		},
+	}
+}
+
+// TestGateNsFloorExemptsMicroBenchmarks pins the noise guard: a benchmark
+// whose baseline ns/op sits under the floor escapes the ns gate entirely
+// (a 1x smoke run of a nanosecond-scale bench measures only overhead),
+// while its alloc and cut gates still apply.
+func TestGateNsFloorExemptsMicroBenchmarks(t *testing.T) {
+	out := &File{
+		Benchmarks: []Entry{{Name: "PStateMove", Metrics: map[string]float64{"ns/op": 6130, "allocs/op": 9, "cut": 120}}},
+		Baseline:   []Entry{{Name: "PStateMove", Metrics: map[string]float64{"ns/op": 1052, "allocs/op": 5, "cut": 100}}},
+	}
+	if got := Gate(out, GateLimits{NsPct: 400, CutPct: -1}); len(got) != 0 {
+		t.Fatalf("sub-floor benchmark ns-gated: %v", got)
+	}
+	got := Gate(out, GateLimits{NsPct: 400, AllocsPct: 20, CutPct: 0})
+	if len(got) != 2 {
+		t.Fatalf("alloc+cut gates must still apply below the ns floor, got %v", got)
+	}
+	joined := strings.Join(got, "\n")
+	if !strings.Contains(joined, "allocs/op") || !strings.Contains(joined, "cut") {
+		t.Fatalf("violations %q missing allocs/op or cut", joined)
 	}
 }
 
 func TestGateFlagsRegressionsPerMetric(t *testing.T) {
 	out := gateFixture()
-	// ns/op is 10% over, allocs/op 30% over.
+	// ns/op is 10% over, allocs/op 30% over, cut 5% over.
+	lim := func(mut func(*GateLimits)) GateLimits {
+		l := noGates()
+		mut(&l)
+		return l
+	}
 	cases := []struct {
 		limits GateLimits
 		want   int
 		names  []string
 	}{
-		{GateLimits{}, 0, nil},                                // both gates disabled
-		{GateLimits{NsPct: 15}, 0, nil},                       // within the ns budget
-		{GateLimits{NsPct: 5}, 1, []string{"ns/op"}},          // ns regression caught
-		{GateLimits{AllocsPct: 20}, 1, []string{"allocs/op"}}, // alloc regression caught
-		{GateLimits{NsPct: 5, AllocsPct: 20}, 2, []string{"ns/op", "allocs/op"}},
-		{GateLimits{NsPct: 50, AllocsPct: 50}, 0, nil}, // generous budgets pass
+		{noGates(), 0, nil}, // all gates disabled
+		{lim(func(l *GateLimits) { l.NsPct = 15 }), 0, nil},                       // within the ns budget
+		{lim(func(l *GateLimits) { l.NsPct = 5 }), 1, []string{"ns/op"}},          // ns regression caught
+		{lim(func(l *GateLimits) { l.AllocsPct = 20 }), 1, []string{"allocs/op"}}, // alloc regression caught
+		{lim(func(l *GateLimits) { l.NsPct = 5; l.AllocsPct = 20 }), 2, []string{"ns/op", "allocs/op"}},
+		{lim(func(l *GateLimits) { l.NsPct = 50; l.AllocsPct = 50 }), 0, nil}, // generous budgets pass
+		{lim(func(l *GateLimits) { l.CutPct = 0 }), 1, []string{"cut"}},       // exact cut gate catches any increase
+		{lim(func(l *GateLimits) { l.CutPct = 4.9 }), 1, []string{"cut"}},     // tight cut budget exceeded
+		{lim(func(l *GateLimits) { l.CutPct = 10 }), 0, nil},                  // cut within budget
+		{lim(func(l *GateLimits) { l.NsPct = 5; l.CutPct = 0 }), 2, []string{"ns/op", "cut"}},
 	}
 	for _, c := range cases {
 		got := Gate(out, c.limits)
@@ -165,10 +200,23 @@ func TestGateFlagsRegressionsPerMetric(t *testing.T) {
 	}
 }
 
+func TestGateCutExactThreshold(t *testing.T) {
+	out := gateFixture()
+	// Equal cut must pass the exact (0%) gate; one unit over must fail.
+	out.Benchmarks[0].Metrics["cut"] = 100
+	if got := Gate(out, GateLimits{CutPct: 0}); len(got) != 0 {
+		t.Fatalf("equal cut flagged by the exact gate: %v", got)
+	}
+	out.Benchmarks[0].Metrics["cut"] = 101
+	if got := Gate(out, GateLimits{CutPct: 0}); len(got) != 1 {
+		t.Fatalf("one-unit cut regression not caught by the exact gate: %v", got)
+	}
+}
+
 func TestGateImprovementsPass(t *testing.T) {
 	out := gateFixture()
-	out.Benchmarks[0].Metrics = map[string]float64{"ns/op": 50, "allocs/op": 40}
-	if got := Gate(out, GateLimits{NsPct: 1, AllocsPct: 1}); len(got) != 0 {
+	out.Benchmarks[0].Metrics = map[string]float64{"ns/op": 50, "allocs/op": 40, "cut": 90}
+	if got := Gate(out, GateLimits{NsPct: 1, AllocsPct: 1, CutPct: 0}); len(got) != 0 {
 		t.Fatalf("improvement flagged as regression: %v", got)
 	}
 }
@@ -178,8 +226,9 @@ func TestGateIgnoresMissingMetrics(t *testing.T) {
 		Benchmarks: []Entry{{Name: "NoMem", Metrics: map[string]float64{"ns/op": 100}}},
 		Baseline:   []Entry{{Name: "NoMem", Metrics: map[string]float64{"ns/op": 100}}},
 	}
-	// allocs/op absent on both sides: the alloc gate has nothing to say.
-	if got := Gate(out, GateLimits{AllocsPct: 1}); len(got) != 0 {
+	// allocs/op and cut absent on both sides: those gates have nothing to
+	// say even when armed.
+	if got := Gate(out, GateLimits{AllocsPct: 1, CutPct: 0}); len(got) != 0 {
 		t.Fatalf("missing metric flagged: %v", got)
 	}
 }

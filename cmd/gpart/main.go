@@ -40,6 +40,7 @@ type config struct {
 	algo              string
 	seed              int64
 	cycles            int
+	refine            string
 	minimize          bool
 	timeout           time.Duration
 	dotPath, svgPath  string
@@ -59,6 +60,7 @@ func main() {
 	flag.StringVar(&cfg.algo, "algo", "gp", "algorithm: gp (constrained) or baseline (METIS-style)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "random seed")
 	flag.IntVar(&cfg.cycles, "cycles", 16, "GP cyclic iteration budget")
+	flag.StringVar(&cfg.refine, "refine", "auto", "refinement strategy: auto (batch above a size threshold), serial, or batch")
 	flag.BoolVar(&cfg.minimize, "minimize", false, "keep cycling after feasibility to lower the cut")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "wall-clock budget for GP; on expiry the best partition so far is reported (0 = none)")
 	flag.StringVar(&cfg.dotPath, "dot", "", "write the partitioned graph as Graphviz DOT")
@@ -150,12 +152,17 @@ func run(cfg config) error {
 		if cfg.tracePath != "" {
 			tr = &engine.Trace{}
 		}
+		refineMode, err := core.ParseRefineMode(cfg.refine)
+		if err != nil {
+			return err
+		}
 		res, err := core.PartitionTraceCtx(ctx, g, core.Options{
 			K:                     cfg.k,
 			Constraints:           c,
 			Seed:                  cfg.seed,
 			MaxCycles:             cfg.cycles,
 			MinimizeAfterFeasible: cfg.minimize,
+			Refine:                refineMode,
 		}, tr)
 		if err != nil {
 			return err

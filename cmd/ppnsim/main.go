@@ -52,6 +52,7 @@ type config struct {
 	place     bool
 	seed      int64
 	cycles    int
+	refine    string
 	fifoDepth bool
 	trace     bool
 	// Fault tolerance.
@@ -76,6 +77,7 @@ func main() {
 	flag.BoolVar(&cfg.place, "place", false, "search the best part-to-FPGA placement (heterogeneous)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "GP random seed")
 	flag.IntVar(&cfg.cycles, "cycles", 16, "GP cyclic iteration budget")
+	flag.StringVar(&cfg.refine, "refine", "auto", "GP refinement strategy: auto, serial or batch")
 	flag.BoolVar(&cfg.fifoDepth, "fifos", false, "print per-channel FIFO depth requirements")
 	flag.BoolVar(&cfg.trace, "trace", false, "print the GP solve-trace summary (cycles, retries, prunes, per-stage wall time)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "GP latency budget; on expiry the best-effort partition is used (0 = none)")
@@ -198,8 +200,13 @@ func run(cfg config) error {
 		if cfg.trace {
 			tr = &engine.Trace{}
 		}
+		refineMode, err := core.ParseRefineMode(cfg.refine)
+		if err != nil {
+			return err
+		}
 		res, err := core.PartitionTraceCtx(ctx, g, core.Options{
 			K: k, Constraints: c, Seed: cfg.seed, MaxCycles: cfg.cycles,
+			Refine: refineMode,
 		}, tr)
 		if err != nil {
 			return err
@@ -321,6 +328,10 @@ func printTrace(s engine.TraceSummary) {
 		s.Cycles, s.Counted, s.Retries, s.Pruned, s.Discarded, s.BestCycle, s.Goodness)
 	fmt.Printf("  hierarchy: %d levels built, %d FM passes, %d FM moves\n",
 		s.Levels, s.FMPasses, s.FMMoves)
+	if s.BatchRounds > 0 || s.BatchDegraded > 0 {
+		fmt.Printf("  batch refinement: %d rounds, %d moves, %d degraded levels\n",
+			s.BatchRounds, s.BatchMoves, s.BatchDegraded)
+	}
 	if len(s.HeuristicWins) > 0 {
 		keys := make([]string, 0, len(s.HeuristicWins))
 		for h := range s.HeuristicWins {

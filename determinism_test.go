@@ -186,6 +186,59 @@ func TestDeterminismGoldenTrace(t *testing.T) {
 	if td.Outcome == nil || !td.Outcome.Feasible {
 		t.Fatalf("trace outcome = %+v, want feasible", td.Outcome)
 	}
+
+	// The same contract holds with batch refinement forced on: two
+	// identically-seeded batch-refined runs must serialize to
+	// byte-identical trace JSON, and the trace must actually record batch
+	// work (mode, pipeline sentinel, applied rounds) — determinism that
+	// the concurrent gain sweep is explicitly designed to preserve.
+	batchOpts := opts
+	batchOpts.Refine = core.RefineBatch
+	runBatch := func() []byte {
+		tr := &engine.Trace{OmitTiming: true}
+		if _, err := core.PartitionTraceCtx(context.Background(), g, batchOpts, tr); err != nil {
+			t.Fatal(err)
+		}
+		b, err := tr.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	bFirst, bSecond := runBatch(), runBatch()
+	if !bytes.Equal(bFirst, bSecond) {
+		t.Fatalf("batch-refined trace JSON diverged between identically-seeded runs:\n--- first ---\n%s\n--- second ---\n%s",
+			bFirst, bSecond)
+	}
+	if bytes.Equal(bFirst, first) {
+		t.Fatal("batch-refined trace is byte-identical to the serial trace; the mode recorded nothing")
+	}
+	btd, err := engine.DecodeTrace(bFirst)
+	if err != nil {
+		t.Fatalf("batch golden trace does not decode: %v", err)
+	}
+	batchLevels, rounds := 0, 0
+	for _, cyc := range btd.Cycles {
+		for _, r := range cyc.Refines {
+			if r.Mode != "batch" {
+				t.Fatalf("forced batch run traced refine mode %q", r.Mode)
+			}
+			if r.Pipeline != -1 || r.Batch == nil {
+				t.Fatalf("batch refine record incomplete: %+v", r)
+			}
+			batchLevels++
+			rounds += r.Batch.Rounds
+		}
+	}
+	if batchLevels == 0 {
+		t.Fatal("batch-refined trace records no refinement levels")
+	}
+	if rounds == 0 {
+		t.Fatal("batch-refined trace records no applied batch rounds")
+	}
+	if btd.Outcome == nil || !btd.Outcome.Feasible {
+		t.Fatalf("batch trace outcome = %+v, want feasible", btd.Outcome)
+	}
 }
 
 // TestDeterminismRepeatedRuns checks run-to-run stability directly: the

@@ -56,6 +56,14 @@ type Options struct {
 	MinimizeAfterFeasible bool
 	// RefinePasses bounds each local-search stage per level (default 8).
 	RefinePasses int
+	// Refine selects the per-level refinement strategy: RefineAuto
+	// (default) uses the data-parallel batch pass on levels with at least
+	// BatchRefineThreshold nodes and the serial competing pipelines below;
+	// RefineSerial and RefineBatch force one strategy everywhere.
+	Refine RefineMode
+	// BatchRefineThreshold overrides the auto-mode level size at and above
+	// which batch refinement engages (default 50000 nodes).
+	BatchRefineThreshold int
 	// MatchHeuristics restricts the competing matchings; nil means all
 	// three (random, heavy-edge, k-means), the paper's configuration.
 	// Incompatible with NLevelCoarsening (which always contracts a single
@@ -110,6 +118,8 @@ func (o Options) engineConfig() engine.Config {
 		MaxCycles:             o.MaxCycles,
 		MinimizeAfterFeasible: o.MinimizeAfterFeasible,
 		RefinePasses:          o.RefinePasses,
+		Refine:                o.Refine,
+		BatchThreshold:        o.BatchRefineThreshold,
 		MatchHeuristics:       o.MatchHeuristics,
 		NLevelCoarsening:      o.NLevelCoarsening,
 		Parallelism:           o.Parallelism,
@@ -128,6 +138,7 @@ func (o Options) withDefaults() Options {
 	o.Restarts = c.Restarts
 	o.MaxCycles = c.MaxCycles
 	o.RefinePasses = c.RefinePasses
+	o.BatchRefineThreshold = c.BatchThreshold
 	o.Parallelism = c.Parallelism
 	o.Seed = c.Seed
 	return o

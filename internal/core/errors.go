@@ -30,6 +30,8 @@ var (
 	ErrUnknownHeuristic = fmt.Errorf("%w: %w", ErrInvalidOptions, match.ErrUnknownHeuristic)
 	// ErrUnknownPruneMode rejects a Prune value outside the known modes.
 	ErrUnknownPruneMode = fmt.Errorf("%w: unknown prune mode", ErrInvalidOptions)
+	// ErrUnknownRefineMode rejects a Refine value outside the known modes.
+	ErrUnknownRefineMode = fmt.Errorf("%w: unknown refine mode", ErrInvalidOptions)
 	// ErrHeuristicsWithNLevel rejects combining MatchHeuristics with
 	// NLevelCoarsening: n-level coarsening always contracts a single
 	// heaviest edge, so a heuristic restriction would be silently ignored.
@@ -66,6 +68,9 @@ func (o Options) Validate(g *graph.Graph) error {
 	}
 	if !o.Prune.Valid() {
 		return fmt.Errorf("%w (prune mode %d)", ErrUnknownPruneMode, int(o.Prune))
+	}
+	if !o.Refine.Valid() {
+		return fmt.Errorf("%w (refine mode %d)", ErrUnknownRefineMode, int(o.Refine))
 	}
 	if len(o.VectorResources) > 0 {
 		if err := metrics.ValidateVectors(o.VectorResources, g.NumNodes()); err != nil {

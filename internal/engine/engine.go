@@ -56,6 +56,13 @@ type Config struct {
 	MinimizeAfterFeasible bool
 	// RefinePasses bounds each local-search stage per level (default 8).
 	RefinePasses int
+	// Refine selects the per-level refinement strategy: RefineAuto
+	// (default) uses the data-parallel batch pass on levels with at least
+	// BatchThreshold nodes and the serial pipelines below.
+	Refine RefineMode
+	// BatchThreshold is the level node count at and above which RefineAuto
+	// selects the batch pass (default 50000).
+	BatchThreshold int
 	// MatchHeuristics restricts the competing matchings; nil means all
 	// three.
 	MatchHeuristics []match.Heuristic
@@ -89,6 +96,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.RefinePasses <= 0 {
 		c.RefinePasses = 8
+	}
+	if c.BatchThreshold <= 0 {
+		c.BatchThreshold = 50000
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"ppnpart/internal/arena"
+	"ppnpart/internal/chaos"
 	"ppnpart/internal/coarsen"
 	"ppnpart/internal/graph"
 	"ppnpart/internal/initpart"
@@ -141,24 +142,59 @@ func (uncoarsenStage) Run(cy *Cycle) error {
 	return nil
 }
 
-// refineStage refines the current level: every pipeline runs concurrently
-// on its own copy of the projected partition, the goodness-best outcome
-// wins, and the winning score becomes the cycle's LevelScore.
+// refineStage refines the current level. Below the batch threshold (or
+// under RefineSerial) every pipeline runs concurrently on its own copy of
+// the projected partition and the goodness-best outcome wins. At and above
+// the threshold (or under RefineBatch) a single data-parallel batch pass
+// plus a serial FM polish replaces the pipeline race; a panic inside the
+// batch pass is isolated and the level degrades to the serial pipelines.
 type refineStage struct{}
 
 func (refineStage) Phase() Phase { return PhaseRefine }
 
+// useBatch decides the level's refinement strategy.
+func useBatch(cfg *Config, nodes int) bool {
+	switch cfg.Refine {
+	case RefineBatch:
+		return true
+	case RefineSerial:
+		return false
+	default:
+		return nodes >= cfg.BatchThreshold
+	}
+}
+
 func (refineStage) Run(cy *Cycle) error {
 	t := cy.now()
-	win := bestRefinement(cy.CSR, cy.Parts, cy.Cfg, cy.WS, cy.abandon, cy.trace != nil)
+	var win refineWin
+	var bt *BatchTrace
+	mode := ""
+	if useBatch(cy.Cfg, cy.CSR.NumNodes()) {
+		var ok bool
+		win, bt, ok = batchRefinement(cy)
+		if ok {
+			mode = "batch"
+		} else {
+			// The batch pass panicked before touching cy.Parts (it
+			// mutates only its own incremental state until it returns);
+			// fall back to the full serial pipeline race.
+			mode = "batch-degraded"
+			bt = &BatchTrace{Degraded: true}
+			win = bestRefinement(cy.CSR, cy.Parts, cy.Cfg, cy.WS, cy.abandon, cy.trace != nil)
+		}
+	} else {
+		win = bestRefinement(cy.CSR, cy.Parts, cy.Cfg, cy.WS, cy.abandon, cy.trace != nil)
+	}
 	cy.LevelScore = win.score
 	if ct := cy.trace; ct != nil {
 		ct.Refines = append(ct.Refines, RefineTrace{
 			Level:           cy.Level,
 			Nodes:           cy.CSR.NumNodes(),
+			Mode:            mode,
 			Pipeline:        win.pipeline,
 			FMPasses:        win.fmPasses,
 			FMMoves:         win.fmMoves,
+			Batch:           bt,
 			Cut:             win.extra.cut,
 			BandwidthExcess: win.extra.bwExcess,
 			ResourceExcess:  win.extra.resExcess,
@@ -168,6 +204,85 @@ func (refineStage) Run(cy *Cycle) error {
 		ct.RefineNS += cy.since(t)
 	}
 	return nil
+}
+
+// batchApplyPoint is the chaos failpoint at the batch-apply boundary: it
+// fires right before a selected batch of moves is applied, the spot where
+// a real data race or gain-table corruption would land. An injected panic
+// (or error, escalated to a panic) is recovered here and the level
+// degrades to the serial pipelines.
+const batchApplyPoint = "engine.batch-apply"
+
+// batchRefinement runs the batch pass followed by one serial
+// polish-and-repair pipeline on the level's assignment. ok is false when
+// the batch pass panicked; cy.Parts is then still the projected
+// assignment the caller handed in, so the serial fallback starts clean.
+func batchRefinement(cy *Cycle) (win refineWin, bt *BatchTrace, ok bool) {
+	cfg := cy.Cfg
+	// The batch path replaces the pipeline race, so it reuses pipeline
+	// 0's per-cycle child workspace for all its scratch.
+	ws := cy.WS.Child(0)
+	tracing := cy.trace != nil
+	defer func() {
+		if r := recover(); r != nil {
+			win, bt, ok = refineWin{}, nil, false
+		}
+	}()
+	opts := refine.BatchOptions{
+		K:           cfg.K,
+		Constraints: cfg.Constraints,
+		Record:      tracing,
+	}
+	if chaos.Enabled() {
+		opts.PreApply = func(round, batch int) {
+			if err := chaos.Inject(batchApplyPoint); err != nil {
+				// Error-kind injections at a mid-apply boundary cannot be
+				// "returned" — the pass has no error path by design — so
+				// they escalate to the same isolation as a panic.
+				panic(err)
+			}
+		}
+	}
+	st := refine.BatchKWayWS(ws, cy.CSR, cy.Parts, opts)
+	if tracing {
+		bt = &BatchTrace{
+			Rounds:     st.Rounds,
+			Moves:      st.Moves,
+			RoundSizes: st.RoundSizes,
+			RoundGains: st.RoundGains,
+		}
+	}
+	// Serial FM polish plus the constraint-repair stages, one pipeline.
+	// The batch rounds already did the bulk cut work, so the FM stage gets
+	// a tight two-pass budget — it only mops up the local moves batch
+	// independence forbade — while the repair stages keep their full
+	// pass budget.
+	var fm *refine.Stats
+	var fmStats refine.Stats
+	if tracing {
+		fm = &fmStats
+	}
+	polishCfg := *cfg
+	polishCfg.RefinePasses = 2
+	for si, stage := range pipelines[0] {
+		if si > 0 && cy.abandon() {
+			break
+		}
+		if si == 0 {
+			stage(cy.CSR, cy.Parts, &polishCfg, ws, fm)
+		} else {
+			stage(cy.CSR, cy.Parts, cfg, ws, fm)
+		}
+	}
+	var extra *evalExtra
+	win = refineWin{pipeline: -1}
+	if tracing {
+		extra = &win.extra
+	}
+	win.score, win.feasible = cfg.evaluateWS(ws, cy.CSR, cy.Parts, extra)
+	win.fmPasses = fmStats.Passes
+	win.fmMoves = fmStats.Moves
+	return win, bt, true
 }
 
 // retryStage implements the paper's cyclic re-coarsen policy: stop at the

@@ -118,11 +118,19 @@ type RefineTrace struct {
 	Level int `json:"level"`
 	// Nodes is the graph size at this level.
 	Nodes int `json:"nodes"`
-	// Pipeline is the index of the winning stage ordering.
+	// Mode is "batch" when the data-parallel batch pass refined this
+	// level, "batch-degraded" when the batch pass panicked and the level
+	// fell back to the serial pipelines, and empty for plain serial
+	// refinement.
+	Mode string `json:"mode,omitempty"`
+	// Pipeline is the index of the winning stage ordering (-1 under
+	// batch refinement, which replaces the pipeline race).
 	Pipeline int `json:"pipeline"`
 	// FMPasses and FMMoves are the winning pipeline's k-way FM totals.
 	FMPasses int `json:"fm_passes"`
 	FMMoves  int `json:"fm_moves"`
+	// Batch records the batch pass's move rounds (batch modes only).
+	Batch *BatchTrace `json:"batch,omitempty"`
 	// Cut, BandwidthExcess and ResourceExcess describe the winning
 	// candidate; Goodness is its feasibility-first score.
 	Cut             int64   `json:"cut"`
@@ -131,6 +139,21 @@ type RefineTrace struct {
 	Goodness        float64 `json:"goodness"`
 	// WallNS is the level's refinement wall time (zero under OmitTiming).
 	WallNS int64 `json:"wall_ns,omitempty"`
+}
+
+// BatchTrace records one level's batch refinement rounds.
+type BatchTrace struct {
+	// Rounds is the number of accepted conflict-free move rounds; Moves
+	// totals their batch sizes.
+	Rounds int `json:"rounds"`
+	Moves  int `json:"moves"`
+	// RoundSizes and RoundGains are the per-round batch sizes and summed
+	// cut gains.
+	RoundSizes []int   `json:"round_sizes,omitempty"`
+	RoundGains []int64 `json:"round_gains,omitempty"`
+	// Degraded is set when the batch pass panicked and the level fell
+	// back to the serial pipelines (panic isolation).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // RetryTrace records the cyclic re-coarsen decision after a cycle.
@@ -255,6 +278,12 @@ type TraceSummary struct {
 	Levels   int `json:"levels"`
 	FMPasses int `json:"fm_passes"`
 	FMMoves  int `json:"fm_moves"`
+	// BatchRounds/BatchMoves total the batch refinement rounds across
+	// levels; BatchDegraded counts levels whose batch pass panicked and
+	// fell back to serial refinement.
+	BatchRounds   int `json:"batch_rounds,omitempty"`
+	BatchMoves    int `json:"batch_moves,omitempty"`
+	BatchDegraded int `json:"batch_degraded,omitempty"`
 	// HeuristicWins counts coarsening levels by winning matching.
 	HeuristicWins map[string]int `json:"heuristic_wins,omitempty"`
 	// CoarsenNS/SeedNS/RefineNS total the per-phase wall times.
@@ -295,6 +324,13 @@ func (tr *Trace) Summary() TraceSummary {
 		for _, rt := range ct.Refines {
 			s.FMPasses += rt.FMPasses
 			s.FMMoves += rt.FMMoves
+			if rt.Batch != nil {
+				s.BatchRounds += rt.Batch.Rounds
+				s.BatchMoves += rt.Batch.Moves
+				if rt.Batch.Degraded {
+					s.BatchDegraded++
+				}
+			}
 		}
 		s.CoarsenNS += ct.CoarsenNS
 		s.SeedNS += ct.SeedNS

@@ -1,31 +1,35 @@
 package graph
 
-import "fmt"
-
-// dedupThreshold is the degree past which a Builder switches a node from
-// linear-scan duplicate detection to a map index. Small-degree nodes (the
-// overwhelming majority in process networks) never pay map overhead.
-const dedupThreshold = 8
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Builder accumulates a graph with O(1) amortized duplicate-edge folding.
 // Graph.AddEdge detects duplicates with a linear scan of the adjacency
 // row, which makes contraction of dense coarse nodes quadratic in degree;
-// the Builder indexes high-degree rows with a map instead. The emitted
-// graph has adjacency rows in exactly the order sequential Graph.AddEdge
-// calls would produce (first-encounter order), so every downstream
-// consumer — including the RNG-driven matching heuristics that iterate
-// neighbor lists — sees bit-identical behavior.
+// the Builder instead indexes every endpoint pair in one open-addressing
+// hash table (packed 32-bit ids, linear probing, no per-row maps), so an
+// AddEdge is a single probe regardless of degree. The emitted graph has
+// adjacency rows in exactly the order sequential Graph.AddEdge calls
+// would produce (first-encounter order), so every downstream consumer —
+// including the RNG-driven matching heuristics that iterate neighbor
+// lists — sees bit-identical behavior.
 type Builder struct {
-	g   *Graph
-	idx []map[Node]int32 // neighbor -> position in g.adj[u]; nil until dense
+	g *Graph
+	// keys holds (min<<32|max)+1 per occupied slot; 0 marks an empty
+	// slot. pos holds the matching half-edge positions, min's row index
+	// in the high word and max's in the low word.
+	keys []uint64
+	pos  []uint64
+	used int
 }
 
 // NewBuilder starts a builder over nodes with the given weights.
 func NewBuilder(weights []int64) *Builder {
-	return &Builder{
-		g:   NewWithWeights(weights),
-		idx: make([]map[Node]int32, len(weights)),
-	}
+	b := &Builder{g: NewWithWeights(weights)}
+	b.grow(64)
+	return b
 }
 
 // NewBuilderCap starts a builder whose adjacency rows are pre-carved
@@ -35,7 +39,8 @@ func NewBuilder(weights []int64) *Builder {
 // reallocations with one bulk allocation. Rows use three-index slices,
 // so a row that outgrows its bound reallocates privately instead of
 // clobbering its neighbor's storage. The builder takes ownership of
-// weights (it is not copied).
+// weights (it is not copied). The degree bound also sizes the dedup
+// table up front, so edge insertion never rehashes.
 func NewBuilderCap(weights []int64, degCap []int32) *Builder {
 	g := &Graph{
 		nodeWeights: weights,
@@ -54,38 +59,40 @@ func NewBuilderCap(weights []int64, degCap []int32) *Builder {
 		g.adj[u] = backing[off : off : off+int(d)]
 		off += int(d)
 	}
-	return &Builder{g: g, idx: make([]map[Node]int32, len(weights))}
+	b := &Builder{g: g}
+	// At most total/2 distinct edges; keep the table under 3/4 load.
+	b.grow(total/2*4/3 + 16)
+	return b
 }
 
-// find returns the position of v in u's adjacency row, or -1.
-func (b *Builder) find(u, v Node) int32 {
-	if m := b.idx[u]; m != nil {
-		if i, ok := m[v]; ok {
-			return i
-		}
-		return -1
+// grow (re)allocates the table at the next power of two >= want and
+// reinserts every occupied slot.
+func (b *Builder) grow(want int) {
+	size := 1 << bits.Len(uint(want-1))
+	if size < 16 {
+		size = 16
 	}
-	for i, h := range b.g.adj[u] {
-		if h.To == v {
-			return int32(i)
+	oldKeys, oldPos := b.keys, b.pos
+	b.keys = make([]uint64, size)
+	b.pos = make([]uint64, size)
+	for i, key := range oldKeys {
+		if key != 0 {
+			j := b.probe(key)
+			b.keys[j], b.pos[j] = key, oldPos[i]
 		}
 	}
-	return -1
 }
 
-// append records v at the end of u's row, indexing the row once it grows
-// past the threshold.
-func (b *Builder) append(u, v Node, w int64) {
-	b.g.adj[u] = append(b.g.adj[u], Half{To: v, Weight: w})
-	if m := b.idx[u]; m != nil {
-		m[v] = int32(len(b.g.adj[u]) - 1)
-	} else if len(b.g.adj[u]) > dedupThreshold {
-		m = make(map[Node]int32, 2*len(b.g.adj[u]))
-		for i, h := range b.g.adj[u] {
-			m[h.To] = int32(i)
-		}
-		b.idx[u] = m
+// probe returns the slot holding key, or the empty slot where it belongs.
+// Fibonacci hashing: the high bits of the product are the best-mixed, so
+// the table index is taken from the top.
+func (b *Builder) probe(key uint64) int {
+	mask := uint64(len(b.keys) - 1)
+	i := (key * 0x9E3779B97F4A7C15) >> (64 - uint(bits.Len(uint(mask)))) & mask
+	for b.keys[i] != 0 && b.keys[i] != key {
+		i = (i + 1) & mask
 	}
+	return int(i)
 }
 
 // AddEdge inserts {u, v} with weight w, folding duplicates by summing
@@ -100,15 +107,27 @@ func (b *Builder) AddEdge(u, v Node, w int64) error {
 	if w < 0 {
 		return fmt.Errorf("graph: negative edge weight %d on {%d,%d}", w, u, v)
 	}
-	if i := b.find(u, v); i >= 0 {
-		b.g.adj[u][i].Weight += w
-		j := b.find(v, u)
-		b.g.adj[v][j].Weight += w
+	lo, hi := u, v
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	key := uint64(lo)<<32 | (uint64(hi) + 1)
+	i := b.probe(key)
+	if b.keys[i] != 0 {
+		p := b.pos[i]
+		b.g.adj[lo][p>>32].Weight += w
+		b.g.adj[hi][p&0xFFFFFFFF].Weight += w
 		b.g.totalEdgeW += w
 		return nil
 	}
-	b.append(u, v, w)
-	b.append(v, u, w)
+	b.g.adj[u] = append(b.g.adj[u], Half{To: v, Weight: w})
+	b.g.adj[v] = append(b.g.adj[v], Half{To: u, Weight: w})
+	b.keys[i] = key
+	b.pos[i] = uint64(len(b.g.adj[lo])-1)<<32 | uint64(len(b.g.adj[hi])-1)
+	b.used++
+	if b.used*4 >= len(b.keys)*3 {
+		b.grow(2 * len(b.keys))
+	}
 	b.g.numEdges++
 	b.g.totalEdgeW += w
 	return nil
@@ -119,6 +138,6 @@ func (b *Builder) AddEdge(u, v Node, w int64) error {
 func (b *Builder) Graph() *Graph {
 	g := b.g
 	b.g = nil
-	b.idx = nil
+	b.keys, b.pos = nil, nil
 	return g
 }

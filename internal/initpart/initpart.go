@@ -89,6 +89,11 @@ func GreedyGrowWS(ws *arena.Workspace, g *graph.Graph, csr *graph.CSR, opts Gree
 		weight: ws.Int64s.Get(n),
 		in:     ws.Bools.Get(n),
 		items:  ws.Nodes.Cap(8),
+		heap:   ws.Int64s.Cap(512),
+		// Packed lazy-heap pops need (weight, id) to fit one int64 key: a
+		// node's accumulated frontier weight is bounded by the total edge
+		// weight, so both bounds guarantee every key is exact.
+		packed: int64(n) <= frontierIDMask && g.TotalEdgeWeight() <= frontierIDMask,
 	}
 	var best []int
 	bestScore := 0.0
@@ -120,6 +125,7 @@ func GreedyGrowWS(ws *arena.Workspace, g *graph.Graph, csr *graph.CSR, opts Gree
 	ws.Int64s.Put(f.weight)
 	ws.Bools.Put(f.in)
 	ws.Nodes.Put(f.items)
+	ws.Int64s.Put(f.heap)
 	return best, nil
 }
 
@@ -293,33 +299,74 @@ func fixEmptyParts(g *graph.Graph, parts []int, k int, rng *rand.Rand) {
 	}
 }
 
+// frontierIDMask bounds node ids and accumulated weights on the packed
+// lazy-heap fast path: key = weight<<31 | (mask - id) keeps the integer
+// order of keys identical to the frontier's (weight desc, id asc) total
+// order.
+const frontierIDMask = 1<<31 - 1
+
 // frontier is a max-priority frontier keyed by connection weight; repeated
-// adds accumulate weight, mirroring "most connected first" growth. It is
-// array-backed: membership and accumulated weight are dense per-node
-// tables and popMax scans the member list. Selection follows the total
-// order (weight desc, node id asc), so the pop sequence is independent of
-// insertion or storage order — the same nodes come out as with any other
-// container, deterministically.
+// adds accumulate weight, mirroring "most connected first" growth.
+// Membership and accumulated weight are dense per-node tables. Selection
+// follows the total order (weight desc, node id asc), so the pop sequence
+// is independent of insertion or storage order — the same nodes come out
+// as with any other container, deterministically.
+//
+// Two interchangeable pop engines sit behind that order. The packed fast
+// path keeps a lazy max-heap of (weight, id) keys: every add pushes the
+// node's new cumulative key, and popMax discards stale entries (weight no
+// longer current, or node already popped) until the root is live — the
+// live root is exactly the linear scan's argmax, so the engines are
+// bit-interchangeable. The heap resets whenever the frontier drains,
+// which bounds it by one grow's pushes. Graphs whose ids or weights
+// exceed the packed key bounds fall back to scanning the member list.
 type frontier struct {
 	weight []int64
 	in     []bool
-	items  []graph.Node
+	items  []graph.Node // member list (fallback engine only)
+	heap   []int64      // packed lazy entries (fast path only)
+	size   int          // live members (fast path only)
+	packed bool
 }
 
 func (f *frontier) add(u graph.Node, w int64) {
 	if !f.in[u] {
 		f.in[u] = true
-		f.items = append(f.items, u)
+		if f.packed {
+			f.size++
+		} else {
+			f.items = append(f.items, u)
+		}
 	}
 	f.weight[u] += w
+	if f.packed {
+		f.heap = append(f.heap, f.weight[u]<<31|(frontierIDMask-int64(u)))
+		// Sift up.
+		for i := len(f.heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if f.heap[p] >= f.heap[i] {
+				break
+			}
+			f.heap[p], f.heap[i] = f.heap[i], f.heap[p]
+			i = p
+		}
+	}
 }
 
-func (f *frontier) len() int { return len(f.items) }
+func (f *frontier) len() int {
+	if f.packed {
+		return f.size
+	}
+	return len(f.items)
+}
 
 // popMax removes and returns the strongest-connected node (ties: lowest
 // id, keeping the growth deterministic). A popped node leaves no residue:
 // re-adding it later starts accumulating from zero again.
 func (f *frontier) popMax() graph.Node {
+	if f.packed {
+		return f.popMaxHeap()
+	}
 	best := graph.Node(-1)
 	bi := -1
 	var bw int64 = -1
@@ -334,6 +381,47 @@ func (f *frontier) popMax() graph.Node {
 	f.weight[best] = 0
 	f.in[best] = false
 	return best
+}
+
+// popMaxHeap is popMax's packed lazy-heap engine: pop keys in descending
+// order, skipping entries superseded by a later add or an earlier pop.
+// A live node's highest (current) key always outranks its stale lower
+// keys, so the first live entry popped is the frontier's true argmax.
+func (f *frontier) popMaxHeap() graph.Node {
+	for {
+		key := f.heap[0]
+		last := len(f.heap) - 1
+		f.heap[0] = f.heap[last]
+		f.heap = f.heap[:last]
+		// Sift down.
+		for i := 0; ; {
+			c := 2*i + 1
+			if c >= last {
+				break
+			}
+			if c+1 < last && f.heap[c+1] > f.heap[c] {
+				c++
+			}
+			if f.heap[i] >= f.heap[c] {
+				break
+			}
+			f.heap[i], f.heap[c] = f.heap[c], f.heap[i]
+			i = c
+		}
+		u := graph.Node(frontierIDMask - key&frontierIDMask)
+		if !f.in[u] || f.weight[u] != key>>31 {
+			continue // stale: superseded or already popped
+		}
+		f.weight[u] = 0
+		f.in[u] = false
+		f.size--
+		if f.size == 0 {
+			// Drained: drop the remaining stale entries so reuse across
+			// grows and restarts starts from an empty heap.
+			f.heap = f.heap[:0]
+		}
+		return u
+	}
 }
 
 // RandomPartition assigns every node uniformly at random, then repairs

@@ -7,6 +7,7 @@ package match
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"slices"
 	"sort"
@@ -251,9 +252,18 @@ func randomWS(ws *arena.Workspace, g *graph.Graph, rng *rand.Rand) Matching {
 	return m
 }
 
-// heavyEdgeWS is HeavyEdge with the edge sort array pooled.
+// heavyEdgeWS is HeavyEdge with the edge sort array pooled. When the sort
+// key fits, edges are packed into single int64 keys — (inverted weight,
+// u, v) in descending-weight lexicographic layout — and sorted with the
+// branch-lean primitive sort; the packed integer order is exactly the
+// struct comparator's total order, so the matching is bit-identical to
+// the comparator path, which remains as the general fallback.
 func heavyEdgeWS(ws *arena.Workspace, g *graph.Graph) Matching {
 	n := g.NumNodes()
+	if idBits := bits.Len(uint(n)); n > 0 && 2*idBits < 63 &&
+		g.TotalEdgeWeight() < int64(1)<<(63-2*idBits) {
+		return heavyEdgePackedWS(ws, g, uint(idBits))
+	}
 	edges := ws.Edges.Cap(g.NumEdges())
 	for u := 0; u < n; u++ {
 		for _, h := range g.Neighbors(graph.Node(u)) {
@@ -282,6 +292,38 @@ func heavyEdgeWS(ws *arena.Workspace, g *graph.Graph) Matching {
 		}
 	}
 	ws.Edges.Put(edges)
+	return m
+}
+
+// heavyEdgePackedWS is the packed-key fast path of heavyEdgeWS. Every
+// weight is bounded by the total edge weight, so invW = total - w is
+// non-negative and ascending invW is descending w; placing invW in the
+// high bits and u, v (each < 2^idBits) below yields an integer whose
+// natural order is the comparator's (weight desc, u asc, v asc). Keys are
+// unique (one per endpoint pair), so sort stability is irrelevant.
+func heavyEdgePackedWS(ws *arena.Workspace, g *graph.Graph, idBits uint) Matching {
+	n := g.NumNodes()
+	total := g.TotalEdgeWeight()
+	mask := int64(1)<<idBits - 1
+	keys := ws.Int64s.Cap(g.NumEdges())
+	for u := 0; u < n; u++ {
+		for _, h := range g.Neighbors(graph.Node(u)) {
+			if graph.Node(u) < h.To {
+				keys = append(keys, (total-h.Weight)<<(2*idBits)|
+					int64(u)<<idBits|int64(h.To))
+			}
+		}
+	}
+	slices.Sort(keys)
+	m := NewMatching(n)
+	for _, key := range keys {
+		u := graph.Node(key >> idBits & mask)
+		v := graph.Node(key & mask)
+		if m[u] == Unmatched && m[v] == Unmatched {
+			m[u], m[v] = v, u
+		}
+	}
+	ws.Int64s.Put(keys)
 	return m
 }
 

@@ -1,0 +1,365 @@
+package refine
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"ppnpart/internal/arena"
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+	"ppnpart/internal/pstate"
+)
+
+// BatchOptions configures BatchKWayWS.
+type BatchOptions struct {
+	// K is the number of parts. Required.
+	K int
+	// Constraints carries Bmax/Rmax; the batch pass never accepts a round
+	// that worsens the feasibility-first score under them.
+	Constraints metrics.Constraints
+	// MaxRounds bounds the number of gain-sweep/select/apply rounds
+	// (default 64; rounds also stop when gains dry up).
+	MaxRounds int
+	// Workers is the gain-sweep fan-out (default GOMAXPROCS). The sweep
+	// writes each node's candidate into a slot indexed by the node, so any
+	// worker count produces bit-identical results.
+	Workers int
+	// Record enables RoundSizes/RoundGains capture (trace support); off,
+	// the pass allocates nothing beyond the pooled workspace buffers.
+	Record bool
+	// PreApply, when non-nil, runs immediately before a round's selected
+	// batch is applied. It is the failure-injection boundary: a panic here
+	// leaves the caller's assignment untouched (the pass mutates only its
+	// own incremental state until it returns).
+	PreApply func(round, batch int)
+	// RoundHook, when non-nil, observes the incremental state right after
+	// a round's batch has been applied, before the accept/undo decision.
+	// Differential tests use it to bit-compare the maintained quantities
+	// against a from-scratch metrics recompute.
+	RoundHook func(round int, st *pstate.State)
+}
+
+// BatchStats summarizes one batch refinement pass.
+type BatchStats struct {
+	// Rounds is the number of accepted move rounds; Moves totals their
+	// batch sizes.
+	Rounds int
+	Moves  int
+	// RoundSizes/RoundGains are the per-round batch sizes and summed cut
+	// gains (only with BatchOptions.Record).
+	RoundSizes []int
+	RoundGains []int64
+	// CutBefore and CutAfter bracket the global edge cut.
+	CutBefore, CutAfter int64
+}
+
+// Improved reports whether the pass reduced the cut.
+func (s BatchStats) Improved() bool { return s.CutAfter < s.CutBefore }
+
+// BatchKWay is BatchKWayWS with a throwaway workspace and CSR snapshot.
+func BatchKWay(g *graph.Graph, parts []int, opts BatchOptions) BatchStats {
+	ws := arena.Get()
+	defer arena.Put(ws)
+	return BatchKWayWS(ws, g.ToCSR(), parts, opts)
+}
+
+// BatchKWayWS runs data-parallel batch k-way refinement on a prebuilt CSR
+// snapshot, mutating parts in place. Each round:
+//
+//  1. Gain sweep: boundary vertices are scanned in chunked CSR sweeps
+//     fanned across Workers goroutines; each vertex's best positive-gain
+//     destination (KWayFM's gain rule: connectivity delta, ties to the
+//     lowest part id) lands in a per-node slot of a pooled buffer, so the
+//     sweep result is independent of the worker count and chunk split.
+//     A vertex's candidate depends only on its own and its neighbors'
+//     assignments, so after the first round the sweep is incremental:
+//     only vertices adjacent to the previous round's moves are
+//     re-scanned, and every other slot is provably still current.
+//  2. Conflict-free selection: candidates are ranked by (gain desc, node
+//     asc) and greedily accepted under a per-part quota of
+//     max(1, candidates/(2K)) moves, a tentative Rmax/never-empty-a-part
+//     check, and an independence rule — accepting a vertex blocks all its
+//     neighbors for the round. Independence makes the pre-computed gains
+//     exactly additive: no accepted move can invalidate another's gain.
+//  3. Apply: the batch is applied in ascending node order through an
+//     incremental pstate.State; the round is kept only if the applied
+//     state's feasibility-first score improved (Bmax/Rmax re-checked on
+//     the applied state, not the candidates), otherwise it is undone
+//     move-for-move and the pass ends.
+//
+// Rounds repeat until gains dry up, a round fails the applied-state check,
+// or MaxRounds is hit. The pass is deterministic by construction: no
+// coloring, no RNG, index-ordered tie-breaks everywhere.
+func BatchKWayWS(ws *arena.Workspace, csr *graph.CSR, parts []int, opts BatchOptions) BatchStats {
+	n := csr.NumNodes()
+	k := opts.K
+	if n == 0 || k <= 1 {
+		return BatchStats{}
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 64
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	const minChunk = 2048
+	if max := (n + minChunk - 1) / minChunk; workers > max {
+		workers = max
+	}
+
+	st, err := pstate.NewWS(ws, csr, parts, pstate.Config{K: k, Constraints: opts.Constraints})
+	if err != nil {
+		return BatchStats{}
+	}
+	stats := BatchStats{CutBefore: st.Cut()}
+
+	// cand[u] = best destination + 1 (0: no candidate); gains[u] its gain.
+	cand := ws.Ints.Get(n)
+	gains := ws.Int64s.Get(n)
+	// blocked[u]: u neighbors an accepted move this round.
+	blocked := ws.Bools.Get(n)
+	// dirty/dirtyList collect the nodes whose candidate slot must be
+	// re-swept next round: the applied moves and their neighborhoods.
+	dirty := ws.Bools.Get(n)
+	dirtyList := ws.Ints.Cap(n)
+	// Per-worker connectivity scratch, carved up front on the owning
+	// goroutine (arena pools are single-owner; workers only write their
+	// own k-slot window and their chunk's cand/gains range).
+	conn := ws.Int64s.Get(workers * k)
+	// Live per-part totals snapshotted each round for the sweep.
+	res := ws.Int64s.Get(k)
+	resT := ws.Int64s.Get(k)
+	cnt := ws.Ints.Get(k)
+	taken := ws.Ints.Get(k)
+	order := ws.Ints.Cap(n)
+	sel := ws.Ints.Cap(n)
+	defer func() {
+		ws.Ints.Put(cand)
+		ws.Int64s.Put(gains)
+		ws.Bools.Put(blocked)
+		ws.Bools.Put(dirty)
+		ws.Ints.Put(dirtyList)
+		ws.Int64s.Put(conn)
+		ws.Int64s.Put(res)
+		ws.Int64s.Put(resT)
+		ws.Ints.Put(cnt)
+		ws.Ints.Put(taken)
+		ws.Ints.Put(order)
+		ws.Ints.Put(sel)
+	}()
+
+	pp := st.Parts()
+	rmax := opts.Constraints.Rmax
+	prevScore := st.Score()
+	for round := 0; round < maxRounds; round++ {
+		for p := 0; p < k; p++ {
+			res[p] = st.Resource(p)
+			cnt[p] = st.Count(p)
+		}
+		// (1) Chunked gain sweep. The first round scans every node; later
+		// rounds re-scan only the dirty list (previous round's moves plus
+		// their neighborhoods) — every other candidate slot is a function
+		// of assignments that did not change. Chunks are contiguous
+		// ranges, so every write lands in a slot owned by one worker.
+		todo := n
+		if round > 0 {
+			todo = len(dirtyList)
+		}
+		chunk := (todo + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > todo {
+				hi = todo
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int, conn []int64) {
+				defer wg.Done()
+				var list []int
+				if round > 0 {
+					list = dirtyList[lo:hi]
+				}
+				sweepGains(csr, pp, conn, k, lo, hi, list, cand, gains)
+			}(lo, hi, conn[w*k:(w+1)*k])
+		}
+		wg.Wait()
+
+		// (2) Deterministic conflict-free selection.
+		order = order[:0]
+		for u := 0; u < n; u++ {
+			if cand[u] != 0 {
+				order = append(order, u)
+			}
+		}
+		if len(order) == 0 {
+			break
+		}
+		sort.Slice(order, func(i, j int) bool {
+			if gains[order[i]] != gains[order[j]] {
+				return gains[order[i]] > gains[order[j]]
+			}
+			return order[i] < order[j]
+		})
+		quota := len(order) / (2 * k)
+		if quota < 1 {
+			quota = 1
+		}
+		copy(resT, res)
+		for p := 0; p < k; p++ {
+			taken[p] = 0
+		}
+		sel = sel[:0]
+		for _, u := range order {
+			if blocked[u] {
+				continue
+			}
+			to := cand[u] - 1
+			from := pp[u]
+			if taken[to] >= quota || cnt[from] == 1 {
+				continue
+			}
+			w := csr.NodeW[u]
+			if rmax > 0 && resT[to]+w > rmax {
+				continue
+			}
+			sel = append(sel, u)
+			taken[to]++
+			cnt[from]--
+			cnt[to]++
+			resT[from] -= w
+			resT[to] += w
+			adj, _ := csr.Row(graph.Node(u))
+			for _, v := range adj {
+				blocked[v] = true
+			}
+		}
+		// Un-block for the next round (touching only what this round set)
+		// and collect the dirty set: the moved nodes and everything
+		// adjacent to them are the only candidate slots the next sweep
+		// must recompute.
+		clearBlocked := func() {
+			dirtyList = dirtyList[:0]
+			for _, u := range sel {
+				if !dirty[u] {
+					dirty[u] = true
+					dirtyList = append(dirtyList, u)
+				}
+				adj, _ := csr.Row(graph.Node(u))
+				for _, v := range adj {
+					blocked[v] = false
+					if !dirty[v] {
+						dirty[v] = true
+						dirtyList = append(dirtyList, int(v))
+					}
+				}
+			}
+			// dirty is only a dedup aid while building the list; reset it
+			// so the next accepted round starts clean. The list itself
+			// needs no ordering: sweep results are per-node and
+			// independent of scan order.
+			for _, u := range dirtyList {
+				dirty[u] = false
+			}
+		}
+		if len(sel) == 0 {
+			break
+		}
+		sort.Ints(sel)
+
+		// (3) Apply through the incremental state, then re-check the
+		// feasibility-first score on the applied state.
+		if opts.PreApply != nil {
+			opts.PreApply(round, len(sel))
+		}
+		var roundGain int64
+		for _, u := range sel {
+			roundGain += gains[u]
+			st.Move(graph.Node(u), cand[u]-1)
+		}
+		if opts.RoundHook != nil {
+			opts.RoundHook(round, st)
+		}
+		if score := st.Score(); score < prevScore {
+			prevScore = score
+			st.ResetLog()
+			stats.Rounds++
+			stats.Moves += len(sel)
+			if opts.Record {
+				stats.RoundSizes = append(stats.RoundSizes, len(sel))
+				stats.RoundGains = append(stats.RoundGains, roundGain)
+			}
+			clearBlocked()
+		} else {
+			// The independent cut gains were positive, but the applied
+			// state says the constraint excesses ate them: drop the round.
+			for st.Undo() {
+			}
+			break
+		}
+	}
+	copy(parts, st.Parts())
+	stats.CutAfter = st.Cut()
+	st.Release(ws)
+	return stats
+}
+
+// sweepGains computes each scanned node's best single-move candidate
+// under KWayFM's gain rule (connectivity delta, ties to the lowest part
+// id) against the current assignment. With list nil it scans nodes
+// [lo, hi); otherwise it scans exactly the nodes in list (an incremental
+// re-sweep). The candidate is a pure function of the node's own and its
+// neighbors' assignments — per-part totals are deliberately NOT consulted
+// here, the selection phase re-checks Rmax and never-empty-a-part against
+// its tentative totals — which is what makes incremental re-sweeps sound.
+// conn is the worker's private k-slot connectivity scratch; cand/gains
+// writes stay inside the worker's node set.
+func sweepGains(csr *graph.CSR, parts []int, conn []int64,
+	k, lo, hi int, list []int, cand []int, gains []int64) {
+	for i := lo; i < hi; i++ {
+		u := i
+		if list != nil {
+			u = list[i-lo]
+		}
+		cand[u] = 0
+		from := parts[u]
+		for i := range conn {
+			conn[i] = 0
+		}
+		boundary := false
+		adj, wts := csr.Row(graph.Node(u))
+		for i, v := range adj {
+			conn[parts[v]] += wts[i]
+			if parts[v] != from {
+				boundary = true
+			}
+		}
+		if !boundary {
+			continue
+		}
+		bestTo := -1
+		var bestGain int64
+		for to := 0; to < k; to++ {
+			if to == from || conn[to] == 0 {
+				continue
+			}
+			// bestGain starts at 0, so only strictly improving moves are
+			// kept; ascending iteration breaks ties toward the lowest
+			// part id — the same discipline as KWayFMWS.
+			if gain := conn[to] - conn[from]; gain > bestGain {
+				bestGain = gain
+				bestTo = to
+			}
+		}
+		if bestTo >= 0 {
+			cand[u] = bestTo + 1
+			gains[u] = bestGain
+		}
+	}
+}

@@ -71,6 +71,9 @@ type JobOptions struct {
 	CoarsenTarget int `json:"coarsen_target,omitempty"`
 	// RefinePasses bounds each local-search stage per level.
 	RefinePasses int `json:"refine_passes,omitempty"`
+	// Refine selects the refinement strategy: "auto" (default, batch
+	// above the solver's size threshold), "serial" or "batch".
+	Refine string `json:"refine,omitempty"`
 	// MinimizeAfterFeasible keeps cycling after feasibility for lower cut.
 	MinimizeAfterFeasible bool `json:"minimize_after_feasible,omitempty"`
 }
@@ -204,6 +207,9 @@ func (req *JobRequest) Validate(g *graph.Graph) error {
 	if req.Options.RefinePasses < 0 {
 		return fmt.Errorf("%w: refine_passes = %d is negative", ErrBadRequest, req.Options.RefinePasses)
 	}
+	if _, err := core.ParseRefineMode(req.Options.Refine); err != nil {
+		return fmt.Errorf("%w: refine %q (want auto, serial or batch)", ErrBadRequest, req.Options.Refine)
+	}
 	if req.TimeoutMS < 0 {
 		return fmt.Errorf("%w: timeout_ms = %d is negative", ErrBadRequest, req.TimeoutMS)
 	}
@@ -217,6 +223,9 @@ func (req *JobRequest) Validate(g *graph.Graph) error {
 
 // CoreOptions converts the request into solver options.
 func (req *JobRequest) CoreOptions() core.Options {
+	// Validate runs ParseRefineMode first; an unparseable mode never
+	// reaches the solver, so the error can only echo the zero mode here.
+	refineMode, _ := core.ParseRefineMode(req.Options.Refine)
 	return core.Options{
 		K:                     req.K,
 		Constraints:           metrics.Constraints{Bmax: req.Bmax, Rmax: req.Rmax},
@@ -225,6 +234,7 @@ func (req *JobRequest) CoreOptions() core.Options {
 		Restarts:              req.Options.Restarts,
 		CoarsenTarget:         req.Options.CoarsenTarget,
 		RefinePasses:          req.Options.RefinePasses,
+		Refine:                refineMode,
 		MinimizeAfterFeasible: req.Options.MinimizeAfterFeasible,
 	}
 }
@@ -270,6 +280,10 @@ func (req *JobRequest) CacheKey(g *graph.Graph) string {
 	wi(int64(req.Options.Restarts))
 	wi(int64(req.Options.CoarsenTarget))
 	wi(int64(req.Options.RefinePasses))
+	// The mode is hashed in parsed form so "" and "auto" (the same
+	// effective configuration) share a cache entry.
+	refineMode, _ := core.ParseRefineMode(req.Options.Refine)
+	wi(int64(refineMode))
 	if req.Options.MinimizeAfterFeasible {
 		wi(1)
 	} else {

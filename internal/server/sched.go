@@ -663,12 +663,14 @@ func panicMessage(v any) string {
 }
 
 // degradedOptions is the retry configuration after a panic: serial
-// refinement (one cycle at a time) with shared-incumbent pruning off —
-// the most conservative search the engine offers, cutting out the
-// concurrent machinery a panicking solve may have tripped over.
+// refinement (one cycle at a time) with shared-incumbent pruning off and
+// the data-parallel batch refiner disabled — the most conservative search
+// the engine offers, cutting out the concurrent machinery a panicking
+// solve may have tripped over.
 func degradedOptions(opts core.Options) core.Options {
 	opts.Parallelism = 1
 	opts.Prune = core.PruneOff
+	opts.Refine = core.RefineSerial
 	return opts
 }
 

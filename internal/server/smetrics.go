@@ -36,6 +36,12 @@ type Metrics struct {
 	stages map[string]*histogram
 	// FM refinement passes per solve.
 	fmPasses histogram
+	// Batch refinement rounds per solve (zero-round solves — serial
+	// refinement — are not observed, so the histogram tracks batch-mode
+	// solves only).
+	batchRounds histogram
+	// Levels whose batch pass panicked and degraded to serial refinement.
+	batchDegraded int64
 }
 
 // latencyBuckets are the solve-latency histogram bounds in seconds
@@ -103,12 +109,13 @@ func (h *histogram) write(w io.Writer, name, labels string) {
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
 	m := &Metrics{
-		outcomes: make(map[string]int64),
-		rejected: make(map[string]int64),
-		shed:     make(map[string]int64),
-		latency:  newHistogram(latencyBuckets),
-		stages:   make(map[string]*histogram, len(stageNames)),
-		fmPasses: newHistogram(passBuckets),
+		outcomes:    make(map[string]int64),
+		rejected:    make(map[string]int64),
+		shed:        make(map[string]int64),
+		latency:     newHistogram(latencyBuckets),
+		stages:      make(map[string]*histogram, len(stageNames)),
+		fmPasses:    newHistogram(passBuckets),
+		batchRounds: newHistogram(passBuckets),
 	}
 	for _, s := range stageNames {
 		h := newHistogram(stageBuckets)
@@ -135,6 +142,10 @@ func (m *Metrics) SolveTrace(s engine.TraceSummary) {
 	m.stages["seed"].observe(float64(s.SeedNS) / 1e9)
 	m.stages["refine"].observe(float64(s.RefineNS) / 1e9)
 	m.fmPasses.observe(float64(s.FMPasses))
+	if s.BatchRounds > 0 {
+		m.batchRounds.observe(float64(s.BatchRounds))
+	}
+	m.batchDegraded += int64(s.BatchDegraded)
 }
 
 // CacheHit / CacheMiss record result-cache lookups.
@@ -298,6 +309,12 @@ func (m *Metrics) WriteTo(w io.Writer, g GaugeSample) {
 	fmt.Fprintf(w, "# HELP ppnd_fm_passes FM refinement passes per solve.\n")
 	fmt.Fprintf(w, "# TYPE ppnd_fm_passes histogram\n")
 	m.fmPasses.write(w, "ppnd_fm_passes", "")
+	fmt.Fprintf(w, "# HELP ppnd_batch_rounds Batch refinement rounds per batch-mode solve.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_batch_rounds histogram\n")
+	m.batchRounds.write(w, "ppnd_batch_rounds", "")
+	fmt.Fprintf(w, "# HELP ppnd_batch_degraded_total Levels whose batch refinement panicked and fell back to serial.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_batch_degraded_total counter\n")
+	fmt.Fprintf(w, "ppnd_batch_degraded_total %d\n", m.batchDegraded)
 }
 
 func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }
