@@ -4,7 +4,8 @@
 GO ?= go
 
 .PHONY: all build test vet staticcheck race cover bench bench-json \
-	figures report examples clean check fmt-check fuzz-smoke chaos-smoke serve
+	bench-baseline figures report examples clean check fmt-check \
+	fuzz-smoke chaos-smoke serve
 
 all: build vet test
 
@@ -46,6 +47,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzTraceDecode -fuzztime=$(FUZZTIME) ./internal/engine
 	$(GO) test -run='^$$' -fuzz=FuzzJournalDecode -fuzztime=$(FUZZTIME) ./internal/journal
 	$(GO) test -run='^$$' -fuzz=FuzzBatchSelect -fuzztime=$(FUZZTIME) ./internal/refine
+	$(GO) test -run='^$$' -fuzz=FuzzStreamAssign -fuzztime=$(FUZZTIME) ./internal/stream
 
 # Resilience gate: every chaos/failpoint test (panic isolation, quarantine,
 # journal fsync/torn-append injection, SIGKILL crash recovery) under the
@@ -92,6 +94,16 @@ bench-json:
 		-benchmem . ./internal/pstate | \
 		$(GO) run ./cmd/benchjson $(BENCHJSONFLAGS) -baseline bench_baseline.json -o BENCH_partition.json
 	@echo wrote BENCH_partition.json
+
+# Like bench-json, but also folds the run into bench_baseline.json —
+# the path for refreshing the baseline after adding a benchmark (new
+# entries are appended, uncovered baseline entries preserved).
+bench-baseline:
+	$(GO) test -run='^$$' -bench='$(BENCHPAT)' -benchtime=$(BENCHTIME) \
+		-benchmem . ./internal/pstate | \
+		$(GO) run ./cmd/benchjson $(BENCHJSONFLAGS) -baseline bench_baseline.json \
+			-write-baseline bench_baseline.json -o BENCH_partition.json
+	@echo wrote BENCH_partition.json and refreshed bench_baseline.json
 
 # The partitioning service daemon on :8080 (see README for the API).
 serve:

@@ -194,6 +194,45 @@ func BenchmarkScaleGP(b *testing.B) {
 			})
 		}
 	})
+
+	// Million-node instance: out of reach for the multilevel hierarchy in
+	// one benchmark iteration, in reach for the streaming partitioner —
+	// one CSR snapshot plus O(K²+n) arena-pooled state, no per-level
+	// copies. The trajectory file records its cut and feasibility so the
+	// fast path's quality stays on the regression trail.
+	b.Run("n1000000", func(b *testing.B) {
+		const n, k = 1_000_000, 16
+		g, err := gen.RandomConnected(n, 3*n,
+			gen.WeightRange{Lo: 10, Hi: 100}, gen.WeightRange{Lo: 1, Hi: 20},
+			seededRand(int64(1000+n)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := metrics.Constraints{
+			Rmax: g.TotalNodeWeight()*115/int64(100*k) + g.MaxNodeWeight(),
+			Bmax: 2 * g.TotalEdgeWeight() / int64(k),
+		}
+		b.Run("stream", func(b *testing.B) {
+			b.ResetTimer()
+			var cut int64
+			var feasible float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Partition(g, core.Options{
+					K: k, Constraints: c, Seed: 1, Algo: core.AlgoStream,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = res.Report.EdgeCut
+				feasible = 0
+				if res.Feasible {
+					feasible = 1
+				}
+			}
+			b.ReportMetric(float64(cut), "cut")
+			b.ReportMetric(feasible, "feasible")
+		})
+	})
 }
 
 func BenchmarkScaleBaseline(b *testing.B) {

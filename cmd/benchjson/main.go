@@ -172,6 +172,42 @@ func Merge(cur []Entry, curCtx map[string]string, base *File, allowMissing bool)
 	return out, nil
 }
 
+// MergeBaseline folds the current run into the baseline file, producing
+// the refreshed baseline to check in: entries present in both keep the
+// baseline's position but take the current numbers, entries new to this
+// run (a freshly added benchmark, e.g. the first run after adding
+// ScaleGP/n1000000) are appended in run order, and baseline entries the
+// current run did not cover (a deliberately narrowed -allow-missing
+// smoke) are preserved untouched rather than dropped. The context is the
+// current run's when it captured one, else the baseline's.
+func MergeBaseline(cur []Entry, curCtx map[string]string, base *File) *File {
+	out := &File{Context: curCtx}
+	curByName := map[string]Entry{}
+	for _, e := range cur {
+		curByName[e.Name] = e
+	}
+	taken := map[string]bool{}
+	if base != nil {
+		if len(out.Context) == 0 {
+			out.Context = base.Context
+		}
+		for _, b := range base.Benchmarks {
+			if e, ok := curByName[b.Name]; ok {
+				out.Benchmarks = append(out.Benchmarks, e)
+				taken[b.Name] = true
+			} else {
+				out.Benchmarks = append(out.Benchmarks, b)
+			}
+		}
+	}
+	for _, e := range cur {
+		if !taken[e.Name] {
+			out.Benchmarks = append(out.Benchmarks, e)
+		}
+	}
+	return out
+}
+
 // GateLimits are the per-metric regression thresholds of -gate-ns,
 // -gate-allocs and -gate-cut, in percent over the baseline value. For
 // ns/op and allocs/op 0 disables the metric (timing and allocator noise
@@ -254,6 +290,9 @@ func main() {
 		inPath       = flag.String("i", "", "bench output to parse (default stdin)")
 		allowMissing = flag.Bool("allow-missing", false,
 			"tolerate baseline benchmarks absent from the current run (narrowed smoke runs)")
+		writeBaseline = flag.String("write-baseline", "",
+			"after merging, write the refreshed baseline (current numbers folded into -baseline; "+
+				"new benchmarks appended, uncovered baseline entries preserved) to this file")
 		gateNs = flag.Float64("gate-ns", 0,
 			"fail (exit 1) when any benchmark's ns/op exceeds its baseline by more than this percentage; 0 disables")
 		gateAllocs = flag.Float64("gate-allocs", 0,
@@ -264,13 +303,13 @@ func main() {
 	)
 	flag.Parse()
 	limits := GateLimits{NsPct: *gateNs, AllocsPct: *gateAllocs, CutPct: *gateCut}
-	if err := run(*inPath, *baselinePath, *outPath, *allowMissing, limits); err != nil {
+	if err := run(*inPath, *baselinePath, *outPath, *writeBaseline, *allowMissing, limits); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(inPath, baselinePath, outPath string, allowMissing bool, limits GateLimits) error {
+func run(inPath, baselinePath, outPath, writeBaseline string, allowMissing bool, limits GateLimits) error {
 	in := io.Reader(os.Stdin)
 	if inPath != "" {
 		f, err := os.Open(inPath)
@@ -318,6 +357,15 @@ func run(inPath, baselinePath, outPath string, allowMissing bool, limits GateLim
 		}
 	} else if err := os.WriteFile(outPath, enc, 0o644); err != nil {
 		return err
+	}
+	if writeBaseline != "" {
+		refreshed, err := json.MarshalIndent(MergeBaseline(entries, ctx, base), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(writeBaseline, append(refreshed, '\n'), 0o644); err != nil {
+			return err
+		}
 	}
 	if violations := Gate(out, limits); len(violations) > 0 {
 		return fmt.Errorf("performance gate failed:\n  %s", strings.Join(violations, "\n  "))

@@ -113,6 +113,51 @@ func TestMergeErrorsOnMissingBaselineBenchmark(t *testing.T) {
 	}
 }
 
+// TestMergeBaselineAddsNewBenchmark pins the first-run-after-adding-a-
+// benchmark path: a current entry absent from the baseline (e.g. the
+// freshly added ScaleGP/n1000000) must land in the refreshed baseline
+// instead of erroring or vanishing, while covered entries take the
+// current numbers and uncovered baseline entries survive.
+func TestMergeBaselineAddsNewBenchmark(t *testing.T) {
+	cur := []Entry{
+		{Name: "ScaleGP/n10000", Metrics: map[string]float64{"ns/op": 90, "cut": 80}},
+		{Name: "ScaleGP/n1000000/stream", Metrics: map[string]float64{"ns/op": 500, "cut": 7}},
+	}
+	base := &File{
+		Context: map[string]string{"cpu": "old"},
+		Benchmarks: []Entry{
+			{Name: "ScaleGP/n10000", Metrics: map[string]float64{"ns/op": 100, "cut": 80}},
+			{Name: "PStateMove", Metrics: map[string]float64{"ns/op": 95}},
+		},
+	}
+	out := MergeBaseline(cur, map[string]string{"cpu": "new"}, base)
+	if len(out.Benchmarks) != 3 {
+		t.Fatalf("refreshed baseline has %d entries, want 3: %+v", len(out.Benchmarks), out.Benchmarks)
+	}
+	if out.Benchmarks[0].Name != "ScaleGP/n10000" || out.Benchmarks[0].Metrics["ns/op"] != 90 {
+		t.Fatalf("covered entry did not take the current numbers: %+v", out.Benchmarks[0])
+	}
+	if out.Benchmarks[1].Name != "PStateMove" || out.Benchmarks[1].Metrics["ns/op"] != 95 {
+		t.Fatalf("uncovered baseline entry not preserved in place: %+v", out.Benchmarks[1])
+	}
+	if out.Benchmarks[2].Name != "ScaleGP/n1000000/stream" {
+		t.Fatalf("new benchmark not appended: %+v", out.Benchmarks[2])
+	}
+	if out.Context["cpu"] != "new" {
+		t.Fatalf("context = %v, want the current run's", out.Context)
+	}
+}
+
+// Without a baseline the refreshed file is just the current run — the
+// bootstrap path for a brand-new bench_baseline.json.
+func TestMergeBaselineBootstrap(t *testing.T) {
+	cur := []Entry{{Name: "A", Metrics: map[string]float64{"ns/op": 1}}}
+	out := MergeBaseline(cur, nil, nil)
+	if len(out.Benchmarks) != 1 || out.Benchmarks[0].Name != "A" {
+		t.Fatalf("bootstrap baseline = %+v", out.Benchmarks)
+	}
+}
+
 func TestParseRejectsGarbageValue(t *testing.T) {
 	_, _, err := Parse(strings.NewReader("BenchmarkX-1 10 zz ns/op\n"))
 	if err == nil {

@@ -16,6 +16,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"ppnpart/internal/metrics"
 	"ppnpart/internal/mlkp"
 	"ppnpart/internal/prof"
+	"ppnpart/internal/stream"
 	"ppnpart/internal/viz"
 )
 
@@ -41,6 +43,8 @@ type config struct {
 	seed              int64
 	cycles            int
 	refine            string
+	streamIters       int
+	streamSeed        int
 	minimize          bool
 	timeout           time.Duration
 	dotPath, svgPath  string
@@ -57,10 +61,12 @@ func main() {
 	flag.IntVar(&cfg.k, "k", 4, "number of partitions (FPGAs)")
 	flag.Int64Var(&cfg.bmax, "bmax", 0, "max bandwidth between any pair of partitions (0 = unconstrained)")
 	flag.Int64Var(&cfg.rmax, "rmax", 0, "max resources per partition (0 = unconstrained)")
-	flag.StringVar(&cfg.algo, "algo", "gp", "algorithm: gp (constrained) or baseline (METIS-style)")
+	flag.StringVar(&cfg.algo, "algo", "gp", "algorithm: gp (constrained multilevel), stream (single-pass streaming + restreaming fast path), or baseline (METIS-style)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "random seed")
 	flag.IntVar(&cfg.cycles, "cycles", 16, "GP cyclic iteration budget")
 	flag.StringVar(&cfg.refine, "refine", "auto", "refinement strategy: auto (batch above a size threshold), serial, or batch")
+	flag.IntVar(&cfg.streamIters, "stream-iters", 0, "restream pass cap (0 = default: 8 standalone, 4 as gp seeder; negative disables restreaming)")
+	flag.IntVar(&cfg.streamSeed, "stream-seed", 0, "gp only: coarsest-graph size at which the initial partition switches to streaming (0 = default 200000, negative disables)")
 	flag.BoolVar(&cfg.minimize, "minimize", false, "keep cycling after feasibility to lower the cut")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "wall-clock budget for GP; on expiry the best partition so far is reported (0 = none)")
 	flag.StringVar(&cfg.dotPath, "dot", "", "write the partitioned graph as Graphviz DOT")
@@ -163,6 +169,8 @@ func run(cfg config) error {
 			MaxCycles:             cfg.cycles,
 			MinimizeAfterFeasible: cfg.minimize,
 			Refine:                refineMode,
+			StreamSeedThreshold:   cfg.streamSeed,
+			StreamIterations:      cfg.streamIters,
 		}, tr)
 		if err != nil {
 			return err
@@ -175,6 +183,35 @@ func run(cfg config) error {
 		fmt.Printf("algorithm: GP (cycles=%d, feasible=%v, stopped=%v, %s)\n", res.Cycles, res.Feasible, res.Stopped, res.Runtime)
 		if tr != nil {
 			if err := writeTrace(cfg.tracePath, tr); err != nil {
+				return err
+			}
+		}
+	case "stream":
+		ctx := context.Background()
+		if cfg.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+			defer cancel()
+		}
+		res, err := core.PartitionCtx(ctx, g, core.Options{
+			K:                cfg.k,
+			Constraints:      c,
+			Seed:             cfg.seed,
+			Algo:             core.AlgoStream,
+			StreamIterations: cfg.streamIters,
+		})
+		if err != nil {
+			return err
+		}
+		parts = res.Parts
+		if res.Stopped || !res.Feasible {
+			fmt.Fprintf(os.Stderr, "gpart: WARNING: %s\n", res.Message)
+		}
+		timedOut = res.Stopped && errors.Is(ctx.Err(), context.DeadlineExceeded)
+		fmt.Printf("algorithm: stream (passes=%d, feasible=%v, stopped=%v, %s)\n",
+			res.Cycles, res.Feasible, res.Stopped, res.Runtime)
+		if cfg.tracePath != "" {
+			if err := writeStreamTrace(cfg.tracePath, res.StreamIters); err != nil {
 				return err
 			}
 		}
@@ -269,6 +306,21 @@ func writeTrace(path string, tr *engine.Trace) error {
 	s := tr.Summary()
 	fmt.Printf("trace: %d cycles (%d counted, %d retries, %d pruned), %d levels, %d FM passes -> %s\n",
 		s.Cycles, s.Counted, s.Retries, s.Pruned, s.Levels, s.FMPasses, path)
+	return nil
+}
+
+// writeStreamTrace encodes the per-pass streaming trajectory to path.
+func writeStreamTrace(path string, iters []stream.IterTrace) error {
+	b, err := json.MarshalIndent(struct {
+		Stream []stream.IterTrace `json:"stream"`
+	}{iters}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding stream trace: %w", err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d streaming passes -> %s\n", len(iters), path)
 	return nil
 }
 

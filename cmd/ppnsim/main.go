@@ -53,6 +53,7 @@ type config struct {
 	seed      int64
 	cycles    int
 	refine    string
+	algo      string
 	fifoDepth bool
 	trace     bool
 	// Fault tolerance.
@@ -78,6 +79,7 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 1, "GP random seed")
 	flag.IntVar(&cfg.cycles, "cycles", 16, "GP cyclic iteration budget")
 	flag.StringVar(&cfg.refine, "refine", "auto", "GP refinement strategy: auto, serial or batch")
+	flag.StringVar(&cfg.algo, "algo", "gp", "partitioner: gp (multilevel) or stream (single-pass streaming fast path)")
 	flag.BoolVar(&cfg.fifoDepth, "fifos", false, "print per-channel FIFO depth requirements")
 	flag.BoolVar(&cfg.trace, "trace", false, "print the GP solve-trace summary (cycles, retries, prunes, per-stage wall time)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "GP latency budget; on expiry the best-effort partition is used (0 = none)")
@@ -204,16 +206,20 @@ func run(cfg config) error {
 		if err != nil {
 			return err
 		}
+		algo, err := core.ParseAlgorithm(cfg.algo)
+		if err != nil {
+			return err
+		}
 		res, err := core.PartitionTraceCtx(ctx, g, core.Options{
 			K: k, Constraints: c, Seed: cfg.seed, MaxCycles: cfg.cycles,
-			Refine: refineMode,
+			Refine: refineMode, Algo: algo,
 		}, tr)
 		if err != nil {
 			return err
 		}
 		parts = res.Parts
-		fmt.Printf("partition: GP cut=%d feasible=%v (Bmax=%d tokens, Rmax=%d, %s)\n",
-			res.Report.EdgeCut, res.Feasible, c.Bmax, c.Rmax, res.Runtime)
+		fmt.Printf("partition: %s cut=%d feasible=%v (Bmax=%d tokens, Rmax=%d, %s)\n",
+			strings.ToUpper(algo.String()), res.Report.EdgeCut, res.Feasible, c.Bmax, c.Rmax, res.Runtime)
 		if res.Stopped {
 			fmt.Printf("partition: %s\n", res.Message)
 		}

@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"context"
 	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"ppnpart/internal/engine"
 	"ppnpart/internal/gen"
 	"ppnpart/internal/metrics"
+	"ppnpart/internal/stream"
 )
 
 // paperGolden pins one (instance, options) partitioning outcome.
@@ -238,6 +240,123 @@ func TestDeterminismGoldenTrace(t *testing.T) {
 	}
 	if btd.Outcome == nil || !btd.Outcome.Feasible {
 		t.Fatalf("batch trace outcome = %+v, want feasible", btd.Outcome)
+	}
+}
+
+// TestDeterminismStreamSeededGoldenTrace extends the golden-trace
+// contract to the streaming initial-partition stage: with the seed
+// threshold forced down to 1, every cycle seeds its coarsest graph via
+// the streaming partitioner, and two identically-seeded runs must still
+// serialize to byte-identical trace JSON — including the per-iteration
+// cut/imbalance records of every restream pass.
+func TestDeterminismStreamSeededGoldenTrace(t *testing.T) {
+	g, err := gen.RandomConnected(500, 1500,
+		gen.WeightRange{Lo: 10, Hi: 100}, gen.WeightRange{Lo: 1, Hi: 20},
+		rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{
+		K:                   4,
+		Constraints:         metrics.Constraints{Bmax: 4000, Rmax: 8000},
+		Seed:                3,
+		MaxCycles:           8,
+		Parallelism:         2,
+		Prune:               core.PruneOff,
+		StreamSeedThreshold: 1,
+	}
+	run := func() []byte {
+		tr := &engine.Trace{OmitTiming: true}
+		if _, err := core.PartitionTraceCtx(context.Background(), g, opts, tr); err != nil {
+			t.Fatal(err)
+		}
+		b, err := tr.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	first, second := run(), run()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("stream-seeded trace JSON diverged between identically-seeded runs:\n--- first ---\n%s\n--- second ---\n%s",
+			first, second)
+	}
+	td, err := engine.DecodeTrace(first)
+	if err != nil {
+		t.Fatalf("stream-seeded golden trace does not decode: %v", err)
+	}
+	seeded := 0
+	for _, cyc := range td.Cycles {
+		if cyc.Seeding == nil {
+			continue
+		}
+		if cyc.Seeding.Method != "stream" {
+			t.Fatalf("cycle %d seeded via %q, want stream (threshold 1)", cyc.Cycle, cyc.Seeding.Method)
+		}
+		if cyc.Seeding.Restarts != 0 {
+			t.Fatalf("cycle %d stream seed carries greedy restarts: %+v", cyc.Cycle, cyc.Seeding)
+		}
+		if len(cyc.Seeding.Stream) == 0 {
+			t.Fatalf("cycle %d stream seed recorded no pass trajectory", cyc.Cycle)
+		}
+		for _, it := range cyc.Seeding.Stream {
+			if it.Cut < 0 || it.BandwidthExcess < 0 || it.ResourceExcess < 0 {
+				t.Fatalf("cycle %d pass %d has negative cut/imbalance: %+v", cyc.Cycle, it.Iter, it)
+			}
+		}
+		seeded++
+	}
+	if seeded == 0 {
+		t.Fatal("no cycle recorded a stream seeding")
+	}
+	if td.Outcome == nil || !td.Outcome.Feasible {
+		t.Fatalf("stream-seeded trace outcome = %+v, want feasible", td.Outcome)
+	}
+}
+
+// TestDeterminismStandaloneStreamGolden pins the standalone restreaming
+// run: the assignment and the per-iteration cut/imbalance trajectory
+// must be byte-identical (as serialized JSON) across repeated runs and
+// across every worker count from 1 to 16 — the restream sweep is a pure
+// function of the previous pass, so parallelism cannot perturb it.
+func TestDeterminismStandaloneStreamGolden(t *testing.T) {
+	g, err := gen.RandomConnected(500, 1500,
+		gen.WeightRange{Lo: 10, Hi: 100}, gen.WeightRange{Lo: 1, Hi: 20},
+		rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) []byte {
+		res, err := core.PartitionCtx(context.Background(), g, core.Options{
+			K:           4,
+			Constraints: metrics.Constraints{Bmax: 4000, Rmax: 8000},
+			Seed:        3,
+			Algo:        core.AlgoStream,
+			Parallelism: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.StreamIters) == 0 {
+			t.Fatal("stream run recorded no pass trajectory")
+		}
+		b, err := json.Marshal(struct {
+			Parts []int              `json:"parts"`
+			Iters []stream.IterTrace `json:"iters"`
+		}{res.Parts, res.StreamIters})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	golden := run(1)
+	if again := run(1); !bytes.Equal(golden, again) {
+		t.Fatalf("standalone stream trace diverged between identical runs:\n%s\nvs\n%s", golden, again)
+	}
+	for workers := 2; workers <= 16; workers++ {
+		if got := run(workers); !bytes.Equal(golden, got) {
+			t.Fatalf("workers=%d diverged from the 1-worker golden:\n%s\nvs\n%s", workers, golden, got)
+		}
 	}
 }
 

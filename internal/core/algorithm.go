@@ -1,0 +1,45 @@
+package core
+
+import "fmt"
+
+// Algorithm selects the partitioning strategy PartitionCtx runs.
+type Algorithm int
+
+const (
+	// AlgoGP (the default) is the paper's multilevel coarsen → seed →
+	// uncoarsen+refine cyclic search.
+	AlgoGP Algorithm = iota
+	// AlgoStream is the single-pass streaming partitioner with
+	// restreaming refinement (internal/stream): O(1) amortized memory per
+	// vertex and no multilevel hierarchy, the fast path for graphs too
+	// large to coarsen.
+	AlgoStream
+)
+
+// Valid reports whether a is a known algorithm.
+func (a Algorithm) Valid() bool { return a == AlgoGP || a == AlgoStream }
+
+// String names the algorithm ("gp", "stream").
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoGP:
+		return "gp"
+	case AlgoStream:
+		return "stream"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm parses the CLI spelling ("gp", "stream"); the empty
+// string means gp.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "", "gp":
+		return AlgoGP, nil
+	case "stream":
+		return AlgoStream, nil
+	default:
+		return 0, fmt.Errorf("%w (algorithm %q)", ErrUnknownAlgorithm, s)
+	}
+}

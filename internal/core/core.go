@@ -33,6 +33,7 @@ import (
 	"ppnpart/internal/match"
 	"ppnpart/internal/metrics"
 	"ppnpart/internal/refine"
+	"ppnpart/internal/stream"
 )
 
 // Options configures the GP partitioner.
@@ -99,6 +100,22 @@ type Options struct {
 	// VectorConstraints bounds each kind per partition; only meaningful
 	// with VectorResources.
 	VectorConstraints metrics.VectorConstraints
+	// Algo selects the partitioning strategy: AlgoGP (default, the
+	// paper's multilevel search) or AlgoStream (the single-pass
+	// streaming/restreaming fast path for huge graphs).
+	Algo Algorithm
+	// StreamSeedThreshold switches the multilevel engine's
+	// initial-partition stage to the streaming partitioner on coarsest
+	// graphs with at least this many nodes (0 = default 200000; negative
+	// disables stream seeding). Only meaningful under AlgoGP.
+	StreamSeedThreshold int
+	// StreamIterations caps the restreaming passes: under AlgoStream the
+	// standalone loop (default 8), under AlgoGP the in-engine stream
+	// seeder (default 4). Zero selects the default.
+	StreamIterations int
+	// StreamGamma is the streaming objective's load-penalty exponent
+	// (default 1.5; must be >= 1). Only meaningful under AlgoStream.
+	StreamGamma float64
 }
 
 // vectorActive reports whether the multi-resource extension is engaged.
@@ -127,6 +144,8 @@ func (o Options) engineConfig() engine.Config {
 		Prune:                 o.Prune,
 		VectorResources:       o.VectorResources,
 		VectorConstraints:     o.VectorConstraints,
+		StreamSeedThreshold:   o.StreamSeedThreshold,
+		StreamIterations:      o.StreamIterations,
 	}
 }
 
@@ -141,6 +160,8 @@ func (o Options) withDefaults() Options {
 	o.BatchRefineThreshold = c.BatchThreshold
 	o.Parallelism = c.Parallelism
 	o.Seed = c.Seed
+	o.StreamSeedThreshold = c.StreamSeedThreshold
+	o.StreamIterations = c.StreamIterations
 	return o
 }
 
@@ -195,6 +216,9 @@ type Result struct {
 	// far (a round-robin fallback if no cycle finished) and Report its
 	// violation report — a best-effort result rather than nothing.
 	Stopped bool
+	// StreamIters is the per-pass cut/imbalance trajectory of an
+	// AlgoStream run (nil under AlgoGP); Cycles then counts the passes.
+	StreamIters []stream.IterTrace
 }
 
 // Partition runs GP on g.
@@ -221,6 +245,12 @@ func PartitionCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, e
 func PartitionTraceCtx(ctx context.Context, g *graph.Graph, opts Options, tr *engine.Trace) (*Result, error) {
 	if err := opts.Validate(g); err != nil {
 		return nil, err
+	}
+	if opts.Algo == AlgoStream {
+		// The streaming fast path defaults its own knobs (notably a deeper
+		// restream budget than the in-engine seeder), so dispatch before
+		// the engine-aligned defaulting above would overwrite them.
+		return partitionStream(ctx, g, opts)
 	}
 	opts = opts.withDefaults()
 	start := time.Now()

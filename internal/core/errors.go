@@ -36,6 +36,11 @@ var (
 	// NLevelCoarsening: n-level coarsening always contracts a single
 	// heaviest edge, so a heuristic restriction would be silently ignored.
 	ErrHeuristicsWithNLevel = fmt.Errorf("%w: MatchHeuristics has no effect with NLevelCoarsening", ErrInvalidOptions)
+	// ErrUnknownAlgorithm rejects an Algo value outside the known set.
+	ErrUnknownAlgorithm = fmt.Errorf("%w: unknown algorithm", ErrInvalidOptions)
+	// ErrBadStreamGamma rejects a StreamGamma below 1 (zero selects the
+	// default 1.5; the penalty must stay convex).
+	ErrBadStreamGamma = fmt.Errorf("%w: StreamGamma must be >= 1", ErrInvalidOptions)
 )
 
 // Validate checks opts against g up front, returning a typed, wrapped
@@ -71,6 +76,12 @@ func (o Options) Validate(g *graph.Graph) error {
 	}
 	if !o.Refine.Valid() {
 		return fmt.Errorf("%w (refine mode %d)", ErrUnknownRefineMode, int(o.Refine))
+	}
+	if !o.Algo.Valid() {
+		return fmt.Errorf("%w (algorithm %d)", ErrUnknownAlgorithm, int(o.Algo))
+	}
+	if o.StreamGamma != 0 && o.StreamGamma < 1 {
+		return fmt.Errorf("%w (StreamGamma = %v)", ErrBadStreamGamma, o.StreamGamma)
 	}
 	if len(o.VectorResources) > 0 {
 		if err := metrics.ValidateVectors(o.VectorResources, g.NumNodes()); err != nil {

@@ -63,6 +63,17 @@ type Config struct {
 	// BatchThreshold is the level node count at and above which RefineAuto
 	// selects the batch pass (default 50000).
 	BatchThreshold int
+	// StreamSeedThreshold switches the initial-partition stage to the
+	// streaming partitioner on coarsest graphs with at least this many
+	// nodes (0 = default 200000, reached only when CoarsenTarget is
+	// raised into that range; negative disables stream seeding). Greedy
+	// growth walks a frontier per restart; at that scale the single
+	// penalized-greedy stream plus a few restream passes seeds faster and
+	// the uncoarsen/FM pipeline refines it exactly as before.
+	StreamSeedThreshold int
+	// StreamIterations caps the stream seeder's restream passes
+	// (default 4).
+	StreamIterations int
 	// MatchHeuristics restricts the competing matchings; nil means all
 	// three.
 	MatchHeuristics []match.Heuristic
@@ -99,6 +110,12 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.BatchThreshold <= 0 {
 		c.BatchThreshold = 50000
+	}
+	if c.StreamSeedThreshold == 0 {
+		c.StreamSeedThreshold = 200000
+	}
+	if c.StreamIterations <= 0 {
+		c.StreamIterations = 4
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)

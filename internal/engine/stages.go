@@ -9,6 +9,7 @@ import (
 	"ppnpart/internal/graph"
 	"ppnpart/internal/initpart"
 	"ppnpart/internal/refine"
+	"ppnpart/internal/stream"
 )
 
 // coarsenStage builds the multilevel hierarchy. Construction failures
@@ -83,7 +84,28 @@ func (initialStage) Run(cy *Cycle) error {
 	method := "greedy"
 	var parts []int
 	var err error
-	if cy.Index%2 == 0 {
+	var streamIters []stream.IterTrace
+	if cfg.StreamSeedThreshold > 0 && coarsest.NumNodes() >= cfg.StreamSeedThreshold {
+		// Huge coarsest graphs (a raised CoarsenTarget or a barely
+		// contractible instance) seed via the streaming partitioner: one
+		// penalized-greedy pass plus a short restream loop instead of
+		// frontier growth per restart. One RNG draw varies the shuffled
+		// stream order per cycle while keeping the run deterministic.
+		method = "stream"
+		sres, serr := stream.PartitionCSRWS(cy.Ctx, cy.WS, cy.CSR, stream.Options{
+			K:             cfg.K,
+			Constraints:   cfg.Constraints,
+			MaxIterations: cfg.StreamIterations,
+			Seed:          cy.RNG.Int63(),
+			Order:         stream.OrderShuffle,
+			Workers:       1, // cycles already fan out; results are Workers-neutral
+		})
+		if serr == nil {
+			parts, streamIters = sres.Parts, sres.Iters
+		} else {
+			err = serr
+		}
+	} else if cy.Index%2 == 0 {
 		parts, err = initpart.GreedyGrowWS(cy.WS, coarsest, cy.CSR, initpart.GreedyOptions{
 			K:           cfg.K,
 			Rmax:        cfg.Constraints.Rmax,
@@ -112,8 +134,8 @@ func (initialStage) Run(cy *Cycle) error {
 	}
 	cy.Parts = parts
 	if ct := cy.trace; ct != nil {
-		st := &SeedTrace{Method: method, Nodes: coarsest.NumNodes()}
-		if method != "random" {
+		st := &SeedTrace{Method: method, Nodes: coarsest.NumNodes(), Stream: streamIters}
+		if method == "greedy" || method == "greedy-fallback" {
 			st.Restarts = cfg.Restarts
 		}
 		ct.Seeding = st

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+
+	"ppnpart/internal/stream"
 )
 
 // Trace is an optional structured event sink for one Solve call. A nil
@@ -101,7 +103,8 @@ type MatchTrace struct {
 
 // SeedTrace records the initial partitioning of the coarsest graph.
 type SeedTrace struct {
-	// Method is "greedy" (even cycles), "random" (odd cycles), or
+	// Method is "greedy" (even cycles), "random" (odd cycles), "stream"
+	// (coarsest graph at or above Config.StreamSeedThreshold), or
 	// "greedy-fallback" (the coarsest graph had fewer than K nodes and
 	// seeding restarted on the finest graph).
 	Method string `json:"method"`
@@ -109,6 +112,9 @@ type SeedTrace struct {
 	Nodes int `json:"nodes"`
 	// Restarts echoes the configured greedy restart count (greedy only).
 	Restarts int `json:"restarts,omitempty"`
+	// Stream records the streaming seeder's per-iteration cut/imbalance
+	// trajectory (stream method only).
+	Stream []stream.IterTrace `json:"stream,omitempty"`
 }
 
 // RefineTrace records the refinement of one hierarchy level: the three

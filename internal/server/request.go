@@ -76,6 +76,13 @@ type JobOptions struct {
 	Refine string `json:"refine,omitempty"`
 	// MinimizeAfterFeasible keeps cycling after feasibility for lower cut.
 	MinimizeAfterFeasible bool `json:"minimize_after_feasible,omitempty"`
+	// Algo selects the partitioner: "gp" (default, the multilevel
+	// search) or "stream" (the single-pass streaming + restreaming fast
+	// path for huge graphs).
+	Algo string `json:"algo,omitempty"`
+	// StreamIterations caps the restream passes ("stream" algo and the
+	// gp stream seeder); 0 takes the solver defaults.
+	StreamIterations int `json:"stream_iterations,omitempty"`
 }
 
 // JobRequest is the body of POST /partition.
@@ -210,6 +217,9 @@ func (req *JobRequest) Validate(g *graph.Graph) error {
 	if _, err := core.ParseRefineMode(req.Options.Refine); err != nil {
 		return fmt.Errorf("%w: refine %q (want auto, serial or batch)", ErrBadRequest, req.Options.Refine)
 	}
+	if _, err := core.ParseAlgorithm(req.Options.Algo); err != nil {
+		return fmt.Errorf("%w: algo %q (want gp or stream)", ErrBadRequest, req.Options.Algo)
+	}
 	if req.TimeoutMS < 0 {
 		return fmt.Errorf("%w: timeout_ms = %d is negative", ErrBadRequest, req.TimeoutMS)
 	}
@@ -223,9 +233,11 @@ func (req *JobRequest) Validate(g *graph.Graph) error {
 
 // CoreOptions converts the request into solver options.
 func (req *JobRequest) CoreOptions() core.Options {
-	// Validate runs ParseRefineMode first; an unparseable mode never
-	// reaches the solver, so the error can only echo the zero mode here.
+	// Validate runs ParseRefineMode/ParseAlgorithm first; an unparseable
+	// value never reaches the solver, so the errors can only echo the
+	// zero modes here.
 	refineMode, _ := core.ParseRefineMode(req.Options.Refine)
+	algo, _ := core.ParseAlgorithm(req.Options.Algo)
 	return core.Options{
 		K:                     req.K,
 		Constraints:           metrics.Constraints{Bmax: req.Bmax, Rmax: req.Rmax},
@@ -236,6 +248,8 @@ func (req *JobRequest) CoreOptions() core.Options {
 		RefinePasses:          req.Options.RefinePasses,
 		Refine:                refineMode,
 		MinimizeAfterFeasible: req.Options.MinimizeAfterFeasible,
+		Algo:                  algo,
+		StreamIterations:      req.Options.StreamIterations,
 	}
 }
 
@@ -280,10 +294,13 @@ func (req *JobRequest) CacheKey(g *graph.Graph) string {
 	wi(int64(req.Options.Restarts))
 	wi(int64(req.Options.CoarsenTarget))
 	wi(int64(req.Options.RefinePasses))
-	// The mode is hashed in parsed form so "" and "auto" (the same
-	// effective configuration) share a cache entry.
+	// Modes are hashed in parsed form so "" and "auto"/"gp" (the same
+	// effective configurations) share a cache entry.
 	refineMode, _ := core.ParseRefineMode(req.Options.Refine)
 	wi(int64(refineMode))
+	algo, _ := core.ParseAlgorithm(req.Options.Algo)
+	wi(int64(algo))
+	wi(int64(req.Options.StreamIterations))
 	if req.Options.MinimizeAfterFeasible {
 		wi(1)
 	} else {

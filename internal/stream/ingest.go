@@ -1,0 +1,195 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+
+	"ppnpart/internal/arena"
+	"ppnpart/internal/graph"
+	"ppnpart/internal/refine"
+)
+
+// Ingest is the online form of the streaming partitioner: vertices arrive
+// one at a time with their backward edges (edges into already-ingested
+// vertices, the natural shape of a PPN compiler emitting processes in
+// topological order), and each Push answers the vertex's part before the
+// next vertex is seen. Resident state is O(K² + n): the assignment so
+// far, per-part resource totals and the pairwise bandwidth matrix — the
+// graph itself is never materialized, which is what lets a caller stream
+// shards of a graph too large for one workspace through a single Ingest.
+type Ingest struct {
+	chooser
+	opts Options
+	// adaptive is set when Alpha was derived: the coefficient then tracks
+	// the running totals, so early vertices of an unknown-size stream are
+	// not over-penalized against final-size loads.
+	adaptive bool
+	parts    []int
+	cut      int64
+	nodeWT   int64
+	edgeWT   int64
+
+	conn    []int64
+	touched []int
+}
+
+// NewIngest starts an empty ingest stream.
+func NewIngest(opts Options) (*Ingest, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	in := &Ingest{
+		chooser: chooser{
+			k:     opts.K,
+			cons:  opts.Constraints,
+			gamma: opts.Gamma,
+			alpha: opts.Alpha,
+		},
+		opts:     opts,
+		adaptive: opts.Alpha <= 0,
+	}
+	in.res = make([]int64, opts.K)
+	in.bw = make([]int64, opts.K*opts.K)
+	in.conn = make([]int64, opts.K)
+	in.touched = make([]int, 0, opts.K)
+	return in, nil
+}
+
+// Push ingests the next vertex (id = Len() before the call) with node
+// weight w and backward edges adj/wts, and returns its assigned part.
+// Every adj entry must reference an already-ingested vertex.
+func (in *Ingest) Push(w int64, adj []graph.Node, wts []int64) (int, error) {
+	if w < 0 {
+		return 0, fmt.Errorf("stream: negative node weight %d", w)
+	}
+	if len(adj) != len(wts) {
+		return 0, fmt.Errorf("stream: %d edges with %d weights", len(adj), len(wts))
+	}
+	u := len(in.parts)
+	in.touched = in.touched[:0]
+	var edgeW int64
+	for i, v := range adj {
+		if int(v) >= u || v < 0 {
+			return 0, fmt.Errorf("stream: edge to %d is not a backward edge (vertex %d)", v, u)
+		}
+		if wts[i] < 0 {
+			return 0, fmt.Errorf("stream: negative edge weight %d", wts[i])
+		}
+		q := in.parts[v]
+		if in.conn[q] == 0 {
+			in.touched = append(in.touched, q)
+		}
+		in.conn[q] += wts[i]
+		edgeW += wts[i]
+	}
+	in.nodeWT += w
+	in.edgeWT += edgeW
+	if in.adaptive {
+		in.alpha = deriveAlpha(in.k, in.edgeWT, in.nodeWT, in.gamma)
+	}
+	// The dominant bandwidth penalty tracks the running edge weight the
+	// same way pstate derives it from the full graph's total.
+	in.bwBase = float64(in.edgeWT + 1)
+
+	p := in.pick(w, -1, in.conn, in.touched)
+	in.parts = append(in.parts, p)
+	in.res[p] += w
+	for _, q := range in.touched {
+		if q == p {
+			continue
+		}
+		in.cut += in.conn[q]
+		in.bw[p*in.k+q] += in.conn[q]
+		in.bw[q*in.k+p] += in.conn[q]
+	}
+	for _, q := range in.touched {
+		in.conn[q] = 0
+	}
+	return p, nil
+}
+
+// Len is the number of ingested vertices.
+func (in *Ingest) Len() int { return len(in.parts) }
+
+// Parts exposes the assignment so far; the slice is owned by the Ingest.
+func (in *Ingest) Parts() []int { return in.parts }
+
+// Cut is the maintained global edge cut of the ingested prefix.
+func (in *Ingest) Cut() int64 { return in.cut }
+
+// Resource is the maintained resource total of part p.
+func (in *Ingest) Resource(p int) int64 { return in.res[p] }
+
+// Bandwidth is the maintained traffic between parts i and j.
+func (in *Ingest) Bandwidth(i, j int) int64 { return in.bw[i*in.k+j] }
+
+// PartitionSharded streams g through an Ingest in contiguous vertex
+// shards of shardNodes (each shard contributing only its backward edges,
+// as a too-large-for-one-workspace producer would), then stitches the
+// shard boundaries: one deterministic refine.BatchKWayWS pass over the
+// full CSR repairs the cross-shard cuts the per-shard stream could not
+// see, and the regular restream loop (with the stitched assignment as
+// prior) converges the result. Result.Shards and Result.StitchMoves
+// record the protocol's work.
+func PartitionSharded(ctx context.Context, g *graph.Graph, opts Options, shardNodes int) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if shardNodes <= 0 {
+		return nil, fmt.Errorf("stream: shardNodes = %d must be positive", shardNodes)
+	}
+	opts = opts.withDefaults()
+	csr := g.ToCSR()
+	n := csr.NumNodes()
+	// A known graph pins the penalty coefficient up front so the sharded
+	// run and the batch streamer price imbalance identically.
+	if opts.Alpha <= 0 {
+		opts.Alpha = deriveAlpha(opts.K, csr.EdgeWT, csr.NodeWT, opts.Gamma)
+	}
+	in, err := NewIngest(opts)
+	if err != nil {
+		return nil, err
+	}
+	shards := 0
+	var badj []graph.Node
+	var bwts []int64
+	for base := 0; base < n || (n == 0 && shards == 0); base += shardNodes {
+		hi := base + shardNodes
+		if hi > n {
+			hi = n
+		}
+		for ui := base; ui < hi; ui++ {
+			u := graph.Node(ui)
+			adj, wts := csr.Row(u)
+			badj, bwts = badj[:0], bwts[:0]
+			for i, v := range adj {
+				if v < u {
+					badj = append(badj, v)
+					bwts = append(bwts, wts[i])
+				}
+			}
+			if _, err := in.Push(csr.NodeW[u], badj, bwts); err != nil {
+				return nil, err
+			}
+		}
+		shards++
+	}
+
+	ws := arena.Get()
+	defer arena.Put(ws)
+	parts := append([]int(nil), in.Parts()...)
+	st := refine.BatchKWayWS(ws, csr, parts, refine.BatchOptions{
+		K:           opts.K,
+		Constraints: opts.Constraints,
+		Workers:     opts.Workers,
+	})
+	res, err := run(ctx, ws, csr, opts, parts)
+	if err != nil {
+		return nil, err
+	}
+	res.Parts = append([]int(nil), res.Parts...)
+	res.Shards = shards
+	res.StitchMoves = st.Moves
+	return res, nil
+}

@@ -1,0 +1,243 @@
+package stream
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ppnpart/internal/gen"
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+)
+
+// testGraph is a deterministic random connected instance.
+func testGraph(t testing.TB, n, m int, seed int64) *graph.Graph {
+	t.Helper()
+	g, err := gen.RandomConnected(n, m,
+		gen.WeightRange{Lo: 1, Hi: 9}, gen.WeightRange{Lo: 1, Hi: 5},
+		rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	return g
+}
+
+// looseConstraints returns bounds a reasonable k-way partition can meet.
+func looseConstraints(g *graph.Graph, k int) metrics.Constraints {
+	return metrics.Constraints{
+		Rmax: g.TotalNodeWeight()*115/int64(100*k) + g.MaxNodeWeight(),
+		Bmax: 2 * g.TotalEdgeWeight() / int64(k),
+	}
+}
+
+func TestPartitionBasic(t *testing.T) {
+	g := testGraph(t, 400, 1600, 7)
+	k := 4
+	res, err := Partition(g, Options{K: k, Constraints: looseConstraints(g, k)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != g.NumNodes() {
+		t.Fatalf("got %d assignments for %d nodes", len(res.Parts), g.NumNodes())
+	}
+	if err := metrics.Validate(g, res.Parts, k); err != nil {
+		t.Fatalf("invalid partition: %v", err)
+	}
+	if len(res.Iters) == 0 || res.Iters[0].Iter != 0 {
+		t.Fatalf("missing initial-stream trace: %+v", res.Iters)
+	}
+	if res.Cut != metrics.EdgeCut(g, res.Parts) {
+		t.Fatalf("maintained cut %d != recomputed %d", res.Cut, metrics.EdgeCut(g, res.Parts))
+	}
+}
+
+func TestRestreamingImproves(t *testing.T) {
+	g := testGraph(t, 600, 2400, 11)
+	k := 4
+	c := looseConstraints(g, k)
+	one, err := Partition(g, Options{K: k, Constraints: c, MaxIterations: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Partition(g, Options{K: k, Constraints: c, MaxIterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Goodness > one.Goodness {
+		t.Fatalf("restreaming worsened goodness: %v -> %v", one.Goodness, many.Goodness)
+	}
+	if many.Iterations > 0 && many.Goodness == one.Goodness {
+		t.Fatalf("accepted %d restream passes without improving the score", many.Iterations)
+	}
+}
+
+// TestDeterministicAcrossWorkers pins the tentpole's determinism claim:
+// a restream pass is a pure function of the previous assignment, so the
+// worker count cannot perturb the result.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	g := testGraph(t, 500, 2000, 13)
+	k := 5
+	c := looseConstraints(g, k)
+	var want *Result
+	for _, workers := range []int{1, 2, 3, 4, 7, 8, 13, 16} {
+		res, err := Partition(g, Options{
+			K: k, Constraints: c, Workers: workers, Seed: 3, Order: OrderShuffle,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Parts, want.Parts) {
+			t.Fatalf("workers=%d changed the assignment", workers)
+		}
+		if !reflect.DeepEqual(res.Iters, want.Iters) {
+			t.Fatalf("workers=%d changed the pass trajectory:\n%+v\nvs\n%+v", workers, res.Iters, want.Iters)
+		}
+	}
+}
+
+func TestOrderShuffleSeeded(t *testing.T) {
+	g := testGraph(t, 300, 900, 17)
+	k := 3
+	c := looseConstraints(g, k)
+	a1, err := Partition(g, Options{K: k, Constraints: c, Seed: 5, Order: OrderShuffle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Partition(g, Options{K: k, Constraints: c, Seed: 5, Order: OrderShuffle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a1.Parts, a2.Parts) {
+		t.Fatal("same seed produced different assignments")
+	}
+}
+
+func TestContextCancelled(t *testing.T) {
+	g := testGraph(t, 200, 600, 19)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := PartitionCtx(ctx, g, Options{K: 4, Constraints: looseConstraints(g, 4)})
+	if err != nil {
+		t.Fatalf("cancellation must not error: %v", err)
+	}
+	if !res.Stopped {
+		t.Fatal("Stopped not set under a cancelled context")
+	}
+	if err := metrics.Validate(g, res.Parts, 4); err != nil {
+		t.Fatalf("cancelled run returned an invalid partition: %v", err)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	g := testGraph(t, 20, 40, 23)
+	cases := []Options{
+		{K: 0},
+		{K: 2, Constraints: metrics.Constraints{Bmax: -1}},
+		{K: 2, Constraints: metrics.Constraints{Rmax: -1}},
+		{K: 2, Gamma: 0.5},
+		{K: 2, Order: Order(99)},
+	}
+	for _, opts := range cases {
+		if _, err := Partition(g, opts); err == nil {
+			t.Errorf("Partition(%+v) accepted invalid options", opts)
+		}
+	}
+}
+
+func TestIngestMatchesMetrics(t *testing.T) {
+	g := testGraph(t, 250, 1000, 29)
+	k := 4
+	csr := g.ToCSR()
+	in, err := NewIngest(Options{K: k, Constraints: looseConstraints(g, k)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var badj []graph.Node
+	var bwts []int64
+	for u := 0; u < csr.NumNodes(); u++ {
+		adj, wts := csr.Row(graph.Node(u))
+		badj, bwts = badj[:0], bwts[:0]
+		for i, v := range adj {
+			if int(v) < u {
+				badj = append(badj, v)
+				bwts = append(bwts, wts[i])
+			}
+		}
+		if _, err := in.Push(csr.NodeW[u], badj, bwts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parts := in.Parts()
+	if err := metrics.Validate(g, parts, k); err != nil {
+		t.Fatalf("invalid partition: %v", err)
+	}
+	if got, want := in.Cut(), metrics.EdgeCut(g, parts); got != want {
+		t.Fatalf("maintained cut %d != recomputed %d", got, want)
+	}
+	resources := metrics.PartResources(g, parts, k)
+	bw := metrics.BandwidthMatrix(g, parts, k)
+	for p := 0; p < k; p++ {
+		if in.Resource(p) != resources[p] {
+			t.Fatalf("part %d resource %d != recomputed %d", p, in.Resource(p), resources[p])
+		}
+		for q := 0; q < k; q++ {
+			if in.Bandwidth(p, q) != bw[p][q] {
+				t.Fatalf("bw[%d][%d] = %d != recomputed %d", p, q, in.Bandwidth(p, q), bw[p][q])
+			}
+		}
+	}
+}
+
+func TestIngestRejectsBadInput(t *testing.T) {
+	in, err := NewIngest(Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Push(-1, nil, nil); err == nil {
+		t.Error("negative node weight accepted")
+	}
+	if _, err := in.Push(1, []graph.Node{0}, []int64{1}); err == nil {
+		t.Error("forward edge accepted (vertex 0 has no predecessors)")
+	}
+	if _, err := in.Push(1, []graph.Node{0}, nil); err == nil {
+		t.Error("adj/wts length mismatch accepted")
+	}
+	if _, err := in.Push(1, nil, nil); err != nil {
+		t.Fatalf("valid push rejected: %v", err)
+	}
+	if _, err := in.Push(1, []graph.Node{0}, []int64{-3}); err == nil {
+		t.Error("negative edge weight accepted")
+	}
+}
+
+func TestPartitionSharded(t *testing.T) {
+	g := testGraph(t, 700, 2800, 31)
+	k := 4
+	c := looseConstraints(g, k)
+	res, err := PartitionSharded(context.Background(), g, Options{K: k, Constraints: c}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != (700+127)/128 {
+		t.Fatalf("Shards = %d, want %d", res.Shards, (700+127)/128)
+	}
+	if err := metrics.Validate(g, res.Parts, k); err != nil {
+		t.Fatalf("invalid partition: %v", err)
+	}
+	if res.Cut != metrics.EdgeCut(g, res.Parts) {
+		t.Fatalf("maintained cut %d != recomputed %d", res.Cut, metrics.EdgeCut(g, res.Parts))
+	}
+	// The stitched-and-restreamed result should not be worse than a plain
+	// single-stream run left unrefined.
+	if res.Goodness != metrics.Goodness(g, res.Parts, k, c) {
+		t.Fatalf("goodness %v != recomputed %v", res.Goodness, metrics.Goodness(g, res.Parts, k, c))
+	}
+	if _, err := PartitionSharded(context.Background(), g, Options{K: k}, 0); err == nil {
+		t.Fatal("shardNodes = 0 accepted")
+	}
+}

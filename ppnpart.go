@@ -110,7 +110,21 @@ type (
 	BaselineOptions = mlkp.Options
 	// BaselineResult is the baseline's outcome.
 	BaselineResult = mlkp.Result
+	// Algorithm selects the partitioner driven by GPOptions.Algo.
+	Algorithm = core.Algorithm
 )
+
+// Algorithm values for GPOptions.Algo.
+const (
+	// AlgoGP is the default multilevel search.
+	AlgoGP = core.AlgoGP
+	// AlgoStream is the single-pass streaming + restreaming fast path
+	// for graphs too large to coarsen (see DESIGN.md §5g).
+	AlgoStream = core.AlgoStream
+)
+
+// ParseAlgorithm maps "gp"/"stream" (or "") to an Algorithm value.
+var ParseAlgorithm = core.ParseAlgorithm
 
 // Typed option errors: every invalid GPOptions value is rejected up
 // front with an error wrapping ErrInvalidOptions.

@@ -1,0 +1,92 @@
+// Differential test for the streaming initial-partition stage: on
+// mid-size graphs, an engine solve seeded by the streaming partitioner
+// (StreamSeedThreshold forced to 1) must agree with the default
+// greedy-grow-seeded solve on feasibility and land within a bounded cut
+// ratio of it — the uncoarsen/FM pipeline on top of either seed should
+// converge to comparable quality. Runs under -race in the race CI job.
+package ppnpart_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppnpart/internal/core"
+	"ppnpart/internal/gen"
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+)
+
+// cutRatioBound is the allowed spread between the two seeds' final cuts.
+// Refinement converges both, but it is local search: a different seed can
+// legitimately land in a different basin, so the bound is a backstop
+// against a catastrophically bad streaming seed, not an equality claim.
+const cutRatioBound = 2.5
+
+func TestStreamSeedDifferential(t *testing.T) {
+	type instance struct {
+		name string
+		g    *graph.Graph
+		k    int
+	}
+	rng := rand.New(rand.NewSource(77))
+	mk := func(name string, g *graph.Graph, err error, k int) instance {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return instance{name, g, k}
+	}
+	nodeW := gen.WeightRange{Lo: 1, Hi: 20}
+	edgeW := gen.WeightRange{Lo: 1, Hi: 10}
+	instances := []instance{}
+	g1, err := gen.RandomConnected(1200, 4800, nodeW, edgeW, rng)
+	instances = append(instances, mk("random1200", g1, err, 4))
+	g2, err := gen.Mesh2D(30, 40, nodeW, edgeW, rng)
+	instances = append(instances, mk("mesh30x40", g2, err, 6))
+	g3, err := gen.PreferentialAttachment(1000, 3, nodeW, edgeW, rng)
+	instances = append(instances, mk("prefattach1000", g3, err, 5))
+	if testing.Short() {
+		instances = instances[:1]
+	}
+
+	for _, inst := range instances {
+		t.Run(inst.name, func(t *testing.T) {
+			k := inst.k
+			c := metrics.Constraints{
+				Rmax: inst.g.TotalNodeWeight()*115/int64(100*k) + inst.g.MaxNodeWeight(),
+				Bmax: 2 * inst.g.TotalEdgeWeight() / int64(k),
+			}
+			solve := func(threshold int) *core.Result {
+				res, err := core.Partition(inst.g, core.Options{
+					K:                   k,
+					Constraints:         c,
+					Seed:                9,
+					MaxCycles:           6,
+					Parallelism:         2,
+					StreamSeedThreshold: threshold,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := metrics.Validate(inst.g, res.Parts, k); err != nil {
+					t.Fatalf("invalid partition: %v", err)
+				}
+				return res
+			}
+			greedy := solve(-1) // negative disables stream seeding everywhere
+			streamed := solve(1)
+
+			if greedy.Feasible != streamed.Feasible {
+				t.Fatalf("feasibility verdicts differ: greedy-seeded %v, stream-seeded %v",
+					greedy.Feasible, streamed.Feasible)
+			}
+			gc, sc := greedy.Report.EdgeCut, streamed.Report.EdgeCut
+			if gc <= 0 || sc <= 0 {
+				t.Fatalf("degenerate cuts: greedy %d, stream %d", gc, sc)
+			}
+			if ratio := float64(sc) / float64(gc); ratio > cutRatioBound || ratio < 1/cutRatioBound {
+				t.Fatalf("cut ratio %0.2f (stream %d vs greedy %d) outside [%0.2f, %0.2f]",
+					ratio, sc, gc, 1/cutRatioBound, cutRatioBound)
+			}
+		})
+	}
+}
