@@ -47,6 +47,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzTraceDecode -fuzztime=$(FUZZTIME) ./internal/engine
 	$(GO) test -run='^$$' -fuzz=FuzzJournalDecode -fuzztime=$(FUZZTIME) ./internal/journal
 	$(GO) test -run='^$$' -fuzz=FuzzBatchSelect -fuzztime=$(FUZZTIME) ./internal/refine
+	$(GO) test -run='^$$' -fuzz=FuzzGainBuckets -fuzztime=$(FUZZTIME) ./internal/refine
 	$(GO) test -run='^$$' -fuzz=FuzzStreamAssign -fuzztime=$(FUZZTIME) ./internal/stream
 
 # Resilience gate: every chaos/failpoint test (panic isolation, quarantine,

@@ -50,7 +50,9 @@ type Entry struct {
 
 // File is the emitted JSON document.
 type File struct {
-	// Context echoes the go test header (goos, goarch, cpu, pkg list).
+	// Context echoes the go test header (goos, goarch, cpu, pkg list)
+	// plus the run's gomaxprocs, recovered from the benchmark names'
+	// -N suffix (it doubles as the solver pool's default width).
 	Context map[string]string `json:"context,omitempty"`
 	// Benchmarks are the parsed results of this run.
 	Benchmarks []Entry `json:"benchmarks"`
@@ -103,6 +105,13 @@ func Parse(r io.Reader) ([]Entry, map[string]string, error) {
 			continue
 		}
 		name := strings.TrimPrefix(m[1], "Benchmark")
+		// The stripped -N suffix IS the run's GOMAXPROCS (and so the
+		// default solver pool width); the go test header doesn't carry
+		// it, so capture it into the context where cross-machine
+		// baseline comparisons can see it.
+		if sfx := gomaxprocsSuffix.FindString(name); sfx != "" {
+			ctx["gomaxprocs"] = sfx[1:]
+		}
 		name = gomaxprocsSuffix.ReplaceAllString(name, "")
 		e := Entry{Name: name, Pkg: pkg, Iterations: iters, Metrics: map[string]float64{}}
 		// The tail is "value unit" pairs: "123 ns/op  7 B/op  2 allocs/op".
@@ -118,6 +127,13 @@ func Parse(r io.Reader) ([]Entry, map[string]string, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, nil, err
+	}
+	// go test only appends the -N suffix when GOMAXPROCS != 1, so a run
+	// whose benchmark names all lacked one was by definition single-proc.
+	if len(entries) > 0 {
+		if _, ok := ctx["gomaxprocs"]; !ok {
+			ctx["gomaxprocs"] = "1"
+		}
 	}
 	return entries, ctx, nil
 }

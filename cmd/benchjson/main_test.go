@@ -30,6 +30,9 @@ func TestParse(t *testing.T) {
 	if ctx["goos"] != "linux" || ctx["cpu"] == "" {
 		t.Fatalf("context not captured: %v", ctx)
 	}
+	if ctx["gomaxprocs"] != "4" {
+		t.Fatalf("gomaxprocs not captured from the -N name suffix: %v", ctx)
+	}
 	e := entries[1]
 	if e.Name != "ScaleGP/n10000" {
 		t.Fatalf("name = %q (GOMAXPROCS suffix should be stripped)", e.Name)
@@ -49,6 +52,31 @@ func TestParse(t *testing.T) {
 	}
 	if p := entries[2]; p.Pkg != "ppnpart/internal/pstate" || p.Metrics["ns/op"] != 95.2 {
 		t.Fatalf("pkg header not tracked across packages: %+v", p)
+	}
+}
+
+// go test omits the -N name suffix entirely at GOMAXPROCS=1, so a run
+// whose benchmark lines all lack one is by definition single-proc — the
+// context must say so rather than stay silent.
+func TestParseInfersSingleProcWithoutSuffix(t *testing.T) {
+	entries, ctx, err := Parse(strings.NewReader("BenchmarkScaleGP/n100 	3	100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name != "ScaleGP/n100" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if ctx["gomaxprocs"] != "1" {
+		t.Fatalf("gomaxprocs = %q, want inferred \"1\": %v", ctx["gomaxprocs"], ctx)
+	}
+
+	// No benchmark lines at all: nothing to infer from.
+	_, ctx, err = Parse(strings.NewReader("goos: linux\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ctx["gomaxprocs"]; ok {
+		t.Fatalf("gomaxprocs inferred from an entry-free run: %v", ctx)
 	}
 }
 

@@ -10,11 +10,11 @@ package coarsen
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"ppnpart/internal/arena"
 	"ppnpart/internal/graph"
 	"ppnpart/internal/match"
+	"ppnpart/internal/pool"
 )
 
 // Level is one contraction step: the coarse graph plus the map from fine
@@ -164,6 +164,10 @@ type Options struct {
 	// less than this factor (guards against matching starvation on star
 	// graphs). Defaults to 0.02 (2%).
 	MinShrink float64
+	// Pool executes the per-level heuristic fan-out (nil: the shared
+	// pool.Default()). The RNG chain stays one task, so the pool width
+	// cannot change any random draw.
+	Pool *pool.Pool
 	// RecordCandidates stores every heuristic's matching quality on each
 	// Level (trace support). Off by default: the per-level slice is the
 	// only allocation it adds, and the solve path stays allocation-free
@@ -245,13 +249,13 @@ func (h *Hierarchy) ProjectTo(parts []int, fromLevel, toLevel int) ([]int, error
 // order). This is the paper's per-level comparison of the three
 // strategies.
 //
-// The heuristics run concurrently with a deterministic split: every
-// RNG-consuming heuristic stays on one goroutine, executed in declaration
-// order against the shared stream (so the random draws are exactly those
-// of a serial run), while RNG-free heuristics fan out to their own
-// goroutines. Results are reduced in heuristic order, which makes the
-// winner — and therefore the whole hierarchy — bit-identical to a serial
-// execution for a fixed seed.
+// The heuristics run concurrently on the shared worker pool with a
+// deterministic split: every RNG-consuming heuristic stays in one task,
+// executed in declaration order against the shared stream (so the random
+// draws are exactly those of a serial run), while RNG-free heuristics fan
+// out as their own tasks. Results are reduced in heuristic order, which
+// makes the winner — and therefore the whole hierarchy — bit-identical to
+// a serial execution for a fixed seed and any pool width.
 func BestMatching(g *graph.Graph, opts Options, rng *rand.Rand) (match.Matching, match.Heuristic) {
 	ws := arena.Get()
 	defer arena.Put(ws)
@@ -274,32 +278,33 @@ func BestMatchingWS(ws *arena.Workspace, g *graph.Graph, opts Options, rng *rand
 func bestMatchingScoredWS(ws *arena.Workspace, g *graph.Graph, opts Options, rng *rand.Rand, record bool) (match.Matching, match.Heuristic, []MatchCandidate) {
 	opts = opts.withDefaults()
 	results := make([]match.Matching, len(opts.Heuristics))
-	var wg sync.WaitGroup
 	var rngChain []int // indexes of RNG-consuming heuristics, in order
+	var tasks []func()
 	for i, h := range opts.Heuristics {
 		if h.UsesRNG() {
 			rngChain = append(rngChain, i)
 			continue
 		}
-		// Child must be materialized before the goroutine forks: it
+		// Child must be materialized before the pool tasks fork: it
 		// appends to the parent's child list on first use.
-		cws := ws.Child(i)
-		wg.Add(1)
-		go func(i int, h match.Heuristic, cws *arena.Workspace) {
-			defer wg.Done()
+		i, h, cws := i, h, ws.Child(i)
+		tasks = append(tasks, func() {
 			// Unknown heuristics yield a nil matching and are skipped in
 			// the reduction; callers validate up front.
 			results[i], _ = match.ComputeWS(cws, h, g, opts.KMeansClusters, rng)
-		}(i, h, cws)
+		})
 	}
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for _, i := range rngChain {
-			results[i], _ = match.ComputeWS(ws, opts.Heuristics[i], g, opts.KMeansClusters, rng)
-		}
-	}()
-	wg.Wait()
+	if len(rngChain) > 0 {
+		// The whole RNG chain is ONE pool task: its heuristics execute in
+		// declaration order against the shared stream, so the random
+		// draws are exactly those of a serial run for any pool width.
+		tasks = append(tasks, func() {
+			for _, i := range rngChain {
+				results[i], _ = match.ComputeWS(ws, opts.Heuristics[i], g, opts.KMeansClusters, rng)
+			}
+		})
+	}
+	opts.Pool.Run(len(tasks), func(i int) { tasks[i]() })
 
 	var bestM match.Matching
 	var bestH match.Heuristic

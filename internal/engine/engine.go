@@ -24,7 +24,6 @@ import (
 	"math/rand"
 	"runtime"
 	"runtime/debug"
-	"sync"
 	"time"
 
 	"ppnpart/internal/arena"
@@ -33,6 +32,7 @@ import (
 	"ppnpart/internal/graph"
 	"ppnpart/internal/match"
 	"ppnpart/internal/metrics"
+	"ppnpart/internal/pool"
 	"ppnpart/internal/pstate"
 )
 
@@ -82,6 +82,13 @@ type Config struct {
 	// Parallelism is the number of cycles explored concurrently (default
 	// GOMAXPROCS); any value yields the same partition as a serial run.
 	Parallelism int
+	// Pool executes every parallel fan-out of the solve — the cycle
+	// batches, the pipeline race, the batch gain sweeps, the matching
+	// heuristics, and the restream sweeps — so a solve spawns workers
+	// once instead of per round/level/pass. Nil uses the process-wide
+	// shared pool.Default(); the pool width never changes any result bit
+	// (the determinism goldens pin runs across widths 1–16).
+	Pool *pool.Pool
 	// Seed makes the run reproducible (default 1).
 	Seed int64
 	// Prune controls shared-incumbent pruning across parallel cycles.
@@ -429,24 +436,19 @@ func (s *Solver) Solve(ctx context.Context, g *graph.Graph, tr *Trace) *Outcome 
 		}
 		results := make([]candidate, batch)
 		panics := make([]*cyclePanic, batch)
-		var wg sync.WaitGroup
-		for i := 0; i < batch; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				// A panic on a batch goroutine would kill the whole
-				// process before any caller could recover it; capture it
-				// and re-raise on the Solve goroutine so the serving
-				// layer's panic isolation gets its chance.
-				defer func() {
-					if r := recover(); r != nil {
-						panics[i] = &cyclePanic{cycle: base + i, value: r, stack: debug.Stack()}
-					}
-				}()
-				results[i] = s.runCycle(ctx, g, fcsr, base+i, inc, tr)
-			}(i)
-		}
-		wg.Wait()
+		cfg.Pool.Run(batch, func(i int) {
+			// A panic on a pool task would surface as a *pool.TaskPanic
+			// on the Solve goroutine after the whole batch drains;
+			// capture it here instead so the serving layer's panic
+			// isolation keeps seeing the original cyclePanic (lowest
+			// cycle index first, value and stack preserved).
+			defer func() {
+				if r := recover(); r != nil {
+					panics[i] = &cyclePanic{cycle: base + i, value: r, stack: debug.Stack()}
+				}
+			}()
+			results[i] = s.runCycle(ctx, g, fcsr, base+i, inc, tr)
+		})
 		for _, cp := range panics {
 			if cp != nil {
 				panic(cp)

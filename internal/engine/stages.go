@@ -1,8 +1,6 @@
 package engine
 
 import (
-	"sync"
-
 	"ppnpart/internal/arena"
 	"ppnpart/internal/chaos"
 	"ppnpart/internal/coarsen"
@@ -28,6 +26,7 @@ func (coarsenStage) Run(cy *Cycle) error {
 		hier, err = coarsen.BuildWS(cy.WS, cy.Graph, coarsen.Options{
 			TargetSize: cy.Cfg.CoarsenTarget,
 			Heuristics: cy.Cfg.MatchHeuristics,
+			Pool:       cy.Cfg.Pool,
 			// Candidate recording is the trace's per-level view of the
 			// best-of-three competition; off-trace it costs nothing.
 			RecordCandidates: cy.trace != nil,
@@ -99,6 +98,7 @@ func (initialStage) Run(cy *Cycle) error {
 			Seed:          cy.RNG.Int63(),
 			Order:         stream.OrderShuffle,
 			Workers:       1, // cycles already fan out; results are Workers-neutral
+			Pool:          cfg.Pool,
 		})
 		if serr == nil {
 			parts, streamIters = sres.Parts, sres.Iters
@@ -253,6 +253,7 @@ func batchRefinement(cy *Cycle) (win refineWin, bt *BatchTrace, ok bool) {
 	opts := refine.BatchOptions{
 		K:           cfg.K,
 		Constraints: cfg.Constraints,
+		Pool:        cfg.Pool,
 		Record:      tracing,
 	}
 	if chaos.Enabled() {
@@ -268,10 +269,12 @@ func batchRefinement(cy *Cycle) (win refineWin, bt *BatchTrace, ok bool) {
 	st := refine.BatchKWayWS(ws, cy.CSR, cy.Parts, opts)
 	if tracing {
 		bt = &BatchTrace{
-			Rounds:     st.Rounds,
-			Moves:      st.Moves,
-			RoundSizes: st.RoundSizes,
-			RoundGains: st.RoundGains,
+			Rounds:      st.Rounds,
+			Moves:       st.Moves,
+			RoundSizes:  st.RoundSizes,
+			RoundGains:  st.RoundGains,
+			RoundCands:  st.RoundCands,
+			RoundQuotas: st.RoundQuotas,
 		}
 	}
 	// Serial FM polish plus the constraint-repair stages, one pipeline.
@@ -408,36 +411,34 @@ func bestRefinement(csr *graph.CSR, parts []int, cfg *Config, ws *arena.Workspac
 		extra    evalExtra
 	}
 	cands := make([]scored, len(pipelines))
-	var wg sync.WaitGroup
-	for i, pl := range pipelines {
-		// Child must be materialized before the goroutines fork: it
-		// appends to the parent's child list on first use.
-		pws := ws.Child(i)
-		wg.Add(1)
-		go func(i int, pl refinePipeline, pws *arena.Workspace) {
-			defer wg.Done()
-			cand := append(pws.Ints.Cap(len(parts)), parts...)
-			var fm *refine.Stats
-			if tracing {
-				fm = &cands[i].fm
-			}
-			for si, stage := range pl {
-				if si > 0 && abandon != nil && abandon() {
-					break
-				}
-				stage(csr, cand, cfg, pws, fm)
-			}
-			var extra *evalExtra
-			if tracing {
-				extra = &cands[i].extra
-			}
-			score, feasible := cfg.evaluateWS(pws, csr, cand, extra)
-			cands[i].parts = cand
-			cands[i].score = score
-			cands[i].feasible = feasible
-		}(i, pl, pws)
+	// Children must be materialized before the pool tasks fork: Child
+	// appends to the parent's child list on first use.
+	children := make([]*arena.Workspace, len(pipelines))
+	for i := range pipelines {
+		children[i] = ws.Child(i)
 	}
-	wg.Wait()
+	cfg.Pool.Run(len(pipelines), func(i int) {
+		pl, pws := pipelines[i], children[i]
+		cand := append(pws.Ints.Cap(len(parts)), parts...)
+		var fm *refine.Stats
+		if tracing {
+			fm = &cands[i].fm
+		}
+		for si, stage := range pl {
+			if si > 0 && abandon != nil && abandon() {
+				break
+			}
+			stage(csr, cand, cfg, pws, fm)
+		}
+		var extra *evalExtra
+		if tracing {
+			extra = &cands[i].extra
+		}
+		score, feasible := cfg.evaluateWS(pws, csr, cand, extra)
+		cands[i].parts = cand
+		cands[i].score = score
+		cands[i].feasible = feasible
+	})
 	best := 0
 	for i := 1; i < len(cands); i++ {
 		if cands[i].score < cands[best].score {

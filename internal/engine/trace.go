@@ -157,6 +157,11 @@ type BatchTrace struct {
 	// cut gains.
 	RoundSizes []int   `json:"round_sizes,omitempty"`
 	RoundGains []int64 `json:"round_gains,omitempty"`
+	// RoundCands and RoundQuotas are the per-round candidate counts and
+	// effective per-part quotas: RoundSizes[i]/RoundCands[i] is the
+	// accept rate that drives the adaptive quota divisor.
+	RoundCands  []int `json:"round_cands,omitempty"`
+	RoundQuotas []int `json:"round_quotas,omitempty"`
 	// Degraded is set when the batch pass panicked and the level fell
 	// back to the serial pipelines (panic isolation).
 	Degraded bool `json:"degraded,omitempty"`
@@ -285,10 +290,13 @@ type TraceSummary struct {
 	FMPasses int `json:"fm_passes"`
 	FMMoves  int `json:"fm_moves"`
 	// BatchRounds/BatchMoves total the batch refinement rounds across
-	// levels; BatchDegraded counts levels whose batch pass panicked and
+	// levels; BatchCands totals the candidates those rounds were offered
+	// (so BatchMoves/BatchCands is the aggregate adaptive-quota accept
+	// rate); BatchDegraded counts levels whose batch pass panicked and
 	// fell back to serial refinement.
 	BatchRounds   int `json:"batch_rounds,omitempty"`
 	BatchMoves    int `json:"batch_moves,omitempty"`
+	BatchCands    int `json:"batch_cands,omitempty"`
 	BatchDegraded int `json:"batch_degraded,omitempty"`
 	// HeuristicWins counts coarsening levels by winning matching.
 	HeuristicWins map[string]int `json:"heuristic_wins,omitempty"`
@@ -333,6 +341,9 @@ func (tr *Trace) Summary() TraceSummary {
 			if rt.Batch != nil {
 				s.BatchRounds += rt.Batch.Rounds
 				s.BatchMoves += rt.Batch.Moves
+				for _, c := range rt.Batch.RoundCands {
+					s.BatchCands += c
+				}
 				if rt.Batch.Degraded {
 					s.BatchDegraded++
 				}

@@ -1,0 +1,152 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Every index must run exactly once, for any width/batch-size pairing.
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		for _, n := range []int{0, 1, 2, 3, 17, 256} {
+			p := New(workers)
+			counts := make([]atomic.Int64, max(n, 1))
+			p.Run(n, func(i int) { counts[i].Add(1) })
+			for i := 0; i < n; i++ {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+			p.Close()
+		}
+	}
+}
+
+// Indexed result slots make the reduction independent of worker count.
+func TestRunDeterministicResultSlots(t *testing.T) {
+	const n = 1000
+	var want []int
+	for _, workers := range []int{1, 3, 8, 16} {
+		p := New(workers)
+		got := make([]int, n)
+		p.Run(n, func(i int) { got[i] = i*i + 7 })
+		p.Close()
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// A task may itself call Run on the same pool; the caller-helps design
+// must complete the nested batches even when n exceeds the width many
+// times over.
+func TestRunNestedDoesNotDeadlock(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var total atomic.Int64
+	p.Run(8, func(i int) {
+		p.Run(8, func(j int) {
+			p.Run(4, func(k int) { total.Add(1) })
+		})
+	})
+	if got := total.Load(); got != 8*8*4 {
+		t.Fatalf("nested runs executed %d tasks, want %d", got, 8*8*4)
+	}
+}
+
+// All tasks run even when some panic, and the re-raised TaskPanic
+// carries the smallest panicking index regardless of scheduling.
+func TestRunPanicKeepsSmallestIndexAndCompletesBatch(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		var ran atomic.Int64
+		func() {
+			defer func() {
+				r := recover()
+				tp, ok := r.(*TaskPanic)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T (%v), want *TaskPanic", workers, r, r)
+				}
+				if tp.Index != 3 {
+					t.Fatalf("workers=%d: panic index %d, want 3 (smallest)", workers, tp.Index)
+				}
+				if tp.Value != "boom" {
+					t.Fatalf("workers=%d: panic value %v, want boom", workers, tp.Value)
+				}
+				if len(tp.Stack) == 0 {
+					t.Fatalf("workers=%d: no stack captured", workers)
+				}
+				if tp.Error() == "" {
+					t.Fatalf("workers=%d: empty Error()", workers)
+				}
+			}()
+			p.Run(16, func(i int) {
+				ran.Add(1)
+				if i == 3 || i == 11 {
+					panic("boom")
+				}
+			})
+		}()
+		if got := ran.Load(); got != 16 {
+			t.Fatalf("workers=%d: %d tasks ran, want all 16", workers, got)
+		}
+		p.Close()
+	}
+}
+
+// A nil *Pool routes to the shared Default pool, so option structs can
+// leave the field unset.
+func TestNilPoolUsesDefault(t *testing.T) {
+	var p *Pool
+	if p.Workers() != Default().Workers() {
+		t.Fatalf("nil Workers() = %d, want Default's %d", p.Workers(), Default().Workers())
+	}
+	var total atomic.Int64
+	p.Run(32, func(i int) { total.Add(1) })
+	if total.Load() != 32 {
+		t.Fatalf("nil Run executed %d tasks, want 32", total.Load())
+	}
+	if Prewarm() != Default() {
+		t.Fatal("Prewarm must return the shared Default pool")
+	}
+}
+
+// Run keeps working (serially) on a closed pool.
+func TestRunAfterClose(t *testing.T) {
+	p := New(4)
+	p.Close()
+	p.Close() // idempotent
+	var total atomic.Int64
+	p.Run(10, func(i int) { total.Add(1) })
+	if total.Load() != 10 {
+		t.Fatalf("closed-pool Run executed %d tasks, want 10", total.Load())
+	}
+}
+
+// Stats counters track executions.
+func TestStats(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	if s := p.Stats(); s.Workers != 3 || s.Tasks != 0 || s.Runs != 0 {
+		t.Fatalf("fresh stats = %+v", s)
+	}
+	p.Run(5, func(int) {})
+	p.Run(7, func(int) {})
+	s := p.Stats()
+	if s.Tasks != 12 || s.Runs != 2 {
+		t.Fatalf("stats after runs = %+v, want Tasks=12 Runs=2", s)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,157 @@
+package refine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bucketScanOrder collects the scan's emission order.
+func bucketScanOrder(gb *gainBuckets) []int {
+	var got []int
+	gb.scan(func(u int) { got = append(got, u) })
+	return got
+}
+
+// sortRankingOrder is the ranking the batch pass used before gainBuckets:
+// every live candidate, sort.Slice'd by (gain desc, node asc).
+func sortRankingOrder(gains map[int]int64) []int {
+	order := make([]int, 0, len(gains))
+	for u := range gains {
+		order = append(order, u)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if gains[order[i]] != gains[order[j]] {
+			return gains[order[i]] > gains[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+func checkOrder(t *testing.T, gb *gainBuckets, model map[int]int64, step string) {
+	t.Helper()
+	if gb.count != len(model) {
+		t.Fatalf("%s: count = %d, want %d", step, gb.count, len(model))
+	}
+	got := bucketScanOrder(gb)
+	want := sortRankingOrder(model)
+	if len(got) != len(want) {
+		t.Fatalf("%s: scan emitted %d candidates, want %d", step, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: position %d: bucket scan chose node %d, sort ranking chose node %d\n got: %v\nwant: %v",
+				step, i, got[i], want[i], got, want)
+		}
+	}
+}
+
+// The bucket scan must select the exact same candidate sequence as the
+// sort.Slice ranking it replaced — including gain ties, which must break
+// toward the lower node id — across randomized insert/update/remove
+// churn (the dirty-set re-bucketing between batch rounds).
+func TestGainBucketsMatchesSortRanking(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 400
+	gb := &gainBuckets{}
+	for trial := 0; trial < 20; trial++ {
+		gb.reset(n)
+		model := make(map[int]int64)
+		// Initial population with a tie-heavy gain distribution: small
+		// gain domains force many nodes into the same value and bucket.
+		for u := 0; u < n; u++ {
+			if rng.Intn(3) == 0 {
+				continue
+			}
+			var g int64
+			switch rng.Intn(3) {
+			case 0:
+				g = 1 + rng.Int63n(8) // dense ties in low buckets
+			case 1:
+				g = 1 + rng.Int63n(1000)
+			default:
+				g = 1 + rng.Int63n(1<<40) // huge bandwidth-scale gains
+			}
+			gb.set(u, g)
+			model[u] = g
+		}
+		checkOrder(t, gb, model, "initial")
+		// Churn rounds: re-bucket a random dirty subset like the batch
+		// pass does between rounds.
+		for round := 0; round < 5; round++ {
+			for i := 0; i < n/4; i++ {
+				u := rng.Intn(n)
+				switch rng.Intn(4) {
+				case 0:
+					gb.remove(u)
+					delete(model, u)
+				default:
+					g := 1 + rng.Int63n(1<<uint(1+rng.Intn(40)))
+					gb.set(u, g)
+					model[u] = g
+				}
+			}
+			checkOrder(t, gb, model, "churn")
+		}
+	}
+}
+
+// Same-gain re-set must be a no-op (no spurious dirty churn) and still
+// scan correctly.
+func TestGainBucketsIdempotentSet(t *testing.T) {
+	gb := &gainBuckets{}
+	gb.reset(10)
+	model := map[int]int64{3: 7, 5: 7, 1: 7, 9: 200}
+	for u, g := range model {
+		gb.set(u, g)
+	}
+	checkOrder(t, gb, model, "populate")
+	for u, g := range model {
+		gb.set(u, g) // identical re-insert
+	}
+	checkOrder(t, gb, model, "re-set")
+	gb.remove(42 % 10) // absent node: no-op
+	checkOrder(t, gb, model, "remove-absent")
+}
+
+// FuzzGainBuckets drives randomized op sequences against the sort.Slice
+// reference model (wired into make fuzz-smoke and CI).
+func FuzzGainBuckets(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x03})
+	f.Add([]byte{0xff, 0x00, 0x80, 0x41, 0x41, 0x41, 0x41, 0x41})
+	f.Add([]byte{0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x70, 0x80, 0x90})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 64
+		gb := &gainBuckets{}
+		gb.reset(n)
+		model := make(map[int]int64)
+		for i := 0; i+1 < len(data); i += 2 {
+			u := int(data[i]) % n
+			v := data[i+1]
+			if v == 0 {
+				gb.remove(u)
+				delete(model, u)
+				continue
+			}
+			// Spread ops across bucket magnitudes: the low bits pick the
+			// value, the high bits shift it into higher buckets.
+			g := int64(v&0x0f) + 1<<uint(v>>4)
+			gb.set(u, g)
+			model[u] = g
+		}
+		if gb.count != len(model) {
+			t.Fatalf("count = %d, want %d", gb.count, len(model))
+		}
+		got := bucketScanOrder(gb)
+		want := sortRankingOrder(model)
+		if len(got) != len(want) {
+			t.Fatalf("scan emitted %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("position %d: got node %d, want node %d", i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"ppnpart/internal/graph"
 	"ppnpart/internal/journal"
 	"ppnpart/internal/metrics"
+	"ppnpart/internal/pool"
 )
 
 // Submission errors.
@@ -304,8 +305,11 @@ func NewScheduler(cfg Config, m *Metrics) *Scheduler {
 	}
 	// Each worker checks one solver workspace out of the arena per job;
 	// warming the pool up front means steady-state solves never hit a
-	// cold (allocating) checkout.
+	// cold (allocating) checkout. The shared solver pool's helper
+	// goroutines spin up alongside, so the first solve never pays the
+	// fan-out start-up either.
 	arena.Prewarm(cfg.Workers)
+	pool.Prewarm()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()

@@ -9,6 +9,7 @@ import (
 
 	"ppnpart/internal/arena"
 	"ppnpart/internal/engine"
+	"ppnpart/internal/pool"
 )
 
 // Metrics is the daemon's instrumentation: per-outcome job counters,
@@ -40,6 +41,11 @@ type Metrics struct {
 	// refinement — are not observed, so the histogram tracks batch-mode
 	// solves only).
 	batchRounds histogram
+	// Accepted batch moves and offered batch candidates across solves;
+	// batchMoves/batchCands is the aggregate accept rate driving the
+	// pass's adaptive per-part quota.
+	batchMoves int64
+	batchCands int64
 	// Levels whose batch pass panicked and degraded to serial refinement.
 	batchDegraded int64
 }
@@ -145,6 +151,8 @@ func (m *Metrics) SolveTrace(s engine.TraceSummary) {
 	if s.BatchRounds > 0 {
 		m.batchRounds.observe(float64(s.BatchRounds))
 	}
+	m.batchMoves += int64(s.BatchMoves)
+	m.batchCands += int64(s.BatchCands)
 	m.batchDegraded += int64(s.BatchDegraded)
 }
 
@@ -296,6 +304,17 @@ func (m *Metrics) WriteTo(w io.Writer, g GaugeSample) {
 	fmt.Fprintf(w, "# TYPE ppnd_arena_returns_total counter\n")
 	fmt.Fprintf(w, "ppnd_arena_returns_total %d\n", puts)
 
+	ps := pool.Default().Stats()
+	fmt.Fprintf(w, "# HELP ppnd_pool_busy_workers Shared solver-pool helpers currently draining a task batch.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_pool_busy_workers gauge\n")
+	fmt.Fprintf(w, "ppnd_pool_busy_workers %d\n", ps.Busy)
+	fmt.Fprintf(w, "# HELP ppnd_pool_queue_depth Published task batches not yet picked up by a pool helper.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_pool_queue_depth gauge\n")
+	fmt.Fprintf(w, "ppnd_pool_queue_depth %d\n", ps.QueueDepth)
+	fmt.Fprintf(w, "# HELP ppnd_pool_tasks_total Tasks executed on the shared solver pool.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_pool_tasks_total counter\n")
+	fmt.Fprintf(w, "ppnd_pool_tasks_total %d\n", ps.Tasks)
+
 	fmt.Fprintf(w, "# HELP ppnd_solve_seconds Solve wall-clock latency.\n")
 	fmt.Fprintf(w, "# TYPE ppnd_solve_seconds histogram\n")
 	m.latency.write(w, "ppnd_solve_seconds", "")
@@ -312,6 +331,12 @@ func (m *Metrics) WriteTo(w io.Writer, g GaugeSample) {
 	fmt.Fprintf(w, "# HELP ppnd_batch_rounds Batch refinement rounds per batch-mode solve.\n")
 	fmt.Fprintf(w, "# TYPE ppnd_batch_rounds histogram\n")
 	m.batchRounds.write(w, "ppnd_batch_rounds", "")
+	fmt.Fprintf(w, "# HELP ppnd_batch_moves_total Accepted batch moves; divided by ppnd_batch_cands_total this is the adaptive-quota accept rate.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_batch_moves_total counter\n")
+	fmt.Fprintf(w, "ppnd_batch_moves_total %d\n", m.batchMoves)
+	fmt.Fprintf(w, "# HELP ppnd_batch_cands_total Candidates offered to batch selection rounds.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_batch_cands_total counter\n")
+	fmt.Fprintf(w, "ppnd_batch_cands_total %d\n", m.batchCands)
 	fmt.Fprintf(w, "# HELP ppnd_batch_degraded_total Levels whose batch refinement panicked and fell back to serial.\n")
 	fmt.Fprintf(w, "# TYPE ppnd_batch_degraded_total counter\n")
 	fmt.Fprintf(w, "ppnd_batch_degraded_total %d\n", m.batchDegraded)

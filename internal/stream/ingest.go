@@ -183,6 +183,7 @@ func PartitionSharded(ctx context.Context, g *graph.Graph, opts Options, shardNo
 		K:           opts.K,
 		Constraints: opts.Constraints,
 		Workers:     opts.Workers,
+		Pool:        opts.Pool,
 	})
 	res, err := run(ctx, ws, csr, opts, parts)
 	if err != nil {

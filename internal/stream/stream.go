@@ -32,11 +32,11 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"sync"
 
 	"ppnpart/internal/arena"
 	"ppnpart/internal/graph"
 	"ppnpart/internal/metrics"
+	"ppnpart/internal/pool"
 	"ppnpart/internal/pstate"
 )
 
@@ -75,6 +75,10 @@ type Options struct {
 	// (default GOMAXPROCS). Every value produces bit-identical results:
 	// a pass is a pure function of the previous pass's assignment.
 	Workers int
+	// Pool executes the sweep chunks (nil: the shared pool.Default()).
+	// The chunk split is fixed by Workers, so the pool width cannot
+	// change any result bit either.
+	Pool *pool.Pool
 	// Seed drives OrderShuffle (default 1); OrderNatural ignores it.
 	Seed int64
 	// Order selects the stream order (default OrderNatural).
@@ -509,50 +513,46 @@ func (s *streamer) restreamSweep(newParts []int) int {
 		return 0
 	}
 	chunk := (s.n + workers - 1) / workers
-	moved := make([]int, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	tasks := (s.n + chunk - 1) / chunk
+	moved := make([]int, tasks)
+	// Children must be materialized before the pool tasks fork.
+	children := make([]*arena.Workspace, tasks)
+	for w := 0; w < tasks; w++ {
+		children[w] = s.ws.Child(w)
+	}
+	s.opts.Pool.Run(tasks, func(w int) {
 		lo := w * chunk
 		hi := lo + chunk
 		if hi > s.n {
 			hi = s.n
 		}
-		if lo >= hi {
-			continue
-		}
-		// Children must be materialized before the goroutines fork.
-		cws := s.ws.Child(w)
-		wg.Add(1)
-		go func(w, lo, hi int, cws *arena.Workspace) {
-			defer wg.Done()
-			conn := zeroed64(&cws.Int64s, s.k)
-			touched := cws.Ints.Cap(s.k)
-			for ui := lo; ui < hi; ui++ {
-				u := graph.Node(ui)
-				adj, wts := s.csr.Row(u)
-				touched = touched[:0]
-				for i, v := range adj {
-					q := s.parts[v]
-					if conn[q] == 0 {
-						touched = append(touched, q)
-					}
-					conn[q] += wts[i]
+		cws := children[w]
+		conn := zeroed64(&cws.Int64s, s.k)
+		touched := cws.Ints.Cap(s.k)
+		for ui := lo; ui < hi; ui++ {
+			u := graph.Node(ui)
+			adj, wts := s.csr.Row(u)
+			touched = touched[:0]
+			for i, v := range adj {
+				q := s.parts[v]
+				if conn[q] == 0 {
+					touched = append(touched, q)
 				}
-				from := s.parts[u]
-				p := s.pick(s.csr.NodeW[u], from, conn, touched)
-				newParts[u] = p
-				if p != from {
-					moved[w]++
-				}
-				for _, q := range touched {
-					conn[q] = 0
-				}
+				conn[q] += wts[i]
 			}
-			cws.Int64s.Put(conn)
-			cws.Ints.Put(touched)
-		}(w, lo, hi, cws)
-	}
-	wg.Wait()
+			from := s.parts[u]
+			p := s.pick(s.csr.NodeW[u], from, conn, touched)
+			newParts[u] = p
+			if p != from {
+				moved[w]++
+			}
+			for _, q := range touched {
+				conn[q] = 0
+			}
+		}
+		cws.Int64s.Put(conn)
+		cws.Ints.Put(touched)
+	})
 	total := 0
 	for _, m := range moved {
 		total += m
