@@ -46,6 +46,8 @@ type config struct {
 	streamIters       int
 	streamSeed        int
 	minimize          bool
+	replicate         bool
+	maxClones         int
 	timeout           time.Duration
 	dotPath, svgPath  string
 	outPath, evalPath string
@@ -68,6 +70,8 @@ func main() {
 	flag.IntVar(&cfg.streamIters, "stream-iters", 0, "restream pass cap (0 = default: 8 standalone, 4 as gp seeder; negative disables restreaming)")
 	flag.IntVar(&cfg.streamSeed, "stream-seed", 0, "gp only: coarsest-graph size at which the initial partition switches to streaming (0 = default 200000, negative disables)")
 	flag.BoolVar(&cfg.minimize, "minimize", false, "keep cycling after feasibility to lower the cut")
+	flag.BoolVar(&cfg.replicate, "replicate", false, "gp only: run the post-refinement logic-replication pass (clone nodes into a second partition when headroom exists and goodness improves)")
+	flag.IntVar(&cfg.maxClones, "max-clones", 0, "replication clone budget (0 = default 32)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "wall-clock budget for GP; on expiry the best partition so far is reported (0 = none)")
 	flag.StringVar(&cfg.dotPath, "dot", "", "write the partitioned graph as Graphviz DOT")
 	flag.StringVar(&cfg.svgPath, "svg", "", "write the partitioned graph as SVG")
@@ -171,6 +175,8 @@ func run(cfg config) error {
 			Refine:                refineMode,
 			StreamSeedThreshold:   cfg.streamSeed,
 			StreamIterations:      cfg.streamIters,
+			Replicate:             cfg.replicate,
+			MaxClones:             cfg.maxClones,
 		}, tr)
 		if err != nil {
 			return err
@@ -181,6 +187,14 @@ func run(cfg config) error {
 		}
 		timedOut = res.Stopped && errors.Is(ctx.Err(), context.DeadlineExceeded)
 		fmt.Printf("algorithm: GP (cycles=%d, feasible=%v, stopped=%v, %s)\n", res.Cycles, res.Feasible, res.Stopped, res.Runtime)
+		if cfg.replicate {
+			fmt.Printf("replicated nodes:    %d\n", res.ReplicatedNodes)
+			for u, p := range res.Replicas {
+				if p >= 0 {
+					fmt.Printf("  replica: node %d also on partition %d\n", u, p)
+				}
+			}
+		}
 		if tr != nil {
 			if err := writeTrace(cfg.tracePath, tr); err != nil {
 				return err
@@ -241,6 +255,9 @@ func report(g *graph.Graph, parts []int, k int, c metrics.Constraints,
 	dotPath, svgPath, outPath string, quiet bool) error {
 	rep := metrics.Evaluate(g, parts, k, c)
 	fmt.Printf("edge cut:            %d\n", rep.EdgeCut)
+	if g.NumHyperEdges() > 0 {
+		fmt.Printf("hyperedge cut:       %d\n", rep.HyperCut)
+	}
 	fmt.Printf("max local bandwidth: %d\n", rep.MaxLocalBandwidth)
 	fmt.Printf("max resources:       %d\n", rep.MaxResource)
 	fmt.Printf("imbalance:           %.3f\n", rep.Imbalance)

@@ -35,6 +35,7 @@ import (
 	"ppnpart/internal/core"
 	"ppnpart/internal/engine"
 	"ppnpart/internal/fpga"
+	"ppnpart/internal/graph"
 	"ppnpart/internal/metrics"
 	"ppnpart/internal/ppn"
 	"ppnpart/internal/prof"
@@ -54,6 +55,8 @@ type config struct {
 	cycles    int
 	refine    string
 	algo      string
+	hyper     bool
+	replicate bool
 	fifoDepth bool
 	trace     bool
 	// Fault tolerance.
@@ -80,6 +83,8 @@ func main() {
 	flag.IntVar(&cfg.cycles, "cycles", 16, "GP cyclic iteration budget")
 	flag.StringVar(&cfg.refine, "refine", "auto", "GP refinement strategy: auto, serial or batch")
 	flag.StringVar(&cfg.algo, "algo", "gp", "partitioner: gp (multilevel) or stream (single-pass streaming fast path)")
+	flag.BoolVar(&cfg.hyper, "hyper", false, "lower fanout channel groups to hyperedges (one stream per broadcast instead of per-leg pairwise edges)")
+	flag.BoolVar(&cfg.replicate, "replicate", false, "run the post-refinement logic-replication pass (clone producers next to their consumers when headroom exists and goodness improves)")
 	flag.BoolVar(&cfg.fifoDepth, "fifos", false, "print per-channel FIFO depth requirements")
 	flag.BoolVar(&cfg.trace, "trace", false, "print the GP solve-trace summary (cycles, retries, prunes, per-stage wall time)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "GP latency budget; on expiry the best-effort partition is used (0 = none)")
@@ -158,7 +163,12 @@ func run(cfg config) error {
 		return fmt.Errorf("-repair needs a fault to repair from (-fail-fpga, -degrade-link or -outage)")
 	}
 
-	g, err := net.ToGraph(ppn.DefaultResourceModel())
+	var g *graph.Graph
+	if cfg.hyper {
+		g, err = net.ToGraphHyper(ppn.DefaultResourceModel())
+	} else {
+		g, err = net.ToGraph(ppn.DefaultResourceModel())
+	}
 	if err != nil {
 		return err
 	}
@@ -212,7 +222,7 @@ func run(cfg config) error {
 		}
 		res, err := core.PartitionTraceCtx(ctx, g, core.Options{
 			K: k, Constraints: c, Seed: cfg.seed, MaxCycles: cfg.cycles,
-			Refine: refineMode, Algo: algo,
+			Refine: refineMode, Algo: algo, Replicate: cfg.replicate,
 		}, tr)
 		if err != nil {
 			return err
@@ -220,6 +230,17 @@ func run(cfg config) error {
 		parts = res.Parts
 		fmt.Printf("partition: %s cut=%d feasible=%v (Bmax=%d tokens, Rmax=%d, %s)\n",
 			strings.ToUpper(algo.String()), res.Report.EdgeCut, res.Feasible, c.Bmax, c.Rmax, res.Runtime)
+		if cfg.hyper {
+			fmt.Printf("partition: hyperedge cut=%d over %d fanout nets\n", res.Report.HyperCut, g.NumHyperEdges())
+		}
+		if cfg.replicate {
+			fmt.Printf("partition: replicated %d node(s), goodness=%g\n", res.ReplicatedNodes, res.Goodness)
+			for u, p := range res.Replicas {
+				if p >= 0 {
+					fmt.Printf("  replica: process %d also on FPGA part %d\n", u, p)
+				}
+			}
+		}
 		if res.Stopped {
 			fmt.Printf("partition: %s\n", res.Message)
 		}

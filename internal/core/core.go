@@ -32,6 +32,7 @@ import (
 	"ppnpart/internal/graph"
 	"ppnpart/internal/match"
 	"ppnpart/internal/metrics"
+	"ppnpart/internal/pstate"
 	"ppnpart/internal/refine"
 	"ppnpart/internal/stream"
 )
@@ -116,6 +117,17 @@ type Options struct {
 	// StreamGamma is the streaming objective's load-penalty exponent
 	// (default 1.5; must be >= 1). Only meaningful under AlgoStream.
 	StreamGamma float64
+	// Replicate runs a post-refinement logic-replication pass: a node may
+	// be cloned into a second partition when the resource headroom exists
+	// and the goodness strictly improves (the RePart lever — a copy of a
+	// producer next to its consumers deletes cut edges and stops hyperedge
+	// stream forwarding). The assignment itself is untouched; the replica
+	// overlay is returned in Result.Replicas. Off by default: the paper's
+	// GP places exactly one copy of every process.
+	Replicate bool
+	// MaxClones bounds the replication pass (default 32). Only meaningful
+	// with Replicate.
+	MaxClones int
 }
 
 // vectorActive reports whether the multi-resource extension is engaged.
@@ -219,6 +231,12 @@ type Result struct {
 	// StreamIters is the per-pass cut/imbalance trajectory of an
 	// AlgoStream run (nil under AlgoGP); Cycles then counts the passes.
 	StreamIters []stream.IterTrace
+	// Replicas maps each node to the partition holding its clone, -1 for
+	// none (nil when Options.Replicate is off). A replicated node runs in
+	// both Parts[u] and Replicas[u].
+	Replicas []int
+	// ReplicatedNodes counts the clones the replication pass committed.
+	ReplicatedNodes int
 }
 
 // Partition runs GP on g.
@@ -282,6 +300,27 @@ func PartitionTraceCtx(ctx context.Context, g *graph.Graph, opts Options, tr *en
 		goodness, feasible = opts.engineConfig().Evaluate(g.ToCSR(), parts)
 	}
 
+	var replicas []int
+	replicated := 0
+	if opts.Replicate && !out.Stopped {
+		cfg := pstate.Config{K: opts.K, Constraints: opts.Constraints}
+		if opts.vectorActive() && len(parts) == len(opts.VectorResources) {
+			cfg.Vectors = opts.VectorResources
+			cfg.VectorConstraints = opts.VectorConstraints
+		}
+		reps, rst, rerr := refine.Replicate(g, parts, opts.K, cfg,
+			refine.ReplicateOptions{MaxClones: opts.MaxClones})
+		if rerr == nil {
+			replicas = reps
+			replicated = rst.Clones
+			if rst.Clones > 0 {
+				// The replica overlay's score replaces the single-copy one:
+				// the pass only ever commits strict improvements.
+				goodness = rst.ScoreAfter
+			}
+		}
+	}
+
 	res := &Result{
 		Parts:    parts,
 		K:        opts.K,
@@ -292,6 +331,8 @@ func PartitionTraceCtx(ctx context.Context, g *graph.Graph, opts Options, tr *en
 		Report:   metrics.Evaluate(g, parts, opts.K, opts.Constraints),
 		Stopped:  out.Stopped,
 	}
+	res.Replicas = replicas
+	res.ReplicatedNodes = replicated
 	switch {
 	case out.Stopped && !res.Feasible:
 		res.Message = fmt.Sprintf(

@@ -41,6 +41,16 @@ var (
 	// ErrBadStreamGamma rejects a StreamGamma below 1 (zero selects the
 	// default 1.5; the penalty must stay convex).
 	ErrBadStreamGamma = fmt.Errorf("%w: StreamGamma must be >= 1", ErrInvalidOptions)
+	// ErrBadRmaxPart rejects a per-part resource-bound table with a
+	// negative entry or more entries than parts (a non-positive entry
+	// falls back to the scalar Rmax, so short tables are fine).
+	ErrBadRmaxPart = fmt.Errorf("%w: invalid RmaxPart", ErrInvalidOptions)
+	// ErrBadPartCaps rejects a per-part vector-capacity table with a
+	// negative entry or more rows than parts.
+	ErrBadPartCaps = fmt.Errorf("%w: invalid VectorConstraints.PartCaps", ErrInvalidOptions)
+	// ErrNegativeMaxClones rejects MaxClones < 0 (zero selects the
+	// default replication budget).
+	ErrNegativeMaxClones = fmt.Errorf("%w: negative MaxClones", ErrInvalidOptions)
 )
 
 // Validate checks opts against g up front, returning a typed, wrapped
@@ -82,6 +92,27 @@ func (o Options) Validate(g *graph.Graph) error {
 	}
 	if o.StreamGamma != 0 && o.StreamGamma < 1 {
 		return fmt.Errorf("%w (StreamGamma = %v)", ErrBadStreamGamma, o.StreamGamma)
+	}
+	if len(o.Constraints.RmaxPart) > o.K {
+		return fmt.Errorf("%w (%d entries, K = %d)", ErrBadRmaxPart, len(o.Constraints.RmaxPart), o.K)
+	}
+	for p, r := range o.Constraints.RmaxPart {
+		if r < 0 {
+			return fmt.Errorf("%w (part %d: %d)", ErrBadRmaxPart, p, r)
+		}
+	}
+	if len(o.VectorConstraints.PartCaps) > o.K {
+		return fmt.Errorf("%w (%d rows, K = %d)", ErrBadPartCaps, len(o.VectorConstraints.PartCaps), o.K)
+	}
+	for p, row := range o.VectorConstraints.PartCaps {
+		for d, c := range row {
+			if c < 0 {
+				return fmt.Errorf("%w (part %d kind %d: %d)", ErrBadPartCaps, p, d, c)
+			}
+		}
+	}
+	if o.MaxClones < 0 {
+		return fmt.Errorf("%w (MaxClones = %d)", ErrNegativeMaxClones, o.MaxClones)
 	}
 	if len(o.VectorResources) > 0 {
 		if err := metrics.ValidateVectors(o.VectorResources, g.NumNodes()); err != nil {

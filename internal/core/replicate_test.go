@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppnpart/internal/gen"
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+	"ppnpart/internal/ppn"
+)
+
+func fanoutHyperGraph(t *testing.T, nProcs int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net, err := gen.RandomFanoutPPN(nProcs, gen.WeightRange{Lo: 10, Hi: 100},
+		gen.WeightRange{Lo: 1, Hi: 5}, rng)
+	if err != nil {
+		t.Fatalf("RandomFanoutPPN: %v", err)
+	}
+	g, err := net.ToGraphHyper(ppn.DefaultResourceModel())
+	if err != nil {
+		t.Fatalf("ToGraphHyper: %v", err)
+	}
+	return g
+}
+
+func TestPartitionReplicateImprovesFanoutPPN(t *testing.T) {
+	g := fanoutHyperGraph(t, 40, 3)
+	opts := Options{
+		K:           4,
+		Constraints: metrics.Constraints{Rmax: g.TotalNodeWeight()},
+		Seed:        1,
+	}
+	base, err := Partition(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Replicas != nil || base.ReplicatedNodes != 0 {
+		t.Fatalf("replication off, yet overlay present: %d nodes", base.ReplicatedNodes)
+	}
+	opts.Replicate = true
+	rep, err := Partition(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range base.Parts {
+		if base.Parts[u] != rep.Parts[u] {
+			t.Fatal("replication changed the assignment; it must stay an overlay")
+		}
+	}
+	if rep.ReplicatedNodes == 0 {
+		t.Fatal("replication pass found no clones on a fanout-heavy PPN")
+	}
+	if rep.Goodness >= base.Goodness {
+		t.Fatalf("goodness did not strictly improve: %v -> %v", base.Goodness, rep.Goodness)
+	}
+	clones := 0
+	for u, p := range rep.Replicas {
+		if p < 0 {
+			continue
+		}
+		clones++
+		if p == rep.Parts[u] || p >= opts.K {
+			t.Fatalf("node %d has invalid replica part %d (home %d)", u, p, rep.Parts[u])
+		}
+	}
+	if clones != rep.ReplicatedNodes {
+		t.Fatalf("overlay holds %d clones, result says %d", clones, rep.ReplicatedNodes)
+	}
+}
+
+func TestPartitionReplicateDeterministicAcrossParallelism(t *testing.T) {
+	g := fanoutHyperGraph(t, 30, 9)
+	var results []*Result
+	for _, par := range []int{1, 4, 16} {
+		r, err := Partition(g, Options{
+			K:           4,
+			Constraints: metrics.Constraints{Rmax: g.TotalNodeWeight()},
+			Seed:        7,
+			Parallelism: par,
+			Replicate:   true,
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		results = append(results, r)
+	}
+	for i := 1; i < len(results); i++ {
+		a, b := results[0], results[i]
+		if a.Goodness != b.Goodness || a.ReplicatedNodes != b.ReplicatedNodes {
+			t.Fatalf("pool width changed outcome: %v/%d vs %v/%d",
+				a.Goodness, a.ReplicatedNodes, b.Goodness, b.ReplicatedNodes)
+		}
+		for u := range a.Parts {
+			if a.Parts[u] != b.Parts[u] {
+				t.Fatal("pool width changed the partition")
+			}
+		}
+		if (a.Replicas == nil) != (b.Replicas == nil) {
+			t.Fatal("pool width changed replica presence")
+		}
+		for u := range a.Replicas {
+			if a.Replicas[u] != b.Replicas[u] {
+				t.Fatal("pool width changed the replica overlay")
+			}
+		}
+	}
+}
+
+func TestPartitionReplicateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomConnected(rng, 20)
+	if _, err := Partition(g, Options{K: 2, MaxClones: -1}); err == nil {
+		t.Fatal("negative MaxClones accepted")
+	}
+}

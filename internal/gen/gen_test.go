@@ -324,3 +324,33 @@ func TestPropertyGeneratorsProduceValidGraphs(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRandomFanoutPPN(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	net, err := RandomFanoutPPN(20, WeightRange{Lo: 10, Hi: 100}, WeightRange{Lo: 1, Hi: 5}, rng)
+	if err != nil {
+		t.Fatalf("RandomFanoutPPN: %v", err)
+	}
+	grouped := 0
+	for _, ch := range net.Channels {
+		if ch.Fanout > 0 {
+			grouped++
+		}
+	}
+	if grouped == 0 {
+		t.Fatal("no fanout metadata emitted")
+	}
+	g, err := net.ToGraphHyper(ppn.DefaultResourceModel())
+	if err != nil {
+		t.Fatalf("ToGraphHyper: %v", err)
+	}
+	if g.NumHyperEdges() == 0 {
+		t.Fatal("generated network produced no hyperedges")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if _, err := RandomFanoutPPN(2, WeightRange{Lo: 1, Hi: 1}, WeightRange{Lo: 1, Hi: 1}, rng); err == nil {
+		t.Fatal("tiny network accepted")
+	}
+}

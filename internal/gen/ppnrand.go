@@ -42,3 +42,52 @@ func RandomPPN(nProcs int, tokens WeightRange, opsW WeightRange, rng *rand.Rand)
 	}
 	return net, nil
 }
+
+// RandomFanoutPPN generates a layered network like RandomPPN but marks
+// every multi-reader output as a broadcast: the 2-4 legs a producer feeds
+// share one Fanout group id and carry the same token count (one produced
+// stream read by several consumers). Lowered with ppn.ToGraphHyper such
+// networks exercise the hyperedge path; with ppn.ToGraph they flatten to
+// the classic pairwise model. Roughly every third process additionally
+// emits an ungrouped point-to-point channel so both lowerings coexist.
+func RandomFanoutPPN(nProcs int, tokens WeightRange, opsW WeightRange, rng *rand.Rand) (*ppn.PPN, error) {
+	if nProcs < 3 {
+		return nil, fmt.Errorf("gen: random fanout PPN needs >= 3 processes, got %d", nProcs)
+	}
+	net := &ppn.PPN{Name: fmt.Sprintf("random-fanout-%d", nProcs)}
+	for i := 0; i < nProcs; i++ {
+		net.AddProcess(ppn.Process{
+			Name:            fmt.Sprintf("proc%d", i),
+			Iterations:      1 + rng.Int63n(1000),
+			OpsPerIteration: opsW.sample(rng),
+		})
+	}
+	group := 0
+	for i := 0; i < nProcs-1; i++ {
+		legs := 2 + rng.Intn(3)
+		if legs > nProcs-i-1 {
+			legs = nProcs - i - 1
+		}
+		group++
+		w := tokens.sample(rng)
+		for f := 0; f < legs; f++ {
+			net.AddChannel(ppn.Channel{
+				From:   i,
+				To:     i + 1 + rng.Intn(nProcs-i-1),
+				Tokens: w,
+				Fanout: group,
+			})
+		}
+		if i%3 == 0 && i+1 < nProcs {
+			net.AddChannel(ppn.Channel{
+				From:   i,
+				To:     i + 1 + rng.Intn(nProcs-i-1),
+				Tokens: tokens.sample(rng),
+			})
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}

@@ -11,6 +11,17 @@ type CSR struct {
 	NodeW  []int64 // node weights
 	EdgeWT int64   // total edge weight
 	NodeWT int64   // total node weight
+
+	// Hyperedge snapshot (nil for plain graphs; see hyper.go). HXPins
+	// offsets into HPins per hyperedge (pin 0 = writer), HW carries the
+	// per-net weights, and HXInc/HInc is the transposed node->hyperedge
+	// incidence the incremental partition state walks on each move.
+	HXPins []int32
+	HPins  []Node
+	HW     []int64
+	HXInc  []int32
+	HInc   []int32
+	HWT    int64 // total hyperedge weight
 }
 
 // ToCSR snapshots the graph into CSR form. Neighbor order within a row
@@ -58,6 +69,7 @@ func (g *Graph) ToCSRInto(c *CSR) *CSR {
 		}
 	}
 	c.XAdj[n] = int32(len(c.Adj))
+	g.fillHyperCSR(c)
 	return c
 }
 
@@ -98,6 +110,9 @@ func (c *CSR) ToGraph() *Graph {
 				g.MustAddEdge(Node(u), c.Adj[i], c.AdjW[i])
 			}
 		}
+	}
+	for e := 0; e < c.NumHyperEdges(); e++ {
+		g.MustAddHyperEdge(c.HyperPins(int32(e)), c.HW[e])
 	}
 	return g
 }

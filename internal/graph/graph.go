@@ -39,6 +39,11 @@ type Graph struct {
 	numEdges    int
 	totalEdgeW  int64
 	totalNodeW  int64
+
+	// Optional hyperedges (one writer, many readers — a PPN channel's
+	// fanout). Empty for plain graphs; see hyper.go.
+	hedges      []HyperEdge
+	totalHyperW int64
 }
 
 // Half is one direction of an undirected edge as stored in adjacency lists.
@@ -245,6 +250,7 @@ func (g *Graph) Clone() *Graph {
 	for u := range g.adj {
 		c.adj[u] = append([]Half(nil), g.adj[u]...)
 	}
+	g.cloneHyperInto(c)
 	return c
 }
 
@@ -304,7 +310,7 @@ func (g *Graph) Validate() error {
 	if nodeW != g.totalNodeW {
 		return fmt.Errorf("graph: node weight cache %d != actual %d", g.totalNodeW, nodeW)
 	}
-	return nil
+	return g.validateHyper()
 }
 
 // String renders a compact human-readable summary.

@@ -1,0 +1,203 @@
+package graph
+
+import "fmt"
+
+// HyperEdge models a one-writer/many-reader PPN channel fanout as a single
+// net: Pins[0] is the producing process (the writer) and the remaining pins
+// are the consumers of the same token stream. A hyperedge with exactly two
+// pins is semantically a plain channel; the PPN lowering emits those as
+// pairwise edges instead, so hyperedges in practice always have fanout >= 2.
+// The weight is the bandwidth of the producer's single output stream —
+// paying it once per remote partition (connectivity-1) instead of once per
+// reader is exactly what the flat edge model cannot express.
+type HyperEdge struct {
+	Pins   []Node
+	Weight int64
+}
+
+// Source returns the writer pin of the hyperedge.
+func (h HyperEdge) Source() Node { return h.Pins[0] }
+
+// Readers returns the consumer pins. The slice aliases Pins.
+func (h HyperEdge) Readers() []Node { return h.Pins[1:] }
+
+// AddHyperEdge inserts a hyperedge whose first pin is the writer and whose
+// remaining pins are the readers. Pins must be distinct, in range, and at
+// least two; the weight must be non-negative. Unlike AddEdge, duplicate
+// hyperedges are not folded: two broadcast streams between the same
+// processes remain two nets, each paying its own per-partition cost.
+func (g *Graph) AddHyperEdge(pins []Node, w int64) error {
+	if len(pins) < 2 {
+		return fmt.Errorf("graph: hyperedge needs >= 2 pins, got %d", len(pins))
+	}
+	if w < 0 {
+		return fmt.Errorf("graph: negative hyperedge weight %d", w)
+	}
+	seen := make(map[Node]bool, len(pins))
+	for _, p := range pins {
+		if p < 0 || int(p) >= g.NumNodes() {
+			return fmt.Errorf("graph: hyperedge pin %d outside [0,%d)", p, g.NumNodes())
+		}
+		if seen[p] {
+			return fmt.Errorf("graph: duplicate pin %d in hyperedge", p)
+		}
+		seen[p] = true
+	}
+	g.hedges = append(g.hedges, HyperEdge{Pins: append([]Node(nil), pins...), Weight: w})
+	g.totalHyperW += w
+	return nil
+}
+
+// MustAddHyperEdge is AddHyperEdge that panics on error.
+func (g *Graph) MustAddHyperEdge(pins []Node, w int64) {
+	if err := g.AddHyperEdge(pins, w); err != nil {
+		panic(err)
+	}
+}
+
+// NumHyperEdges reports the number of hyperedges (0 for pure graphs).
+func (g *Graph) NumHyperEdges() int { return len(g.hedges) }
+
+// HyperEdge returns the i-th hyperedge. The pin slice is owned by the
+// graph and must not be mutated.
+func (g *Graph) HyperEdge(i int) HyperEdge { return g.hedges[i] }
+
+// HyperEdges returns the hyperedge list. The slice and its pin lists are
+// owned by the graph and must not be mutated.
+func (g *Graph) HyperEdges() []HyperEdge { return g.hedges }
+
+// TotalHyperWeight returns the sum of all hyperedge weights.
+func (g *Graph) TotalHyperWeight() int64 { return g.totalHyperW }
+
+// cloneHyperInto deep-copies the hyperedge set into c.
+func (g *Graph) cloneHyperInto(c *Graph) {
+	if g.hedges == nil {
+		return
+	}
+	c.hedges = make([]HyperEdge, len(g.hedges))
+	for i, h := range g.hedges {
+		c.hedges[i] = HyperEdge{Pins: append([]Node(nil), h.Pins...), Weight: h.Weight}
+	}
+	c.totalHyperW = g.totalHyperW
+}
+
+// validateHyper checks hyperedge invariants: >= 2 distinct in-range pins,
+// non-negative weights, and a consistent cached total.
+func (g *Graph) validateHyper() error {
+	var hw int64
+	for i, h := range g.hedges {
+		if len(h.Pins) < 2 {
+			return fmt.Errorf("graph: hyperedge %d has %d pins", i, len(h.Pins))
+		}
+		if h.Weight < 0 {
+			return fmt.Errorf("graph: hyperedge %d has negative weight %d", i, h.Weight)
+		}
+		seen := make(map[Node]bool, len(h.Pins))
+		for _, p := range h.Pins {
+			if p < 0 || int(p) >= g.NumNodes() {
+				return fmt.Errorf("graph: hyperedge %d pin %d outside [0,%d)", i, p, g.NumNodes())
+			}
+			if seen[p] {
+				return fmt.Errorf("graph: hyperedge %d has duplicate pin %d", i, p)
+			}
+			seen[p] = true
+		}
+		hw += h.Weight
+	}
+	if hw != g.totalHyperW {
+		return fmt.Errorf("graph: hyperedge weight cache %d != actual %d", g.totalHyperW, hw)
+	}
+	return nil
+}
+
+// fillHyperCSR snapshots the hyperedge set into c: the pin lists in CSR
+// layout plus the transposed node->hyperedge incidence the incremental
+// partition state walks on every move. When the graph has no hyperedges
+// every hyper field is reset — workspace CSR slots are reused across
+// hierarchy levels and a contracted graph must not inherit the finest
+// level's nets.
+func (g *Graph) fillHyperCSR(c *CSR) {
+	c.HWT = g.totalHyperW
+	if len(g.hedges) == 0 {
+		c.HXPins, c.HPins, c.HW, c.HXInc, c.HInc = nil, nil, nil, nil, nil
+		return
+	}
+	n := g.NumNodes()
+	nh := len(g.hedges)
+	pins := 0
+	for _, h := range g.hedges {
+		pins += len(h.Pins)
+	}
+	c.HXPins = grow32(c.HXPins, nh+1)
+	c.HPins = growNodes(c.HPins, pins)[:0]
+	c.HW = grow64s(c.HW, nh)[:0]
+	c.HXInc = grow32(c.HXInc, n+1)
+	c.HInc = grow32(c.HInc, pins)
+	for i := range c.HXInc {
+		c.HXInc[i] = 0
+	}
+	for i, h := range g.hedges {
+		c.HXPins[i] = int32(len(c.HPins))
+		c.HPins = append(c.HPins, h.Pins...)
+		c.HW = append(c.HW, h.Weight)
+		for _, p := range h.Pins {
+			c.HXInc[p+1]++
+		}
+	}
+	c.HXPins[nh] = int32(len(c.HPins))
+	for u := 0; u < n; u++ {
+		c.HXInc[u+1] += c.HXInc[u]
+	}
+	// Fill incidence in hyperedge order so each row lists nets ascending.
+	fill := grow32(nil, n)
+	copy(fill, c.HXInc[:n])
+	for i, h := range g.hedges {
+		for _, p := range h.Pins {
+			c.HInc[fill[p]] = int32(i)
+			fill[p]++
+		}
+	}
+}
+
+func grow32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+func grow64s(s []int64, n int) []int64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int64, n)
+}
+
+func growNodes(s []Node, n int) []Node {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]Node, n)
+}
+
+// NumHyperEdges reports the number of hyperedges in the snapshot.
+func (c *CSR) NumHyperEdges() int {
+	if len(c.HXPins) == 0 {
+		return 0
+	}
+	return len(c.HXPins) - 1
+}
+
+// HyperPins returns the pin list of hyperedge e (Pins[0] = writer). The
+// slice aliases the CSR arrays and must not be mutated.
+func (c *CSR) HyperPins(e int32) []Node {
+	return c.HPins[c.HXPins[e]:c.HXPins[e+1]]
+}
+
+// IncidentHyper returns the ids of the hyperedges containing node u.
+func (c *CSR) IncidentHyper(u Node) []int32 {
+	if len(c.HXInc) == 0 {
+		return nil
+	}
+	return c.HInc[c.HXInc[u]:c.HXInc[u+1]]
+}

@@ -148,8 +148,9 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 
 // jsonGraph is the JSON wire form.
 type jsonGraph struct {
-	Nodes []jsonNode `json:"nodes"`
-	Edges []jsonEdge `json:"edges"`
+	Nodes      []jsonNode      `json:"nodes"`
+	Edges      []jsonEdge      `json:"edges"`
+	HyperEdges []jsonHyperEdge `json:"hyperedges,omitempty"`
 }
 
 type jsonNode struct {
@@ -164,6 +165,13 @@ type jsonEdge struct {
 	Weight int64 `json:"weight"`
 }
 
+// jsonHyperEdge carries a one-writer/many-reader net: pins[0] is the
+// writer, the rest are readers.
+type jsonHyperEdge struct {
+	Pins   []int `json:"pins"`
+	Weight int64 `json:"weight"`
+}
+
 // WriteJSON writes g as JSON with names preserved.
 func WriteJSON(w io.Writer, g *Graph) error {
 	jg := jsonGraph{}
@@ -172,6 +180,13 @@ func WriteJSON(w io.Writer, g *Graph) error {
 	}
 	for _, e := range g.Edges() {
 		jg.Edges = append(jg.Edges, jsonEdge{U: int(e.U), V: int(e.V), Weight: e.Weight})
+	}
+	for _, h := range g.HyperEdges() {
+		pins := make([]int, len(h.Pins))
+		for i, p := range h.Pins {
+			pins[i] = int(p)
+		}
+		jg.HyperEdges = append(jg.HyperEdges, jsonHyperEdge{Pins: pins, Weight: h.Weight})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -205,6 +220,15 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 	}
 	for _, e := range jg.Edges {
 		if err := g.AddEdge(Node(e.U), Node(e.V), e.Weight); err != nil {
+			return nil, fmt.Errorf("json graph: %v", err)
+		}
+	}
+	for _, h := range jg.HyperEdges {
+		pins := make([]Node, len(h.Pins))
+		for i, p := range h.Pins {
+			pins[i] = Node(p)
+		}
+		if err := g.AddHyperEdge(pins, h.Weight); err != nil {
 			return nil, fmt.Errorf("json graph: %v", err)
 		}
 	}

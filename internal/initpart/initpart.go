@@ -79,6 +79,17 @@ func GreedyGrowWS(ws *arena.Workspace, g *graph.Graph, csr *graph.CSR, opts Gree
 		// partition is not starved by rounding.
 		rmax = g.TotalNodeWeight()/int64(opts.K) + g.MaxNodeWeight()
 	}
+	// Per-part growth bounds: heterogeneous caps when the constraint set
+	// carries them, otherwise the uniform rmax in every slot (identical
+	// arithmetic to the scalar path).
+	lims := ws.Int64s.Get(opts.K)
+	for p := range lims {
+		if hp := opts.Constraints.RmaxFor(p); hp > 0 && len(opts.Constraints.RmaxPart) > 0 {
+			lims[p] = hp
+		} else {
+			lims[p] = rmax
+		}
+	}
 	// One CSR snapshot serves the repair and scoring of every restart;
 	// scoring through a pstate build costs a single adjacency sweep and is
 	// bit-identical to metrics.Goodness.
@@ -104,7 +115,7 @@ func GreedyGrowWS(ws *arena.Workspace, g *graph.Graph, csr *graph.CSR, opts Gree
 		} else {
 			seed = graph.Node(rng.Intn(n))
 		}
-		parts := growOnce(ws, g, opts.K, rmax, seed, rng, &f)
+		parts := growOnce(ws, g, opts.K, lims, seed, rng, &f)
 		refine.RepairBandwidthWS(ws, csr, parts, opts.K, opts.Constraints, 4)
 		s, err := pstate.NewWS(ws, csr, parts, pstate.Config{K: opts.K, Constraints: opts.Constraints})
 		if err != nil {
@@ -122,6 +133,7 @@ func GreedyGrowWS(ws *arena.Workspace, g *graph.Graph, csr *graph.CSR, opts Gree
 			ws.Ints.Put(parts)
 		}
 	}
+	ws.Int64s.Put(lims)
 	ws.Int64s.Put(f.weight)
 	ws.Bools.Put(f.in)
 	ws.Nodes.Put(f.items)
@@ -130,8 +142,9 @@ func GreedyGrowWS(ws *arena.Workspace, g *graph.Graph, csr *graph.CSR, opts Gree
 }
 
 // growOnce performs a single greedy growth from the given seed. f is a
-// drained frontier over n nodes; it is returned drained.
-func growOnce(ws *arena.Workspace, g *graph.Graph, k int, rmax int64, seed graph.Node, rng *rand.Rand, f *frontier) []int {
+// drained frontier over n nodes; it is returned drained. lims[p] bounds
+// part p's growth (uniform slots reproduce the scalar-Rmax behavior).
+func growOnce(ws *arena.Workspace, g *graph.Graph, k int, lims []int64, seed graph.Node, rng *rand.Rand, f *frontier) []int {
 	n := g.NumNodes()
 	parts := ws.Ints.Get(n)
 	for i := range parts {
@@ -166,7 +179,7 @@ func growOnce(ws *arena.Workspace, g *graph.Graph, k int, rmax int64, seed graph
 				continue
 			}
 			w := g.NodeWeight(u)
-			if res[p]+w > rmax {
+			if res[p]+w > lims[p] {
 				continue // try other frontier nodes; some may be lighter
 			}
 			parts[u] = p
@@ -196,7 +209,7 @@ func growOnce(ws *arena.Workspace, g *graph.Graph, k int, rmax int64, seed graph
 			bestP := -1
 			var bestFree int64
 			for p := 0; p < k; p++ {
-				free := rmax - res[p]
+				free := lims[p] - res[p]
 				if free >= w && (bestP < 0 || free > bestFree) {
 					bestP = p
 					bestFree = free
@@ -217,9 +230,9 @@ func growOnce(ws *arena.Workspace, g *graph.Graph, k int, rmax int64, seed graph
 				continue
 			}
 			bestP := 0
-			var bestFree int64 = rmax - res[0]
+			var bestFree int64 = lims[0] - res[0]
 			for p := 1; p < k; p++ {
-				if free := rmax - res[p]; free > bestFree {
+				if free := lims[p] - res[p]; free > bestFree {
 					bestP = p
 					bestFree = free
 				}

@@ -136,10 +136,36 @@ type Constraints struct {
 	// Zero means unconstrained; negative values are rejected by core
 	// option validation.
 	Rmax int64
+	// RmaxPart optionally overrides Rmax per partition for heterogeneous
+	// platforms (a big FPGA next to a small one). Entry p bounds part p; a
+	// non-positive entry falls back to the scalar Rmax. Nil means every
+	// part uses Rmax.
+	RmaxPart []int64
 }
 
-// Unconstrained reports whether neither bound is active.
-func (c Constraints) Unconstrained() bool { return c.Bmax <= 0 && c.Rmax <= 0 }
+// RmaxFor returns the resource bound of part p: its RmaxPart entry when
+// positive, else the scalar Rmax.
+func (c Constraints) RmaxFor(p int) int64 {
+	if p >= 0 && p < len(c.RmaxPart) {
+		if r := c.RmaxPart[p]; r > 0 {
+			return r
+		}
+	}
+	return c.Rmax
+}
+
+// Unconstrained reports whether no bound is active.
+func (c Constraints) Unconstrained() bool {
+	if c.Bmax > 0 || c.Rmax > 0 {
+		return false
+	}
+	for _, r := range c.RmaxPart {
+		if r > 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // Violation describes one violated constraint instance.
 type Violation struct {
@@ -173,10 +199,10 @@ func CheckConstraints(g *graph.Graph, parts []int, k int, c Constraints) []Viola
 			}
 		}
 	}
-	if c.Rmax > 0 {
+	if c.Rmax > 0 || len(c.RmaxPart) > 0 {
 		for i, r := range PartResources(g, parts, k) {
-			if r > c.Rmax {
-				out = append(out, Violation{Kind: "resource", PartA: i, PartB: -1, Value: r, Limit: c.Rmax})
+			if lim := c.RmaxFor(i); lim > 0 && r > lim {
+				out = append(out, Violation{Kind: "resource", PartA: i, PartB: -1, Value: r, Limit: lim})
 			}
 		}
 	}
@@ -213,8 +239,11 @@ func Goodness(g *graph.Graph, parts []int, k int, c Constraints) float64 {
 // Report is a complete evaluation of a partition — the four columns of the
 // paper's tables plus feasibility detail.
 type Report struct {
-	K                 int
-	EdgeCut           int64
+	K       int
+	EdgeCut int64
+	// HyperCut is the connectivity-1 cost of the graph's hyperedges
+	// (zero when the graph carries none).
+	HyperCut          int64
 	MaxLocalBandwidth int64
 	MaxResource       int64
 	PartResources     []int64
@@ -230,6 +259,7 @@ func Evaluate(g *graph.Graph, parts []int, k int, c Constraints) Report {
 	return Report{
 		K:                 k,
 		EdgeCut:           EdgeCut(g, parts),
+		HyperCut:          HyperCut(g, parts),
 		MaxLocalBandwidth: MaxLocalBandwidth(g, parts, k),
 		MaxResource:       MaxResource(g, parts, k),
 		PartResources:     PartResources(g, parts, k),

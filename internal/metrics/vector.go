@@ -15,13 +15,39 @@ type VectorConstraints struct {
 	// Rmax[d] is the per-partition capacity of resource kind d; a
 	// non-positive entry disables that kind's bound.
 	Rmax []int64
+	// PartCaps optionally overrides Rmax per partition for heterogeneous
+	// "multi-personality" platforms: PartCaps[p][d] bounds resource kind d
+	// of part p, a non-positive (or missing) entry falling back to
+	// Rmax[d]. Nil means every part uses Rmax.
+	PartCaps [][]int64
 }
 
-// Active reports whether any kind is bounded.
+// CapFor returns the bound of resource kind d in part p: the PartCaps
+// entry when positive, else Rmax[d], else 0 (unbounded).
+func (vc VectorConstraints) CapFor(p, d int) int64 {
+	if p >= 0 && p < len(vc.PartCaps) && d < len(vc.PartCaps[p]) {
+		if c := vc.PartCaps[p][d]; c > 0 {
+			return c
+		}
+	}
+	if d < len(vc.Rmax) {
+		return vc.Rmax[d]
+	}
+	return 0
+}
+
+// Active reports whether any kind is bounded in any part.
 func (vc VectorConstraints) Active() bool {
 	for _, r := range vc.Rmax {
 		if r > 0 {
 			return true
+		}
+	}
+	for _, row := range vc.PartCaps {
+		for _, c := range row {
+			if c > 0 {
+				return true
+			}
 		}
 	}
 	return false
@@ -80,11 +106,11 @@ func CheckVector(vectors [][]int64, parts []int, k int, vc VectorConstraints) []
 	var out []Violation
 	for p, row := range totals {
 		for d, v := range row {
-			if d < len(vc.Rmax) && vc.Rmax[d] > 0 && v > vc.Rmax[d] {
+			if lim := vc.CapFor(p, d); lim > 0 && v > lim {
 				out = append(out, Violation{
 					Kind:  fmt.Sprintf("resource[%d]", d),
 					PartA: p, PartB: -1,
-					Value: v, Limit: vc.Rmax[d],
+					Value: v, Limit: lim,
 				})
 			}
 		}

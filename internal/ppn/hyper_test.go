@@ -1,0 +1,110 @@
+package ppn
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppnpart/internal/graph"
+)
+
+func fanoutNet() *PPN {
+	net := &PPN{Name: "fanout"}
+	for i := 0; i < 5; i++ {
+		net.AddProcess(Process{Name: string(rune('a' + i)), Iterations: 10, OpsPerIteration: 2})
+	}
+	// proc0 broadcasts one 40-token stream to 1, 2, 3.
+	net.AddChannel(Channel{From: 0, To: 1, Tokens: 40, Fanout: 1})
+	net.AddChannel(Channel{From: 0, To: 2, Tokens: 40, Fanout: 1})
+	net.AddChannel(Channel{From: 0, To: 3, Tokens: 40, Fanout: 1})
+	// Ordinary point-to-point FIFOs.
+	net.AddChannel(Channel{From: 1, To: 4, Tokens: 7})
+	net.AddChannel(Channel{From: 2, To: 4, Tokens: 9})
+	return net
+}
+
+func TestToGraphHyperGroupsFanout(t *testing.T) {
+	net := fanoutNet()
+	g, err := net.ToGraphHyper(DefaultResourceModel())
+	if err != nil {
+		t.Fatalf("ToGraphHyper: %v", err)
+	}
+	if g.NumHyperEdges() != 1 {
+		t.Fatalf("got %d hyperedges, want 1", g.NumHyperEdges())
+	}
+	h := g.HyperEdge(0)
+	if h.Source() != 0 || len(h.Pins) != 4 || h.Weight != 40 {
+		t.Fatalf("unexpected net %+v", h)
+	}
+	// Grouped legs must NOT also appear as pairwise edges (no double count).
+	if g.NumEdges() != 2 {
+		t.Fatalf("got %d pairwise edges, want 2", g.NumEdges())
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(0, 2) || g.HasEdge(0, 3) {
+		t.Fatal("broadcast leg leaked into the pairwise edge set")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// The flat lowering of the same net pays per reader.
+	flat, err := net.ToGraph(DefaultResourceModel())
+	if err != nil {
+		t.Fatalf("ToGraph: %v", err)
+	}
+	if flat.NumHyperEdges() != 0 || flat.NumEdges() != 5 {
+		t.Fatalf("flat lowering: %d nets %d edges", flat.NumHyperEdges(), flat.NumEdges())
+	}
+	// Resource estimates agree between lowerings (ports counted the same).
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.NodeWeight(graph.Node(u)) != flat.NodeWeight(graph.Node(u)) {
+			t.Fatalf("node %d weight differs between lowerings", u)
+		}
+	}
+}
+
+func TestToGraphHyperDegenerateGroup(t *testing.T) {
+	net := &PPN{Name: "deg"}
+	for i := 0; i < 3; i++ {
+		net.AddProcess(Process{Name: string(rune('x' + i)), Iterations: 1, OpsPerIteration: 1})
+	}
+	// A "broadcast" with a single distinct reader (duplicate legs fold).
+	net.AddChannel(Channel{From: 0, To: 1, Tokens: 5, Fanout: 9})
+	net.AddChannel(Channel{From: 0, To: 1, Tokens: 5, Fanout: 9})
+	g, err := net.ToGraphHyper(DefaultResourceModel())
+	if err != nil {
+		t.Fatalf("ToGraphHyper: %v", err)
+	}
+	if g.NumHyperEdges() != 0 {
+		t.Fatal("degenerate group became a hyperedge")
+	}
+	if g.EdgeWeight(0, 1) != 10 {
+		t.Fatalf("degenerate legs folded to weight %d, want 10", g.EdgeWeight(0, 1))
+	}
+}
+
+func TestToGraphHyperDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	_ = rng
+	net := fanoutNet()
+	a, err := net.ToGraphHyper(DefaultResourceModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.ToGraphHyper(DefaultResourceModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumHyperEdges() != b.NumHyperEdges() {
+		t.Fatal("nondeterministic hyperedge count")
+	}
+	for i := 0; i < a.NumHyperEdges(); i++ {
+		ha, hb := a.HyperEdge(i), b.HyperEdge(i)
+		if ha.Weight != hb.Weight || len(ha.Pins) != len(hb.Pins) {
+			t.Fatalf("net %d differs across lowerings", i)
+		}
+		for j := range ha.Pins {
+			if ha.Pins[j] != hb.Pins[j] {
+				t.Fatalf("net %d pin %d differs across lowerings", i, j)
+			}
+		}
+	}
+}

@@ -44,6 +44,14 @@ type Channel struct {
 	Tokens int64
 	// TokenBytes is the size of one token (default 4, one word).
 	TokenBytes int64
+	// Fanout, when positive, marks this channel as one leg of a broadcast:
+	// every channel sharing the same From and the same Fanout id carries
+	// the one token stream the producer emits, to a different reader.
+	// ToGraphHyper lowers such a group to a single hyperedge (paid once
+	// per remote partition); ToGraph flattens it to independent edges
+	// (paid once per reader), which is the model the paper evaluates.
+	// Zero means an ordinary point-to-point FIFO.
+	Fanout int
 }
 
 // Traffic returns the channel's total traffic in bytes.
@@ -180,6 +188,81 @@ func (p *PPN) ToGraph(model ResourceModel) (*graph.Graph, error) {
 		}
 		if err := g.AddEdge(graph.Node(ch.From), graph.Node(ch.To), ch.Tokens); err != nil {
 			return nil, fmt.Errorf("ppn: lowering channel %d->%d: %v", ch.From, ch.To, err)
+		}
+	}
+	return g, nil
+}
+
+// ToGraphHyper lowers the PPN like ToGraph but turns each broadcast group
+// (channels sharing From and a positive Fanout id) into a single
+// hyperedge whose pins are the producer followed by its distinct readers
+// and whose weight is the produced stream volume (the largest member
+// traffic — the legs of a broadcast nominally carry identical counts).
+// Grouped channels do NOT also become pairwise edges, so the objective
+// never double-counts a stream; a group that reaches fewer than two
+// distinct readers degrades to the ordinary pairwise lowering.
+// Ungrouped channels lower exactly as in ToGraph.
+func (p *PPN) ToGraphHyper(model ResourceModel) (*graph.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ports := make([]int, len(p.Processes))
+	for _, ch := range p.Channels {
+		if ch.From != ch.To {
+			ports[ch.From]++
+			ports[ch.To]++
+		}
+	}
+	g := graph.New(len(p.Processes))
+	for i, proc := range p.Processes {
+		g.SetNodeWeight(graph.Node(i), model.EstimateResources(proc, ports[i]))
+		g.SetName(graph.Node(i), proc.Name)
+	}
+	type gkey struct{ from, id int }
+	groups := make(map[gkey][]Channel)
+	var order []gkey // deterministic: first-appearance order
+	for _, ch := range p.Channels {
+		if ch.From == ch.To || ch.Tokens == 0 {
+			continue
+		}
+		if ch.Fanout > 0 {
+			k := gkey{ch.From, ch.Fanout}
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], ch)
+			continue
+		}
+		if err := g.AddEdge(graph.Node(ch.From), graph.Node(ch.To), ch.Tokens); err != nil {
+			return nil, fmt.Errorf("ppn: lowering channel %d->%d: %v", ch.From, ch.To, err)
+		}
+	}
+	for _, k := range order {
+		chans := groups[k]
+		pins := []graph.Node{graph.Node(k.from)}
+		seen := map[int]bool{k.from: true}
+		var w int64
+		for _, ch := range chans {
+			if ch.Tokens > w {
+				w = ch.Tokens
+			}
+			if !seen[ch.To] {
+				seen[ch.To] = true
+				pins = append(pins, graph.Node(ch.To))
+			}
+		}
+		if len(pins) < 3 {
+			// One distinct reader: a broadcast in name only — lower the
+			// legs as plain folded edges.
+			for _, ch := range chans {
+				if err := g.AddEdge(graph.Node(ch.From), graph.Node(ch.To), ch.Tokens); err != nil {
+					return nil, fmt.Errorf("ppn: lowering channel %d->%d: %v", ch.From, ch.To, err)
+				}
+			}
+			continue
+		}
+		if err := g.AddHyperEdge(pins, w); err != nil {
+			return nil, fmt.Errorf("ppn: lowering fanout group %d/%d: %v", k.from, k.id, err)
 		}
 	}
 	return g, nil

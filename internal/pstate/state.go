@@ -45,15 +45,30 @@ type State struct {
 	cnt   []int   // per-part node counts
 
 	cons      metrics.Constraints
-	bwExcess  int64 // Σ_{i<j} max(0, bw[i][j]-Bmax), 0 when Bmax disabled
-	resExcess int64 // Σ_p max(0, res[p]-Rmax), 0 when Rmax disabled
+	rlim      []int64 // per-part scalar resource limit (0 = unbounded)
+	hasRes    bool    // any rlim entry active
+	bwExcess  int64   // Σ_{i<j} max(0, bw[i][j]-Bmax), 0 when Bmax disabled
+	resExcess int64   // Σ_p max(0, res[p]-rlim[p]), 0 when no resource bound
 
 	// Vector (multi-kind) resource extension; empty when inactive.
 	vectors   [][]int64 // vectors[u][d] = node u's demand of kind d
 	vecRmax   []int64   // per-kind bound, <= 0 disables that kind
+	vlim      []int64   // K×D per-(part,kind) bounds, row-major
 	vecTotals []int64   // K×D totals, row-major
-	vecExcess int64     // Σ_{p,d} max(0, total[p][d]-vecRmax[d])
+	vecExcess int64     // Σ_{p,d} max(0, total[p][d]-vlim[p][d])
 	dims      int
+
+	// Hyperedge extension; engaged when the CSR carries hyperedges (the
+	// finest level only — contracted graphs have none). See hyper.go.
+	hyper bool
+	hphi  []int32 // H×K pin counts per part, row-major
+	hcost []int64 // per-net current connectivity cost
+	hcut  int64   // Σ_e hcost[e]
+
+	// Replication overlay; nil/empty until the first Replicate. See
+	// hyper.go for the Move-exclusion contract.
+	reps  []int // replica part per node, -1 = none
+	nreps int
 
 	conn []int64 // scratch: per-part connectivity of the node in hand
 	log  []moveRec
@@ -61,7 +76,8 @@ type State struct {
 
 type moveRec struct {
 	u    graph.Node
-	from int
+	from int  // prior part for moves; replica part for replications
+	rep  bool // true when the record is a Replicate, undone by unreplicate
 }
 
 // Config selects the constraint set a State maintains excess counters for.
@@ -173,9 +189,19 @@ func (s *State) init(c *graph.CSR, parts []int, cfg Config) {
 		clear(s.cnt)
 	}
 	s.cons = cfg.Constraints
+	s.rlim = grow64(s.rlim, k)
+	s.hasRes = false
+	for p := 0; p < k; p++ {
+		if lim := cfg.Constraints.RmaxFor(p); lim > 0 {
+			s.rlim[p] = lim
+			s.hasRes = true
+		}
+	}
 	s.conn = grow64(s.conn, k)
 	s.vectors, s.vecRmax, s.dims = nil, nil, 0
 	s.log = s.log[:0]
+	s.nreps = 0
+	s.reps = s.reps[:0]
 	for u := 0; u < n; u++ {
 		pu := s.parts[u]
 		s.res[pu] += c.NodeW[u]
@@ -204,7 +230,14 @@ func (s *State) init(c *graph.CSR, parts []int, cfg Config) {
 				s.vecTotals[base+d] += v
 			}
 		}
+		s.vlim = grow64(s.vlim, k*s.dims)
+		for p := 0; p < k; p++ {
+			for d := 0; d < s.dims; d++ {
+				s.vlim[p*s.dims+d] = cfg.VectorConstraints.CapFor(p, d)
+			}
+		}
 	}
+	s.initHyper(c)
 	s.recountExcess()
 }
 
@@ -221,18 +254,18 @@ func (s *State) recountExcess() {
 			}
 		}
 	}
-	if s.cons.Rmax > 0 {
-		for _, r := range s.res {
-			if r > s.cons.Rmax {
-				s.resExcess += r - s.cons.Rmax
+	if s.hasRes {
+		for p, r := range s.res {
+			if lim := s.rlim[p]; lim > 0 && r > lim {
+				s.resExcess += r - lim
 			}
 		}
 	}
 	for p := 0; p < s.K && s.vectors != nil; p++ {
 		for d := 0; d < s.dims; d++ {
-			if d < len(s.vecRmax) && s.vecRmax[d] > 0 {
-				if v := s.vecTotals[p*s.dims+d]; v > s.vecRmax[d] {
-					s.vecExcess += v - s.vecRmax[d]
+			if lim := s.vlim[p*s.dims+d]; lim > 0 {
+				if v := s.vecTotals[p*s.dims+d]; v > lim {
+					s.vecExcess += v - lim
 				}
 			}
 		}
@@ -270,17 +303,27 @@ func (s *State) Feasible() bool {
 	return s.bwExcess == 0 && s.resExcess == 0 && s.vecExcess == 0
 }
 
-// Goodness mirrors metrics.Goodness on the maintained state: the cut when
-// the scalar constraints hold, otherwise a dominant penalty built from the
-// scalar excess. The expression matches metrics.Goodness operation-for-
+// penaltyBase is the dominant infeasibility penalty: it exceeds the
+// largest possible objective (pairwise cut plus connectivity cost, the
+// latter at most HWT·(K−1)). Without hyperedges HWT is zero and the
+// expression reduces bit-for-bit to the historical EdgeWT+1.
+func (s *State) penaltyBase() float64 {
+	return float64(s.C.EdgeWT + s.C.HWT*int64(s.K-1) + 1)
+}
+
+// Goodness mirrors metrics.Goodness on the maintained state: the objective
+// (cut plus hyperedge connectivity cost) when the scalar constraints hold,
+// otherwise a dominant penalty built from the scalar excess. Without
+// hyperedges the expression matches metrics.Goodness operation-for-
 // operation so results are bit-identical.
 func (s *State) Goodness() float64 {
 	excess := s.bwExcess + s.resExcess
+	obj := s.cut + s.hcut
 	if excess == 0 {
-		return float64(s.cut)
+		return float64(obj)
 	}
-	base := float64(s.C.EdgeWT + 1)
-	return base + float64(excess)*base + float64(s.cut)
+	base := s.penaltyBase()
+	return base + float64(excess)*base + float64(obj)
 }
 
 // Score extends Goodness with the vector-overflow penalty, matching
@@ -288,8 +331,7 @@ func (s *State) Goodness() float64 {
 func (s *State) Score() float64 {
 	sc := s.Goodness()
 	if s.vecExcess > 0 {
-		base := float64(s.C.EdgeWT + 1)
-		sc += float64(s.vecExcess) * base
+		sc += float64(s.vecExcess) * s.penaltyBase()
 	}
 	return sc
 }
@@ -335,23 +377,29 @@ func (s *State) MoveDelta(u graph.Node, to int) (cutDelta, bwExcessDelta, resExc
 		ft := s.bw[from*s.K+to]
 		bwExcessDelta += over(ft-conn[to]+conn[from]) - over(ft)
 	}
-	if s.cons.Rmax > 0 {
+	if s.hasRes {
 		w := s.C.NodeW[u]
-		over := func(v int64) int64 {
-			if v > s.cons.Rmax {
-				return v - s.cons.Rmax
+		over := func(v, lim int64) int64 {
+			if lim > 0 && v > lim {
+				return v - lim
 			}
 			return 0
 		}
-		resExcessDelta = over(s.res[from]-w) - over(s.res[from]) +
-			over(s.res[to]+w) - over(s.res[to])
+		resExcessDelta = over(s.res[from]-w, s.rlim[from]) - over(s.res[from], s.rlim[from]) +
+			over(s.res[to]+w, s.rlim[to]) - over(s.res[to], s.rlim[to])
 	}
 	return cutDelta, bwExcessDelta, resExcessDelta
 }
 
 // Move reassigns u to part `to`, updating every maintained quantity in
-// O(deg(u) + K + D) and recording the move for Undo.
+// O(deg(u) + K + D) and recording the move for Undo. Move is not defined
+// while replicas exist — the λ-based hyperedge maintenance assumes one
+// copy per node — so it panics then; undo the replication first (the log
+// ordering guarantees Undo pops replications before moves).
 func (s *State) Move(u graph.Node, to int) {
+	if s.nreps > 0 {
+		panic("pstate: Move while replicas exist; undo replication first")
+	}
 	from := s.parts[u]
 	if from == to {
 		return
@@ -360,15 +408,19 @@ func (s *State) Move(u graph.Node, to int) {
 	s.apply(u, from, to)
 }
 
-// Undo reverts the most recent Move. It reports false when the log is
-// empty.
+// Undo reverts the most recent Move or Replicate. It reports false when
+// the log is empty.
 func (s *State) Undo() bool {
 	if len(s.log) == 0 {
 		return false
 	}
 	rec := s.log[len(s.log)-1]
 	s.log = s.log[:len(s.log)-1]
-	s.apply(rec.u, s.parts[rec.u], rec.from)
+	if rec.rep {
+		s.unreplicate(rec.u, rec.from)
+	} else {
+		s.apply(rec.u, s.parts[rec.u], rec.from)
+	}
 	return true
 }
 
@@ -409,8 +461,8 @@ func (s *State) apply(u graph.Node, from, to int) {
 	s.cut += conn[from] - conn[to]
 
 	w := s.C.NodeW[u]
-	s.resExcess += over(s.res[from]-w, s.cons.Rmax) - over(s.res[from], s.cons.Rmax) +
-		over(s.res[to]+w, s.cons.Rmax) - over(s.res[to], s.cons.Rmax)
+	s.resExcess += over(s.res[from]-w, s.rlim[from]) - over(s.res[from], s.rlim[from]) +
+		over(s.res[to]+w, s.rlim[to]) - over(s.res[to], s.rlim[to])
 	s.res[from] -= w
 	s.res[to] += w
 	s.cnt[from]--
@@ -423,15 +475,15 @@ func (s *State) apply(u graph.Node, from, to int) {
 			if v == 0 {
 				continue
 			}
-			var lim int64
-			if d < len(s.vecRmax) {
-				lim = s.vecRmax[d]
-			}
-			s.vecExcess += over(s.vecTotals[fb+d]-v, lim) - over(s.vecTotals[fb+d], lim) +
-				over(s.vecTotals[tb+d]+v, lim) - over(s.vecTotals[tb+d], lim)
+			limF, limT := s.vlim[fb+d], s.vlim[tb+d]
+			s.vecExcess += over(s.vecTotals[fb+d]-v, limF) - over(s.vecTotals[fb+d], limF) +
+				over(s.vecTotals[tb+d]+v, limT) - over(s.vecTotals[tb+d], limT)
 			s.vecTotals[fb+d] -= v
 			s.vecTotals[tb+d] += v
 		}
+	}
+	if s.hyper {
+		s.applyHyperMove(u, from, to)
 	}
 	s.parts[u] = to
 }

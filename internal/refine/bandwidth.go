@@ -1,6 +1,8 @@
 package refine
 
 import (
+	"math"
+
 	"ppnpart/internal/arena"
 	"ppnpart/internal/graph"
 	"ppnpart/internal/metrics"
@@ -113,7 +115,7 @@ func repairBandwidthState(s *pstate.State, csr *graph.CSR, c metrics.Constraints
 					if to == from {
 						continue
 					}
-					if c.Rmax > 0 && s.Resource(to)+w > c.Rmax {
+					if lim := c.RmaxFor(to); lim > 0 && s.Resource(to)+w > lim {
 						continue
 					}
 					cd, ed, _ := s.MoveDelta(un, to)
@@ -165,6 +167,38 @@ func RebalanceResourcesWS(ws *arena.Workspace, csr *graph.CSR, parts []int, k in
 	if rmax <= 0 {
 		return 0, true
 	}
+	lims := ws.Int64s.Get(k)
+	defer ws.Int64s.Put(lims)
+	for p := range lims {
+		lims[p] = rmax
+	}
+	return rebalanceLims(ws, csr, parts, k, lims, maxPasses)
+}
+
+// RebalanceResourcesCapsWS is RebalanceResourcesWS under heterogeneous
+// per-part bounds (c.RmaxFor): a part is overfull relative to its own
+// capacity, and destinations are sized by theirs. Parts with no active
+// bound are never overfull and accept any node. Returns (0, true) when no
+// part has an active bound.
+func RebalanceResourcesCapsWS(ws *arena.Workspace, csr *graph.CSR, parts []int, k int, c metrics.Constraints, maxPasses int) (int, bool) {
+	lims := ws.Int64s.Get(k)
+	defer ws.Int64s.Put(lims)
+	active := false
+	for p := range lims {
+		lims[p] = c.RmaxFor(p)
+		if lims[p] > 0 {
+			active = true
+		}
+	}
+	if !active {
+		return 0, true
+	}
+	return rebalanceLims(ws, csr, parts, k, lims, maxPasses)
+}
+
+// rebalanceLims is the shared rebalance implementation; lims[p] bounds
+// part p (<= 0 = unbounded: never overfull, unlimited destination room).
+func rebalanceLims(ws *arena.Workspace, csr *graph.CSR, parts []int, k int, lims []int64, maxPasses int) (int, bool) {
 	if maxPasses <= 0 {
 		maxPasses = 16
 	}
@@ -180,8 +214,8 @@ func RebalanceResourcesWS(ws *arena.Workspace, csr *graph.CSR, parts []int, k in
 		cnt[parts[u]]++
 	}
 	fits := func() bool {
-		for _, r := range res {
-			if r > rmax {
+		for p, r := range res {
+			if lims[p] > 0 && r > lims[p] {
 				return false
 			}
 		}
@@ -195,7 +229,7 @@ func RebalanceResourcesWS(ws *arena.Workspace, csr *graph.CSR, parts []int, k in
 		for u := 0; u < n && !fits(); u++ {
 			un := graph.Node(u)
 			from := parts[u]
-			if res[from] <= rmax || cnt[from] == 1 {
+			if lims[from] <= 0 || res[from] <= lims[from] || cnt[from] == 1 {
 				continue
 			}
 			w := csr.NodeW[u]
@@ -212,11 +246,18 @@ func RebalanceResourcesWS(ws *arena.Workspace, csr *graph.CSR, parts []int, k in
 			var bestCost int64
 			var bestFree int64
 			for to := 0; to < k; to++ {
-				if to == from || res[to]+w > rmax {
+				if to == from {
+					continue
+				}
+				tl := lims[to]
+				if tl > 0 && res[to]+w > tl {
 					continue
 				}
 				cost := conn[from] - conn[to]
-				free := rmax - (res[to] + w)
+				free := int64(math.MaxInt64)
+				if tl > 0 {
+					free = tl - (res[to] + w)
+				}
 				if bestTo < 0 || cost < bestCost || (cost == bestCost && free > bestFree) {
 					bestTo, bestCost, bestFree = to, cost, free
 				}

@@ -3,6 +3,7 @@ package refine
 import (
 	"ppnpart/internal/arena"
 	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
 )
 
 // Stats summarizes what a refinement pass achieved.
@@ -175,6 +176,29 @@ func KWayFM(g *graph.Graph, parts []int, k int, maxResource int64, maxPasses int
 // incrementally from the applied gains, so the only full adjacency sweep
 // is the initial cut count.
 func KWayFMWS(ws *arena.Workspace, csr *graph.CSR, parts []int, k int, maxResource int64, maxPasses int) Stats {
+	lims := ws.Int64s.Get(k)
+	defer ws.Int64s.Put(lims)
+	for p := range lims {
+		lims[p] = maxResource
+	}
+	return kwayFMLims(ws, csr, parts, k, lims, maxPasses)
+}
+
+// KWayFMCapsWS is KWayFMWS under heterogeneous per-part resource bounds:
+// the destination check uses c.RmaxFor(to), so a big part can absorb
+// nodes a small one cannot. With a nil RmaxPart it is exactly KWayFMWS.
+func KWayFMCapsWS(ws *arena.Workspace, csr *graph.CSR, parts []int, k int, c metrics.Constraints, maxPasses int) Stats {
+	lims := ws.Int64s.Get(k)
+	defer ws.Int64s.Put(lims)
+	for p := range lims {
+		lims[p] = c.RmaxFor(p)
+	}
+	return kwayFMLims(ws, csr, parts, k, lims, maxPasses)
+}
+
+// kwayFMLims is the shared k-way FM implementation; lims[p] bounds part
+// p's resource total (<= 0 = unbounded).
+func kwayFMLims(ws *arena.Workspace, csr *graph.CSR, parts []int, k int, lims []int64, maxPasses int) Stats {
 	if maxPasses <= 0 {
 		maxPasses = 8
 	}
@@ -223,7 +247,7 @@ func KWayFMWS(ws *arena.Workspace, csr *graph.CSR, parts []int, k int, maxResour
 				if to == from || conn[to] == 0 {
 					continue
 				}
-				if maxResource > 0 && res[to]+w > maxResource {
+				if lim := lims[to]; lim > 0 && res[to]+w > lim {
 					continue
 				}
 				// bestGain starts at 0, so only strictly improving moves

@@ -1,0 +1,170 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppnpart/internal/gen"
+	"ppnpart/internal/graph"
+	"ppnpart/internal/metrics"
+	"ppnpart/internal/ppn"
+	"ppnpart/internal/pstate"
+)
+
+// fanoutHyperGraph lowers a random fanout PPN to the hyperedge model.
+func fanoutHyperGraph(t *testing.T, nProcs int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net, err := gen.RandomFanoutPPN(nProcs, gen.WeightRange{Lo: 10, Hi: 100},
+		gen.WeightRange{Lo: 1, Hi: 5}, rng)
+	if err != nil {
+		t.Fatalf("RandomFanoutPPN: %v", err)
+	}
+	g, err := net.ToGraphHyper(ppn.DefaultResourceModel())
+	if err != nil {
+		t.Fatalf("ToGraphHyper: %v", err)
+	}
+	return g
+}
+
+func TestReplicateDeterministicAndBounded(t *testing.T) {
+	g := fanoutHyperGraph(t, 30, 5)
+	n := g.NumNodes()
+	k := 4
+	parts := make([]int, n)
+	for i := range parts {
+		parts[i] = i % k
+	}
+	cfg := pstate.Config{K: k, Constraints: metrics.Constraints{Rmax: g.TotalNodeWeight()}}
+	reps1, st1, err := Replicate(g, parts, k, cfg, ReplicateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps2, st2, err := Replicate(g, parts, k, cfg, ReplicateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Fatalf("stats differ across identical runs: %+v vs %+v", st1, st2)
+	}
+	for u := range reps1 {
+		if reps1[u] != reps2[u] {
+			t.Fatalf("replica vector differs at node %d: %d vs %d", u, reps1[u], reps2[u])
+		}
+	}
+	if st1.ScoreAfter > st1.ScoreBefore {
+		t.Fatalf("score regressed: before %v, after %v", st1.ScoreBefore, st1.ScoreAfter)
+	}
+	if st1.ObjectiveAfter > st1.ObjectiveBefore {
+		t.Fatalf("objective regressed: before %d, after %d", st1.ObjectiveBefore, st1.ObjectiveAfter)
+	}
+	clones := 0
+	for u, p := range reps1 {
+		if p < 0 {
+			continue
+		}
+		clones++
+		if p == parts[u] {
+			t.Fatalf("node %d replicated into its home part %d", u, p)
+		}
+		if p >= k {
+			t.Fatalf("node %d replica part %d out of range", u, p)
+		}
+	}
+	if clones != st1.Clones {
+		t.Fatalf("replica vector holds %d clones, stats say %d", clones, st1.Clones)
+	}
+	// A naive round-robin assignment of a fanout-heavy network leaves
+	// plenty of cut producer streams, so the pass must find work.
+	if st1.Clones == 0 {
+		t.Fatal("replication pass found no improvement on a fanout-heavy PPN")
+	}
+	if st1.ScoreAfter >= st1.ScoreBefore {
+		t.Fatalf("clones committed without strict improvement: %v -> %v",
+			st1.ScoreBefore, st1.ScoreAfter)
+	}
+}
+
+// TestReplicateScoreAfterIsReproducible replays the returned replica
+// vector on a fresh state and checks the pass reported the true score.
+func TestReplicateScoreAfterIsReproducible(t *testing.T) {
+	g := fanoutHyperGraph(t, 24, 11)
+	n := g.NumNodes()
+	k := 3
+	parts := make([]int, n)
+	for i := range parts {
+		parts[i] = (i * 7) % k
+	}
+	cfg := pstate.Config{K: k, Constraints: metrics.Constraints{Rmax: g.TotalNodeWeight()}}
+	reps, st, err := Replicate(g, parts, k, cfg, ReplicateOptions{MaxClones: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Clones > 8 {
+		t.Fatalf("MaxClones=8 exceeded: %d", st.Clones)
+	}
+	s, err := pstate.New(g.ToCSR(), parts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, p := range reps {
+		if p >= 0 {
+			s.Replicate(graph.Node(u), p)
+		}
+	}
+	if got := s.Score(); got != st.ScoreAfter {
+		t.Fatalf("replayed score %v, stats claim %v", got, st.ScoreAfter)
+	}
+	if got := s.Objective(); got != st.ObjectiveAfter {
+		t.Fatalf("replayed objective %d, stats claim %d", got, st.ObjectiveAfter)
+	}
+}
+
+// TestReplicateRespectsPerPartCaps pins one partition's cap at its current
+// load so no clone can land there.
+func TestReplicateRespectsPerPartCaps(t *testing.T) {
+	g := fanoutHyperGraph(t, 24, 17)
+	n := g.NumNodes()
+	k := 3
+	parts := make([]int, n)
+	for i := range parts {
+		parts[i] = i % k
+	}
+	loads := metrics.PartResources(g, parts, k)
+	total := g.TotalNodeWeight()
+	c := metrics.Constraints{Rmax: total, RmaxPart: []int64{loads[0], total, total}}
+	cfg := pstate.Config{K: k, Constraints: c}
+	reps, _, err := Replicate(g, parts, k, cfg, ReplicateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, p := range reps {
+		if p == 0 {
+			t.Fatalf("node %d cloned into part 0 despite a full cap", u)
+		}
+	}
+	res := metrics.ReplicatedPartResources(g, parts, reps, k)
+	if res[0] != loads[0] {
+		t.Fatalf("part 0 load changed: %d -> %d", loads[0], res[0])
+	}
+}
+
+// TestReplicateNoOpWithoutCutTraffic verifies the pass leaves an already
+// co-located assignment untouched.
+func TestReplicateNoOpWithoutCutTraffic(t *testing.T) {
+	g := fanoutHyperGraph(t, 12, 23)
+	parts := make([]int, g.NumNodes()) // everything in part 0: nothing is cut
+	cfg := pstate.Config{K: 2, Constraints: metrics.Constraints{Rmax: g.TotalNodeWeight()}}
+	reps, st, err := Replicate(g, parts, 2, cfg, ReplicateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Clones != 0 || st.ScoreAfter != st.ScoreBefore {
+		t.Fatalf("no-op input produced clones: %+v", st)
+	}
+	for u, p := range reps {
+		if p != -1 {
+			t.Fatalf("node %d replicated in a cut-free assignment", u)
+		}
+	}
+}

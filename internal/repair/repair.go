@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ppnpart/internal/arena"
 	"ppnpart/internal/core"
 	"ppnpart/internal/fpga"
 	"ppnpart/internal/graph"
@@ -165,14 +166,26 @@ func Repair(g *graph.Graph, parts []int, topo *fpga.Topology, failed []int, opts
 			}
 		}
 	}
-	constraints := metrics.Constraints{Rmax: rmax, Bmax: bmin * opts.Rounds}
+	// Per-part capacities: each compact part keeps its own survivor's true
+	// capacity (heterogeneous platforms no longer collapse to the weakest
+	// device); the scalar Rmax stays the weakest survivor for consumers
+	// that only understand the uniform abstraction. On uniform platforms
+	// every RmaxPart entry equals Rmax, so nothing changes.
+	rmaxPart := make([]int64, m)
+	for i, s := range survivors {
+		rmaxPart[i] = topo.Resources[s]
+	}
+	constraints := metrics.Constraints{Rmax: rmax, RmaxPart: rmaxPart, Bmax: bmin * opts.Rounds}
 
 	// Incremental path: evacuate + best-fit + refine in compact space.
 	compact := bestFitEvacuate(g, parts, topo, toCompact, survivors, res)
 	if m > 1 {
-		refine.KWayFM(g, compact, m, constraints.Rmax, opts.RefinePasses)
-		refine.RepairBandwidth(g, compact, m, constraints, opts.RefinePasses)
-		refine.RebalanceResources(g, compact, m, constraints.Rmax, opts.RefinePasses)
+		ws := arena.Get()
+		csr := g.ToCSR()
+		refine.KWayFMCapsWS(ws, csr, compact, m, constraints, opts.RefinePasses)
+		refine.RepairBandwidthWS(ws, csr, compact, m, constraints, opts.RefinePasses)
+		refine.RebalanceResourcesCapsWS(ws, csr, compact, m, constraints, opts.RefinePasses)
+		arena.Put(ws)
 	}
 	assignment := make([]int, len(compact))
 	for u, c := range compact {

@@ -52,10 +52,21 @@ type EdgeSpec struct {
 	Weight int64 `json:"weight"`
 }
 
+// HyperEdgeSpec is one fanout net on the wire: Pins[0] is the writer,
+// the rest the distinct readers of one broadcast stream, Weight the
+// stream's token volume (same shape as the graph JSON file format).
+type HyperEdgeSpec struct {
+	Pins   []int `json:"pins"`
+	Weight int64 `json:"weight"`
+}
+
 // GraphSpec is the wire form of a process graph.
 type GraphSpec struct {
 	Nodes []NodeSpec `json:"nodes"`
 	Edges []EdgeSpec `json:"edges"`
+	// HyperEdges optionally carries fanout nets; the partitioner then
+	// charges connectivity-1 cost per net instead of per pairwise leg.
+	HyperEdges []HyperEdgeSpec `json:"hyperedges,omitempty"`
 }
 
 // JobOptions tunes the GP search per job. Zero values take the solver
@@ -83,6 +94,11 @@ type JobOptions struct {
 	// StreamIterations caps the restream passes ("stream" algo and the
 	// gp stream seeder); 0 takes the solver defaults.
 	StreamIterations int `json:"stream_iterations,omitempty"`
+	// Replicate runs the post-refinement logic-replication pass; the
+	// replica overlay comes back in the result's replicas vector.
+	Replicate bool `json:"replicate,omitempty"`
+	// MaxClones bounds the replication pass (0 = solver default 32).
+	MaxClones int `json:"max_clones,omitempty"`
 }
 
 // JobRequest is the body of POST /partition.
@@ -165,6 +181,9 @@ func (req *JobRequest) BuildGraph() (*graph.Graph, error) {
 	if len(req.Graph.Edges) > MaxEdges {
 		return nil, fmt.Errorf("%w: %d edges exceeds limit %d", ErrBadRequest, len(req.Graph.Edges), MaxEdges)
 	}
+	if len(req.Graph.HyperEdges) > MaxEdges {
+		return nil, fmt.Errorf("%w: %d hyperedges exceeds limit %d", ErrBadRequest, len(req.Graph.HyperEdges), MaxEdges)
+	}
 	w := make([]int64, n)
 	names := make([]string, n)
 	seen := make([]bool, n)
@@ -194,6 +213,15 @@ func (req *JobRequest) BuildGraph() (*graph.Graph, error) {
 		}
 		if err := g.AddEdge(graph.Node(e.U), graph.Node(e.V), e.Weight); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	}
+	for i, he := range req.Graph.HyperEdges {
+		pins := make([]graph.Node, len(he.Pins))
+		for j, p := range he.Pins {
+			pins[j] = graph.Node(p)
+		}
+		if err := g.AddHyperEdge(pins, he.Weight); err != nil {
+			return nil, fmt.Errorf("%w: hyperedge %d: %v", ErrBadRequest, i, err)
 		}
 	}
 	return g, nil
@@ -250,6 +278,8 @@ func (req *JobRequest) CoreOptions() core.Options {
 		MinimizeAfterFeasible: req.Options.MinimizeAfterFeasible,
 		Algo:                  algo,
 		StreamIterations:      req.Options.StreamIterations,
+		Replicate:             req.Options.Replicate,
+		MaxClones:             req.Options.MaxClones,
 	}
 }
 
@@ -286,6 +316,17 @@ func (req *JobRequest) CacheKey(g *graph.Graph) string {
 		wi(int64(e.V))
 		wi(e.Weight)
 	}
+	// Hyperedges are hashed in insertion order with their pin lists; the
+	// builder preserves the request's order, so identical requests agree.
+	wi(int64(g.NumHyperEdges()))
+	for i := 0; i < g.NumHyperEdges(); i++ {
+		he := g.HyperEdge(i)
+		wi(he.Weight)
+		wi(int64(len(he.Pins)))
+		for _, p := range he.Pins {
+			wi(int64(p))
+		}
+	}
 	wi(int64(req.K))
 	wi(req.Bmax)
 	wi(req.Rmax)
@@ -306,5 +347,13 @@ func (req *JobRequest) CacheKey(g *graph.Graph) string {
 	} else {
 		wi(0)
 	}
+	// Replication changes the delivered overlay (and the goodness), so it
+	// must split the cache.
+	if req.Options.Replicate {
+		wi(1)
+	} else {
+		wi(0)
+	}
+	wi(int64(req.Options.MaxClones))
 	return hex.EncodeToString(h.Sum(nil))
 }

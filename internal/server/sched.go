@@ -120,6 +120,14 @@ type JobResult struct {
 	EdgeCut           int64 `json:"edge_cut"`
 	MaxLocalBandwidth int64 `json:"max_local_bandwidth"`
 	MaxResource       int64 `json:"max_resource"`
+	// HyperedgeCut is the connectivity-1 cost of the request's fanout
+	// nets (zero when the graph carries none).
+	HyperedgeCut int64 `json:"hyperedge_cut,omitempty"`
+	// Replicas maps each node to the partition holding its clone (-1 =
+	// none); present only when the job asked for replication.
+	Replicas []int `json:"replicas,omitempty"`
+	// ReplicatedNodes counts the clones the replication pass committed.
+	ReplicatedNodes int `json:"replicated_nodes,omitempty"`
 	// Violations lists every violated constraint instance (infeasible or
 	// truncated results).
 	Violations []string `json:"violations,omitempty"`
@@ -747,6 +755,7 @@ func (s *Scheduler) run(j *Job) {
 
 	jr := resultToJSON(j.req, res)
 	jr.SolveMS = elapsed.Milliseconds()
+	s.metrics.HyperResult(jr.ReplicatedNodes, jr.HyperedgeCut)
 	// Stub solvers (tests) never record into tr; only attach and export a
 	// summary when the staged engine actually ran cycles.
 	if sum := tr.Summary(); sum.Cycles > 0 {
@@ -862,6 +871,9 @@ func resultToJSON(req *JobRequest, res *core.Result) *JobResult {
 		EdgeCut:           res.Report.EdgeCut,
 		MaxLocalBandwidth: res.Report.MaxLocalBandwidth,
 		MaxResource:       res.Report.MaxResource,
+		HyperedgeCut:      res.Report.HyperCut,
+		Replicas:          res.Replicas,
+		ReplicatedNodes:   res.ReplicatedNodes,
 		Cycles:            res.Cycles,
 		Goodness:          res.Goodness,
 		Message:           res.Message,

@@ -48,6 +48,10 @@ type Metrics struct {
 	batchCands int64
 	// Levels whose batch pass panicked and degraded to serial refinement.
 	batchDegraded int64
+	// Clones committed by the logic-replication pass across solves.
+	replicatedNodes int64
+	// Summed hyperedge connectivity-1 cost of delivered results.
+	hyperedgeCut int64
 }
 
 // latencyBuckets are the solve-latency histogram bounds in seconds
@@ -154,6 +158,22 @@ func (m *Metrics) SolveTrace(s engine.TraceSummary) {
 	m.batchMoves += int64(s.BatchMoves)
 	m.batchCands += int64(s.BatchCands)
 	m.batchDegraded += int64(s.BatchDegraded)
+}
+
+// HyperResult folds one solved job's replication and hyperedge-cut
+// outcome into the counters.
+func (m *Metrics) HyperResult(replicated int, hcut int64) {
+	m.mu.Lock()
+	m.replicatedNodes += int64(replicated)
+	m.hyperedgeCut += hcut
+	m.mu.Unlock()
+}
+
+// HyperCounts returns the replication/hyperedge counters (tests).
+func (m *Metrics) HyperCounts() (replicated, hcut int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.replicatedNodes, m.hyperedgeCut
 }
 
 // CacheHit / CacheMiss record result-cache lookups.
@@ -340,6 +360,12 @@ func (m *Metrics) WriteTo(w io.Writer, g GaugeSample) {
 	fmt.Fprintf(w, "# HELP ppnd_batch_degraded_total Levels whose batch refinement panicked and fell back to serial.\n")
 	fmt.Fprintf(w, "# TYPE ppnd_batch_degraded_total counter\n")
 	fmt.Fprintf(w, "ppnd_batch_degraded_total %d\n", m.batchDegraded)
+	fmt.Fprintf(w, "# HELP ppnd_replicated_nodes Clones committed by the logic-replication pass across solves.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_replicated_nodes counter\n")
+	fmt.Fprintf(w, "ppnd_replicated_nodes %d\n", m.replicatedNodes)
+	fmt.Fprintf(w, "# HELP ppnd_hyperedge_cut Summed hyperedge connectivity-1 cost of delivered results.\n")
+	fmt.Fprintf(w, "# TYPE ppnd_hyperedge_cut counter\n")
+	fmt.Fprintf(w, "ppnd_hyperedge_cut %d\n", m.hyperedgeCut)
 }
 
 func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }

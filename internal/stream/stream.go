@@ -292,7 +292,7 @@ func (c *chooser) pick(w int64, from int, conn []int64, touched []int) int {
 		if p == from {
 			continue
 		}
-		if c.cons.Rmax > 0 && c.res[p]+w > c.cons.Rmax {
+		if lim := c.cons.RmaxFor(p); lim > 0 && c.res[p]+w > lim {
 			continue
 		}
 		if sc := c.score(p, w, from, conn, touched); sc > bestScore {
